@@ -1,0 +1,44 @@
+// Extra ablation (not a paper table): encoder design choices that
+// DESIGN.md calls out — the aggregate function of Eq. 8 (mean vs max vs
+// last hidden state) and the sequence model (LSTM vs the Transformer the
+// paper mentions as an alternative). Aalborg analogue only.
+
+#include "harness.h"
+
+int main() {
+  using namespace tpr;
+  using namespace tpr::bench;
+
+  std::printf("Design ablation: aggregation and sequence model (Aalborg)\n");
+  PreparedCity city = PrepareCity(synth::AalborgPreset());
+
+  struct Variant {
+    const char* name;
+    core::Aggregation aggregation;
+    core::SequenceModel model;
+  };
+  const Variant variants[] = {
+      {"LSTM + mean (paper)", core::Aggregation::kMean,
+       core::SequenceModel::kLstm},
+      {"LSTM + max", core::Aggregation::kMax, core::SequenceModel::kLstm},
+      {"LSTM + last", core::Aggregation::kLast, core::SequenceModel::kLstm},
+      {"Transformer + mean", core::Aggregation::kMean,
+       core::SequenceModel::kTransformer},
+  };
+
+  TablePrinter t({"Variant", "TTE MAE", "MARE", "MAPE", "PR MAE", "tau",
+                  "rho"});
+  for (const auto& v : variants) {
+    std::fprintf(stderr, "[bench] %s...\n", v.name);
+    auto cfg = DefaultWsccalConfig();
+    cfg.wsc.encoder.aggregation = v.aggregation;
+    cfg.wsc.encoder.sequence_model = v.model;
+    const auto s = TrainAndScoreWsccl(city, cfg);
+    t.AddRow({v.name, TablePrinter::Num(s.tte_mae),
+              TablePrinter::Num(s.tte_mare), TablePrinter::Num(s.tte_mape),
+              TablePrinter::Num(s.pr_mae), TablePrinter::Num(s.pr_tau),
+              TablePrinter::Num(s.pr_rho)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,136 @@
+#ifndef TPR_BENCH_HARNESS_H_
+#define TPR_BENCH_HARNESS_H_
+
+// Shared infrastructure for the per-table experiment harnesses. Each
+// bench binary regenerates one table or figure of the paper on the three
+// synthetic city datasets.
+//
+// Environment knobs:
+//   TPR_BENCH_SCALE  — scales dataset sizes (default 1.0; 0.5 halves).
+//   TPR_BENCH_SEED   — base seed offset for a different repetition.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/features.h"
+#include "core/wsccl.h"
+#include "eval/downstream.h"
+#include "synth/presets.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace tpr::bench {
+
+inline double BenchScale() {
+  const char* s = std::getenv("TPR_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+inline uint64_t BenchSeedOffset() {
+  const char* s = std::getenv("TPR_BENCH_SEED");
+  return s != nullptr ? static_cast<uint64_t>(std::atoll(s)) : 0;
+}
+
+/// One fully prepared city: dataset + node2vec feature space.
+struct PreparedCity {
+  std::string name;
+  std::shared_ptr<synth::CityDataset> data;
+  std::shared_ptr<const core::FeatureSpace> features;
+};
+
+/// Standard feature configuration used by every experiment.
+inline core::FeatureConfig DefaultFeatureConfig() {
+  core::FeatureConfig fc;
+  fc.temporal_graph.slots_per_day = 96;  // 15-minute slots
+  fc.node2vec.seed = 42 + BenchSeedOffset();
+  return fc;
+}
+
+/// Builds dataset + features for one preset, aborting on failure (benches
+/// have no meaningful recovery path).
+inline PreparedCity PrepareCity(synth::CityPreset preset) {
+  synth::ScaleDataset(preset, BenchScale());
+  preset.data.seed += BenchSeedOffset();
+  auto dataset = synth::BuildPresetDataset(preset);
+  TPR_CHECK(dataset.ok()) << dataset.status().ToString();
+  PreparedCity city;
+  city.name = preset.name;
+  city.data = std::make_shared<synth::CityDataset>(std::move(*dataset));
+  auto features = core::BuildFeatureSpace(city.data, DefaultFeatureConfig());
+  TPR_CHECK(features.ok()) << features.status().ToString();
+  city.features =
+      std::make_shared<const core::FeatureSpace>(std::move(*features));
+  return city;
+}
+
+/// All three cities in the paper's order.
+inline std::vector<PreparedCity> PrepareAllCities() {
+  std::vector<PreparedCity> cities;
+  for (auto& preset : synth::AllPresets()) {
+    std::fprintf(stderr, "[bench] preparing city %s...\n",
+                 preset.name.c_str());
+    cities.push_back(PrepareCity(preset));
+  }
+  return cities;
+}
+
+/// Default WSCCL configuration used across experiments (CPU scale).
+inline core::WsccalConfig DefaultWsccalConfig() {
+  core::WsccalConfig cfg;
+  cfg.wsc.seed = 7 + BenchSeedOffset();
+  cfg.wsc.encoder.seed = 31 + BenchSeedOffset();
+  cfg.curriculum.num_meta_sets = 4;
+  cfg.curriculum.expert_epochs = 1;
+  cfg.stage_epochs = 1;
+  cfg.final_epochs = 2;
+  return cfg;
+}
+
+/// Trains WSCCL (or a variant) and evaluates all downstream tasks.
+inline eval::TaskScores TrainAndScoreWsccl(const PreparedCity& city,
+                                           const core::WsccalConfig& config) {
+  auto model = core::WsccalPipeline::Train(city.features, config);
+  TPR_CHECK(model.ok()) << model.status().ToString();
+  auto scores = eval::EvaluateTasks(
+      *city.data, [&](const synth::TemporalPathSample& s) {
+        return (*model)->Encode(s);
+      });
+  TPR_CHECK(scores.ok()) << scores.status().ToString();
+  return *scores;
+}
+
+/// Train/test indices of the labeled pool, matching the downstream probes'
+/// split (supervised baselines must train on the probe's training split).
+inline std::vector<int> LabeledTrainIndices(const synth::CityDataset& data) {
+  std::vector<int> train, test;
+  eval::SplitGroups(data.labeled, 0.8, 99, &train, &test);
+  return train;
+}
+
+inline std::vector<int> LabeledTestIndices(const synth::CityDataset& data) {
+  std::vector<int> train, test;
+  eval::SplitGroups(data.labeled, 0.8, 99, &train, &test);
+  return test;
+}
+
+/// Formats a TaskScores row for the travel-time table.
+inline std::vector<std::string> TteRow(const std::string& method,
+                                       const eval::TaskScores& s) {
+  return {method, TablePrinter::Num(s.tte_mae), TablePrinter::Num(s.tte_mare),
+          TablePrinter::Num(s.tte_mape)};
+}
+
+/// Formats a TaskScores row for the path-ranking table.
+inline std::vector<std::string> RankRow(const std::string& method,
+                                        const eval::TaskScores& s) {
+  return {method, TablePrinter::Num(s.pr_mae), TablePrinter::Num(s.pr_tau),
+          TablePrinter::Num(s.pr_rho)};
+}
+
+}  // namespace tpr::bench
+
+#endif  // TPR_BENCH_HARNESS_H_

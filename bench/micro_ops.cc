@@ -1,0 +1,78 @@
+// Microbenchmarks for the hot paths of the library: autograd ops, the
+// temporal path encoder, node2vec walking, and GBDT fitting. Not a paper
+// table; used to keep the experiment harnesses fast.
+
+#include <benchmark/benchmark.h>
+
+#include "gbdt/gradient_boosting.h"
+#include "nn/modules.h"
+#include "nn/optimizer.h"
+#include "node2vec/node2vec.h"
+#include "synth/city_generator.h"
+#include "util/rng.h"
+
+namespace tpr {
+namespace {
+
+void BM_MatMulForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::Var a = nn::UniformParam(n, n, 0.1f, rng);
+  nn::Var b = nn::UniformParam(n, n, 0.1f, rng);
+  for (auto _ : state) {
+    nn::NoGradGuard no_grad;
+    benchmark::DoNotOptimize(nn::MatMul(a, b).value().data());
+  }
+}
+BENCHMARK(BM_MatMulForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  Rng rng(2);
+  nn::Lstm lstm(48, 32, 2, rng);
+  nn::Var x = nn::UniformParam(steps, 48, 0.1f, rng);
+  for (auto _ : state) {
+    nn::Var loss = nn::Sum(lstm.Forward(x));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+}
+BENCHMARK(BM_LstmForwardBackward)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Node2VecWalks(benchmark::State& state) {
+  synth::CityConfig cfg;
+  cfg.grid_width = 12;
+  cfg.grid_height = 12;
+  auto network = synth::GenerateCity(cfg);
+  const auto topo = network->BuildTopologyGraph();
+  node2vec::Node2VecConfig n2v;
+  n2v.walks_per_node = 2;
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(node2vec::GenerateWalks(topo, n2v, rng));
+  }
+}
+BENCHMARK(BM_Node2VecWalks);
+
+void BM_GbdtFit(benchmark::State& state) {
+  const int rows = 500, cols = 16;
+  Rng rng(4);
+  gbdt::Matrix x(rows, cols);
+  std::vector<float> y(rows);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      x.at(i, j) = static_cast<float>(rng.Gaussian());
+    }
+    y[i] = x.at(i, 0) * 2 + x.at(i, 1);
+  }
+  gbdt::BoostingConfig cfg;
+  cfg.num_trees = 30;
+  for (auto _ : state) {
+    gbdt::GradientBoostingRegressor gbr(cfg);
+    benchmark::DoNotOptimize(gbr.Fit(x, y).ok());
+  }
+}
+BENCHMARK(BM_GbdtFit);
+
+}  // namespace
+}  // namespace tpr

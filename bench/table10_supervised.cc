@@ -1,0 +1,71 @@
+// Reproduces Table X: supervised cross-task transfer. Each supervised
+// baseline is trained on a primary task and its frozen representation is
+// probed on both tasks. Following the paper's naming, the "-PR" variant
+// has travel time as the primary task (ranking is secondary) and "-TTE"
+// has ranking as the primary task.
+
+#include "baselines/supervised.h"
+#include "harness.h"
+
+namespace tpr::bench {
+namespace {
+
+template <typename Model>
+eval::TaskScores RunVariant(const PreparedCity& city,
+                            baselines::SupervisedTask primary) {
+  baselines::SupervisedConfig cfg;
+  cfg.primary = primary;
+  Model model(city.features, LabeledTrainIndices(*city.data), cfg);
+  auto st = model.Train();
+  TPR_CHECK(st.ok()) << st.ToString();
+  auto scores = eval::EvaluateTasks(
+      *city.data, [&](const synth::TemporalPathSample& s) {
+        return model.Encode(s);
+      });
+  TPR_CHECK(scores.ok()) << scores.status().ToString();
+  return *scores;
+}
+
+}  // namespace
+}  // namespace tpr::bench
+
+int main() {
+  using namespace tpr;
+  using namespace tpr::bench;
+
+  std::printf("Table X: Comparison with Supervised Methods\n");
+  for (const auto& preset : synth::AllPresets()) {
+    PreparedCity city = PrepareCity(preset);
+
+    TablePrinter t({"Method", "TTE MAE", "MARE", "MAPE", "PR MAE", "tau",
+                    "rho"});
+    auto add = [&](const std::string& name, const eval::TaskScores& s) {
+      t.AddRow({name, TablePrinter::Num(s.tte_mae),
+                TablePrinter::Num(s.tte_mare), TablePrinter::Num(s.tte_mape),
+                TablePrinter::Num(s.pr_mae), TablePrinter::Num(s.pr_tau),
+                TablePrinter::Num(s.pr_rho)});
+    };
+
+    using Task = baselines::SupervisedTask;
+    std::fprintf(stderr, "[bench] %s PathRank...\n", city.name.c_str());
+    add("PathRank-PR",
+        RunVariant<baselines::PathRankModel>(city, Task::kTravelTime));
+    add("PathRank-TTE",
+        RunVariant<baselines::PathRankModel>(city, Task::kRanking));
+    std::fprintf(stderr, "[bench] %s HMTRL...\n", city.name.c_str());
+    add("HMTRL-PR",
+        RunVariant<baselines::HmtrlModel>(city, Task::kTravelTime));
+    add("HMTRL-TTE", RunVariant<baselines::HmtrlModel>(city, Task::kRanking));
+    std::fprintf(stderr, "[bench] %s DeepGTT...\n", city.name.c_str());
+    add("DeepGTT-PR",
+        RunVariant<baselines::DeepGttModel>(city, Task::kTravelTime));
+    add("DeepGTT-TTE",
+        RunVariant<baselines::DeepGttModel>(city, Task::kRanking));
+    t.AddSeparator();
+    std::fprintf(stderr, "[bench] %s WSCCL...\n", city.name.c_str());
+    add("WSCCL", TrainAndScoreWsccl(city, DefaultWsccalConfig()));
+
+    std::printf("\n-- %s --\n%s", city.name.c_str(), t.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Reproduces Table XI: effect of the balancing factor lambda between the
+// global and local WSC losses (Eq. 12), on the Aalborg analogue.
+
+#include "harness.h"
+
+int main() {
+  using namespace tpr;
+  using namespace tpr::bench;
+
+  std::printf("Table XI: Effects of lambda (Aalborg)\n");
+  PreparedCity city = PrepareCity(synth::AalborgPreset());
+
+  TablePrinter t({"lambda", "TTE MAE", "MARE", "MAPE", "PR MAE", "tau",
+                  "rho"});
+  for (float lambda : {0.0f, 0.2f, 0.4f, 0.6f, 0.8f, 1.0f}) {
+    std::fprintf(stderr, "[bench] lambda=%.1f...\n", lambda);
+    auto cfg = DefaultWsccalConfig();
+    cfg.wsc.lambda = lambda;
+    const auto s = TrainAndScoreWsccl(city, cfg);
+    t.AddRow({TablePrinter::Num(lambda, 1), TablePrinter::Num(s.tte_mae),
+              TablePrinter::Num(s.tte_mare), TablePrinter::Num(s.tte_mape),
+              TablePrinter::Num(s.pr_mae), TablePrinter::Num(s.pr_tau),
+              TablePrinter::Num(s.pr_rho)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Reproduces Table III: overall accuracy on travel time estimation
+// (MAE / MARE / MAPE) and path ranking (MAE / tau / rho) for the 12
+// baselines and WSCCL on the three city datasets. GCN and STGCN appear in
+// the travel-time table only, as in the paper.
+
+#include <functional>
+#include <memory>
+
+#include "baselines/bert_path.h"
+#include "baselines/dgi.h"
+#include "baselines/gcn_tte.h"
+#include "baselines/gmi.h"
+#include "baselines/infograph.h"
+#include "baselines/memory_bank.h"
+#include "baselines/node2vec_path.h"
+#include "baselines/pim.h"
+#include "baselines/supervised.h"
+#include "eval/metrics.h"
+#include "harness.h"
+
+namespace tpr::bench {
+namespace {
+
+using baselines::PathRepresentationModel;
+
+// Builds every representation baseline for a city. Supervised models are
+// trained on the evaluated task's training split; for Table III the
+// primary task is travel time (their strongest setting there).
+std::vector<std::unique_ptr<PathRepresentationModel>> BuildRepresentationModels(
+    const PreparedCity& city) {
+  std::vector<std::unique_ptr<PathRepresentationModel>> models;
+  models.push_back(
+      std::make_unique<baselines::Node2vecPathModel>(city.features));
+  models.push_back(std::make_unique<baselines::DgiModel>(city.features));
+  models.push_back(std::make_unique<baselines::GmiModel>(city.features));
+  models.push_back(std::make_unique<baselines::MemoryBankModel>(city.features));
+  models.push_back(std::make_unique<baselines::BertPathModel>(city.features));
+  models.push_back(std::make_unique<baselines::InfoGraphModel>(city.features));
+  models.push_back(std::make_unique<baselines::PimModel>(city.features));
+
+  const auto train_idx = LabeledTrainIndices(*city.data);
+  baselines::SupervisedConfig sup;
+  sup.primary = baselines::SupervisedTask::kTravelTime;
+  models.push_back(std::make_unique<baselines::DeepGttModel>(
+      city.features, train_idx, sup));
+  models.push_back(std::make_unique<baselines::HmtrlModel>(
+      city.features, train_idx, sup));
+  models.push_back(std::make_unique<baselines::PathRankModel>(
+      city.features, train_idx, sup));
+  return models;
+}
+
+struct CityResults {
+  std::vector<std::pair<std::string, eval::TaskScores>> rep_methods;
+  // GCN / STGCN: direct travel-time prediction, TTE metrics only.
+  std::vector<std::pair<std::string, eval::TaskScores>> edge_methods;
+};
+
+eval::TaskScores ScoreEdgePredictor(
+    const PreparedCity& city, baselines::EdgeTravelTimePredictor& model) {
+  auto st = model.Train(LabeledTrainIndices(*city.data));
+  TPR_CHECK(st.ok()) << st.ToString();
+  const auto test_idx = LabeledTestIndices(*city.data);
+  std::vector<double> truth, pred;
+  for (int i : test_idx) {
+    const auto& s = city.data->labeled[i];
+    truth.push_back(s.travel_time_s);
+    pred.push_back(model.PredictTravelTime(s.path, s.depart_time_s));
+  }
+  eval::TaskScores scores;
+  scores.tte_mae = *eval::Mae(truth, pred);
+  scores.tte_mare = *eval::Mare(truth, pred);
+  scores.tte_mape = *eval::Mape(truth, pred);
+  return scores;
+}
+
+CityResults RunCity(const PreparedCity& city) {
+  CityResults results;
+  for (auto& model : BuildRepresentationModels(city)) {
+    std::fprintf(stderr, "[bench]   %s: training...\n", model->name().c_str());
+    Stopwatch sw;
+    auto st = model->Train();
+    TPR_CHECK(st.ok()) << model->name() << ": " << st.ToString();
+    auto scores = eval::EvaluateTasks(
+        *city.data, [&](const synth::TemporalPathSample& s) {
+          return model->Encode(s);
+        });
+    TPR_CHECK(scores.ok()) << scores.status().ToString();
+    std::fprintf(stderr, "[bench]   %s done in %.1fs\n",
+                 model->name().c_str(), sw.ElapsedSeconds());
+    results.rep_methods.emplace_back(model->name(), *scores);
+  }
+
+  {
+    baselines::GcnTteModel gcn(city.features);
+    results.edge_methods.emplace_back(gcn.name(),
+                                      ScoreEdgePredictor(city, gcn));
+    baselines::StgcnTteModel stgcn(city.features);
+    results.edge_methods.emplace_back(stgcn.name(),
+                                      ScoreEdgePredictor(city, stgcn));
+  }
+
+  std::fprintf(stderr, "[bench]   WSCCL: training...\n");
+  results.rep_methods.emplace_back(
+      "WSCCL", TrainAndScoreWsccl(city, DefaultWsccalConfig()));
+  return results;
+}
+
+}  // namespace
+}  // namespace tpr::bench
+
+int main() {
+  using namespace tpr;
+  using namespace tpr::bench;
+
+  const auto cities = PrepareAllCities();
+  std::vector<CityResults> all;
+  for (const auto& city : cities) {
+    std::fprintf(stderr, "[bench] === %s ===\n", city.name.c_str());
+    all.push_back(RunCity(city));
+  }
+
+  std::printf("Table III (a): Travel Time Estimation\n");
+  for (size_t c = 0; c < cities.size(); ++c) {
+    TablePrinter t({"Method", "MAE", "MARE", "MAPE"});
+    const eval::TaskScores* wsccl = nullptr;
+    for (const auto& [name, s] : all[c].rep_methods) {
+      if (name == "WSCCL") {
+        wsccl = &s;
+        continue;
+      }
+      t.AddRow(TteRow(name, s));
+    }
+    for (const auto& [name, s] : all[c].edge_methods) {
+      t.AddRow(TteRow(name, s));
+    }
+    t.AddSeparator();
+    if (wsccl != nullptr) t.AddRow(TteRow("WSCCL", *wsccl));
+    std::printf("\n-- %s --\n%s", cities[c].name.c_str(),
+                t.ToString().c_str());
+  }
+
+  std::printf("\nTable III (b): Path Ranking Estimation\n");
+  for (size_t c = 0; c < cities.size(); ++c) {
+    TablePrinter t({"Method", "MAE", "tau", "rho"});
+    for (const auto& [name, s] : all[c].rep_methods) {
+      if (name == "WSCCL") t.AddSeparator();
+      t.AddRow(RankRow(name, s));
+    }
+    std::printf("\n-- %s --\n%s", cities[c].name.c_str(),
+                t.ToString().c_str());
+  }
+  return 0;
+}

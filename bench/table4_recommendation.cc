@@ -1,0 +1,88 @@
+// Reproduces Table IV: path recommendation (Accuracy, Hit Rate) for the
+// representation methods on the three city datasets. GCN/STGCN are
+// excluded, as in the paper.
+
+#include <memory>
+
+#include "baselines/bert_path.h"
+#include "baselines/dgi.h"
+#include "baselines/gmi.h"
+#include "baselines/infograph.h"
+#include "baselines/memory_bank.h"
+#include "baselines/node2vec_path.h"
+#include "baselines/pim.h"
+#include "baselines/supervised.h"
+#include "harness.h"
+
+namespace tpr::bench {
+namespace {
+
+std::vector<std::pair<std::string, eval::TaskScores>> RunCity(
+    const PreparedCity& city) {
+  std::vector<std::unique_ptr<baselines::PathRepresentationModel>> models;
+  models.push_back(
+      std::make_unique<baselines::Node2vecPathModel>(city.features));
+  models.push_back(std::make_unique<baselines::DgiModel>(city.features));
+  models.push_back(std::make_unique<baselines::GmiModel>(city.features));
+  models.push_back(std::make_unique<baselines::MemoryBankModel>(city.features));
+  models.push_back(std::make_unique<baselines::BertPathModel>(city.features));
+  models.push_back(std::make_unique<baselines::InfoGraphModel>(city.features));
+  models.push_back(std::make_unique<baselines::PimModel>(city.features));
+  const auto train_idx = LabeledTrainIndices(*city.data);
+  baselines::SupervisedConfig sup;
+  sup.primary = baselines::SupervisedTask::kTravelTime;
+  models.push_back(std::make_unique<baselines::HmtrlModel>(
+      city.features, train_idx, sup));
+  models.push_back(std::make_unique<baselines::PathRankModel>(
+      city.features, train_idx, sup));
+
+  std::vector<std::pair<std::string, eval::TaskScores>> results;
+  for (auto& model : models) {
+    std::fprintf(stderr, "[bench]   %s...\n", model->name().c_str());
+    auto st = model->Train();
+    TPR_CHECK(st.ok()) << model->name() << ": " << st.ToString();
+    auto scores = eval::EvaluateTasks(
+        *city.data, [&](const synth::TemporalPathSample& s) {
+          return model->Encode(s);
+        });
+    TPR_CHECK(scores.ok()) << scores.status().ToString();
+    results.emplace_back(model->name(), *scores);
+  }
+  std::fprintf(stderr, "[bench]   WSCCL...\n");
+  results.emplace_back("WSCCL",
+                       TrainAndScoreWsccl(city, DefaultWsccalConfig()));
+  return results;
+}
+
+}  // namespace
+}  // namespace tpr::bench
+
+int main() {
+  using namespace tpr;
+  using namespace tpr::bench;
+
+  const auto cities = PrepareAllCities();
+  std::printf("Table IV: Overall Performance on Path Recommendation\n");
+
+  // One combined table: method rows, (Acc, HR) per city.
+  std::vector<std::vector<std::pair<std::string, eval::TaskScores>>> all;
+  for (const auto& city : cities) {
+    std::fprintf(stderr, "[bench] === %s ===\n", city.name.c_str());
+    all.push_back(RunCity(city));
+  }
+
+  TablePrinter t({"Method", "Aalborg Acc", "Aalborg HR", "Harbin Acc",
+                  "Harbin HR", "Chengdu Acc", "Chengdu HR"});
+  const size_t num_methods = all[0].size();
+  for (size_t m = 0; m < num_methods; ++m) {
+    if (all[0][m].first == "WSCCL") t.AddSeparator();
+    std::vector<std::string> row = {all[0][m].first};
+    for (size_t c = 0; c < cities.size(); ++c) {
+      row.push_back(TablePrinter::Num(all[c][m].second.rec_acc));
+      row.push_back(TablePrinter::Num(all[c][m].second.rec_hr));
+    }
+    t.AddRow(std::move(row));
+  }
+  std::printf("%s", t.ToString().c_str());
+  return 0;
+}

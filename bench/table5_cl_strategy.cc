@@ -1,0 +1,34 @@
+// Reproduces Table V: learned curriculum (WSCCL) vs the heuristic
+// curriculum that simply sorts paths by number of edges.
+
+#include "harness.h"
+
+int main() {
+  using namespace tpr;
+  using namespace tpr::bench;
+
+  std::printf("Table V: Effect of the CL Design Strategy\n");
+  for (const auto& preset : synth::AllPresets()) {
+    PreparedCity city = PrepareCity(preset);
+
+    auto heuristic_cfg = DefaultWsccalConfig();
+    heuristic_cfg.curriculum.strategy = core::CurriculumStrategy::kHeuristic;
+    std::fprintf(stderr, "[bench] %s heuristic...\n", city.name.c_str());
+    const auto heuristic = TrainAndScoreWsccl(city, heuristic_cfg);
+    std::fprintf(stderr, "[bench] %s learned...\n", city.name.c_str());
+    const auto learned = TrainAndScoreWsccl(city, DefaultWsccalConfig());
+
+    TablePrinter t({"Method", "TTE MAE", "MARE", "MAPE", "PR MAE", "tau",
+                    "rho"});
+    auto row = [](const std::string& name, const eval::TaskScores& s) {
+      return std::vector<std::string>{
+          name, TablePrinter::Num(s.tte_mae), TablePrinter::Num(s.tte_mare),
+          TablePrinter::Num(s.tte_mape), TablePrinter::Num(s.pr_mae),
+          TablePrinter::Num(s.pr_tau), TablePrinter::Num(s.pr_rho)};
+    };
+    t.AddRow(row("Heuristic", heuristic));
+    t.AddRow(row("WSCCL", learned));
+    std::printf("\n-- %s --\n%s", city.name.c_str(), t.ToString().c_str());
+  }
+  return 0;
+}

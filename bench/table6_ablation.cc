@@ -1,0 +1,50 @@
+// Reproduces Table VI: ablations of curriculum learning, the global WSC
+// loss, and the local WSC loss.
+
+#include "harness.h"
+
+int main() {
+  using namespace tpr;
+  using namespace tpr::bench;
+
+  std::printf("Table VI: Effects of CL, Global Loss and Local Loss\n");
+  for (const auto& preset : synth::AllPresets()) {
+    PreparedCity city = PrepareCity(preset);
+
+    auto base = DefaultWsccalConfig();
+
+    auto wo_cl = base;
+    wo_cl.curriculum.strategy = core::CurriculumStrategy::kNone;
+    wo_cl.stage_epochs = 0;
+    wo_cl.final_epochs = 3;  // matched training budget
+
+    auto wo_global = base;
+    wo_global.wsc.use_global = false;
+
+    auto wo_local = base;
+    wo_local.wsc.use_local = false;
+
+    struct Variant {
+      const char* name;
+      core::WsccalConfig config;
+    };
+    const Variant variants[] = {{"w/o CL", wo_cl},
+                                {"w/o Global", wo_global},
+                                {"w/o Local", wo_local},
+                                {"WSCCL", base}};
+
+    TablePrinter t({"Method", "TTE MAE", "MARE", "MAPE", "PR MAE", "tau",
+                    "rho"});
+    for (const auto& variant : variants) {
+      std::fprintf(stderr, "[bench] %s %s...\n", city.name.c_str(),
+                   variant.name);
+      const auto s = TrainAndScoreWsccl(city, variant.config);
+      t.AddRow({variant.name, TablePrinter::Num(s.tte_mae),
+                TablePrinter::Num(s.tte_mare), TablePrinter::Num(s.tte_mape),
+                TablePrinter::Num(s.pr_mae), TablePrinter::Num(s.pr_tau),
+                TablePrinter::Num(s.pr_rho)});
+    }
+    std::printf("\n-- %s --\n%s", city.name.c_str(), t.ToString().c_str());
+  }
+  return 0;
+}

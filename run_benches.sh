@@ -1,0 +1,16 @@
+#!/bin/sh
+# Runs every bench binary in sequence and collects their stdout into
+# bench_output.txt. Stderr (progress logs) goes to bench_progress.log.
+set -u
+out=/root/repo/bench_output.txt
+log=/root/repo/bench_progress.log
+: > "$out"
+: > "$log"
+for b in /root/repo/build/bench/bench_*; do
+  name=$(basename "$b")
+  echo "==================== $name ====================" >> "$out"
+  echo "[suite] running $name" >> "$log"
+  "$b" >> "$out" 2>> "$log"
+  echo "" >> "$out"
+done
+echo "[suite] done" >> "$log"

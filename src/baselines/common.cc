@@ -1,0 +1,99 @@
+#include "baselines/common.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tpr::baselines {
+
+int EdgeFeatureDim(const core::FeatureSpace& features) {
+  return graph::kNumRoadTypes + 3 + 2 * features.config.road_embedding_dim;
+}
+
+std::vector<float> EdgeFeatureVector(const core::FeatureSpace& features,
+                                     int edge_id) {
+  const auto& network = *features.data->network;
+  const auto& e = network.edge(edge_id);
+  std::vector<float> f;
+  f.reserve(EdgeFeatureDim(features));
+  for (int t = 0; t < graph::kNumRoadTypes; ++t) {
+    f.push_back(t == static_cast<int>(e.road_type) ? 1.0f : 0.0f);
+  }
+  f.push_back(static_cast<float>(e.num_lanes) / graph::kMaxLanes);
+  f.push_back(e.one_way ? 1.0f : 0.0f);
+  f.push_back(e.has_signal ? 1.0f : 0.0f);
+  const auto& from_vec = features.road_embeddings[e.from];
+  const auto& to_vec = features.road_embeddings[e.to];
+  f.insert(f.end(), from_vec.begin(), from_vec.end());
+  f.insert(f.end(), to_vec.begin(), to_vec.end());
+  return f;
+}
+
+nn::Tensor AllEdgeFeatures(const core::FeatureSpace& features) {
+  const auto& network = *features.data->network;
+  const int dim = EdgeFeatureDim(features);
+  nn::Tensor x(network.num_edges(), dim);
+  for (int e = 0; e < network.num_edges(); ++e) {
+    const auto f = EdgeFeatureVector(features, e);
+    std::copy(f.begin(), f.end(),
+              x.data() + static_cast<size_t>(e) * dim);
+  }
+  return x;
+}
+
+namespace {
+
+nn::Tensor NormalizeAdjacency(std::vector<std::pair<int, int>> arcs, int n) {
+  nn::Tensor a(n, n);
+  for (int i = 0; i < n; ++i) a.at(i, i) = 1.0f;  // self loops
+  for (const auto& [u, v] : arcs) {
+    a.at(u, v) = 1.0f;
+    a.at(v, u) = 1.0f;
+  }
+  std::vector<float> degree(n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) degree[i] += a.at(i, j);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (a.at(i, j) != 0.0f) {
+        a.at(i, j) /= std::sqrt(degree[i]) * std::sqrt(degree[j]);
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+nn::Tensor LineGraphAdjacency(const graph::RoadNetwork& network) {
+  std::vector<std::pair<int, int>> arcs;
+  for (int e = 0; e < network.num_edges(); ++e) {
+    const int head = network.edge(e).to;
+    for (int next : network.OutEdges(head)) {
+      if (next != e) arcs.emplace_back(e, next);
+    }
+  }
+  return NormalizeAdjacency(std::move(arcs), network.num_edges());
+}
+
+nn::Tensor NodeGraphAdjacency(const graph::RoadNetwork& network) {
+  std::vector<std::pair<int, int>> arcs;
+  for (const auto& e : network.edges()) arcs.emplace_back(e.from, e.to);
+  return NormalizeAdjacency(std::move(arcs), network.num_nodes());
+}
+
+std::vector<float> MeanRows(const nn::Tensor& matrix,
+                            const std::vector<int>& rows) {
+  TPR_CHECK(!rows.empty());
+  std::vector<float> out(matrix.cols(), 0.0f);
+  for (int r : rows) {
+    const float* row = matrix.data() + static_cast<size_t>(r) * matrix.cols();
+    for (int j = 0; j < matrix.cols(); ++j) out[j] += row[j];
+  }
+  const float inv = 1.0f / static_cast<float>(rows.size());
+  for (auto& v : out) v *= inv;
+  return out;
+}
+
+}  // namespace tpr::baselines

@@ -1,0 +1,38 @@
+#ifndef TPR_BASELINES_COMMON_H_
+#define TPR_BASELINES_COMMON_H_
+
+#include <vector>
+
+#include "core/features.h"
+#include "nn/autograd.h"
+
+namespace tpr::baselines {
+
+/// Raw spatial feature vector of a road edge, shared by the MLP/GCN-style
+/// baselines: one-hot road type (5) + normalised lanes + one-way flag +
+/// signal flag + normalised length + node2vec topology [from, to].
+std::vector<float> EdgeFeatureVector(const core::FeatureSpace& features,
+                                     int edge_id);
+
+/// Dimensionality of EdgeFeatureVector for a feature space.
+int EdgeFeatureDim(const core::FeatureSpace& features);
+
+/// Feature matrix (num_edges x dim) of every edge in the network.
+nn::Tensor AllEdgeFeatures(const core::FeatureSpace& features);
+
+/// Dense symmetric-normalised adjacency (with self loops) of the
+/// road-network line graph: edges are vertices, connected when they share
+/// an endpoint head-to-tail. Used by the GCN-style baselines.
+nn::Tensor LineGraphAdjacency(const graph::RoadNetwork& network);
+
+/// Dense symmetric-normalised adjacency (with self loops) of the road
+/// network's node graph.
+nn::Tensor NodeGraphAdjacency(const graph::RoadNetwork& network);
+
+/// Mean of selected rows of a (n x d) value tensor.
+std::vector<float> MeanRows(const nn::Tensor& matrix,
+                            const std::vector<int>& rows);
+
+}  // namespace tpr::baselines
+
+#endif  // TPR_BASELINES_COMMON_H_

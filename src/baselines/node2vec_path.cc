@@ -1,0 +1,24 @@
+#include "baselines/node2vec_path.h"
+
+namespace tpr::baselines {
+
+std::vector<float> Node2vecPathModel::Encode(
+    const synth::TemporalPathSample& sample) const {
+  const auto& network = *features_->data->network;
+  const int d = features_->config.road_embedding_dim;
+  std::vector<float> rep(2 * d, 0.0f);
+  for (int eid : sample.path) {
+    const auto& e = network.edge(eid);
+    const auto& from_vec = features_->road_embeddings[e.from];
+    const auto& to_vec = features_->road_embeddings[e.to];
+    for (int i = 0; i < d; ++i) {
+      rep[i] += from_vec[i];
+      rep[d + i] += to_vec[i];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(sample.path.size());
+  for (auto& v : rep) v *= inv;
+  return rep;
+}
+
+}  // namespace tpr::baselines

@@ -1,0 +1,30 @@
+#ifndef TPR_BASELINES_NODE2VEC_PATH_H_
+#define TPR_BASELINES_NODE2VEC_PATH_H_
+
+#include "baselines/baseline.h"
+
+namespace tpr::baselines {
+
+/// Node2vec baseline: the representation of an edge is the concatenation
+/// of its endpoint node2vec embeddings; the path representation is the
+/// mean over its edges. Purely topological — no temporal information —
+/// matching the paper's Node2vec row.
+class Node2vecPathModel : public PathRepresentationModel {
+ public:
+  explicit Node2vecPathModel(std::shared_ptr<const core::FeatureSpace> features)
+      : features_(std::move(features)) {}
+
+  std::string name() const override { return "Node2vec"; }
+
+  Status Train() override { return Status::OK(); }  // embeddings precomputed
+
+  std::vector<float> Encode(
+      const synth::TemporalPathSample& sample) const override;
+
+ private:
+  std::shared_ptr<const core::FeatureSpace> features_;
+};
+
+}  // namespace tpr::baselines
+
+#endif  // TPR_BASELINES_NODE2VEC_PATH_H_

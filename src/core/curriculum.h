@@ -1,0 +1,60 @@
+#ifndef TPR_CORE_CURRICULUM_H_
+#define TPR_CORE_CURRICULUM_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/wsc_trainer.h"
+
+namespace tpr::core {
+
+/// How training data is ordered before the staged schedule.
+enum class CurriculumStrategy {
+  kLearned,    // full pipeline of Section VI (expert difficulty scores)
+  kHeuristic,  // sort by number of edges (Table V baseline)
+  kNone,       // random shuffle, single stage (the "w/o CL" ablation)
+};
+
+/// Configuration of the contrastive curriculum (Section VI). The paper
+/// fixes N = M (number of meta-sets == number of stages).
+struct CurriculumConfig {
+  CurriculumStrategy strategy = CurriculumStrategy::kLearned;
+  int num_meta_sets = 4;  // N == M; paper default is 10
+  int expert_epochs = 2;  // training epochs for each expert WSC model
+};
+
+/// Difficulty-scored sample: higher score = easier (Eq. 13 sums
+/// cross-expert representation similarities).
+struct ScoredSample {
+  int index = -1;     // into the unlabeled pool
+  double score = 0.0;
+};
+
+/// Splits indices into N contiguous meta-sets after sorting by path
+/// length in meters (Section VI-B: length-based split, not random).
+std::vector<std::vector<int>> SplitMetaSets(
+    const synth::CityDataset& data, const std::vector<int>& indices, int n);
+
+/// Curriculum sample evaluation (Section VI-B): trains one expert WSC per
+/// meta-set and scores every sample by the summed cosine similarity
+/// between its own expert's TPR and every other expert's TPR (Eq. 13).
+StatusOr<std::vector<ScoredSample>> EvaluateDifficulty(
+    std::shared_ptr<const FeatureSpace> features, const WscConfig& wsc_config,
+    const CurriculumConfig& config, const std::vector<int>& indices);
+
+/// Curriculum sample selection (Section VI-C): orders samples easy to
+/// hard and distributes them over M = num_meta_sets stages. The caller
+/// trains one epoch per stage and then a final stage on everything.
+std::vector<std::vector<int>> BuildStages(std::vector<ScoredSample> scored,
+                                          int num_stages, Rng& rng);
+
+/// Full stage construction for any strategy: kLearned runs the expert
+/// pipeline; kHeuristic sorts by edge count; kNone returns one shuffled
+/// stage. Stages do not include the final full-data stage.
+StatusOr<std::vector<std::vector<int>>> BuildCurriculum(
+    std::shared_ptr<const FeatureSpace> features, const WscConfig& wsc_config,
+    const CurriculumConfig& config, const std::vector<int>& indices);
+
+}  // namespace tpr::core
+
+#endif  // TPR_CORE_CURRICULUM_H_

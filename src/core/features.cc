@@ -1,0 +1,34 @@
+#include "core/features.h"
+
+namespace tpr::core {
+
+StatusOr<FeatureSpace> BuildFeatureSpace(
+    std::shared_ptr<const synth::CityDataset> data,
+    const FeatureConfig& config) {
+  if (data == nullptr || data->network == nullptr) {
+    return Status::InvalidArgument("null dataset");
+  }
+  FeatureSpace fs;
+  fs.config = config;
+  fs.data = data;
+
+  {
+    node2vec::Node2VecConfig n2v = config.node2vec;
+    n2v.dim = config.road_embedding_dim;
+    auto emb = node2vec::TrainNode2Vec(data->network->BuildTopologyGraph(), n2v);
+    if (!emb.ok()) return emb.status();
+    fs.road_embeddings = std::move(emb).value();
+  }
+  {
+    node2vec::Node2VecConfig n2v = config.node2vec;
+    n2v.dim = config.temporal_embedding_dim;
+    n2v.seed = config.node2vec.seed + 1;
+    auto emb = node2vec::TrainNode2Vec(
+        graph::BuildTemporalGraph(config.temporal_graph), n2v);
+    if (!emb.ok()) return emb.status();
+    fs.temporal_embeddings = std::move(emb).value();
+  }
+  return fs;
+}
+
+}  // namespace tpr::core

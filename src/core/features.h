@@ -1,0 +1,55 @@
+#ifndef TPR_CORE_FEATURES_H_
+#define TPR_CORE_FEATURES_H_
+
+#include <memory>
+
+#include "graph/temporal_graph.h"
+#include "node2vec/node2vec.h"
+#include "synth/dataset.h"
+#include "util/status.h"
+
+namespace tpr::core {
+
+/// Dimensions and node2vec settings for the input feature space shared by
+/// the temporal path encoder and several baselines.
+struct FeatureConfig {
+  /// node2vec dimensionality on the road-network topology graph; the
+  /// per-edge topology feature is [n_from, n_to] of twice this size
+  /// (paper Eq. 5, d_top = 2 * road_embedding_dim).
+  int road_embedding_dim = 8;
+
+  /// node2vec dimensionality on the temporal graph (d_tem, Eq. 2).
+  int temporal_embedding_dim = 16;
+
+  /// Temporal graph resolution. The paper uses 288 five-minute slots; a
+  /// coarser grid keeps CPU experiments fast without changing structure.
+  graph::TemporalGraphConfig temporal_graph;
+
+  node2vec::Node2VecConfig node2vec;
+};
+
+/// Precomputed, frozen representation inputs for one city dataset:
+/// node2vec embeddings of road-network nodes (topology features, Eq. 5)
+/// and of temporal-graph nodes (temporal features, Eq. 2). Computed once
+/// per dataset and shared by every model trained on it.
+struct FeatureSpace {
+  FeatureConfig config;
+  std::shared_ptr<const synth::CityDataset> data;
+  node2vec::NodeEmbeddings road_embeddings;      // per road-network node
+  node2vec::NodeEmbeddings temporal_embeddings;  // per temporal-graph node
+
+  /// Temporal-graph node id for a departure time.
+  int TemporalNodeFor(int64_t depart_time_s) const {
+    return graph::TemporalNodeIdForTime(config.temporal_graph, depart_time_s);
+  }
+};
+
+/// Runs node2vec on the road-network topology graph and on the temporal
+/// graph of the dataset's week.
+StatusOr<FeatureSpace> BuildFeatureSpace(
+    std::shared_ptr<const synth::CityDataset> data,
+    const FeatureConfig& config);
+
+}  // namespace tpr::core
+
+#endif  // TPR_CORE_FEATURES_H_

@@ -1,0 +1,117 @@
+#include "core/wsc_loss.h"
+
+#include <algorithm>
+
+namespace tpr::core {
+
+bool IsPositivePair(const BatchItem& a, const BatchItem& b) {
+  return a.weak_label == b.weak_label &&
+         (a.path == b.path || *a.path == *b.path);
+}
+
+nn::Var GlobalWscLoss(const std::vector<BatchItem>& batch,
+                      const WscLossConfig& config) {
+  const int n = static_cast<int>(batch.size());
+  const float inv_tau = 1.0f / config.temperature;
+
+  // Pairwise scaled cosine similarities (computed lazily below).
+  std::vector<nn::Var> sim(static_cast<size_t>(n) * n);
+  auto sim_at = [&](int i, int j) -> nn::Var& {
+    return sim[static_cast<size_t>(i) * n + j];
+  };
+  auto get_sim = [&](int i, int j) -> const nn::Var& {
+    nn::Var& s = sim_at(std::min(i, j), std::max(i, j));
+    if (!s.defined()) {
+      s = nn::Scale(
+          nn::CosineSim(batch[i].encoded.tpr_proj, batch[j].encoded.tpr_proj),
+          inv_tau);
+    }
+    return s;
+  };
+
+  std::vector<nn::Var> query_terms;
+  for (int i = 0; i < n; ++i) {
+    std::vector<int> positives, negatives;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      (IsPositivePair(batch[i], batch[j]) ? positives : negatives).push_back(j);
+    }
+    if (positives.empty() || negatives.empty()) continue;
+
+    // log-sum-exp over the negative set N_i (denominator of Eq. 10).
+    std::vector<nn::Var> neg_sims;
+    neg_sims.reserve(negatives.size());
+    for (int k : negatives) neg_sims.push_back(get_sim(i, k));
+    nn::Var neg_lse = nn::LogSumExp(nn::ConcatCols(neg_sims));
+
+    // (1/|S_i|) sum_j [ sim(i,j) - LSE_neg ].
+    std::vector<nn::Var> pos_terms;
+    pos_terms.reserve(positives.size());
+    for (int j : positives) {
+      pos_terms.push_back(nn::Sub(get_sim(i, j), neg_lse));
+    }
+    query_terms.push_back(
+        nn::Scale(nn::Sum(nn::ConcatCols(pos_terms)),
+                  1.0f / static_cast<float>(positives.size())));
+  }
+  if (query_terms.empty()) return nn::Var();
+  // Negative mean: Eq. 10 is maximised, the trainer minimises.
+  return nn::Scale(nn::Sum(nn::ConcatCols(query_terms)),
+                   -1.0f / static_cast<float>(query_terms.size()));
+}
+
+nn::Var LocalWscLoss(const std::vector<BatchItem>& batch,
+                     const WscLossConfig& config, Rng& rng) {
+  const int n = static_cast<int>(batch.size());
+  const float inv_tau = 1.0f / config.temperature;
+
+  std::vector<nn::Var> query_terms;
+  for (int i = 0; i < n; ++i) {
+    // Positive edge pool: edges of the query's own path and of positive
+    // paths (same path + same weak label). Negative pool: edges of paths
+    // whose weak label differs (Eq. 11 restricts negatives to y_j != y_i).
+    std::vector<std::pair<int, int>> pos_pool, neg_pool;  // (item, row)
+    for (int j = 0; j < n; ++j) {
+      const int rows = batch[j].encoded.edge_reps_proj.rows();
+      const bool positive = (j == i) || IsPositivePair(batch[i], batch[j]);
+      if (positive) {
+        for (int r = 0; r < rows; ++r) pos_pool.emplace_back(j, r);
+      } else if (batch[j].weak_label != batch[i].weak_label) {
+        for (int r = 0; r < rows; ++r) neg_pool.emplace_back(j, r);
+      }
+    }
+    if (pos_pool.empty() || neg_pool.empty()) continue;
+    rng.Shuffle(pos_pool);
+    rng.Shuffle(neg_pool);
+    const int num_pos = std::min<int>(config.pos_edges_per_query,
+                                      static_cast<int>(pos_pool.size()));
+    const int num_neg = std::min<int>(config.neg_edges_per_query,
+                                      static_cast<int>(neg_pool.size()));
+
+    auto edge_sim = [&](const std::pair<int, int>& pick) {
+      return nn::Scale(
+          nn::CosineSim(batch[i].encoded.tpr_proj,
+                        nn::SliceRow(batch[pick.first].encoded.edge_reps_proj,
+                                     pick.second)),
+          inv_tau);
+    };
+
+    std::vector<nn::Var> pos_sims, neg_sims;
+    pos_sims.reserve(num_pos);
+    neg_sims.reserve(num_neg);
+    for (int k = 0; k < num_pos; ++k) pos_sims.push_back(edge_sim(pos_pool[k]));
+    for (int k = 0; k < num_neg; ++k) neg_sims.push_back(edge_sim(neg_pool[k]));
+
+    // (1/|PN_i|) [ log sum_pos exp - log sum_neg exp ]   (Eq. 11)
+    nn::Var term =
+        nn::Sub(nn::LogSumExp(nn::ConcatCols(pos_sims)),
+                nn::LogSumExp(nn::ConcatCols(neg_sims)));
+    query_terms.push_back(
+        nn::Scale(term, 1.0f / static_cast<float>(num_pos)));
+  }
+  if (query_terms.empty()) return nn::Var();
+  return nn::Scale(nn::Sum(nn::ConcatCols(query_terms)),
+                   -1.0f / static_cast<float>(query_terms.size()));
+}
+
+}  // namespace tpr::core

@@ -1,0 +1,51 @@
+#ifndef TPR_CORE_WSC_LOSS_H_
+#define TPR_CORE_WSC_LOSS_H_
+
+#include <vector>
+
+#include "core/encoder.h"
+#include "util/rng.h"
+
+namespace tpr::core {
+
+/// One temporal path inside a training minibatch, with its forward pass.
+struct BatchItem {
+  const graph::Path* path = nullptr;  // not owned
+  int64_t depart_time_s = 0;
+  int weak_label = 0;
+  EncodedPath encoded;
+};
+
+/// True iff two items are positives of each other (same path, same weak
+/// label — Section V-A). Items at different batch positions with an equal
+/// path count regardless of their exact departure times.
+bool IsPositivePair(const BatchItem& a, const BatchItem& b);
+
+/// Settings shared by the two losses.
+struct WscLossConfig {
+  /// Softmax temperature on cosine similarities. Eq. 10 applies sim()
+  /// directly, i.e., temperature 1, which we keep as the default; values
+  /// below 1 sharpen the softmax like the tau of Eq. 9.
+  float temperature = 1.0f;
+  /// Local loss: positive / negative edge samples per query (Section V-C).
+  int pos_edges_per_query = 3;
+  int neg_edges_per_query = 6;
+};
+
+/// Global weakly-supervised contrastive loss (Eq. 10), returned as a
+/// scalar to MINIMIZE (the negative of the paper's maximisation
+/// objective), averaged over the queries that have at least one positive
+/// and one negative. Returns an undefined Var if no query qualifies.
+nn::Var GlobalWscLoss(const std::vector<BatchItem>& batch,
+                      const WscLossConfig& config);
+
+/// Local weakly-supervised contrastive loss (Eq. 11): pulls each query's
+/// TPR toward spatio-temporal representations of edges from positive
+/// paths and pushes it from edges of negative paths with different weak
+/// labels. Scalar to MINIMIZE; undefined if no query qualifies.
+nn::Var LocalWscLoss(const std::vector<BatchItem>& batch,
+                     const WscLossConfig& config, Rng& rng);
+
+}  // namespace tpr::core
+
+#endif  // TPR_CORE_WSC_LOSS_H_

@@ -1,0 +1,104 @@
+#include "core/wsc_trainer.h"
+
+#include <algorithm>
+
+#include "synth/dataset.h"
+#include "util/logging.h"
+
+namespace tpr::core {
+
+int64_t SampleDepartureWithLabel(synth::WeakLabelScheme scheme, int label,
+                                 const synth::TrafficModel& traffic,
+                                 int64_t fallback, Rng& rng) {
+  synth::DatasetConfig demand;  // default demand mixture
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int64_t t = synth::SampleDepartureTime(demand, rng);
+    if (synth::WeakLabelFor(scheme, traffic, t) == label) return t;
+  }
+  return fallback;
+}
+
+WscModel::WscModel(std::shared_ptr<const FeatureSpace> features,
+                   WscConfig config)
+    : features_(std::move(features)), config_(config), rng_(config.seed) {
+  TPR_CHECK(features_ != nullptr);
+  encoder_ = std::make_unique<TemporalPathEncoder>(features_, config_.encoder);
+  optimizer_ = std::make_unique<nn::Adam>(encoder_->Parameters(), config_.lr);
+}
+
+int WscModel::WeakLabelOf(const synth::TemporalPathSample& sample) const {
+  return synth::WeakLabelFor(config_.weak_labels, *features_->data->traffic,
+                             sample.depart_time_s);
+}
+
+StatusOr<double> WscModel::TrainEpoch(const std::vector<int>& indices) {
+  if (indices.empty()) return Status::InvalidArgument("no training samples");
+  if (!config_.use_global && !config_.use_local) {
+    return Status::InvalidArgument("both losses disabled");
+  }
+  const auto& pool = features_->data->unlabeled;
+  const auto& traffic = *features_->data->traffic;
+
+  std::vector<int> order = indices;
+  rng_.Shuffle(order);
+
+  double total_loss = 0.0;
+  int batches = 0;
+  const int anchors = std::max(2, config_.anchors_per_batch);
+
+  for (size_t start = 0; start < order.size(); start += anchors) {
+    const size_t end = std::min(order.size(), start + anchors);
+    if (end - start < 2) break;  // a lone anchor has no negatives
+
+    // Build the minibatch: each anchor plus one generated positive
+    // (same path, fresh departure time with the same weak label).
+    std::vector<BatchItem> batch;
+    batch.reserve(2 * (end - start));
+    for (size_t s = start; s < end; ++s) {
+      const auto& sample = pool[order[s]];
+      BatchItem anchor;
+      anchor.path = &sample.path;
+      anchor.depart_time_s = sample.depart_time_s;
+      anchor.weak_label = synth::WeakLabelFor(config_.weak_labels, traffic,
+                                              sample.depart_time_s);
+      BatchItem positive = anchor;
+      positive.depart_time_s = SampleDepartureWithLabel(
+          config_.weak_labels, anchor.weak_label, traffic,
+          sample.depart_time_s, rng_);
+      batch.push_back(anchor);
+      batch.push_back(positive);
+    }
+
+    // Forward pass.
+    for (auto& item : batch) {
+      item.encoded = encoder_->Encode(*item.path, item.depart_time_s);
+    }
+
+    // Joint objective (Eq. 12), as a minimisation.
+    std::vector<nn::Var> parts;
+    if (config_.use_global) {
+      nn::Var g = GlobalWscLoss(batch, config_.loss);
+      if (g.defined()) parts.push_back(nn::Scale(g, config_.lambda));
+    }
+    if (config_.use_local) {
+      nn::Var l = LocalWscLoss(batch, config_.loss, rng_);
+      if (l.defined()) parts.push_back(nn::Scale(l, 1.0f - config_.lambda));
+    }
+    if (parts.empty()) continue;
+    nn::Var loss = parts.size() == 1
+                       ? parts[0]
+                       : nn::Sum(nn::ConcatCols(parts));
+
+    optimizer_->ZeroGrad();
+    loss.Backward();
+    optimizer_->ClipGradNorm(config_.grad_clip);
+    optimizer_->Step();
+
+    total_loss += loss.scalar();
+    ++batches;
+  }
+  if (batches == 0) return Status::Internal("no batches were formed");
+  return total_loss / batches;
+}
+
+}  // namespace tpr::core

@@ -1,0 +1,78 @@
+#ifndef TPR_CORE_WSC_TRAINER_H_
+#define TPR_CORE_WSC_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/wsc_loss.h"
+#include "nn/optimizer.h"
+#include "synth/weak_labels.h"
+
+namespace tpr::core {
+
+/// Configuration of the basic weakly-supervised contrastive model (WSC).
+struct WscConfig {
+  EncoderConfig encoder;
+  WscLossConfig loss;
+
+  /// Balance between global and local WSC loss (Eq. 12). Paper: 0.8.
+  float lambda = 0.8f;
+
+  /// Anchors per minibatch; each anchor gets one generated positive
+  /// partner, so the effective batch holds 2x this many temporal paths.
+  int anchors_per_batch = 12;
+
+  float lr = 3e-4f;  // paper Section VII-A-6
+  float grad_clip = 5.0f;
+
+  synth::WeakLabelScheme weak_labels = synth::WeakLabelScheme::kPeakOffPeak;
+
+  /// Ablation switches (Table VI).
+  bool use_global = true;
+  bool use_local = true;
+
+  uint64_t seed = 7;
+};
+
+/// Samples a departure time whose weak label equals `label` (rejection
+/// sampling against the scheme; returns `fallback` after too many tries).
+int64_t SampleDepartureWithLabel(synth::WeakLabelScheme scheme, int label,
+                                 const synth::TrafficModel& traffic,
+                                 int64_t fallback, Rng& rng);
+
+/// The WSC base model: a temporal path encoder trained with the global and
+/// local weakly-supervised contrastive losses on the unlabeled pool.
+class WscModel {
+ public:
+  WscModel(std::shared_ptr<const FeatureSpace> features, WscConfig config);
+
+  /// Trains one epoch over the given indices into the unlabeled pool.
+  /// Returns the mean batch loss.
+  StatusOr<double> TrainEpoch(const std::vector<int>& indices);
+
+  /// Weak label of an unlabeled-pool sample under this model's scheme.
+  int WeakLabelOf(const synth::TemporalPathSample& sample) const;
+
+  /// Frozen TPR for any temporal path (inference).
+  std::vector<float> Encode(const graph::Path& path,
+                            int64_t depart_time_s) const {
+    return encoder_->EncodeValue(path, depart_time_s);
+  }
+
+  const TemporalPathEncoder& encoder() const { return *encoder_; }
+  TemporalPathEncoder* mutable_encoder() { return encoder_.get(); }
+  const WscConfig& config() const { return config_; }
+  const FeatureSpace& features() const { return *features_; }
+
+ private:
+  std::shared_ptr<const FeatureSpace> features_;
+  WscConfig config_;
+  std::unique_ptr<TemporalPathEncoder> encoder_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  Rng rng_;
+};
+
+}  // namespace tpr::core
+
+#endif  // TPR_CORE_WSC_TRAINER_H_

@@ -1,0 +1,45 @@
+#include "core/wsccl.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace tpr::core {
+
+StatusOr<std::unique_ptr<WsccalPipeline>> WsccalPipeline::Train(
+    std::shared_ptr<const FeatureSpace> features, const WsccalConfig& config) {
+  if (features == nullptr) return Status::InvalidArgument("null features");
+  const auto& pool = features->data->unlabeled;
+  if (pool.empty()) return Status::InvalidArgument("empty unlabeled pool");
+
+  std::vector<int> all(pool.size());
+  std::iota(all.begin(), all.end(), 0);
+
+  auto stages =
+      BuildCurriculum(features, config.wsc, config.curriculum, all);
+  if (!stages.ok()) return stages.status();
+
+  auto pipeline = std::unique_ptr<WsccalPipeline>(new WsccalPipeline());
+  pipeline->model_ = std::make_unique<WscModel>(features, config.wsc);
+
+  // Stages ST_1..ST_M, easy to hard (Section VI-C).
+  for (const auto& stage : *stages) {
+    if (stage.empty()) continue;
+    for (int epoch = 0; epoch < config.stage_epochs; ++epoch) {
+      auto loss = pipeline->model_->TrainEpoch(stage);
+      if (!loss.ok()) return loss.status();
+    }
+  }
+
+  // Final stage ST_{M+1}: the whole training set.
+  double final_loss = 0.0;
+  for (int epoch = 0; epoch < config.final_epochs; ++epoch) {
+    auto loss = pipeline->model_->TrainEpoch(all);
+    if (!loss.ok()) return loss.status();
+    final_loss = *loss;
+  }
+  pipeline->final_loss_ = final_loss;
+  return pipeline;
+}
+
+}  // namespace tpr::core

@@ -1,0 +1,57 @@
+#ifndef TPR_CORE_WSCCL_H_
+#define TPR_CORE_WSCCL_H_
+
+#include <memory>
+
+#include "core/curriculum.h"
+#include "core/wsc_trainer.h"
+
+namespace tpr::core {
+
+/// Configuration of the full advanced framework (WSC + curriculum).
+struct WsccalConfig {
+  WscConfig wsc;
+  CurriculumConfig curriculum;
+
+  /// Epochs per curriculum stage ST_1..ST_M (paper: 1).
+  int stage_epochs = 1;
+
+  /// Epochs of the final full-data stage ST_{M+1} (paper: to convergence).
+  int final_epochs = 4;
+};
+
+/// The trained WSCCL model: runs curriculum construction, staged training
+/// and the final full-data stage, then exposes the frozen encoder.
+class WsccalPipeline {
+ public:
+  /// Trains end to end on the dataset's unlabeled pool.
+  static StatusOr<std::unique_ptr<WsccalPipeline>> Train(
+      std::shared_ptr<const FeatureSpace> features,
+      const WsccalConfig& config);
+
+  /// Frozen TPR for a temporal path.
+  std::vector<float> Encode(const graph::Path& path,
+                            int64_t depart_time_s) const {
+    return model_->Encode(path, depart_time_s);
+  }
+
+  std::vector<float> Encode(const synth::TemporalPathSample& sample) const {
+    return model_->Encode(sample.path, sample.depart_time_s);
+  }
+
+  const WscModel& model() const { return *model_; }
+  WscModel* mutable_model() { return model_.get(); }
+
+  /// Mean training loss of the last final-stage epoch (diagnostics).
+  double final_loss() const { return final_loss_; }
+
+ private:
+  WsccalPipeline() = default;
+
+  std::unique_ptr<WscModel> model_;
+  double final_loss_ = 0.0;
+};
+
+}  // namespace tpr::core
+
+#endif  // TPR_CORE_WSCCL_H_

@@ -1,0 +1,178 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+namespace tpr::eval {
+namespace {
+
+Status CheckSizes(size_t a, size_t b) {
+  if (a == 0) return Status::InvalidArgument("empty input");
+  if (a != b) return Status::InvalidArgument("size mismatch");
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<double> Mae(const std::vector<double>& truth,
+                     const std::vector<double>& pred) {
+  TPR_RETURN_IF_ERROR(CheckSizes(truth.size(), pred.size()));
+  double s = 0;
+  for (size_t i = 0; i < truth.size(); ++i) s += std::fabs(truth[i] - pred[i]);
+  return s / truth.size();
+}
+
+StatusOr<double> Mare(const std::vector<double>& truth,
+                      const std::vector<double>& pred) {
+  TPR_RETURN_IF_ERROR(CheckSizes(truth.size(), pred.size()));
+  double num = 0, den = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    num += std::fabs(truth[i] - pred[i]);
+    den += std::fabs(truth[i]);
+  }
+  if (den == 0) return Status::InvalidArgument("all-zero ground truth");
+  return num / den;
+}
+
+StatusOr<double> Mape(const std::vector<double>& truth,
+                      const std::vector<double>& pred) {
+  TPR_RETURN_IF_ERROR(CheckSizes(truth.size(), pred.size()));
+  double s = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0) continue;
+    s += std::fabs((truth[i] - pred[i]) / truth[i]);
+    ++n;
+  }
+  if (n == 0) return Status::InvalidArgument("all-zero ground truth");
+  return 100.0 * s / static_cast<double>(n);
+}
+
+StatusOr<double> KendallTau(const std::vector<double>& truth,
+                            const std::vector<double>& pred) {
+  TPR_RETURN_IF_ERROR(CheckSizes(truth.size(), pred.size()));
+  const size_t n = truth.size();
+  if (n < 2) return Status::InvalidArgument("need at least 2 items");
+  long long concordant = 0, discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double a = truth[i] - truth[j];
+      const double b = pred[i] - pred[j];
+      const double s = a * b;
+      if (s > 0) ++concordant;
+      else if (s < 0) ++discordant;
+    }
+  }
+  const double pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return (concordant - discordant) / pairs;
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+StatusOr<double> SpearmanRho(const std::vector<double>& truth,
+                             const std::vector<double>& pred) {
+  TPR_RETURN_IF_ERROR(CheckSizes(truth.size(), pred.size()));
+  const size_t n = truth.size();
+  if (n < 2) return Status::InvalidArgument("need at least 2 items");
+  const auto ra = AverageRanks(truth);
+  const auto rb = AverageRanks(pred);
+  // Pearson correlation of the rank vectors (robust to ties).
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (ra[i] - ma) * (rb[i] - mb);
+    va += (ra[i] - ma) * (ra[i] - ma);
+    vb += (rb[i] - mb) * (rb[i] - mb);
+  }
+  if (va == 0 || vb == 0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+StatusOr<double> Accuracy(const std::vector<int>& truth,
+                          const std::vector<int>& pred) {
+  TPR_RETURN_IF_ERROR(CheckSizes(truth.size(), pred.size()));
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) correct += truth[i] == pred[i];
+  return static_cast<double>(correct) / truth.size();
+}
+
+StatusOr<double> HitRate(const std::vector<int>& truth,
+                         const std::vector<int>& pred) {
+  TPR_RETURN_IF_ERROR(CheckSizes(truth.size(), pred.size()));
+  size_t tp = 0, fn = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 1) {
+      if (pred[i] == 1) ++tp;
+      else ++fn;
+    }
+  }
+  if (tp + fn == 0) return Status::InvalidArgument("no positive labels");
+  return static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+namespace {
+
+template <typename MetricFn>
+StatusOr<double> GroupedMetric(const std::vector<int>& groups,
+                               const std::vector<double>& truth,
+                               const std::vector<double>& pred,
+                               MetricFn metric) {
+  TPR_RETURN_IF_ERROR(CheckSizes(groups.size(), truth.size()));
+  TPR_RETURN_IF_ERROR(CheckSizes(groups.size(), pred.size()));
+  std::map<int, std::pair<std::vector<double>, std::vector<double>>> by_group;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    by_group[groups[i]].first.push_back(truth[i]);
+    by_group[groups[i]].second.push_back(pred[i]);
+  }
+  double total = 0;
+  size_t counted = 0;
+  for (const auto& [g, tp] : by_group) {
+    if (tp.first.size() < 2) continue;
+    auto v = metric(tp.first, tp.second);
+    if (!v.ok()) return v.status();
+    total += *v;
+    ++counted;
+  }
+  if (counted == 0) return Status::InvalidArgument("no group with >=2 items");
+  return total / static_cast<double>(counted);
+}
+
+}  // namespace
+
+StatusOr<double> GroupedKendallTau(const std::vector<int>& groups,
+                                   const std::vector<double>& truth,
+                                   const std::vector<double>& pred) {
+  return GroupedMetric(groups, truth, pred, KendallTau);
+}
+
+StatusOr<double> GroupedSpearmanRho(const std::vector<int>& groups,
+                                    const std::vector<double>& truth,
+                                    const std::vector<double>& pred) {
+  return GroupedMetric(groups, truth, pred, SpearmanRho);
+}
+
+}  // namespace tpr::eval

@@ -1,0 +1,57 @@
+#ifndef TPR_EVAL_METRICS_H_
+#define TPR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace tpr::eval {
+
+/// Mean absolute error (Eq. 14).
+StatusOr<double> Mae(const std::vector<double>& truth,
+                     const std::vector<double>& pred);
+
+/// Mean absolute relative error: sum |x - x̂| / sum |x| (Eq. 14).
+StatusOr<double> Mare(const std::vector<double>& truth,
+                      const std::vector<double>& pred);
+
+/// Mean absolute percentage error, in percent (Eq. 14). Ground-truth
+/// zeros are skipped.
+StatusOr<double> Mape(const std::vector<double>& truth,
+                      const std::vector<double>& pred);
+
+/// Kendall rank correlation coefficient tau (Eq. 15). Ties in either
+/// ranking count as discordant-neutral (tau-a on the strict pairs).
+StatusOr<double> KendallTau(const std::vector<double>& truth,
+                            const std::vector<double>& pred);
+
+/// Spearman rank correlation coefficient rho (Eq. 15), computed on
+/// average ranks (handles ties).
+StatusOr<double> SpearmanRho(const std::vector<double>& truth,
+                             const std::vector<double>& pred);
+
+/// Classification accuracy (Eq. 16) on 0/1 labels.
+StatusOr<double> Accuracy(const std::vector<int>& truth,
+                          const std::vector<int>& pred);
+
+/// Hit rate TP / (TP + FN) (Eq. 16) on 0/1 labels.
+StatusOr<double> HitRate(const std::vector<int>& truth,
+                         const std::vector<int>& pred);
+
+/// Average of a per-group rank correlation: items are grouped by
+/// group_id, the metric is computed inside each group with >= 2 items,
+/// and the group values are averaged. This is how path-ranking tau/rho
+/// is evaluated (competitive paths share an OD query).
+StatusOr<double> GroupedKendallTau(const std::vector<int>& groups,
+                                   const std::vector<double>& truth,
+                                   const std::vector<double>& pred);
+StatusOr<double> GroupedSpearmanRho(const std::vector<int>& groups,
+                                    const std::vector<double>& truth,
+                                    const std::vector<double>& pred);
+
+/// Fractional ranks (1-based, ties get the average rank).
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+}  // namespace tpr::eval
+
+#endif  // TPR_EVAL_METRICS_H_

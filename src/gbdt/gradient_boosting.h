@@ -1,0 +1,72 @@
+#ifndef TPR_GBDT_GRADIENT_BOOSTING_H_
+#define TPR_GBDT_GRADIENT_BOOSTING_H_
+
+#include <vector>
+
+#include "gbdt/tree.h"
+#include "util/status.h"
+
+namespace tpr::gbdt {
+
+/// Shared boosting hyper-parameters. Defaults mirror scikit-learn's
+/// GradientBoostingRegressor/Classifier, the downstream probes the paper
+/// uses on frozen path representations (Section VII-A-4).
+struct BoostingConfig {
+  int num_trees = 120;
+  float learning_rate = 0.1f;
+  TreeConfig tree;
+  /// Row subsampling fraction per tree (stochastic gradient boosting).
+  double subsample = 0.9;
+  uint64_t seed = 17;
+};
+
+/// Gradient-boosted regression with squared loss.
+class GradientBoostingRegressor {
+ public:
+  explicit GradientBoostingRegressor(BoostingConfig config = {})
+      : config_(config) {}
+
+  /// Fits on the full matrix. Targets must have x.rows entries.
+  Status Fit(const Matrix& x, const std::vector<float>& y);
+
+  /// Predicts one feature row.
+  float Predict(const float* features) const;
+
+  /// Predicts every row of a matrix.
+  std::vector<float> PredictBatch(const Matrix& x) const;
+
+ private:
+  BoostingConfig config_;
+  float base_prediction_ = 0.0f;
+  std::vector<RegressionTree> trees_;
+};
+
+/// Gradient-boosted binary classification with logistic loss. Predicts
+/// P(y = 1 | x).
+class GradientBoostingClassifier {
+ public:
+  explicit GradientBoostingClassifier(BoostingConfig config = {})
+      : config_(config) {}
+
+  /// Fits on 0/1 labels.
+  Status Fit(const Matrix& x, const std::vector<int>& y);
+
+  /// Probability of the positive class for one feature row.
+  float PredictProba(const float* features) const;
+
+  /// Hard 0/1 prediction at threshold 0.5.
+  int Predict(const float* features) const {
+    return PredictProba(features) >= 0.5f ? 1 : 0;
+  }
+
+ private:
+  float Score(const float* features) const;
+
+  BoostingConfig config_;
+  float base_score_ = 0.0f;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace tpr::gbdt
+
+#endif  // TPR_GBDT_GRADIENT_BOOSTING_H_

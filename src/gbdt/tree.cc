@@ -1,0 +1,103 @@
+#include "gbdt/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace tpr::gbdt {
+
+void RegressionTree::Fit(const Matrix& x, const std::vector<float>& targets,
+                         const std::vector<int>& indices,
+                         const TreeConfig& config, Rng& rng) {
+  TPR_CHECK(!indices.empty());
+  nodes_.clear();
+  std::vector<int> work = indices;
+  Build(x, targets, work, 0, static_cast<int>(work.size()), 0, config, rng);
+}
+
+int RegressionTree::Build(const Matrix& x, const std::vector<float>& targets,
+                          std::vector<int>& indices, int begin, int end,
+                          int depth, const TreeConfig& config, Rng& rng) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  const int n = end - begin;
+  double sum = 0.0;
+  for (int i = begin; i < end; ++i) sum += targets[indices[i]];
+  const float mean = static_cast<float>(sum / n);
+  nodes_[node_id].value = mean;
+
+  if (depth >= config.max_depth || n < 2 * config.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Exact greedy split: for each candidate feature, sort the index range
+  // by feature value and scan split points maximising variance reduction.
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  double best_gain = 1e-12;
+  std::vector<int> sorted(indices.begin() + begin, indices.begin() + end);
+
+  for (int f = 0; f < x.cols; ++f) {
+    if (config.feature_fraction < 1.0 &&
+        rng.Uniform() > config.feature_fraction) {
+      continue;
+    }
+    std::sort(sorted.begin(), sorted.end(), [&](int a, int b) {
+      return x.at(a, f) < x.at(b, f);
+    });
+    double left_sum = 0.0;
+    const double total_sum = sum;
+    for (int i = 0; i + 1 < n; ++i) {
+      left_sum += targets[sorted[i]];
+      const int left_n = i + 1;
+      const int right_n = n - left_n;
+      if (left_n < config.min_samples_leaf || right_n < config.min_samples_leaf)
+        continue;
+      const float v = x.at(sorted[i], f);
+      const float v_next = x.at(sorted[i + 1], f);
+      if (v == v_next) continue;  // cannot split between equal values
+      const double right_sum = total_sum - left_sum;
+      // Variance reduction is equivalent (up to constants) to maximising
+      // sum_left^2/n_left + sum_right^2/n_right.
+      const double gain = left_sum * left_sum / left_n +
+                          right_sum * right_sum / right_n -
+                          total_sum * total_sum / n;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5f * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  const auto mid_it = std::partition(
+      indices.begin() + begin, indices.begin() + end,
+      [&](int i) { return x.at(i, best_feature) <= best_threshold; });
+  const int mid = static_cast<int>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(x, targets, indices, begin, mid, depth + 1, config, rng);
+  const int right = Build(x, targets, indices, mid, end, depth + 1, config, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+float RegressionTree::Predict(const float* features) const {
+  int node = 0;
+  while (nodes_[node].feature >= 0) {
+    node = features[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace tpr::gbdt

@@ -1,0 +1,67 @@
+#ifndef TPR_GBDT_TREE_H_
+#define TPR_GBDT_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tpr::gbdt {
+
+/// Dense feature matrix: samples x features, row major.
+struct Matrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+
+  Matrix() = default;
+  Matrix(int r, int c) : rows(r), cols(c), data(static_cast<size_t>(r) * c) {}
+
+  float at(int r, int c) const { return data[static_cast<size_t>(r) * cols + c]; }
+  float& at(int r, int c) { return data[static_cast<size_t>(r) * cols + c]; }
+  const float* row(int r) const { return data.data() + static_cast<size_t>(r) * cols; }
+};
+
+/// Hyper-parameters of a single CART regression tree.
+struct TreeConfig {
+  int max_depth = 3;
+  int min_samples_leaf = 8;
+  /// Fraction of features considered at each split (column subsampling).
+  double feature_fraction = 1.0;
+};
+
+/// A CART regression tree fit with exact greedy variance-reduction splits.
+/// Used as the weak learner inside gradient boosting.
+class RegressionTree {
+ public:
+  /// Fits the tree on the subset `indices` of the rows of x against the
+  /// per-row targets. rng drives feature subsampling.
+  void Fit(const Matrix& x, const std::vector<float>& targets,
+           const std::vector<int>& indices, const TreeConfig& config,
+           Rng& rng);
+
+  /// Predicts a single feature row.
+  float Predict(const float* features) const;
+
+  /// Number of nodes (diagnostics).
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;      // -1 for leaves
+    float threshold = 0.0f;
+    float value = 0.0f;    // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(const Matrix& x, const std::vector<float>& targets,
+            std::vector<int>& indices, int begin, int end, int depth,
+            const TreeConfig& config, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace tpr::gbdt
+
+#endif  // TPR_GBDT_TREE_H_

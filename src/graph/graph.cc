@@ -1,0 +1,26 @@
+#include "graph/graph.h"
+
+#include "util/logging.h"
+
+namespace tpr::graph {
+
+void Graph::AddEdge(int u, int v, float weight, bool undirected) {
+  TPR_CHECK(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  adj_[u].emplace_back(v, weight);
+  if (undirected) adj_[v].emplace_back(u, weight);
+}
+
+size_t Graph::num_arcs() const {
+  size_t n = 0;
+  for (const auto& nbrs : adj_) n += nbrs.size();
+  return n;
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  for (const auto& [nbr, w] : adj_[u]) {
+    if (nbr == v) return true;
+  }
+  return false;
+}
+
+}  // namespace tpr::graph

@@ -1,0 +1,38 @@
+#ifndef TPR_GRAPH_GRAPH_H_
+#define TPR_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tpr::graph {
+
+/// Lightweight weighted adjacency-list graph used as the substrate for
+/// node2vec random walks (road network topology and the temporal graph).
+class Graph {
+ public:
+  explicit Graph(int num_nodes) : adj_(num_nodes) {}
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+
+  /// Adds an edge u -> v with the given weight; if undirected, also v -> u.
+  void AddEdge(int u, int v, float weight = 1.0f, bool undirected = true);
+
+  /// Neighbors of u as (node, weight) pairs.
+  const std::vector<std::pair<int, float>>& Neighbors(int u) const {
+    return adj_[u];
+  }
+
+  /// Total number of directed arcs.
+  size_t num_arcs() const;
+
+  /// True if v is a direct neighbor of u (linear scan; degrees are small).
+  bool HasEdge(int u, int v) const;
+
+ private:
+  std::vector<std::vector<std::pair<int, float>>> adj_;
+};
+
+}  // namespace tpr::graph
+
+#endif  // TPR_GRAPH_GRAPH_H_

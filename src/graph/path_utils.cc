@@ -1,0 +1,39 @@
+#include "graph/path_utils.h"
+
+#include <unordered_set>
+
+namespace tpr::graph {
+
+double PathSimilarity(const RoadNetwork& network, const Path& a,
+                      const Path& b) {
+  std::unordered_set<int> set_a(a.begin(), a.end());
+  std::unordered_set<int> set_b(b.begin(), b.end());
+  double shared = 0.0, uni = 0.0;
+  for (int e : set_a) {
+    uni += network.edge(e).length_m;
+    if (set_b.count(e)) shared += network.edge(e).length_m;
+  }
+  for (int e : set_b) {
+    if (!set_a.count(e)) uni += network.edge(e).length_m;
+  }
+  return uni > 0 ? shared / uni : 0.0;
+}
+
+double PathJaccard(const Path& a, const Path& b) {
+  std::unordered_set<int> set_a(a.begin(), a.end());
+  std::unordered_set<int> set_b(b.begin(), b.end());
+  size_t shared = 0;
+  for (int e : set_b) shared += set_a.count(e);
+  const size_t uni = set_a.size() + set_b.size() - shared;
+  return uni > 0 ? static_cast<double>(shared) / static_cast<double>(uni) : 0.0;
+}
+
+int SharedEdgeCount(const Path& a, const Path& b) {
+  std::unordered_set<int> set_a(a.begin(), a.end());
+  std::unordered_set<int> set_b(b.begin(), b.end());
+  int shared = 0;
+  for (int e : set_b) shared += static_cast<int>(set_a.count(e));
+  return shared;
+}
+
+}  // namespace tpr::graph

@@ -1,0 +1,23 @@
+#ifndef TPR_GRAPH_PATH_UTILS_H_
+#define TPR_GRAPH_PATH_UTILS_H_
+
+#include "graph/road_network.h"
+
+namespace tpr::graph {
+
+/// Length-weighted Jaccard similarity of two paths: the total length of
+/// shared edges divided by the total length of the union. Used to derive
+/// path-ranking scores from a trajectory path (Section VII-A-2b); the
+/// trajectory path itself scores 1.
+double PathSimilarity(const RoadNetwork& network, const Path& a,
+                      const Path& b);
+
+/// Unweighted edge-set Jaccard similarity.
+double PathJaccard(const Path& a, const Path& b);
+
+/// Number of edges shared by the two paths.
+int SharedEdgeCount(const Path& a, const Path& b);
+
+}  // namespace tpr::graph
+
+#endif  // TPR_GRAPH_PATH_UTILS_H_

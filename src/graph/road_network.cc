@@ -1,0 +1,97 @@
+#include "graph/road_network.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace tpr::graph {
+
+const char* RoadTypeName(RoadType t) {
+  switch (t) {
+    case RoadType::kHighway:
+      return "highway";
+    case RoadType::kPrimary:
+      return "primary";
+    case RoadType::kSecondary:
+      return "secondary";
+    case RoadType::kTertiary:
+      return "tertiary";
+    case RoadType::kResidential:
+      return "residential";
+  }
+  return "unknown";
+}
+
+int RoadNetwork::AddNode(double x, double y) {
+  nodes_.push_back({x, y});
+  out_edges_.emplace_back();
+  in_edges_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+StatusOr<int> RoadNetwork::AddEdge(int from, int to, RoadType type,
+                                   int num_lanes, bool one_way,
+                                   bool has_signal, int zone,
+                                   double length_m) {
+  if (from < 0 || from >= num_nodes() || to < 0 || to >= num_nodes()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (num_lanes < 1 || num_lanes > kMaxLanes) {
+    return Status::InvalidArgument("num_lanes out of range");
+  }
+  RoadEdge e;
+  e.id = static_cast<int>(edges_.size());
+  e.from = from;
+  e.to = to;
+  e.road_type = type;
+  e.num_lanes = num_lanes;
+  e.one_way = one_way;
+  e.has_signal = has_signal;
+  e.zone = zone;
+  if (length_m > 0) {
+    e.length_m = length_m;
+  } else {
+    const double dx = nodes_[to].x - nodes_[from].x;
+    const double dy = nodes_[to].y - nodes_[from].y;
+    e.length_m = std::sqrt(dx * dx + dy * dy);
+  }
+  edges_.push_back(e);
+  out_edges_[from].push_back(e.id);
+  in_edges_[to].push_back(e.id);
+  return e.id;
+}
+
+Status RoadNetwork::ValidatePath(const Path& path) const {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (path[i] < 0 || path[i] >= num_edges()) {
+      return Status::OutOfRange("edge id out of range in path");
+    }
+    if (i > 0 && edges_[path[i - 1]].to != edges_[path[i]].from) {
+      return Status::InvalidArgument("non-adjacent edges at position " +
+                                     std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+double RoadNetwork::PathLength(const Path& path) const {
+  double total = 0.0;
+  for (int e : path) total += edges_[e].length_m;
+  return total;
+}
+
+Graph RoadNetwork::BuildTopologyGraph() const {
+  Graph g(num_nodes());
+  std::unordered_set<int64_t> seen;
+  for (const auto& e : edges_) {
+    const int64_t key = static_cast<int64_t>(std::min(e.from, e.to)) *
+                            num_nodes() +
+                        std::max(e.from, e.to);
+    if (seen.insert(key).second) {
+      g.AddEdge(e.from, e.to, 1.0f, /*undirected=*/true);
+    }
+  }
+  return g;
+}
+
+}  // namespace tpr::graph

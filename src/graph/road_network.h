@@ -1,0 +1,103 @@
+#ifndef TPR_GRAPH_ROAD_NETWORK_H_
+#define TPR_GRAPH_ROAD_NETWORK_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tpr::graph {
+
+/// Road classes. These are the "Road Type (RT)" categorical spatial
+/// feature of the paper (Section IV-B).
+enum class RoadType : int {
+  kHighway = 0,
+  kPrimary = 1,
+  kSecondary = 2,
+  kTertiary = 3,
+  kResidential = 4,
+};
+
+/// Number of distinct RoadType values (n_rt in the paper).
+inline constexpr int kNumRoadTypes = 5;
+
+/// Maximum number of lanes we model (n_l distinct values: 1..kMaxLanes).
+inline constexpr int kMaxLanes = 4;
+
+/// Human-readable name of a road type.
+const char* RoadTypeName(RoadType t);
+
+/// A vertex of the road network: an intersection with planar coordinates
+/// (meters in a local frame).
+struct RoadNode {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A directed road segment with the paper's four spatial features
+/// (RT, NoL, OW, TS) plus geometry and a congestion zone used by the
+/// synthetic traffic model.
+struct RoadEdge {
+  int id = -1;
+  int from = -1;
+  int to = -1;
+  double length_m = 0.0;
+  RoadType road_type = RoadType::kResidential;
+  int num_lanes = 1;      // 1..kMaxLanes
+  bool one_way = false;
+  bool has_signal = false;
+  int zone = 0;           // 0 = downtown, 1 = midtown, 2 = suburb
+};
+
+/// A path: a sequence of adjacent edge ids (paper Definition 3).
+using Path = std::vector<int>;
+
+/// A directed road network G = (V, E) (paper Definition 1).
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  /// Adds a node and returns its id.
+  int AddNode(double x, double y);
+
+  /// Adds a directed edge and returns its id. Endpoints must exist and the
+  /// geometric length is computed from node coordinates unless overridden.
+  StatusOr<int> AddEdge(int from, int to, RoadType type, int num_lanes,
+                        bool one_way, bool has_signal, int zone,
+                        double length_m = -1.0);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const RoadNode& node(int id) const { return nodes_[id]; }
+  const RoadEdge& edge(int id) const { return edges_[id]; }
+  const std::vector<RoadEdge>& edges() const { return edges_; }
+
+  /// Outgoing edge ids of a node.
+  const std::vector<int>& OutEdges(int node) const { return out_edges_[node]; }
+
+  /// Incoming edge ids of a node.
+  const std::vector<int>& InEdges(int node) const { return in_edges_[node]; }
+
+  /// Validates that consecutive edges share endpoints (edge i's head is
+  /// edge i+1's tail) and the path is non-empty.
+  Status ValidatePath(const Path& path) const;
+
+  /// Total geometric length of a path in meters.
+  double PathLength(const Path& path) const;
+
+  /// Builds the undirected node-level topology graph used to learn
+  /// node2vec road-network embeddings (Section IV-B-b).
+  Graph BuildTopologyGraph() const;
+
+ private:
+  std::vector<RoadNode> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<int>> out_edges_;
+  std::vector<std::vector<int>> in_edges_;
+};
+
+}  // namespace tpr::graph
+
+#endif  // TPR_GRAPH_ROAD_NETWORK_H_

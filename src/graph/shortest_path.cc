@@ -1,0 +1,110 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace tpr::graph {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double dist;
+  int node;
+  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+};
+
+// Shared Dijkstra core: label(v) = min over edges of label(u) + w(e, label(u)).
+// When `cost` ignores its second argument this is static Dijkstra.
+StatusOr<PathResult> DijkstraImpl(const RoadNetwork& network, int src, int dst,
+                                  double start_label,
+                                  const TimeDependentCostFn& cost) {
+  if (src < 0 || src >= network.num_nodes() || dst < 0 ||
+      dst >= network.num_nodes()) {
+    return Status::InvalidArgument("node id out of range");
+  }
+  std::vector<double> dist(network.num_nodes(), kInf);
+  std::vector<int> via_edge(network.num_nodes(), -1);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      pq;
+  dist[src] = start_label;
+  pq.push({start_label, src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (int eid : network.OutEdges(u)) {
+      const RoadEdge& e = network.edge(eid);
+      const double w = cost(eid, d);
+      if (w < 0) return Status::InvalidArgument("negative edge cost");
+      const double nd = d + w;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        via_edge[e.to] = eid;
+        pq.push({nd, e.to});
+      }
+    }
+  }
+  if (dist[dst] == kInf) {
+    return Status::NotFound("destination unreachable");
+  }
+  PathResult result;
+  result.cost = dist[dst] - start_label;
+  for (int v = dst; v != src;) {
+    const int eid = via_edge[v];
+    result.edges.push_back(eid);
+    v = network.edge(eid).from;
+  }
+  std::reverse(result.edges.begin(), result.edges.end());
+  return result;
+}
+
+}  // namespace
+
+StatusOr<PathResult> ShortestPath(const RoadNetwork& network, int src, int dst,
+                                  const EdgeCostFn& cost) {
+  return DijkstraImpl(network, src, dst, 0.0,
+                      [&cost](int eid, double) { return cost(eid); });
+}
+
+StatusOr<PathResult> TimeDependentFastestPath(
+    const RoadNetwork& network, int src, int dst, double depart_time_s,
+    const TimeDependentCostFn& cost) {
+  return DijkstraImpl(network, src, dst, depart_time_s, cost);
+}
+
+StatusOr<std::vector<PathResult>> KAlternativePaths(
+    const RoadNetwork& network, int src, int dst, int k,
+    const EdgeCostFn& cost, double penalty_factor) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  std::vector<double> penalty(network.num_edges(), 1.0);
+  std::vector<PathResult> results;
+  std::set<Path> seen;
+  // A few extra attempts beyond k compensate for duplicate paths that the
+  // penalty method occasionally re-finds.
+  const int max_attempts = 2 * k + 4;
+  for (int attempt = 0; attempt < max_attempts && static_cast<int>(results.size()) < k;
+       ++attempt) {
+    auto sp = ShortestPath(network, src, dst, [&](int eid) {
+      return cost(eid) * penalty[eid];
+    });
+    if (!sp.ok()) {
+      if (results.empty()) return sp.status();
+      break;
+    }
+    if (seen.insert(sp->edges).second) {
+      // Recompute the true (unpenalised) cost of the found path.
+      double true_cost = 0;
+      for (int eid : sp->edges) true_cost += cost(eid);
+      results.push_back({sp->edges, true_cost});
+    }
+    for (int eid : sp->edges) penalty[eid] *= penalty_factor;
+  }
+  return results;
+}
+
+}  // namespace tpr::graph

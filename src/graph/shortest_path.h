@@ -1,0 +1,49 @@
+#ifndef TPR_GRAPH_SHORTEST_PATH_H_
+#define TPR_GRAPH_SHORTEST_PATH_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "util/status.h"
+
+namespace tpr::graph {
+
+/// Static edge cost: cost(edge_id) -> non-negative weight.
+using EdgeCostFn = std::function<double(int)>;
+
+/// Time-dependent edge cost: cost(edge_id, entry_time_s) -> traversal
+/// seconds. Used for time-dependent fastest paths over the traffic model.
+using TimeDependentCostFn = std::function<double(int, double)>;
+
+/// Result of a shortest-path query.
+struct PathResult {
+  Path edges;      // edge ids, source to destination
+  double cost = 0; // total cost (seconds or weight units)
+};
+
+/// Dijkstra with a static edge cost. Returns NotFound if dst is
+/// unreachable from src.
+StatusOr<PathResult> ShortestPath(const RoadNetwork& network, int src, int dst,
+                                  const EdgeCostFn& cost);
+
+/// Time-dependent Dijkstra: the label of a node is the earliest arrival
+/// time; edge cost is evaluated at the entry time. Assumes the FIFO
+/// property (later entry never yields earlier exit), which the synthetic
+/// traffic model satisfies.
+StatusOr<PathResult> TimeDependentFastestPath(const RoadNetwork& network,
+                                              int src, int dst,
+                                              double depart_time_s,
+                                              const TimeDependentCostFn& cost);
+
+/// Generates up to k distinct alternative paths between src and dst with
+/// the penalty method: after each found path, the weights of its edges are
+/// multiplied by penalty_factor and Dijkstra is re-run. Duplicates are
+/// dropped. Always includes the original shortest path first.
+StatusOr<std::vector<PathResult>> KAlternativePaths(
+    const RoadNetwork& network, int src, int dst, int k,
+    const EdgeCostFn& cost, double penalty_factor = 1.4);
+
+}  // namespace tpr::graph
+
+#endif  // TPR_GRAPH_SHORTEST_PATH_H_

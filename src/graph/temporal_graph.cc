@@ -1,0 +1,50 @@
+#include "graph/temporal_graph.h"
+
+#include "util/logging.h"
+
+namespace tpr::graph {
+
+int TemporalNodeId(const TemporalGraphConfig& cfg, int day, int slot) {
+  TPR_CHECK(day >= 0 && day < cfg.days_per_week);
+  TPR_CHECK(slot >= 0 && slot < cfg.slots_per_day);
+  return day * cfg.slots_per_day + slot;
+}
+
+int TemporalNodeIdForTime(const TemporalGraphConfig& cfg, int64_t time_s) {
+  const int64_t week_s =
+      static_cast<int64_t>(cfg.days_per_week) * 24 * 3600;
+  int64_t t = time_s % week_s;
+  if (t < 0) t += week_s;
+  const int day = static_cast<int>(t / (24 * 3600));
+  const int64_t sec_of_day = t % (24 * 3600);
+  const int slot = static_cast<int>(sec_of_day * cfg.slots_per_day / (24 * 3600));
+  return TemporalNodeId(cfg, day, slot);
+}
+
+Graph BuildTemporalGraph(const TemporalGraphConfig& cfg) {
+  Graph g(cfg.num_nodes());
+  const int s = cfg.slots_per_day;
+  const int d = cfg.days_per_week;
+  for (int day = 0; day < d; ++day) {
+    for (int slot = 0; slot < s; ++slot) {
+      const int u = TemporalNodeId(cfg, day, slot);
+      // Local similarity: adjacent slots within the day.
+      if (slot + 1 < s) {
+        g.AddEdge(u, TemporalNodeId(cfg, day, slot + 1));
+      } else if (day + 1 < d) {
+        // Midnight continuity into the next day.
+        g.AddEdge(u, TemporalNodeId(cfg, day + 1, 0));
+      } else {
+        // Sunday's last slot wraps to Monday's first slot.
+        g.AddEdge(u, TemporalNodeId(cfg, 0, 0));
+      }
+      // Daily periodicity: same slot on the next day (with Sunday->Monday
+      // wrap closing the weekly cycle).
+      const int next_day = (day + 1) % d;
+      g.AddEdge(u, TemporalNodeId(cfg, next_day, slot));
+    }
+  }
+  return g;
+}
+
+}  // namespace tpr::graph

@@ -1,0 +1,37 @@
+#ifndef TPR_GRAPH_TEMPORAL_GRAPH_H_
+#define TPR_GRAPH_TEMPORAL_GRAPH_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace tpr::graph {
+
+/// Configuration for the temporal graph of Section IV-A. The paper uses
+/// 5-minute slots (288 per day) across 7 days = 2016 nodes; smaller slot
+/// counts are supported to keep CPU experiments fast.
+struct TemporalGraphConfig {
+  int slots_per_day = 288;
+  int days_per_week = 7;
+
+  int num_nodes() const { return slots_per_day * days_per_week; }
+};
+
+/// Maps (day_of_week in [0,7), slot in [0,slots_per_day)) to a temporal
+/// graph node id.
+int TemporalNodeId(const TemporalGraphConfig& cfg, int day, int slot);
+
+/// Maps a departure time in seconds-since-Monday-00:00 to its temporal
+/// graph node id.
+int TemporalNodeIdForTime(const TemporalGraphConfig& cfg, int64_t time_s);
+
+/// Builds the temporal graph G' = (V', E'): adjacent slots within a day are
+/// connected (local similarity), the same slot on neighboring days is
+/// connected (daily periodicity), the last slot of a day connects to the
+/// first slot of the next day (midnight continuity), and Sunday wraps to
+/// Monday (weekly periodicity).
+Graph BuildTemporalGraph(const TemporalGraphConfig& cfg);
+
+}  // namespace tpr::graph
+
+#endif  // TPR_GRAPH_TEMPORAL_GRAPH_H_

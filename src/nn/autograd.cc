@@ -1,0 +1,643 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace tpr::nn {
+
+namespace {
+
+int g_no_grad_depth = 0;
+
+constexpr float kCosineEps = 1e-8f;
+
+}  // namespace
+
+NoGradGuard::NoGradGuard() { ++g_no_grad_depth; }
+NoGradGuard::~NoGradGuard() { --g_no_grad_depth; }
+
+bool GradEnabled() { return g_no_grad_depth == 0; }
+
+Var Var::Leaf(Tensor value, bool requires_grad) {
+  auto impl = std::make_shared<internal::VarImpl>();
+  impl->value = std::move(value);
+  impl->requires_grad = requires_grad;
+  return Var(std::move(impl));
+}
+
+Var MakeOp(Tensor value, std::vector<Var> parents,
+           std::function<void(internal::VarImpl*)> backward_fn) {
+  auto impl = std::make_shared<internal::VarImpl>();
+  impl->value = std::move(value);
+  bool needs_grad = false;
+  if (GradEnabled()) {
+    for (const auto& p : parents) needs_grad = needs_grad || p.requires_grad();
+  }
+  impl->requires_grad = needs_grad;
+  if (needs_grad) {
+    impl->parents.reserve(parents.size());
+    for (auto& p : parents) impl->parents.push_back(p.impl_ptr());
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Var(std::move(impl));
+}
+
+void Var::Backward() const {
+  TPR_CHECK(defined());
+  TPR_CHECK(rows() == 1 && cols() == 1) << "Backward() requires a scalar";
+  if (!impl_->requires_grad) return;
+
+  // Iterative post-order topological sort over the parent DAG.
+  std::vector<internal::VarImpl*> order;
+  std::unordered_set<internal::VarImpl*> visited;
+  std::vector<std::pair<internal::VarImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    if (idx < node->parents.size()) {
+      internal::VarImpl* parent = node->parents[idx].get();
+      ++idx;
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->EnsureGrad();
+  impl_->grad.at(0, 0) = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal::VarImpl* node = *it;
+    if (node->backward_fn && !node->grad.empty()) node->backward_fn(node);
+  }
+}
+
+namespace {
+
+// Accumulates `delta` into the gradient of `p` if it participates in
+// differentiation.
+void AccumulateGrad(internal::VarImpl* p, const Tensor& delta) {
+  if (!p->requires_grad) return;
+  p->EnsureGrad();
+  TPR_CHECK(p->grad.SameShape(delta));
+  float* g = p->grad.data();
+  const float* d = delta.data();
+  for (size_t i = 0; i < delta.size(); ++i) g[i] += d[i];
+}
+
+// Elementwise unary op helper: forward maps x->f(x); backward multiplies
+// incoming gradient by dfd(value_in, value_out).
+template <typename Fwd, typename Bwd>
+Var UnaryOp(const Var& a, Fwd fwd, Bwd dfd) {
+  Tensor out(a.rows(), a.cols());
+  const Tensor& in = a.value();
+  for (size_t i = 0; i < in.size(); ++i) out[i] = fwd(in[i]);
+  Tensor out_copy = out;  // captured for backward
+  auto a_impl = a.impl_ptr();
+  return MakeOp(std::move(out), {a},
+                [a_impl, out_copy, dfd](internal::VarImpl* self) {
+                  internal::VarImpl* p = a_impl.get();
+                  if (!p->requires_grad) return;
+                  p->EnsureGrad();
+                  const Tensor& in = p->value;
+                  float* g = p->grad.data();
+                  const float* go = self->grad.data();
+                  for (size_t i = 0; i < in.size(); ++i) {
+                    g[i] += go[i] * dfd(in[i], out_copy[i]);
+                  }
+                });
+}
+
+}  // namespace
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out(a.rows(), b.cols());
+  MatMulAccumulate(a.value(), b.value(), out);
+  auto a_impl = a.impl_ptr();
+  auto b_impl = b.impl_ptr();
+  return MakeOp(std::move(out), {a, b},
+                [a_impl, b_impl](internal::VarImpl* self) {
+                  // dA = dOut * B^T ; dB = A^T * dOut
+                  if (a_impl->requires_grad) {
+                    a_impl->EnsureGrad();
+                    MatMulTransBAccumulate(self->grad, b_impl->value,
+                                           a_impl->grad);
+                  }
+                  if (b_impl->requires_grad) {
+                    b_impl->EnsureGrad();
+                    MatMulTransAAccumulate(a_impl->value, self->grad,
+                                           b_impl->grad);
+                  }
+                });
+}
+
+Var Add(const Var& a, const Var& b) {
+  TPR_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  const float* bd = b.value().data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] += bd[i];
+  auto a_impl = a.impl_ptr();
+  auto b_impl = b.impl_ptr();
+  return MakeOp(std::move(out), {a, b},
+                [a_impl, b_impl](internal::VarImpl* self) {
+                  AccumulateGrad(a_impl.get(), self->grad);
+                  AccumulateGrad(b_impl.get(), self->grad);
+                });
+}
+
+Var AddRow(const Var& m, const Var& row) {
+  TPR_CHECK(row.rows() == 1 && row.cols() == m.cols());
+  Tensor out = m.value();
+  const float* r = row.value().data();
+  for (int i = 0; i < out.rows(); ++i) {
+    float* o = out.data() + static_cast<size_t>(i) * out.cols();
+    for (int j = 0; j < out.cols(); ++j) o[j] += r[j];
+  }
+  auto m_impl = m.impl_ptr();
+  auto r_impl = row.impl_ptr();
+  return MakeOp(std::move(out), {m, row},
+                [m_impl, r_impl](internal::VarImpl* self) {
+                  AccumulateGrad(m_impl.get(), self->grad);
+                  if (r_impl->requires_grad) {
+                    r_impl->EnsureGrad();
+                    const Tensor& g = self->grad;
+                    float* rg = r_impl->grad.data();
+                    for (int i = 0; i < g.rows(); ++i) {
+                      const float* gr =
+                          g.data() + static_cast<size_t>(i) * g.cols();
+                      for (int j = 0; j < g.cols(); ++j) rg[j] += gr[j];
+                    }
+                  }
+                });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  TPR_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  const float* bd = b.value().data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] -= bd[i];
+  auto a_impl = a.impl_ptr();
+  auto b_impl = b.impl_ptr();
+  return MakeOp(std::move(out), {a, b},
+                [a_impl, b_impl](internal::VarImpl* self) {
+                  AccumulateGrad(a_impl.get(), self->grad);
+                  if (b_impl->requires_grad) {
+                    b_impl->EnsureGrad();
+                    const float* go = self->grad.data();
+                    float* g = b_impl->grad.data();
+                    for (size_t i = 0; i < self->grad.size(); ++i)
+                      g[i] -= go[i];
+                  }
+                });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  TPR_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  const float* bd = b.value().data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= bd[i];
+  auto a_impl = a.impl_ptr();
+  auto b_impl = b.impl_ptr();
+  return MakeOp(std::move(out), {a, b},
+                [a_impl, b_impl](internal::VarImpl* self) {
+                  const float* go = self->grad.data();
+                  if (a_impl->requires_grad) {
+                    a_impl->EnsureGrad();
+                    float* g = a_impl->grad.data();
+                    const float* bv = b_impl->value.data();
+                    for (size_t i = 0; i < self->grad.size(); ++i)
+                      g[i] += go[i] * bv[i];
+                  }
+                  if (b_impl->requires_grad) {
+                    b_impl->EnsureGrad();
+                    float* g = b_impl->grad.data();
+                    const float* av = a_impl->value.data();
+                    for (size_t i = 0; i < self->grad.size(); ++i)
+                      g[i] += go[i] * av[i];
+                  }
+                });
+}
+
+Var Div(const Var& a, const Var& b) {
+  TPR_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  const float* bd = b.value().data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] /= bd[i];
+  auto a_impl = a.impl_ptr();
+  auto b_impl = b.impl_ptr();
+  return MakeOp(std::move(out), {a, b},
+                [a_impl, b_impl](internal::VarImpl* self) {
+                  const float* go = self->grad.data();
+                  const float* av = a_impl->value.data();
+                  const float* bv = b_impl->value.data();
+                  if (a_impl->requires_grad) {
+                    a_impl->EnsureGrad();
+                    float* g = a_impl->grad.data();
+                    for (size_t i = 0; i < self->grad.size(); ++i)
+                      g[i] += go[i] / bv[i];
+                  }
+                  if (b_impl->requires_grad) {
+                    b_impl->EnsureGrad();
+                    float* g = b_impl->grad.data();
+                    for (size_t i = 0; i < self->grad.size(); ++i)
+                      g[i] -= go[i] * av[i] / (bv[i] * bv[i]);
+                  }
+                });
+}
+
+Var Scale(const Var& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Var AddScalar(const Var& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Var Tanh(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Var Sigmoid(const Var& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                      : std::exp(x) / (1.0f + std::exp(x));
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Var Relu(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Var Exp(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Var Log(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Var Softplus(const Var& a) {
+  return UnaryOp(
+      a,
+      [](float x) {
+        // log(1 + e^x) = max(x, 0) + log(1 + e^{-|x|})
+        return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+      },
+      [](float x, float) {
+        return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                      : std::exp(x) / (1.0f + std::exp(x));
+      });
+}
+
+Var Sqrt(const Var& a) {
+  return UnaryOp(
+      a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / std::max(y, 1e-12f); });
+}
+
+Var Sum(const Var& a) {
+  Tensor out(1, 1);
+  out.at(0, 0) = a.value().Sum();
+  auto a_impl = a.impl_ptr();
+  return MakeOp(std::move(out), {a}, [a_impl](internal::VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    a_impl->EnsureGrad();
+    const float g = self->grad.at(0, 0);
+    float* pg = a_impl->grad.data();
+    for (size_t i = 0; i < a_impl->grad.size(); ++i) pg[i] += g;
+  });
+}
+
+Var Mean(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a.value().size());
+  return Scale(Sum(a), inv);
+}
+
+Var RowMean(const Var& a) {
+  const int m = a.rows(), n = a.cols();
+  TPR_CHECK(m > 0);
+  Tensor out(1, n);
+  for (int i = 0; i < m; ++i) {
+    const float* row = a.value().data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) out[j] += row[j];
+  }
+  const float inv = 1.0f / static_cast<float>(m);
+  for (int j = 0; j < n; ++j) out[j] *= inv;
+  auto a_impl = a.impl_ptr();
+  return MakeOp(std::move(out), {a},
+                [a_impl, m, n, inv](internal::VarImpl* self) {
+                  if (!a_impl->requires_grad) return;
+                  a_impl->EnsureGrad();
+                  const float* go = self->grad.data();
+                  for (int i = 0; i < m; ++i) {
+                    float* g =
+                        a_impl->grad.data() + static_cast<size_t>(i) * n;
+                    for (int j = 0; j < n; ++j) g[j] += go[j] * inv;
+                  }
+                });
+}
+
+Var RowMax(const Var& a) {
+  const int m = a.rows(), n = a.cols();
+  TPR_CHECK(m > 0);
+  Tensor out(1, n);
+  std::vector<int> argmax(n, 0);
+  for (int j = 0; j < n; ++j) {
+    float best = a.value().at(0, j);
+    for (int i = 1; i < m; ++i) {
+      if (a.value().at(i, j) > best) {
+        best = a.value().at(i, j);
+        argmax[j] = i;
+      }
+    }
+    out[j] = best;
+  }
+  auto a_impl = a.impl_ptr();
+  return MakeOp(std::move(out), {a},
+                [a_impl, argmax, n](internal::VarImpl* self) {
+                  if (!a_impl->requires_grad) return;
+                  a_impl->EnsureGrad();
+                  const float* go = self->grad.data();
+                  for (int j = 0; j < n; ++j) {
+                    a_impl->grad.at(argmax[j], j) += go[j];
+                  }
+                });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  TPR_CHECK(!parts.empty());
+  const int m = parts[0].rows();
+  int total = 0;
+  for (const auto& p : parts) {
+    TPR_CHECK(p.rows() == m);
+    total += p.cols();
+  }
+  Tensor out(m, total);
+  int offset = 0;
+  for (const auto& p : parts) {
+    const int n = p.cols();
+    for (int i = 0; i < m; ++i) {
+      const float* src = p.value().data() + static_cast<size_t>(i) * n;
+      float* dst = out.data() + static_cast<size_t>(i) * total + offset;
+      std::copy(src, src + n, dst);
+    }
+    offset += n;
+  }
+  std::vector<std::shared_ptr<internal::VarImpl>> impls;
+  impls.reserve(parts.size());
+  for (const auto& p : parts) impls.push_back(p.impl_ptr());
+  return MakeOp(std::move(out), parts,
+                [impls, m, total](internal::VarImpl* self) {
+                  int offset = 0;
+                  for (const auto& p : impls) {
+                    const int n = p->value.cols();
+                    if (p->requires_grad) {
+                      p->EnsureGrad();
+                      for (int i = 0; i < m; ++i) {
+                        const float* src = self->grad.data() +
+                                           static_cast<size_t>(i) * total +
+                                           offset;
+                        float* dst =
+                            p->grad.data() + static_cast<size_t>(i) * n;
+                        for (int j = 0; j < n; ++j) dst[j] += src[j];
+                      }
+                    }
+                    offset += n;
+                  }
+                });
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  TPR_CHECK(!parts.empty());
+  const int n = parts[0].cols();
+  int total = 0;
+  for (const auto& p : parts) {
+    TPR_CHECK(p.cols() == n);
+    total += p.rows();
+  }
+  Tensor out(total, n);
+  int offset = 0;
+  for (const auto& p : parts) {
+    const size_t count = p.value().size();
+    std::copy(p.value().data(), p.value().data() + count,
+              out.data() + static_cast<size_t>(offset) * n);
+    offset += p.rows();
+  }
+  std::vector<std::shared_ptr<internal::VarImpl>> impls;
+  impls.reserve(parts.size());
+  for (const auto& p : parts) impls.push_back(p.impl_ptr());
+  return MakeOp(std::move(out), parts, [impls, n](internal::VarImpl* self) {
+    int offset = 0;
+    for (const auto& p : impls) {
+      const int m = p->value.rows();
+      if (p->requires_grad) {
+        p->EnsureGrad();
+        const float* src =
+            self->grad.data() + static_cast<size_t>(offset) * n;
+        float* dst = p->grad.data();
+        for (size_t i = 0; i < static_cast<size_t>(m) * n; ++i)
+          dst[i] += src[i];
+      }
+      offset += m;
+    }
+  });
+}
+
+Var SliceCols(const Var& a, int start, int len) {
+  TPR_CHECK(start >= 0 && len > 0 && start + len <= a.cols());
+  const int m = a.rows(), n = a.cols();
+  Tensor out(m, len);
+  for (int i = 0; i < m; ++i) {
+    const float* src = a.value().data() + static_cast<size_t>(i) * n + start;
+    std::copy(src, src + len, out.data() + static_cast<size_t>(i) * len);
+  }
+  auto a_impl = a.impl_ptr();
+  return MakeOp(std::move(out), {a},
+                [a_impl, start, len, m, n](internal::VarImpl* self) {
+                  if (!a_impl->requires_grad) return;
+                  a_impl->EnsureGrad();
+                  for (int i = 0; i < m; ++i) {
+                    const float* src =
+                        self->grad.data() + static_cast<size_t>(i) * len;
+                    float* dst = a_impl->grad.data() +
+                                 static_cast<size_t>(i) * n + start;
+                    for (int j = 0; j < len; ++j) dst[j] += src[j];
+                  }
+                });
+}
+
+Var SliceRow(const Var& a, int r) {
+  TPR_CHECK(r >= 0 && r < a.rows());
+  const int n = a.cols();
+  Tensor out(1, n);
+  const float* src = a.value().data() + static_cast<size_t>(r) * n;
+  std::copy(src, src + n, out.data());
+  auto a_impl = a.impl_ptr();
+  return MakeOp(std::move(out), {a}, [a_impl, r, n](internal::VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    a_impl->EnsureGrad();
+    const float* src = self->grad.data();
+    float* dst = a_impl->grad.data() + static_cast<size_t>(r) * n;
+    for (int j = 0; j < n; ++j) dst[j] += src[j];
+  });
+}
+
+Var Gather(const Var& table, const std::vector<int>& indices) {
+  const int n = table.cols();
+  Tensor out(static_cast<int>(indices.size()), n);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    TPR_CHECK(indices[i] >= 0 && indices[i] < table.rows());
+    const float* src =
+        table.value().data() + static_cast<size_t>(indices[i]) * n;
+    std::copy(src, src + n, out.data() + i * n);
+  }
+  auto t_impl = table.impl_ptr();
+  return MakeOp(std::move(out), {table},
+                [t_impl, indices, n](internal::VarImpl* self) {
+                  if (!t_impl->requires_grad) return;
+                  t_impl->EnsureGrad();
+                  for (size_t i = 0; i < indices.size(); ++i) {
+                    const float* src = self->grad.data() + i * n;
+                    float* dst = t_impl->grad.data() +
+                                 static_cast<size_t>(indices[i]) * n;
+                    for (int j = 0; j < n; ++j) dst[j] += src[j];
+                  }
+                });
+}
+
+Var CosineSim(const Var& a, const Var& b) {
+  TPR_CHECK(a.rows() == 1 && b.rows() == 1 && a.cols() == b.cols());
+  const int n = a.cols();
+  const float* av = a.value().data();
+  const float* bv = b.value().data();
+  double dot = 0, na2 = 0, nb2 = 0;
+  for (int i = 0; i < n; ++i) {
+    dot += static_cast<double>(av[i]) * bv[i];
+    na2 += static_cast<double>(av[i]) * av[i];
+    nb2 += static_cast<double>(bv[i]) * bv[i];
+  }
+  const float na = static_cast<float>(std::sqrt(na2)) + kCosineEps;
+  const float nb = static_cast<float>(std::sqrt(nb2)) + kCosineEps;
+  const float cos = static_cast<float>(dot) / (na * nb);
+  Tensor out(1, 1);
+  out.at(0, 0) = cos;
+  auto a_impl = a.impl_ptr();
+  auto b_impl = b.impl_ptr();
+  return MakeOp(
+      std::move(out), {a, b},
+      [a_impl, b_impl, na, nb, cos, n](internal::VarImpl* self) {
+        const float g = self->grad.at(0, 0);
+        const float* av = a_impl->value.data();
+        const float* bv = b_impl->value.data();
+        if (a_impl->requires_grad) {
+          a_impl->EnsureGrad();
+          float* ga = a_impl->grad.data();
+          for (int i = 0; i < n; ++i) {
+            ga[i] += g * (bv[i] / (na * nb) - cos * av[i] / (na * na));
+          }
+        }
+        if (b_impl->requires_grad) {
+          b_impl->EnsureGrad();
+          float* gb = b_impl->grad.data();
+          for (int i = 0; i < n; ++i) {
+            gb[i] += g * (av[i] / (na * nb) - cos * bv[i] / (nb * nb));
+          }
+        }
+      });
+}
+
+Var Dot(const Var& a, const Var& b) { return Sum(Mul(a, b)); }
+
+Var LogSumExp(const Var& a) {
+  const Tensor& v = a.value();
+  TPR_CHECK(!v.empty());
+  float mx = v[0];
+  for (size_t i = 1; i < v.size(); ++i) mx = std::max(mx, v[i]);
+  double s = 0;
+  for (size_t i = 0; i < v.size(); ++i) s += std::exp(v[i] - mx);
+  Tensor out(1, 1);
+  out.at(0, 0) = mx + static_cast<float>(std::log(s));
+  const float lse = out.at(0, 0);
+  auto a_impl = a.impl_ptr();
+  return MakeOp(std::move(out), {a}, [a_impl, lse](internal::VarImpl* self) {
+    if (!a_impl->requires_grad) return;
+    a_impl->EnsureGrad();
+    const float g = self->grad.at(0, 0);
+    const float* v = a_impl->value.data();
+    float* pg = a_impl->grad.data();
+    for (size_t i = 0; i < a_impl->value.size(); ++i) {
+      pg[i] += g * std::exp(v[i] - lse);
+    }
+  });
+}
+
+Var SoftmaxRows(const Var& a) {
+  const int m = a.rows(), n = a.cols();
+  Tensor out(m, n);
+  for (int i = 0; i < m; ++i) {
+    const float* row = a.value().data() + static_cast<size_t>(i) * n;
+    float* orow = out.data() + static_cast<size_t>(i) * n;
+    float mx = row[0];
+    for (int j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float s = 0;
+    for (int j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      s += orow[j];
+    }
+    for (int j = 0; j < n; ++j) orow[j] /= s;
+  }
+  Tensor out_copy = out;
+  auto a_impl = a.impl_ptr();
+  return MakeOp(std::move(out), {a},
+                [a_impl, out_copy, m, n](internal::VarImpl* self) {
+                  if (!a_impl->requires_grad) return;
+                  a_impl->EnsureGrad();
+                  for (int i = 0; i < m; ++i) {
+                    const float* y =
+                        out_copy.data() + static_cast<size_t>(i) * n;
+                    const float* go =
+                        self->grad.data() + static_cast<size_t>(i) * n;
+                    float* g =
+                        a_impl->grad.data() + static_cast<size_t>(i) * n;
+                    float dotv = 0;
+                    for (int j = 0; j < n; ++j) dotv += go[j] * y[j];
+                    for (int j = 0; j < n; ++j)
+                      g[j] += y[j] * (go[j] - dotv);
+                  }
+                });
+}
+
+Var MseLoss(const Var& pred, const Tensor& target) {
+  TPR_CHECK(pred.value().SameShape(target));
+  Var t = Var::Leaf(target, /*requires_grad=*/false);
+  Var diff = Sub(pred, t);
+  return Mean(Mul(diff, diff));
+}
+
+Var BceWithLogits(const Var& logit, float target) {
+  TPR_CHECK(logit.rows() == 1 && logit.cols() == 1);
+  // loss = softplus(x) - target * x  (stable form of -[t log s + (1-t) log(1-s)])
+  return Sub(Softplus(logit), Scale(logit, target));
+}
+
+}  // namespace tpr::nn

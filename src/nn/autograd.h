@@ -1,0 +1,200 @@
+#ifndef TPR_NN_AUTOGRAD_H_
+#define TPR_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace tpr::nn {
+
+class Var;
+
+namespace internal {
+
+/// Node of the dynamic computation graph. Holds the forward value, the
+/// accumulated gradient, and a closure that pushes this node's gradient to
+/// its parents. Not used directly by clients; see Var.
+struct VarImpl {
+  Tensor value;
+  Tensor grad;  // allocated lazily, same shape as value
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<VarImpl>> parents;
+  std::function<void(VarImpl*)> backward_fn;
+
+  /// Allocates (zeroed) the gradient tensor if absent.
+  void EnsureGrad() {
+    if (grad.empty() && !value.empty()) {
+      grad = Tensor(value.rows(), value.cols());
+    }
+  }
+};
+
+}  // namespace internal
+
+/// While a NoGradGuard is alive, newly created ops do not record backward
+/// closures, making pure inference cheaper. Guards nest.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+/// True when gradient recording is currently enabled.
+bool GradEnabled();
+
+/// A differentiable variable: a shared handle to a graph node. Ops on Vars
+/// build a define-by-run graph; calling Backward() on a scalar result
+/// accumulates gradients into every reachable leaf with requires_grad.
+class Var {
+ public:
+  Var() = default;
+
+  /// Creates a leaf holding `value`. Set requires_grad for parameters.
+  static Var Leaf(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  const Tensor& value() const { return impl_->value; }
+  Tensor& mutable_value() { return impl_->value; }
+  const Tensor& grad() const { return impl_->grad; }
+  bool requires_grad() const { return impl_ && impl_->requires_grad; }
+
+  int rows() const { return impl_->value.rows(); }
+  int cols() const { return impl_->value.cols(); }
+
+  /// Convenience for 1x1 results.
+  float scalar() const {
+    TPR_CHECK(rows() == 1 && cols() == 1);
+    return impl_->value.at(0, 0);
+  }
+
+  /// Zeroes this leaf's gradient (used by optimizers between steps).
+  void ZeroGrad() {
+    if (impl_ && !impl_->grad.empty()) impl_->grad.Fill(0.0f);
+  }
+
+  /// Runs reverse-mode accumulation from this node. The node must be a
+  /// 1x1 scalar; its seed gradient is 1.
+  void Backward() const;
+
+  internal::VarImpl* impl() const { return impl_.get(); }
+  const std::shared_ptr<internal::VarImpl>& impl_ptr() const { return impl_; }
+
+ private:
+  explicit Var(std::shared_ptr<internal::VarImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal::VarImpl> impl_;
+
+  friend Var MakeOp(Tensor value, std::vector<Var> parents,
+                    std::function<void(internal::VarImpl*)> backward_fn);
+};
+
+/// Creates an interior graph node. Exposed for clients that add custom
+/// fused ops; library ops below cover the common cases.
+Var MakeOp(Tensor value, std::vector<Var> parents,
+           std::function<void(internal::VarImpl*)> backward_fn);
+
+// ---------------------------------------------------------------------------
+// Core ops. All return fresh graph nodes.
+// ---------------------------------------------------------------------------
+
+/// Matrix product: (m x k) * (k x n) -> (m x n).
+Var MatMul(const Var& a, const Var& b);
+
+/// Elementwise sum of two same-shaped tensors.
+Var Add(const Var& a, const Var& b);
+
+/// Adds a 1 x n row vector to every row of an m x n matrix.
+Var AddRow(const Var& m, const Var& row);
+
+/// Elementwise difference a - b.
+Var Sub(const Var& a, const Var& b);
+
+/// Elementwise (Hadamard) product.
+Var Mul(const Var& a, const Var& b);
+
+/// Elementwise quotient a / b. b must be nonzero.
+Var Div(const Var& a, const Var& b);
+
+/// Multiplies every element by constant s.
+Var Scale(const Var& a, float s);
+
+/// Adds constant s to every element.
+Var AddScalar(const Var& a, float s);
+
+/// Elementwise hyperbolic tangent.
+Var Tanh(const Var& a);
+
+/// Elementwise logistic sigmoid.
+Var Sigmoid(const Var& a);
+
+/// Elementwise rectified linear unit.
+Var Relu(const Var& a);
+
+/// Elementwise exponential.
+Var Exp(const Var& a);
+
+/// Elementwise natural log. Inputs must be positive.
+Var Log(const Var& a);
+
+/// Elementwise numerically-stable softplus log(1 + e^x).
+Var Softplus(const Var& a);
+
+/// Elementwise square root. Inputs must be non-negative.
+Var Sqrt(const Var& a);
+
+/// Sum of all elements -> 1x1.
+Var Sum(const Var& a);
+
+/// Mean of all elements -> 1x1.
+Var Mean(const Var& a);
+
+/// Mean over rows: (m x n) -> (1 x n). This is the paper's aggregate
+/// function (Eq. 8) applied to the sequence of edge representations.
+Var RowMean(const Var& a);
+
+/// Max over rows: (m x n) -> (1 x n), used by max-pooling baselines.
+Var RowMax(const Var& a);
+
+/// Horizontal concatenation of row-compatible tensors.
+Var ConcatCols(const std::vector<Var>& parts);
+
+/// Vertical stacking of column-compatible tensors.
+Var ConcatRows(const std::vector<Var>& parts);
+
+/// Column slice [start, start + len).
+Var SliceCols(const Var& a, int start, int len);
+
+/// Selects row r of an m x n matrix as a 1 x n vector.
+Var SliceRow(const Var& a, int r);
+
+/// Row gather: selects rows of `table` by index (embedding lookup).
+/// Backward scatter-adds into the table's gradient.
+Var Gather(const Var& table, const std::vector<int>& indices);
+
+/// Cosine similarity of two 1 x n row vectors -> 1x1. Fused op with an
+/// epsilon-stabilised gradient (used by the WSC losses, Eq. 10-11).
+Var CosineSim(const Var& a, const Var& b);
+
+/// Dot product of two same-shaped tensors -> 1x1.
+Var Dot(const Var& a, const Var& b);
+
+/// Numerically stable log(sum(exp(a))) over all elements -> 1x1.
+Var LogSumExp(const Var& a);
+
+/// Row-wise softmax of an m x n matrix.
+Var SoftmaxRows(const Var& a);
+
+/// Mean squared error between prediction and constant target.
+Var MseLoss(const Var& pred, const Tensor& target);
+
+/// Binary cross-entropy with logits against a constant target in [0,1].
+Var BceWithLogits(const Var& logit, float target);
+
+}  // namespace tpr::nn
+
+#endif  // TPR_NN_AUTOGRAD_H_

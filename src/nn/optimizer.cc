@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace tpr::nn {
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    const Tensor& g = p.grad();
+    for (size_t i = 0; i < g.size(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) {
+      if (p.grad().empty()) continue;
+      Tensor& g = const_cast<Tensor&>(p.grad());
+      for (size_t i = 0; i < g.size(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    const Tensor& g = p.grad();
+    if (g.empty()) continue;
+    Tensor& w = p.mutable_value();
+    for (size_t i = 0; i < w.size(); ++i) {
+      float grad = g[i];
+      if (weight_decay_ != 0.0f) grad += weight_decay_ * w[i];
+      w[i] -= lr_ * grad;
+    }
+  }
+}
+
+Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    const Tensor& g = params_[k].grad();
+    if (g.empty()) continue;
+    Tensor& w = params_[k].mutable_value();
+    Tensor& m = m_[k];
+    Tensor& v = v_[k];
+    for (size_t i = 0; i < w.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace tpr::nn

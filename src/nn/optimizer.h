@@ -1,0 +1,72 @@
+#ifndef TPR_NN_OPTIMIZER_H_
+#define TPR_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace tpr::nn {
+
+/// Base optimizer interface over a fixed list of leaf parameters.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored on the
+  /// parameters, then leaves the gradients untouched (call ZeroGrad()).
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  /// Rescales gradients so their global L2 norm is at most max_norm.
+  /// Returns the pre-clipping norm.
+  float ClipGradNorm(float max_norm);
+
+ protected:
+  std::vector<Var> params_;
+};
+
+/// Plain stochastic gradient descent with optional weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float weight_decay = 0.0f)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba). The paper trains with lr = 3e-4.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace tpr::nn
+
+#endif  // TPR_NN_OPTIMIZER_H_

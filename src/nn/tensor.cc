@@ -1,0 +1,88 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+namespace tpr::nn {
+
+Tensor Tensor::RowVector(std::vector<float> values) {
+  Tensor t;
+  t.rows_ = 1;
+  t.cols_ = static_cast<int>(values.size());
+  t.data_ = std::move(values);
+  return t;
+}
+
+Tensor Tensor::FromValues(int rows, int cols, std::vector<float> values) {
+  TPR_CHECK(static_cast<size_t>(rows) * cols == values.size());
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(values);
+  return t;
+}
+
+void Tensor::Fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+float Tensor::Sum() const {
+  float s = 0.0f;
+  for (float x : data_) s += x;
+  return s;
+}
+
+float Tensor::Norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  TPR_CHECK(a.cols() == b.rows());
+  TPR_CHECK(out.rows() == a.rows() && out.cols() == b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    float* out_row = out.data() + static_cast<size_t>(i) * n;
+    const float* a_row = a.data() + static_cast<size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float* b_row = b.data() + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void MatMulTransAAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  TPR_CHECK(a.rows() == b.rows());
+  TPR_CHECK(out.rows() == a.cols() && out.cols() == b.cols());
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* a_row = a.data() + static_cast<size_t>(kk) * m;
+    const float* b_row = b.data() + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* out_row = out.data() + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void MatMulTransBAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  TPR_CHECK(a.cols() == b.cols());
+  TPR_CHECK(out.rows() == a.rows() && out.cols() == b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a.data() + static_cast<size_t>(i) * k;
+    float* out_row = out.data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b.data() + static_cast<size_t>(j) * k;
+      float s = 0.0f;
+      for (int kk = 0; kk < k; ++kk) s += a_row[kk] * b_row[kk];
+      out_row[j] += s;
+    }
+  }
+}
+
+}  // namespace tpr::nn

@@ -1,0 +1,77 @@
+#ifndef TPR_NN_TENSOR_H_
+#define TPR_NN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tpr::nn {
+
+/// A dense, row-major, 2-D float tensor (rows x cols). Rank-1 data is
+/// represented as a 1 x n row vector. This is the storage type underlying
+/// the autograd engine; it is a plain value type with copy semantics.
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+  Tensor(int rows, int cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    TPR_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Builds a 1 x n row vector from the given values.
+  static Tensor RowVector(std::vector<float> values);
+
+  /// Builds a rows x cols tensor from row-major values.
+  static Tensor FromValues(int rows, int cols, std::vector<float> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to the given value.
+  void Fill(float v);
+
+  /// Returns true iff both tensors have identical shape.
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Sum of all elements.
+  float Sum() const;
+
+  /// Euclidean norm of all elements.
+  float Norm() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+/// out += a * b (matrix product). Shapes: (m x k) * (k x n) -> (m x n).
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out += a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
+void MatMulTransAAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// out += a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+void MatMulTransBAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+}  // namespace tpr::nn
+
+#endif  // TPR_NN_TENSOR_H_

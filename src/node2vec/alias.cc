@@ -1,0 +1,49 @@
+#include "node2vec/alias.h"
+
+#include "util/logging.h"
+
+namespace tpr::node2vec {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  TPR_CHECK(n > 0);
+  double total = 0;
+  for (double w : weights) {
+    TPR_CHECK(w >= 0);
+    total += w;
+  }
+  TPR_CHECK(total > 0);
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  std::vector<size_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (size_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+size_t AliasTable::Sample(Rng& rng) const {
+  const size_t i = static_cast<size_t>(rng.UniformInt(prob_.size()));
+  return rng.Uniform() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace tpr::node2vec

@@ -1,0 +1,33 @@
+#ifndef TPR_NODE2VEC_ALIAS_H_
+#define TPR_NODE2VEC_ALIAS_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tpr::node2vec {
+
+/// Walker's alias method: O(n) construction, O(1) sampling from a discrete
+/// distribution. Used for first-order walk transitions and for the unigram
+/// negative-sampling table.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds the table from unnormalised non-negative weights.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index according to the weights.
+  size_t Sample(Rng& rng) const;
+
+  bool empty() const { return prob_.empty(); }
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace tpr::node2vec
+
+#endif  // TPR_NODE2VEC_ALIAS_H_

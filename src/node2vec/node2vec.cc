@@ -1,0 +1,175 @@
+#include "node2vec/node2vec.h"
+
+#include <cmath>
+
+#include "node2vec/alias.h"
+#include "util/logging.h"
+
+namespace tpr::node2vec {
+namespace {
+
+// Second-order transition weight from (prev -> cur -> next).
+double BiasWeight(const graph::Graph& g, int prev, int next, double p,
+                  double q, double base_weight) {
+  if (next == prev) return base_weight / p;      // return to previous node
+  if (g.HasEdge(prev, next)) return base_weight; // distance-1 neighbor
+  return base_weight / q;                        // moving outward
+}
+
+}  // namespace
+
+double NodeEmbeddings::Cosine(int a, int b) const {
+  const auto& va = vectors[a];
+  const auto& vb = vectors[b];
+  double dot = 0, na = 0, nb = 0;
+  for (int i = 0; i < dim; ++i) {
+    dot += static_cast<double>(va[i]) * vb[i];
+    na += static_cast<double>(va[i]) * va[i];
+    nb += static_cast<double>(vb[i]) * vb[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0 ? dot / denom : 0.0;
+}
+
+std::vector<std::vector<int>> GenerateWalks(const graph::Graph& g,
+                                            const Node2VecConfig& cfg,
+                                            Rng& rng) {
+  const int n = g.num_nodes();
+  // First-order alias tables for the initial step of each walk.
+  std::vector<AliasTable> first_order(n);
+  for (int u = 0; u < n; ++u) {
+    const auto& nbrs = g.Neighbors(u);
+    if (nbrs.empty()) continue;
+    std::vector<double> w;
+    w.reserve(nbrs.size());
+    for (const auto& [v, weight] : nbrs) w.push_back(weight);
+    first_order[u] = AliasTable(w);
+  }
+
+  std::vector<std::vector<int>> walks;
+  walks.reserve(static_cast<size_t>(n) * cfg.walks_per_node);
+  std::vector<int> starts(n);
+  for (int i = 0; i < n; ++i) starts[i] = i;
+  std::vector<double> bias_weights;
+
+  for (int r = 0; r < cfg.walks_per_node; ++r) {
+    rng.Shuffle(starts);
+    for (int start : starts) {
+      if (g.Neighbors(start).empty()) continue;
+      std::vector<int> walk;
+      walk.reserve(cfg.walk_length);
+      walk.push_back(start);
+      int cur = start;
+      int prev = -1;
+      while (static_cast<int>(walk.size()) < cfg.walk_length) {
+        const auto& nbrs = g.Neighbors(cur);
+        if (nbrs.empty()) break;
+        int next;
+        if (prev < 0) {
+          next = nbrs[first_order[cur].Sample(rng)].first;
+        } else {
+          bias_weights.clear();
+          bias_weights.reserve(nbrs.size());
+          for (const auto& [v, weight] : nbrs) {
+            bias_weights.push_back(
+                BiasWeight(g, prev, v, cfg.p, cfg.q, weight));
+          }
+          next = nbrs[rng.SampleDiscrete(bias_weights)].first;
+        }
+        walk.push_back(next);
+        prev = cur;
+        cur = next;
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+StatusOr<NodeEmbeddings> TrainNode2Vec(const graph::Graph& g,
+                                       const Node2VecConfig& cfg) {
+  const int n = g.num_nodes();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (cfg.dim <= 0 || cfg.walk_length < 2 || cfg.walks_per_node < 1) {
+    return Status::InvalidArgument("bad node2vec config");
+  }
+  Rng rng(cfg.seed);
+  const auto walks = GenerateWalks(g, cfg, rng);
+
+  // Unigram^{3/4} negative-sampling table over walk occurrences.
+  std::vector<double> freq(n, 0.0);
+  for (const auto& walk : walks) {
+    for (int node : walk) freq[node] += 1.0;
+  }
+  for (auto& f : freq) f = std::pow(f + 1.0, 0.75);
+  AliasTable negative_table(freq);
+
+  const int d = cfg.dim;
+  std::vector<float> in_emb(static_cast<size_t>(n) * d);
+  std::vector<float> out_emb(static_cast<size_t>(n) * d, 0.0f);
+  const float init = 0.5f / static_cast<float>(d);
+  for (auto& x : in_emb) x = static_cast<float>(rng.Uniform(-init, init));
+
+  auto sigmoid = [](float x) {
+    return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                  : std::exp(x) / (1.0f + std::exp(x));
+  };
+
+  const size_t total_steps =
+      static_cast<size_t>(cfg.epochs) * walks.size();
+  size_t step = 0;
+  std::vector<float> grad_center(d);
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (const auto& walk : walks) {
+      const float progress =
+          static_cast<float>(step++) / static_cast<float>(total_steps);
+      const float lr = cfg.lr * std::max(0.05f, 1.0f - progress);
+      const int len = static_cast<int>(walk.size());
+      for (int i = 0; i < len; ++i) {
+        const int center = walk[i];
+        float* vc = in_emb.data() + static_cast<size_t>(center) * d;
+        const int lo = std::max(0, i - cfg.window);
+        const int hi = std::min(len - 1, i + cfg.window);
+        for (int j = lo; j <= hi; ++j) {
+          if (j == i) continue;
+          const int context = walk[j];
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          // One positive plus cfg.negatives sampled negatives.
+          for (int s = 0; s <= cfg.negatives; ++s) {
+            int target;
+            float label;
+            if (s == 0) {
+              target = context;
+              label = 1.0f;
+            } else {
+              target = static_cast<int>(negative_table.Sample(rng));
+              if (target == context) continue;
+              label = 0.0f;
+            }
+            float* vo = out_emb.data() + static_cast<size_t>(target) * d;
+            float dot = 0;
+            for (int k = 0; k < d; ++k) dot += vc[k] * vo[k];
+            const float gscale = (label - sigmoid(dot)) * lr;
+            for (int k = 0; k < d; ++k) {
+              grad_center[k] += gscale * vo[k];
+              vo[k] += gscale * vc[k];
+            }
+          }
+          for (int k = 0; k < d; ++k) vc[k] += grad_center[k];
+        }
+      }
+    }
+  }
+
+  NodeEmbeddings result;
+  result.dim = d;
+  result.vectors.resize(n);
+  for (int u = 0; u < n; ++u) {
+    result.vectors[u].assign(in_emb.begin() + static_cast<size_t>(u) * d,
+                             in_emb.begin() + static_cast<size_t>(u + 1) * d);
+  }
+  return result;
+}
+
+}  // namespace tpr::node2vec

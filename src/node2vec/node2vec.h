@@ -1,0 +1,56 @@
+#ifndef TPR_NODE2VEC_NODE2VEC_H_
+#define TPR_NODE2VEC_NODE2VEC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tpr::node2vec {
+
+/// Hyper-parameters of node2vec (Grover & Leskovec, KDD 2016). The paper
+/// applies node2vec to both the road-network topology graph (Eq. 5) and
+/// the temporal graph (Eq. 2).
+struct Node2VecConfig {
+  int dim = 32;             // embedding dimensionality
+  int walks_per_node = 4;   // r
+  int walk_length = 20;     // l
+  double p = 1.0;           // return parameter
+  double q = 1.0;           // in-out parameter
+  int window = 4;           // skip-gram context window
+  int negatives = 4;        // negative samples per positive
+  int epochs = 2;           // passes over the walk corpus
+  float lr = 0.025f;        // initial SGD learning rate (linearly decayed)
+  uint64_t seed = 42;
+};
+
+/// Learned embeddings: row i is the vector of node i.
+struct NodeEmbeddings {
+  int dim = 0;
+  std::vector<std::vector<float>> vectors;
+
+  const std::vector<float>& operator[](int node) const {
+    return vectors[node];
+  }
+  int num_nodes() const { return static_cast<int>(vectors.size()); }
+
+  /// Cosine similarity between the embeddings of two nodes.
+  double Cosine(int a, int b) const;
+};
+
+/// Generates the second-order biased random-walk corpus for a graph.
+/// Exposed separately so tests can inspect walk statistics.
+std::vector<std::vector<int>> GenerateWalks(const graph::Graph& g,
+                                            const Node2VecConfig& cfg,
+                                            Rng& rng);
+
+/// Trains node2vec on the graph: biased walks + skip-gram with negative
+/// sampling (hand-rolled SGD on two embedding matrices; the input matrix
+/// is returned). Returns InvalidArgument for empty graphs or bad config.
+StatusOr<NodeEmbeddings> TrainNode2Vec(const graph::Graph& g,
+                                       const Node2VecConfig& cfg);
+
+}  // namespace tpr::node2vec
+
+#endif  // TPR_NODE2VEC_NODE2VEC_H_

@@ -1,0 +1,223 @@
+#include "synth/city_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tpr::synth {
+namespace {
+
+using graph::RoadType;
+
+// Undirected street between two grid intersections, prior to being turned
+// into one or two directed road edges.
+struct Street {
+  int a;
+  int b;
+  RoadType type;
+  int lanes;
+  bool has_signal;
+  bool one_way;      // if true, direction is a -> b
+  bool dropped = false;
+};
+
+// Union-find for connectivity restoration after random edge drops.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+StatusOr<graph::RoadNetwork> GenerateCity(const CityConfig& config) {
+  if (config.grid_width < 3 || config.grid_height < 3) {
+    return Status::InvalidArgument("grid must be at least 3x3");
+  }
+  Rng rng(config.seed);
+  const int w = config.grid_width;
+  const int h = config.grid_height;
+
+  graph::RoadNetwork network;
+  auto node_id = [w](int col, int row) { return row * w + col; };
+  for (int row = 0; row < h; ++row) {
+    for (int col = 0; col < w; ++col) {
+      const double x =
+          col * config.spacing_m + rng.Gaussian(0.0, config.jitter_m);
+      const double y =
+          row * config.spacing_m + rng.Gaussian(0.0, config.jitter_m);
+      network.AddNode(x, y);
+    }
+  }
+
+  const double cx = (w - 1) * config.spacing_m / 2.0;
+  const double cy = (h - 1) * config.spacing_m / 2.0;
+  const double max_r = std::sqrt(cx * cx + cy * cy);
+  auto zone_of = [&](int a, int b) {
+    const auto& na = network.node(a);
+    const auto& nb = network.node(b);
+    const double mx = (na.x + nb.x) / 2.0 - cx;
+    const double my = (na.y + nb.y) / 2.0 - cy;
+    const double r = std::sqrt(mx * mx + my * my) / max_r;
+    if (r < 0.3) return 0;
+    if (r < 0.6) return 1;
+    return 2;
+  };
+
+  auto is_ring = [&](int col, int row) {
+    return config.ring_highway &&
+           (row == 0 || row == h - 1 || col == 0 || col == w - 1);
+  };
+  auto on_arterial_row = [&](int row) {
+    return row % config.arterial_every == 0;
+  };
+  auto on_arterial_col = [&](int col) {
+    return col % config.arterial_every == 0;
+  };
+
+  std::vector<Street> streets;
+  auto classify = [&](int c1, int r1, int c2, int r2) {
+    Street s;
+    s.a = node_id(c1, r1);
+    s.b = node_id(c2, r2);
+    const bool horizontal = (r1 == r2);
+    if (is_ring(c1, r1) && is_ring(c2, r2) &&
+        ((horizontal && (r1 == 0 || r1 == h - 1)) ||
+         (!horizontal && (c1 == 0 || c1 == w - 1)))) {
+      s.type = RoadType::kHighway;
+      s.lanes = 3;
+      s.has_signal = false;
+      s.one_way = false;
+    } else if ((horizontal && on_arterial_row(r1)) ||
+               (!horizontal && on_arterial_col(c1))) {
+      s.type = RoadType::kPrimary;
+      s.lanes = rng.Bernoulli(0.5) ? 3 : 2;
+      s.has_signal = rng.Bernoulli(config.signal_prob_major);
+      s.one_way = false;
+    } else if ((horizontal && r1 % 2 == 0) || (!horizontal && c1 % 2 == 0)) {
+      s.type = RoadType::kSecondary;
+      s.lanes = 2;
+      s.has_signal = rng.Bernoulli(config.signal_prob_major);
+      s.one_way = false;
+    } else {
+      s.type = rng.Bernoulli(0.2) ? RoadType::kTertiary
+                                  : RoadType::kResidential;
+      s.lanes = 1;
+      s.has_signal = rng.Bernoulli(config.signal_prob_minor);
+      s.one_way = rng.Bernoulli(config.one_way_prob);
+      if (s.one_way && rng.Bernoulli(0.5)) std::swap(s.a, s.b);
+    }
+    return s;
+  };
+
+  for (int row = 0; row < h; ++row) {
+    for (int col = 0; col < w; ++col) {
+      if (col + 1 < w) streets.push_back(classify(col, row, col + 1, row));
+      if (row + 1 < h) streets.push_back(classify(col, row, col, row + 1));
+    }
+  }
+
+  // Randomly drop minor streets, then restore connectivity via union-find.
+  for (auto& s : streets) {
+    if (s.type == RoadType::kResidential || s.type == RoadType::kTertiary) {
+      s.dropped = rng.Bernoulli(config.drop_edge_prob);
+    }
+  }
+  UnionFind uf(w * h);
+  for (const auto& s : streets) {
+    if (!s.dropped) uf.Union(s.a, s.b);
+  }
+  for (auto& s : streets) {
+    if (s.dropped && uf.Find(s.a) != uf.Find(s.b)) {
+      s.dropped = false;
+      uf.Union(s.a, s.b);
+    }
+  }
+
+  // Materialise directed edges. One-way minor streets keep a single
+  // direction; everything else gets both directions.
+  for (const auto& s : streets) {
+    if (s.dropped) continue;
+    const int zone = zone_of(s.a, s.b);
+    auto fwd = network.AddEdge(s.a, s.b, s.type, s.lanes, s.one_way,
+                               s.has_signal, zone);
+    TPR_CHECK(fwd.ok());
+    if (!s.one_way) {
+      auto bwd = network.AddEdge(s.b, s.a, s.type, s.lanes, false,
+                                 s.has_signal, zone);
+      TPR_CHECK(bwd.ok());
+    }
+  }
+
+  // Guarantee strong connectivity: nodes that cannot both reach and be
+  // reached from the center get their incident one-way streets doubled.
+  const int center = node_id(w / 2, h / 2);
+  for (int round = 0; round < 4; ++round) {
+    auto reach = [&](bool forward) {
+      std::vector<char> seen(network.num_nodes(), 0);
+      std::queue<int> q;
+      q.push(center);
+      seen[center] = 1;
+      while (!q.empty()) {
+        const int u = q.front();
+        q.pop();
+        const auto& edges = forward ? network.OutEdges(u) : network.InEdges(u);
+        for (int eid : edges) {
+          const auto& e = network.edge(eid);
+          const int v = forward ? e.to : e.from;
+          if (!seen[v]) {
+            seen[v] = 1;
+            q.push(v);
+          }
+        }
+      }
+      return seen;
+    };
+    const auto fwd_seen = reach(true);
+    const auto bwd_seen = reach(false);
+    bool all_ok = true;
+    for (int v = 0; v < network.num_nodes(); ++v) {
+      if (fwd_seen[v] && bwd_seen[v]) continue;
+      all_ok = false;
+      // Add reverse arcs for all incident one-way edges of v.
+      std::vector<int> incident = network.OutEdges(v);
+      incident.insert(incident.end(), network.InEdges(v).begin(),
+                      network.InEdges(v).end());
+      for (int eid : incident) {
+        const auto& e = network.edge(eid);
+        if (!e.one_way) continue;
+        auto added = network.AddEdge(e.to, e.from, e.road_type, e.num_lanes,
+                                     false, e.has_signal, e.zone, e.length_m);
+        TPR_CHECK(added.ok());
+      }
+    }
+    if (all_ok) break;
+  }
+
+  return network;
+}
+
+}  // namespace tpr::synth

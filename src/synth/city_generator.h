@@ -1,0 +1,37 @@
+#ifndef TPR_SYNTH_CITY_GENERATOR_H_
+#define TPR_SYNTH_CITY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/road_network.h"
+#include "util/status.h"
+
+namespace tpr::synth {
+
+/// Parameters for the synthetic city road-network generator. The generator
+/// lays out a jittered grid of intersections, classifies streets into a
+/// hierarchy (ring highway, primary arterials, secondary connectors,
+/// residential streets), assigns lanes / one-way flags / signals, and
+/// derives a congestion zone from the distance to the city center.
+struct CityConfig {
+  int grid_width = 16;        // intersections per row
+  int grid_height = 16;       // intersections per column
+  double spacing_m = 250.0;   // mean distance between intersections
+  double jitter_m = 40.0;     // coordinate noise
+  double drop_edge_prob = 0.08;  // fraction of grid streets removed
+  double one_way_prob = 0.15;
+  double signal_prob_major = 0.55;  // signals on primary/secondary
+  double signal_prob_minor = 0.15;
+  int arterial_every = 4;     // every k-th row/column is an arterial
+  bool ring_highway = true;   // build a highway ring around the center
+  uint64_t seed = 7;
+};
+
+/// Generates a connected road network per the config. Every remaining
+/// street becomes two directed edges unless sampled one-way. Returns
+/// InvalidArgument for degenerate grids.
+StatusOr<graph::RoadNetwork> GenerateCity(const CityConfig& config);
+
+}  // namespace tpr::synth
+
+#endif  // TPR_SYNTH_CITY_GENERATOR_H_

@@ -1,0 +1,188 @@
+#include "synth/dataset.h"
+
+#include <cmath>
+
+#include "graph/path_utils.h"
+#include "graph/shortest_path.h"
+#include "util/logging.h"
+
+namespace tpr::synth {
+namespace {
+
+constexpr int64_t kDayS = 24 * 3600;
+
+// Draws origin/destination nodes, optionally concentrated around hubs.
+class OdSampler {
+ public:
+  OdSampler(const graph::RoadNetwork& network, const DatasetConfig& config,
+            Rng& rng)
+      : network_(network), config_(config) {
+    if (config.num_hubs <= 0) return;
+    // Pick hub intersections and precompute their jitter neighborhoods.
+    for (int h = 0; h < config.num_hubs; ++h) {
+      const int hub = static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(network.num_nodes())));
+      std::vector<int> near;
+      for (int v = 0; v < network.num_nodes(); ++v) {
+        const double dx = network.node(v).x - network.node(hub).x;
+        const double dy = network.node(v).y - network.node(hub).y;
+        if (std::sqrt(dx * dx + dy * dy) <= config.hub_jitter_radius_m) {
+          near.push_back(v);
+        }
+      }
+      if (!near.empty()) neighborhoods_.push_back(std::move(near));
+    }
+  }
+
+  StatusOr<std::pair<int, int>> Sample(Rng& rng) const {
+    for (int attempt = 0; attempt < 300; ++attempt) {
+      const int a = SampleNode(rng);
+      const int b = SampleNode(rng);
+      if (a == b) continue;
+      const double dx = network_.node(a).x - network_.node(b).x;
+      const double dy = network_.node(a).y - network_.node(b).y;
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist >= config_.min_od_distance_m &&
+          (config_.max_od_distance_m <= 0 ||
+           dist <= config_.max_od_distance_m)) {
+        return std::make_pair(a, b);
+      }
+    }
+    return Status::Internal("could not sample a distant OD pair");
+  }
+
+ private:
+  int SampleNode(Rng& rng) const {
+    if (neighborhoods_.empty()) {
+      return static_cast<int>(
+          rng.UniformInt(static_cast<uint64_t>(network_.num_nodes())));
+    }
+    const auto& near =
+        neighborhoods_[rng.UniformInt(neighborhoods_.size())];
+    return near[rng.UniformInt(near.size())];
+  }
+
+  const graph::RoadNetwork& network_;
+  const DatasetConfig& config_;
+  std::vector<std::vector<int>> neighborhoods_;
+};
+
+// Multiplicative lognormal noise factor.
+double LogNormalFactor(Rng& rng, double sigma) {
+  return std::exp(rng.Gaussian(0.0, sigma));
+}
+
+}  // namespace
+
+int64_t SampleDepartureTime(const DatasetConfig& config, Rng& rng) {
+  if (rng.Bernoulli(config.peak_demand_fraction)) {
+    // Weekday peak: pick AM or PM window.
+    const int day = static_cast<int>(rng.UniformInt(5));
+    const bool morning = rng.Bernoulli(0.5);
+    const double start_h = morning ? 7.0 : 16.0;
+    const double len_h = morning ? 2.0 : 3.0;
+    const double hour = start_h + rng.Uniform() * len_h;
+    return day * kDayS + static_cast<int64_t>(hour * 3600.0);
+  }
+  return static_cast<int64_t>(rng.Uniform() * 7.0 * kDayS);
+}
+
+StatusOr<CityDataset> GenerateDataset(
+    std::string name, std::shared_ptr<graph::RoadNetwork> network,
+    std::shared_ptr<TrafficModel> traffic, const DatasetConfig& config) {
+  TPR_CHECK(network != nullptr && traffic != nullptr);
+  Rng rng(config.seed);
+  CityDataset ds;
+  ds.name = std::move(name);
+  ds.network = network;
+  ds.traffic = traffic;
+
+  const graph::RoadNetwork& net = *network;
+  const TrafficModel& tm = *traffic;
+  const OdSampler od_sampler(net, config, rng);
+
+  // The driver's subjective cost of an edge on a given trip: free-flow
+  // time perturbed by a per-trip, per-edge preference factor. Drivers
+  // choose near-fastest paths, not exactly fastest ones.
+  auto driver_path = [&](int src, int dst,
+                         int64_t depart) -> StatusOr<graph::PathResult> {
+    const uint64_t trip_seed = rng.NextU64();
+    auto cost = [&, trip_seed](int eid, double t) {
+      Rng edge_rng(trip_seed ^ (static_cast<uint64_t>(eid) * 0x9E3779B9ULL));
+      const double pref = LogNormalFactor(edge_rng, config.driver_preference_noise);
+      return tm.TravelTime(eid, t) * pref;
+    };
+    return graph::TimeDependentFastestPath(net, src, dst,
+                                           static_cast<double>(depart), cost);
+  };
+
+  auto observed_travel_time = [&](const graph::Path& path, int64_t depart) {
+    return tm.PathTravelTime(path, static_cast<double>(depart)) *
+           LogNormalFactor(rng, config.observation_noise);
+  };
+
+  // ---- Unlabeled pool: trajectory paths at several departure times. ----
+  for (int i = 0; i < config.num_unlabeled_trajectories; ++i) {
+    auto od = od_sampler.Sample(rng);
+    if (!od.ok()) return od.status();
+    const int64_t first_depart = SampleDepartureTime(config, rng);
+    auto traj = driver_path(od->first, od->second, first_depart);
+    if (!traj.ok()) continue;  // unreachable OD; skip
+    for (int r = 0; r < config.departures_per_trajectory; ++r) {
+      TemporalPathSample s;
+      s.path = traj->edges;
+      s.depart_time_s = r == 0 ? first_depart : SampleDepartureTime(config, rng);
+      s.travel_time_s = observed_travel_time(s.path, s.depart_time_s);
+      s.group = -1;
+      ds.unlabeled.push_back(std::move(s));
+    }
+  }
+  if (ds.unlabeled.empty()) {
+    return Status::Internal("failed to generate any unlabeled paths");
+  }
+
+  // ---- Labeled pool: groups of trajectory + alternatives. ----
+  for (int g = 0; g < config.num_labeled_groups; ++g) {
+    auto od = od_sampler.Sample(rng);
+    if (!od.ok()) return od.status();
+    const int64_t depart = SampleDepartureTime(config, rng);
+    auto traj = driver_path(od->first, od->second, depart);
+    if (!traj.ok()) continue;
+
+    // Alternatives by length-based k-shortest with penalties.
+    auto alts = graph::KAlternativePaths(
+        net, od->first, od->second, config.alternatives_per_group + 1,
+        [&](int eid) { return net.edge(eid).length_m; });
+    if (!alts.ok()) continue;
+
+    TemporalPathSample top;
+    top.path = traj->edges;
+    top.depart_time_s = depart;
+    top.travel_time_s = observed_travel_time(top.path, depart);
+    top.rank_score = 1.0;
+    top.recommended = 1;
+    top.group = g;
+    ds.labeled.push_back(std::move(top));
+
+    int added = 0;
+    for (const auto& alt : *alts) {
+      if (added >= config.alternatives_per_group) break;
+      if (alt.edges == traj->edges) continue;
+      TemporalPathSample s;
+      s.path = alt.edges;
+      s.depart_time_s = depart;
+      s.travel_time_s = observed_travel_time(s.path, depart);
+      s.rank_score = graph::PathSimilarity(net, alt.edges, traj->edges);
+      s.recommended = 0;
+      s.group = g;
+      ds.labeled.push_back(std::move(s));
+      ++added;
+    }
+  }
+  if (ds.labeled.empty()) {
+    return Status::Internal("failed to generate any labeled paths");
+  }
+  return ds;
+}
+
+}  // namespace tpr::synth

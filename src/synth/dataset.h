@@ -1,0 +1,96 @@
+#ifndef TPR_SYNTH_DATASET_H_
+#define TPR_SYNTH_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "synth/traffic_model.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tpr::synth {
+
+/// A temporal path tp = (p, t) (paper Definition 4) together with the
+/// simulator's ground-truth task labels.
+struct TemporalPathSample {
+  graph::Path path;
+  int64_t depart_time_s = 0;   // seconds since Monday 00:00
+  double travel_time_s = 0.0;  // noisy observed travel time (TTE label)
+  double rank_score = 0.0;     // similarity to the trajectory path (PR label)
+  int recommended = 0;         // 1 iff this is the trajectory path (PRec)
+  int group = -1;              // OD query group id (for ranking/recommendation)
+};
+
+/// Parameters of the temporal-path sampler.
+struct DatasetConfig {
+  /// Distinct origin-destination trajectory paths in the unlabeled pool.
+  int num_unlabeled_trajectories = 400;
+
+  /// Departure-time repetitions per unlabeled trajectory path (the same
+  /// path at different times — the raw material for weak-label positives).
+  int departures_per_trajectory = 3;
+
+  /// Labeled OD query groups (each yields 1 trajectory + alternatives).
+  int num_labeled_groups = 250;
+
+  /// Alternative paths per labeled group (plus the trajectory path).
+  int alternatives_per_group = 4;
+
+  /// Minimum OD crow-fly distance in meters (avoids trivial paths).
+  double min_od_distance_m = 1200.0;
+
+  /// Maximum OD crow-fly distance in meters (<= 0 disables the cap).
+  /// Capping the trip-length spread mirrors intra-city taxi demand.
+  double max_od_distance_m = 0.0;
+
+  /// When positive, origins and destinations are drawn from this many
+  /// "hub" locations (jittered to nearby intersections) instead of
+  /// uniformly — mimicking the commute-corridor concentration of real GPS
+  /// datasets, where most trips repeat a limited set of popular routes.
+  int num_hubs = 0;
+
+  /// Jitter radius around a hub (meters).
+  double hub_jitter_radius_m = 320.0;
+
+  /// Multiplicative lognormal noise sigma on observed travel times.
+  double observation_noise = 0.06;
+
+  /// Lognormal sigma of the per-trip driver preference perturbation of
+  /// edge costs (drivers don't always take the true fastest path).
+  double driver_preference_noise = 0.25;
+
+  /// Probability that a sampled departure falls in a weekday peak window
+  /// (the remainder is uniform over the week), mimicking commute demand.
+  double peak_demand_fraction = 0.5;
+
+  uint64_t seed = 123;
+};
+
+/// One synthetic city's worth of data: the network, its traffic model, an
+/// unlabeled pool for representation learning, and a labeled pool for the
+/// downstream tasks.
+struct CityDataset {
+  std::string name;
+  std::shared_ptr<graph::RoadNetwork> network;
+  std::shared_ptr<TrafficModel> traffic;
+  std::vector<TemporalPathSample> unlabeled;
+  std::vector<TemporalPathSample> labeled;
+};
+
+/// Samples a departure time (seconds since Monday 00:00) biased toward
+/// weekday peak windows per `peak_demand_fraction`.
+int64_t SampleDepartureTime(const DatasetConfig& config, Rng& rng);
+
+/// Generates the full temporal-path dataset for a city. The network and
+/// traffic model must outlive the returned dataset (shared ownership is
+/// taken). Returns an error if OD sampling repeatedly fails.
+StatusOr<CityDataset> GenerateDataset(
+    std::string name, std::shared_ptr<graph::RoadNetwork> network,
+    std::shared_ptr<TrafficModel> traffic, const DatasetConfig& config);
+
+}  // namespace tpr::synth
+
+#endif  // TPR_SYNTH_DATASET_H_

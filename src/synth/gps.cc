@@ -1,0 +1,159 @@
+#include "synth/gps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/shortest_path.h"
+
+namespace tpr::synth {
+namespace {
+
+struct Candidate {
+  int edge_id;
+  double emission_log_prob;
+};
+
+}  // namespace
+
+double PointToEdgeDistance(const graph::RoadNetwork& network, int edge_id,
+                           double x, double y) {
+  const auto& e = network.edge(edge_id);
+  const auto& a = network.node(e.from);
+  const auto& b = network.node(e.to);
+  const double dx = b.x - a.x, dy = b.y - a.y;
+  const double len2 = dx * dx + dy * dy;
+  double t = 0.0;
+  if (len2 > 0) {
+    t = ((x - a.x) * dx + (y - a.y) * dy) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const double px = a.x + t * dx, py = a.y + t * dy;
+  return std::hypot(x - px, y - py);
+}
+
+std::vector<GpsPoint> SynthesizeTrace(const graph::RoadNetwork& network,
+                                      const TrafficModel& traffic,
+                                      const graph::Path& path,
+                                      double depart_time_s,
+                                      const GpsConfig& config, Rng& rng) {
+  std::vector<GpsPoint> trace;
+  double t = depart_time_s;
+  double next_fix = depart_time_s;
+  for (int eid : path) {
+    const auto& e = network.edge(eid);
+    const auto& a = network.node(e.from);
+    const auto& b = network.node(e.to);
+    const double travel = traffic.TravelTime(eid, t);
+    // Emit fixes due while traversing this edge (linear interpolation).
+    while (next_fix <= t + travel) {
+      const double frac = travel > 0 ? (next_fix - t) / travel : 0.0;
+      GpsPoint p;
+      p.x = a.x + frac * (b.x - a.x) + rng.Gaussian(0.0, config.noise_m);
+      p.y = a.y + frac * (b.y - a.y) + rng.Gaussian(0.0, config.noise_m);
+      p.t = next_fix;
+      trace.push_back(p);
+      next_fix += config.sample_interval_s;
+    }
+    t += travel;
+  }
+  return trace;
+}
+
+StatusOr<graph::Path> MapMatch(const graph::RoadNetwork& network,
+                               const std::vector<GpsPoint>& trace,
+                               const GpsConfig& config) {
+  if (trace.empty()) return Status::InvalidArgument("empty trace");
+  const double sigma = std::max(1.0, config.noise_m);
+
+  // Candidate edges per fix (brute force; networks here are small).
+  std::vector<std::vector<Candidate>> candidates(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    for (int eid = 0; eid < network.num_edges(); ++eid) {
+      const double d =
+          PointToEdgeDistance(network, eid, trace[i].x, trace[i].y);
+      if (d <= config.candidate_radius_m) {
+        candidates[i].push_back({eid, -0.5 * (d / sigma) * (d / sigma)});
+      }
+    }
+    if (candidates[i].empty()) {
+      return Status::NotFound("GPS fix " + std::to_string(i) +
+                              " has no candidate edges");
+    }
+  }
+
+  // Viterbi.
+  const double log_adjacent = 0.0;
+  const double log_jump = std::log(std::max(1e-6, config.transition_penalty));
+  std::vector<std::vector<double>> score(trace.size());
+  std::vector<std::vector<int>> back(trace.size());
+  score[0].resize(candidates[0].size());
+  back[0].assign(candidates[0].size(), -1);
+  for (size_t c = 0; c < candidates[0].size(); ++c) {
+    score[0][c] = candidates[0][c].emission_log_prob;
+  }
+  for (size_t i = 1; i < trace.size(); ++i) {
+    score[i].assign(candidates[i].size(),
+                    -std::numeric_limits<double>::infinity());
+    back[i].assign(candidates[i].size(), -1);
+    for (size_t c = 0; c < candidates[i].size(); ++c) {
+      const auto& cur = network.edge(candidates[i][c].edge_id);
+      for (size_t p = 0; p < candidates[i - 1].size(); ++p) {
+        const auto& prev = network.edge(candidates[i - 1][p].edge_id);
+        double log_trans;
+        if (prev.id == cur.id || prev.to == cur.from) {
+          log_trans = log_adjacent;
+        } else {
+          log_trans = log_jump;
+        }
+        const double s = score[i - 1][p] + log_trans +
+                         candidates[i][c].emission_log_prob;
+        if (s > score[i][c]) {
+          score[i][c] = s;
+          back[i][c] = static_cast<int>(p);
+        }
+      }
+    }
+  }
+
+  // Backtrack.
+  size_t best = 0;
+  for (size_t c = 1; c < score.back().size(); ++c) {
+    if (score.back()[c] > score.back()[best]) best = c;
+  }
+  std::vector<int> matched(trace.size());
+  int cur = static_cast<int>(best);
+  for (size_t i = trace.size(); i-- > 0;) {
+    matched[i] = candidates[i][cur].edge_id;
+    cur = back[i][cur];
+  }
+
+  // Collapse repeats and close gaps with shortest-path interpolation.
+  graph::Path path;
+  for (int eid : matched) {
+    if (!path.empty() && path.back() == eid) continue;
+    if (!path.empty()) {
+      const auto& prev = network.edge(path.back());
+      const auto& next = network.edge(eid);
+      if (prev.to != next.from) {
+        auto bridge = graph::ShortestPath(
+            network, prev.to, next.from,
+            [&network](int e) { return network.edge(e).length_m; });
+        if (bridge.ok()) {
+          for (int b : bridge->edges) {
+            if (path.back() != b) path.push_back(b);
+          }
+        }
+      }
+      if (network.edge(path.back()).to != next.from) {
+        // Bridge failed (e.g., one-way trap): drop this fix's edge.
+        continue;
+      }
+    }
+    path.push_back(eid);
+  }
+  if (path.empty()) return Status::NotFound("map matching produced no path");
+  return path;
+}
+
+}  // namespace tpr::synth

@@ -1,0 +1,51 @@
+#ifndef TPR_SYNTH_GPS_H_
+#define TPR_SYNTH_GPS_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+#include "synth/traffic_model.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tpr::synth {
+
+/// A timestamped GPS fix (paper Definition 2).
+struct GpsPoint {
+  double x = 0.0;
+  double y = 0.0;
+  double t = 0.0;  // seconds since Monday 00:00
+};
+
+/// Parameters for trace synthesis and map matching.
+struct GpsConfig {
+  double sample_interval_s = 15.0;  // between fixes
+  double noise_m = 12.0;            // GPS position noise (std dev)
+  double candidate_radius_m = 60.0; // matching candidate search radius
+  double transition_penalty = 0.2;  // HMM probability of a non-adjacent hop
+};
+
+/// Simulates a vehicle driving `path` departing at `depart_time_s` under
+/// the traffic model and emits noisy GPS fixes at the configured interval.
+std::vector<GpsPoint> SynthesizeTrace(const graph::RoadNetwork& network,
+                                      const TrafficModel& traffic,
+                                      const graph::Path& path,
+                                      double depart_time_s,
+                                      const GpsConfig& config, Rng& rng);
+
+/// Hidden-Markov map matching (Newson & Krumm style): Viterbi over
+/// candidate edges per fix with Gaussian emission on point-to-edge
+/// distance and adjacency-favouring transitions. Gaps between matched
+/// edges are closed by shortest-path interpolation so the result is a
+/// connected Path. Returns NotFound if no fix has any candidate edge.
+StatusOr<graph::Path> MapMatch(const graph::RoadNetwork& network,
+                               const std::vector<GpsPoint>& trace,
+                               const GpsConfig& config);
+
+/// Distance from a point to the segment of edge `edge_id`.
+double PointToEdgeDistance(const graph::RoadNetwork& network, int edge_id,
+                           double x, double y);
+
+}  // namespace tpr::synth
+
+#endif  // TPR_SYNTH_GPS_H_

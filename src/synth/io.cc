@@ -1,0 +1,172 @@
+#include "synth/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tpr::synth {
+namespace {
+
+std::string PathToString(const graph::Path& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += '|';
+    out += std::to_string(path[i]);
+  }
+  return out;
+}
+
+StatusOr<graph::Path> PathFromString(const std::string& s) {
+  graph::Path path;
+  std::stringstream ss(s);
+  std::string part;
+  while (std::getline(ss, part, '|')) {
+    if (part.empty()) continue;
+    path.push_back(std::stoi(part));
+  }
+  if (path.empty()) return Status::InvalidArgument("empty path field");
+  return path;
+}
+
+Status WriteSamples(const std::vector<TemporalPathSample>& samples,
+                    const std::string& file) {
+  std::ofstream out(file);
+  if (!out) return Status::Internal("cannot open " + file + " for writing");
+  out << "path,depart_time_s,travel_time_s,rank_score,recommended,group\n";
+  for (const auto& s : samples) {
+    out << PathToString(s.path) << ',' << s.depart_time_s << ','
+        << s.travel_time_s << ',' << s.rank_score << ',' << s.recommended
+        << ',' << s.group << '\n';
+  }
+  return out.good() ? Status::OK()
+                    : Status::Internal("write failed: " + file);
+}
+
+StatusOr<std::vector<TemporalPathSample>> ReadSamples(
+    const std::string& file) {
+  std::ifstream in(file);
+  if (!in) return Status::NotFound("cannot open " + file);
+  std::string line;
+  std::getline(in, line);  // header
+  std::vector<TemporalPathSample> samples;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    TemporalPathSample s;
+    if (!std::getline(ss, field, ',')) {
+      return Status::InvalidArgument("bad sample row: " + line);
+    }
+    auto path = PathFromString(field);
+    if (!path.ok()) return path.status();
+    s.path = std::move(*path);
+    std::getline(ss, field, ',');
+    s.depart_time_s = std::stoll(field);
+    std::getline(ss, field, ',');
+    s.travel_time_s = std::stod(field);
+    std::getline(ss, field, ',');
+    s.rank_score = std::stod(field);
+    std::getline(ss, field, ',');
+    s.recommended = std::stoi(field);
+    std::getline(ss, field, ',');
+    s.group = std::stoi(field);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace
+
+Status SaveCityDataset(const CityDataset& data, const std::string& directory) {
+  if (data.network == nullptr) return Status::InvalidArgument("null network");
+  const auto& net = *data.network;
+  {
+    std::ofstream out(directory + "/meta.csv");
+    if (!out) return Status::Internal("cannot write meta.csv");
+    out << "name\n" << data.name << '\n';
+  }
+  {
+    std::ofstream out(directory + "/nodes.csv");
+    if (!out) return Status::Internal("cannot write nodes.csv");
+    out << "x,y\n";
+    for (int v = 0; v < net.num_nodes(); ++v) {
+      out << net.node(v).x << ',' << net.node(v).y << '\n';
+    }
+  }
+  {
+    std::ofstream out(directory + "/edges.csv");
+    if (!out) return Status::Internal("cannot write edges.csv");
+    out << "from,to,length_m,road_type,num_lanes,one_way,has_signal,zone\n";
+    for (const auto& e : net.edges()) {
+      out << e.from << ',' << e.to << ',' << e.length_m << ','
+          << static_cast<int>(e.road_type) << ',' << e.num_lanes << ','
+          << (e.one_way ? 1 : 0) << ',' << (e.has_signal ? 1 : 0) << ','
+          << e.zone << '\n';
+    }
+  }
+  TPR_RETURN_IF_ERROR(WriteSamples(data.unlabeled,
+                                   directory + "/unlabeled.csv"));
+  TPR_RETURN_IF_ERROR(WriteSamples(data.labeled, directory + "/labeled.csv"));
+  return Status::OK();
+}
+
+StatusOr<CityDataset> LoadCityDataset(const std::string& directory,
+                                      const TrafficConfig& traffic) {
+  CityDataset data;
+  {
+    std::ifstream in(directory + "/meta.csv");
+    if (!in) return Status::NotFound("cannot open meta.csv");
+    std::string line;
+    std::getline(in, line);  // header
+    std::getline(in, data.name);
+  }
+  auto network = std::make_shared<graph::RoadNetwork>();
+  {
+    std::ifstream in(directory + "/nodes.csv");
+    if (!in) return Status::NotFound("cannot open nodes.csv");
+    std::string line;
+    std::getline(in, line);
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::stringstream ss(line);
+      std::string x, y;
+      std::getline(ss, x, ',');
+      std::getline(ss, y, ',');
+      network->AddNode(std::stod(x), std::stod(y));
+    }
+  }
+  {
+    std::ifstream in(directory + "/edges.csv");
+    if (!in) return Status::NotFound("cannot open edges.csv");
+    std::string line;
+    std::getline(in, line);
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::stringstream ss(line);
+      std::string f[8];
+      for (auto& field : f) std::getline(ss, field, ',');
+      auto added = network->AddEdge(
+          std::stoi(f[0]), std::stoi(f[1]),
+          static_cast<graph::RoadType>(std::stoi(f[3])), std::stoi(f[4]),
+          f[5] == "1", f[6] == "1", std::stoi(f[7]), std::stod(f[2]));
+      if (!added.ok()) return added.status();
+    }
+  }
+  data.network = network;
+  data.traffic = std::make_shared<TrafficModel>(network.get(), traffic);
+  auto unlabeled = ReadSamples(directory + "/unlabeled.csv");
+  if (!unlabeled.ok()) return unlabeled.status();
+  data.unlabeled = std::move(*unlabeled);
+  auto labeled = ReadSamples(directory + "/labeled.csv");
+  if (!labeled.ok()) return labeled.status();
+  data.labeled = std::move(*labeled);
+  for (const auto& s : data.unlabeled) {
+    TPR_RETURN_IF_ERROR(network->ValidatePath(s.path));
+  }
+  for (const auto& s : data.labeled) {
+    TPR_RETURN_IF_ERROR(network->ValidatePath(s.path));
+  }
+  return data;
+}
+
+}  // namespace tpr::synth

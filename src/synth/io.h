@@ -1,0 +1,24 @@
+#ifndef TPR_SYNTH_IO_H_
+#define TPR_SYNTH_IO_H_
+
+#include <string>
+
+#include "synth/dataset.h"
+
+namespace tpr::synth {
+
+/// Serialises a city dataset to a directory of CSV files (nodes.csv,
+/// edges.csv, unlabeled.csv, labeled.csv, meta.csv), so experiments can
+/// be re-run on a frozen dataset or inspected with external tooling.
+/// The directory must exist. Paths are written as '|'-separated edge ids.
+Status SaveCityDataset(const CityDataset& data, const std::string& directory);
+
+/// Loads a dataset previously written by SaveCityDataset. The traffic
+/// model is reconstructed with the given config (its parameters are not
+/// serialised — the samples already carry the observed labels).
+StatusOr<CityDataset> LoadCityDataset(const std::string& directory,
+                                      const TrafficConfig& traffic = {});
+
+}  // namespace tpr::synth
+
+#endif  // TPR_SYNTH_IO_H_

@@ -1,0 +1,104 @@
+#include "synth/presets.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace tpr::synth {
+
+CityPreset AalborgPreset() {
+  CityPreset p;
+  p.name = "Aalborg";
+  p.city.grid_width = 13;
+  p.city.grid_height = 13;
+  p.city.spacing_m = 300.0;
+  p.city.drop_edge_prob = 0.10;
+  p.city.one_way_prob = 0.08;
+  p.city.arterial_every = 4;
+  p.city.seed = 1001;
+  p.traffic.peak_severity = 0.45;
+  p.traffic.signal_delay_s = 10.0;
+  p.data.num_unlabeled_trajectories = 300;
+  p.data.departures_per_trajectory = 3;
+  p.data.num_labeled_groups = 60;
+  p.data.alternatives_per_group = 4;
+  p.data.min_od_distance_m = 1500.0;
+  p.data.max_od_distance_m = 2600.0;
+  p.data.num_hubs = 20;
+  p.data.observation_noise = 0.12;
+  p.data.seed = 2001;
+  return p;
+}
+
+CityPreset HarbinPreset() {
+  CityPreset p;
+  p.name = "Harbin";
+  p.city.grid_width = 15;
+  p.city.grid_height = 15;
+  p.city.spacing_m = 230.0;
+  p.city.drop_edge_prob = 0.06;
+  p.city.one_way_prob = 0.12;
+  p.city.signal_prob_major = 0.7;
+  p.city.arterial_every = 3;
+  p.city.seed = 1002;
+  p.traffic.peak_severity = 0.7;
+  p.traffic.signal_delay_s = 16.0;
+  p.data.num_unlabeled_trajectories = 300;
+  p.data.departures_per_trajectory = 3;
+  p.data.num_labeled_groups = 60;
+  p.data.alternatives_per_group = 4;
+  p.data.min_od_distance_m = 1300.0;
+  p.data.max_od_distance_m = 2400.0;
+  p.data.num_hubs = 22;
+  p.data.observation_noise = 0.12;
+  p.data.seed = 2002;
+  return p;
+}
+
+CityPreset ChengduPreset() {
+  CityPreset p;
+  p.name = "Chengdu";
+  p.city.grid_width = 16;
+  p.city.grid_height = 16;
+  p.city.spacing_m = 190.0;
+  p.city.drop_edge_prob = 0.05;
+  p.city.one_way_prob = 0.2;
+  p.city.arterial_every = 4;
+  p.city.seed = 1003;
+  p.traffic.peak_severity = 0.6;
+  p.traffic.signal_delay_s = 14.0;
+  p.data.num_unlabeled_trajectories = 300;
+  p.data.departures_per_trajectory = 3;
+  p.data.num_labeled_groups = 60;
+  p.data.alternatives_per_group = 4;
+  p.data.min_od_distance_m = 1200.0;
+  p.data.max_od_distance_m = 2200.0;
+  p.data.num_hubs = 24;
+  p.data.observation_noise = 0.12;
+  p.data.seed = 2003;
+  return p;
+}
+
+std::vector<CityPreset> AllPresets() {
+  return {AalborgPreset(), HarbinPreset(), ChengduPreset()};
+}
+
+void ScaleDataset(CityPreset& preset, double factor) {
+  auto scale = [factor](int v) {
+    return std::max(8, static_cast<int>(v * factor));
+  };
+  preset.data.num_unlabeled_trajectories =
+      scale(preset.data.num_unlabeled_trajectories);
+  preset.data.num_labeled_groups = scale(preset.data.num_labeled_groups);
+}
+
+StatusOr<CityDataset> BuildPresetDataset(const CityPreset& preset) {
+  auto network_or = GenerateCity(preset.city);
+  if (!network_or.ok()) return network_or.status();
+  auto network = std::make_shared<graph::RoadNetwork>(
+      std::move(network_or).value());
+  auto traffic = std::make_shared<TrafficModel>(network.get(), preset.traffic);
+  // Keep the network alive alongside the traffic model inside the dataset.
+  return GenerateDataset(preset.name, network, traffic, preset.data);
+}
+
+}  // namespace tpr::synth

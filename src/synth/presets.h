@@ -1,0 +1,46 @@
+#ifndef TPR_SYNTH_PRESETS_H_
+#define TPR_SYNTH_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/city_generator.h"
+#include "synth/dataset.h"
+#include "synth/traffic_model.h"
+
+namespace tpr::synth {
+
+/// A fully specified synthetic city standing in for one of the paper's
+/// datasets (Aalborg / Harbin / Chengdu analogues).
+struct CityPreset {
+  std::string name;
+  CityConfig city;
+  TrafficConfig traffic;
+  DatasetConfig data;
+};
+
+/// Aalborg analogue: a sparser, suburban Scandinavian city — wider blocks,
+/// milder peaks, short travel times.
+CityPreset AalborgPreset();
+
+/// Harbin analogue: a dense northern Chinese city — heavy peak congestion,
+/// many signals.
+CityPreset HarbinPreset();
+
+/// Chengdu analogue: the densest network — small blocks, many one-way
+/// streets, strong but wide peaks.
+CityPreset ChengduPreset();
+
+/// The three presets in the paper's order.
+std::vector<CityPreset> AllPresets();
+
+/// Scales the dataset sizes of a preset by `factor` (used to trade bench
+/// runtime for fidelity). Keeps at least a handful of samples.
+void ScaleDataset(CityPreset& preset, double factor);
+
+/// Generates network + traffic model + dataset for a preset.
+StatusOr<CityDataset> BuildPresetDataset(const CityPreset& preset);
+
+}  // namespace tpr::synth
+
+#endif  // TPR_SYNTH_PRESETS_H_

@@ -1,0 +1,95 @@
+#include "synth/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpr::synth {
+namespace {
+
+constexpr double kDayS = 24.0 * 3600.0;
+constexpr double kWeekS = 7.0 * kDayS;
+
+// Smooth bump that rises from 0 at `start`, peaks at 1 in the middle, and
+// falls back to 0 at `end` (raised-cosine).
+double Bump(double hour, double start, double end) {
+  if (hour <= start || hour >= end) return 0.0;
+  const double x = (hour - start) / (end - start);  // in (0, 1)
+  return 0.5 * (1.0 - std::cos(2.0 * M_PI * x));
+}
+
+}  // namespace
+
+double BaseSpeedForType(graph::RoadType type) {
+  switch (type) {
+    case graph::RoadType::kHighway:
+      return 25.0;  // 90 km/h
+    case graph::RoadType::kPrimary:
+      return 16.7;  // 60 km/h
+    case graph::RoadType::kSecondary:
+      return 13.9;  // 50 km/h
+    case graph::RoadType::kTertiary:
+      return 11.1;  // 40 km/h
+    case graph::RoadType::kResidential:
+      return 8.3;   // 30 km/h
+  }
+  return 8.3;
+}
+
+double TrafficModel::FreeFlowSpeed(int edge_id) const {
+  const auto& e = network_->edge(edge_id);
+  const double base = BaseSpeedForType(e.road_type);
+  return base * (1.0 + config_.lane_speed_bonus * (e.num_lanes - 1));
+}
+
+double TrafficModel::PeakIntensity(double time_s) const {
+  double t = std::fmod(time_s, kWeekS);
+  if (t < 0) t += kWeekS;
+  const int day = static_cast<int>(t / kDayS);  // 0 = Monday
+  const double hour = (t - day * kDayS) / 3600.0;
+  const bool weekday = day < 5;
+  if (weekday) {
+    const double am = Bump(hour, config_.am_start_h, config_.am_end_h);
+    const double pm = Bump(hour, config_.pm_start_h, config_.pm_end_h);
+    return std::max(am, pm);
+  }
+  // Weekends: a mild midday bump (shopping traffic).
+  return config_.weekend_factor * Bump(hour, 11.0, 15.0);
+}
+
+double TrafficModel::CongestionMultiplier(int edge_id, double time_s) const {
+  const auto& e = network_->edge(edge_id);
+  const int zone = std::clamp(e.zone, 0, 2);
+  // Highways feel peak congestion strongly as well (commuter load), which
+  // reproduces the paper's Fig. 1 behaviour of highway avoidance at 8 a.m.
+  double class_factor = 1.0;
+  if (e.road_type == graph::RoadType::kHighway) class_factor = 1.15;
+  const double drop = config_.peak_severity * config_.zone_factor[zone] *
+                      class_factor * PeakIntensity(time_s);
+  return std::max(0.15, 1.0 - drop);
+}
+
+double TrafficModel::TravelTime(int edge_id, double time_s) const {
+  const auto& e = network_->edge(edge_id);
+  const double speed = FreeFlowSpeed(edge_id) *
+                       CongestionMultiplier(edge_id, time_s);
+  double t = e.length_m / speed;
+  if (e.has_signal) {
+    // Signals hurt more under congestion (longer queues).
+    t += config_.signal_delay_s *
+         (1.0 + PeakIntensity(time_s));
+  }
+  return t;
+}
+
+double TrafficModel::PathTravelTime(const graph::Path& path,
+                                    double depart_time_s) const {
+  double t = depart_time_s;
+  for (int eid : path) t += TravelTime(eid, t);
+  return t - depart_time_s;
+}
+
+double TrafficModel::CityCongestionIndex(double time_s) const {
+  return PeakIntensity(time_s);
+}
+
+}  // namespace tpr::synth

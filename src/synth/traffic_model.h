@@ -1,0 +1,84 @@
+#ifndef TPR_SYNTH_TRAFFIC_MODEL_H_
+#define TPR_SYNTH_TRAFFIC_MODEL_H_
+
+#include <cstdint>
+
+#include "graph/road_network.h"
+
+namespace tpr::synth {
+
+/// Parameters of the synthetic time-of-day traffic model. The model stands
+/// in for the real GPS-derived congestion in the paper's datasets: travel
+/// speed on an edge depends on its road class, its congestion zone, and the
+/// time of week, with weekday morning and afternoon peaks.
+struct TrafficConfig {
+  /// Fraction of free-flow speed lost at the center of a peak on the most
+  /// affected (downtown) edges. 0.6 means speeds drop to 40% of free flow.
+  double peak_severity = 0.6;
+
+  /// Morning peak window (hours, weekdays). Matches the paper's POP labels.
+  double am_start_h = 7.0;
+  double am_end_h = 9.0;
+
+  /// Afternoon peak window (hours, weekdays).
+  double pm_start_h = 16.0;
+  double pm_end_h = 19.0;
+
+  /// How much each zone feels congestion: index 0 = downtown.
+  double zone_factor[3] = {1.0, 0.65, 0.35};
+
+  /// Per-signal expected delay in seconds added to edge traversal.
+  double signal_delay_s = 12.0;
+
+  /// Extra per-lane speed bonus: each lane above 1 adds this fraction.
+  double lane_speed_bonus = 0.06;
+
+  /// Weekend congestion is scaled by this factor (mild midday bump only).
+  double weekend_factor = 0.25;
+};
+
+/// Deterministic traffic model over a road network. Thread-compatible:
+/// all queries are const.
+class TrafficModel {
+ public:
+  TrafficModel(const graph::RoadNetwork* network, TrafficConfig config)
+      : network_(network), config_(config) {}
+
+  /// Free-flow speed (m/s) of an edge, from its road class and lanes.
+  double FreeFlowSpeed(int edge_id) const;
+
+  /// Congestion multiplier in (0, 1]: the fraction of free-flow speed
+  /// available on the edge at the given time (seconds since Monday 00:00,
+  /// wraps weekly).
+  double CongestionMultiplier(int edge_id, double time_s) const;
+
+  /// Traversal time (seconds) of an edge entered at the given time,
+  /// including expected signal delay.
+  double TravelTime(int edge_id, double time_s) const;
+
+  /// Travel time of a whole path departing at depart_time_s, integrating
+  /// edge entry times along the way (time-expanded evaluation).
+  double PathTravelTime(const graph::Path& path, double depart_time_s) const;
+
+  /// Citywide congestion level at a time: the demand-weighted peak
+  /// intensity in [0, 1]. Basis for the TCI weak labels (Table VII).
+  double CityCongestionIndex(double time_s) const;
+
+  const TrafficConfig& config() const { return config_; }
+  const graph::RoadNetwork& network() const { return *network_; }
+
+ private:
+  /// Peak intensity in [0, 1] as a function of time of week (0 away from
+  /// peaks, 1 at the center of a weekday peak).
+  double PeakIntensity(double time_s) const;
+
+  const graph::RoadNetwork* network_;
+  TrafficConfig config_;
+};
+
+/// Free-flow speed (m/s) by road class alone, before the lane bonus.
+double BaseSpeedForType(graph::RoadType type);
+
+}  // namespace tpr::synth
+
+#endif  // TPR_SYNTH_TRAFFIC_MODEL_H_

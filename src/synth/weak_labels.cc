@@ -1,0 +1,51 @@
+#include "synth/weak_labels.h"
+
+#include "util/logging.h"
+
+namespace tpr::synth {
+namespace {
+constexpr int64_t kDayS = 24 * 3600;
+constexpr int64_t kWeekS = 7 * kDayS;
+}  // namespace
+
+int PopWeakLabel(int64_t depart_time_s) {
+  int64_t t = depart_time_s % kWeekS;
+  if (t < 0) t += kWeekS;
+  const int day = static_cast<int>(t / kDayS);
+  const double hour = static_cast<double>(t % kDayS) / 3600.0;
+  const bool weekday = day < 5;
+  if (weekday && hour >= 7.0 && hour < 9.0) return kMorningPeak;
+  if (weekday && hour >= 16.0 && hour < 19.0) return kAfternoonPeak;
+  return kOffPeak;
+}
+
+int TciWeakLabel(const TrafficModel& model, int64_t depart_time_s) {
+  const double c = model.CityCongestionIndex(static_cast<double>(depart_time_s));
+  if (c < 0.15) return 0;  // free flow
+  if (c < 0.45) return 1;  // light congestion
+  if (c < 0.75) return 2;  // moderate congestion
+  return 3;                // heavy congestion
+}
+
+int WeakLabelFor(WeakLabelScheme scheme, const TrafficModel& model,
+                 int64_t depart_time_s) {
+  switch (scheme) {
+    case WeakLabelScheme::kPeakOffPeak:
+      return PopWeakLabel(depart_time_s);
+    case WeakLabelScheme::kCongestionIndex:
+      return TciWeakLabel(model, depart_time_s);
+  }
+  TPR_FATAL() << "unknown weak label scheme";
+}
+
+int NumWeakLabels(WeakLabelScheme scheme) {
+  switch (scheme) {
+    case WeakLabelScheme::kPeakOffPeak:
+      return kNumPopLabels;
+    case WeakLabelScheme::kCongestionIndex:
+      return kNumTciLabels;
+  }
+  TPR_FATAL() << "unknown weak label scheme";
+}
+
+}  // namespace tpr::synth

@@ -1,0 +1,45 @@
+#ifndef TPR_SYNTH_WEAK_LABELS_H_
+#define TPR_SYNTH_WEAK_LABELS_H_
+
+#include <cstdint>
+
+#include "synth/traffic_model.h"
+
+namespace tpr::synth {
+
+/// The two weak-label schemes of the paper (Definition 6, Table VII).
+enum class WeakLabelScheme {
+  kPeakOffPeak,        // POP: morning peak / afternoon peak / off-peak
+  kCongestionIndex,    // TCI: 4 congestion levels
+};
+
+/// POP labels.
+enum PopLabel : int {
+  kMorningPeak = 0,
+  kAfternoonPeak = 1,
+  kOffPeak = 2,
+};
+inline constexpr int kNumPopLabels = 3;
+
+/// Number of TCI levels.
+inline constexpr int kNumTciLabels = 4;
+
+/// Peak/off-peak weak label from a departure time (seconds since Monday
+/// 00:00): morning peak 7-9 a.m. weekdays, afternoon peak 4-7 p.m.
+/// weekdays, off-peak otherwise.
+int PopWeakLabel(int64_t depart_time_s);
+
+/// Traffic-congestion-index weak label: the citywide congestion intensity
+/// of the traffic model quantised into 4 levels.
+int TciWeakLabel(const TrafficModel& model, int64_t depart_time_s);
+
+/// Dispatches on the scheme. Returns a label in [0, NumWeakLabels(scheme)).
+int WeakLabelFor(WeakLabelScheme scheme, const TrafficModel& model,
+                 int64_t depart_time_s);
+
+/// Cardinality of the label set for a scheme.
+int NumWeakLabels(WeakLabelScheme scheme);
+
+}  // namespace tpr::synth
+
+#endif  // TPR_SYNTH_WEAK_LABELS_H_

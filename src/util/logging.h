@@ -1,0 +1,68 @@
+#ifndef TPR_UTIL_LOGGING_H_
+#define TPR_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tpr {
+
+/// Log severity levels; messages below the global threshold are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that will be printed. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink: accumulates a line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Fatal variant: prints and aborts the process.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tpr
+
+#define TPR_LOG(level)                                                  \
+  ::tpr::internal_logging::LogMessage(::tpr::LogLevel::k##level, __FILE__, \
+                                      __LINE__)
+
+#define TPR_FATAL() ::tpr::internal_logging::FatalLogMessage(__FILE__, __LINE__)
+
+/// Invariant check that is active in all build modes. Use for conditions
+/// whose violation indicates a bug in this library, not bad user input
+/// (user input errors return Status instead).
+#define TPR_CHECK(cond)                                       \
+  if (!(cond)) TPR_FATAL() << "Check failed: " #cond " "
+
+#endif  // TPR_UTIL_LOGGING_H_

@@ -1,0 +1,28 @@
+#ifndef TPR_UTIL_STOPWATCH_H_
+#define TPR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tpr {
+
+/// Wall-clock stopwatch for coarse experiment timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tpr
+
+#endif  // TPR_UTIL_STOPWATCH_H_

@@ -1,0 +1,73 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace tpr {
+namespace {
+const char* kSeparatorTag = "\x01sep";
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  TPR_CHECK(row.size() == header_.size())
+      << "row arity " << row.size() << " != header arity " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back({kSeparatorTag}); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorTag) continue;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto hline = [&]() {
+    std::string s = "+";
+    for (size_t w : widths) {
+      s.append(w + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      s += " " + row[c];
+      s.append(widths[c] - row[c].size() + 1, ' ');
+      s += "|";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = hline();
+  out += render_row(header_);
+  out += hline();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorTag) {
+      out += hline();
+    } else {
+      out += render_row(row);
+    }
+  }
+  out += hline();
+  return out;
+}
+
+std::string TablePrinter::Num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace tpr

@@ -1,0 +1,39 @@
+#ifndef TPR_UTIL_TABLE_PRINTER_H_
+#define TPR_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace tpr {
+
+/// Renders aligned ASCII tables in the style of the paper's result tables.
+/// Used by the bench binaries to print one table per experiment.
+///
+///   TablePrinter t({"Method", "MAE", "MARE", "MAPE"});
+///   t.AddRow({"WSCCL", "31.66", "0.14", "21.39"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  /// Renders the full table with column alignment and borders.
+  std::string ToString() const;
+
+  /// Formats a double with the given number of decimals.
+  static std::string Num(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  // Each row is either a data row or the sentinel {"--"} for a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tpr
+
+#endif  // TPR_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "eval/downstream.h"
+#include "eval/metrics.h"
+#include "synth/presets.h"
+
+namespace tpr::eval {
+namespace {
+
+TEST(MetricsTest, MaeMareMape) {
+  std::vector<double> truth = {100, 200};
+  std::vector<double> pred = {110, 180};
+  EXPECT_DOUBLE_EQ(*Mae(truth, pred), 15.0);
+  EXPECT_DOUBLE_EQ(*Mare(truth, pred), 30.0 / 300.0);
+  EXPECT_DOUBLE_EQ(*Mape(truth, pred), 100.0 * (0.1 + 0.1) / 2.0);
+}
+
+TEST(MetricsTest, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(Mae({}, {}).ok());
+  EXPECT_FALSE(Mae({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(Mare({0.0}, {1.0}).ok());
+  EXPECT_FALSE(Mape({0.0}, {1.0}).ok());  // all-zero ground truth
+}
+
+TEST(MetricsTest, MapeSkipsZeroTruth) {
+  std::vector<double> truth = {0, 100};
+  std::vector<double> pred = {50, 110};
+  EXPECT_DOUBLE_EQ(*Mape(truth, pred), 10.0);
+}
+
+TEST(MetricsTest, KendallTauExtremes) {
+  std::vector<double> truth = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(*KendallTau(truth, {10, 20, 30, 40}), 1.0);
+  EXPECT_DOUBLE_EQ(*KendallTau(truth, {40, 30, 20, 10}), -1.0);
+}
+
+TEST(MetricsTest, KendallTauPartial) {
+  // One discordant pair out of three.
+  std::vector<double> truth = {1, 2, 3};
+  std::vector<double> pred = {1, 3, 2};
+  EXPECT_NEAR(*KendallTau(truth, pred), 1.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, SpearmanMatchesKnownValue) {
+  std::vector<double> truth = {1, 2, 3, 4, 5};
+  std::vector<double> pred = {2, 1, 4, 3, 5};
+  // d = (1,-1,1,-1,0), sum d^2 = 4; rho = 1 - 6*4 / (5*24) = 0.8.
+  EXPECT_NEAR(*SpearmanRho(truth, pred), 0.8, 1e-9);
+}
+
+TEST(MetricsTest, SpearmanHandlesTies) {
+  std::vector<double> truth = {1, 1, 2, 3};
+  std::vector<double> pred = {1, 1, 2, 3};
+  EXPECT_NEAR(*SpearmanRho(truth, pred), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, AverageRanksWithTies) {
+  const auto ranks = AverageRanks({10, 20, 20, 30});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(MetricsTest, AccuracyAndHitRate) {
+  std::vector<int> truth = {1, 0, 1, 0};
+  std::vector<int> pred = {1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(*Accuracy(truth, pred), 0.5);
+  EXPECT_DOUBLE_EQ(*HitRate(truth, pred), 0.5);  // TP=1, FN=1
+  EXPECT_FALSE(HitRate({0, 0}, {0, 0}).ok());    // no positives
+}
+
+TEST(MetricsTest, GroupedTauAveragesGroups) {
+  std::vector<int> groups = {0, 0, 1, 1};
+  std::vector<double> truth = {1, 2, 1, 2};
+  std::vector<double> pred = {1, 2, 2, 1};  // group 0: +1, group 1: -1
+  EXPECT_NEAR(*GroupedKendallTau(groups, truth, pred), 0.0, 1e-9);
+}
+
+TEST(MetricsTest, GroupedSkipsSingletons) {
+  std::vector<int> groups = {0, 1, 1};
+  std::vector<double> truth = {5, 1, 2};
+  std::vector<double> pred = {9, 1, 2};
+  EXPECT_NEAR(*GroupedSpearmanRho(groups, truth, pred), 1.0, 1e-9);
+}
+
+class DownstreamTest : public ::testing::Test {
+ protected:
+  DownstreamTest() {
+    auto preset = synth::AalborgPreset();
+    synth::ScaleDataset(preset, 0.15);
+    auto ds = synth::BuildPresetDataset(preset);
+    EXPECT_TRUE(ds.ok());
+    data_ = std::make_unique<synth::CityDataset>(std::move(*ds));
+  }
+
+  std::unique_ptr<synth::CityDataset> data_;
+};
+
+TEST_F(DownstreamTest, SplitGroupsKeepsGroupsIntact) {
+  std::vector<int> train, test;
+  SplitGroups(data_->labeled, 0.8, 99, &train, &test);
+  EXPECT_FALSE(train.empty());
+  EXPECT_FALSE(test.empty());
+  std::set<int> train_groups, test_groups;
+  for (int i : train) train_groups.insert(data_->labeled[i].group);
+  for (int i : test) test_groups.insert(data_->labeled[i].group);
+  for (int g : test_groups) EXPECT_EQ(train_groups.count(g), 0u);
+}
+
+TEST_F(DownstreamTest, SplitIsDeterministic) {
+  std::vector<int> t1, v1, t2, v2;
+  SplitGroups(data_->labeled, 0.8, 99, &t1, &v1);
+  SplitGroups(data_->labeled, 0.8, 99, &t2, &v2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(v1, v2);
+}
+
+TEST_F(DownstreamTest, OracleFeaturesScoreNearPerfect) {
+  // An encoder that leaks the labels must produce near-perfect scores —
+  // validates the probe plumbing end to end.
+  auto oracle = [](const synth::TemporalPathSample& s) {
+    return std::vector<float>{static_cast<float>(s.travel_time_s / 100.0),
+                              static_cast<float>(s.rank_score),
+                              static_cast<float>(s.recommended)};
+  };
+  auto scores = EvaluateTasks(*data_, oracle);
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  // Bounded by tree granularity on the miniature split, not exact zero.
+  EXPECT_LT(scores->tte_mare, 0.2);
+  EXPECT_GT(scores->pr_tau, 0.8);
+  EXPECT_GT(scores->rec_acc, 0.9);
+}
+
+TEST_F(DownstreamTest, RandomFeaturesScoreNearChance) {
+  Rng rng(31);
+  auto noise = [&rng](const synth::TemporalPathSample&) {
+    return std::vector<float>{static_cast<float>(rng.Gaussian()),
+                              static_cast<float>(rng.Gaussian())};
+  };
+  auto scores = EvaluateTasks(*data_, noise);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_LT(std::fabs(scores->pr_tau), 0.35);
+}
+
+TEST_F(DownstreamTest, FeatureMatrixShape) {
+  auto enc = [](const synth::TemporalPathSample&) {
+    return std::vector<float>{1.0f, 2.0f};
+  };
+  const auto m = BuildFeatureMatrix(data_->labeled, enc);
+  EXPECT_EQ(m.rows, static_cast<int>(data_->labeled.size()));
+  EXPECT_EQ(m.cols, 2);
+  EXPECT_FLOAT_EQ(m.at(0, 1), 2.0f);
+}
+
+}  // namespace
+}  // namespace tpr::eval

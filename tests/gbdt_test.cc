@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gbdt/gradient_boosting.h"
+#include "gbdt/tree.h"
+#include "util/rng.h"
+
+namespace tpr::gbdt {
+namespace {
+
+// y = 3*x0 + noise-free step on x1.
+Matrix MakeRegressionData(int n, std::vector<float>* y, Rng& rng) {
+  Matrix x(n, 3);
+  y->resize(n);
+  for (int i = 0; i < n; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.Uniform(-1, 1));
+    x.at(i, 1) = static_cast<float>(rng.Uniform(-1, 1));
+    x.at(i, 2) = static_cast<float>(rng.Uniform(-1, 1));  // irrelevant
+    (*y)[i] = 3.0f * x.at(i, 0) + (x.at(i, 1) > 0 ? 2.0f : 0.0f);
+  }
+  return x;
+}
+
+TEST(RegressionTreeTest, FitsAStepFunction) {
+  Rng rng(21);
+  Matrix x(100, 1);
+  std::vector<float> y(100);
+  std::vector<int> idx(100);
+  for (int i = 0; i < 100; ++i) {
+    x.at(i, 0) = static_cast<float>(i) / 100.0f;
+    y[i] = i < 50 ? -1.0f : 1.0f;
+    idx[i] = i;
+  }
+  RegressionTree tree;
+  TreeConfig cfg;
+  cfg.max_depth = 1;
+  cfg.min_samples_leaf = 5;
+  tree.Fit(x, y, idx, cfg, rng);
+  float lo = 0.2f, hi = 0.8f;
+  EXPECT_NEAR(tree.Predict(&lo), -1.0f, 0.1f);
+  EXPECT_NEAR(tree.Predict(&hi), 1.0f, 0.1f);
+}
+
+TEST(RegressionTreeTest, RespectsMinSamplesLeaf) {
+  Rng rng(22);
+  Matrix x(20, 1);
+  std::vector<float> y(20);
+  std::vector<int> idx(20);
+  for (int i = 0; i < 20; ++i) {
+    x.at(i, 0) = static_cast<float>(i);
+    y[i] = static_cast<float>(i % 2);
+    idx[i] = i;
+  }
+  RegressionTree tree;
+  TreeConfig cfg;
+  cfg.max_depth = 10;
+  cfg.min_samples_leaf = 10;
+  tree.Fit(x, y, idx, cfg, rng);
+  // At most one split is possible with 20 samples and leaves of >= 10.
+  EXPECT_LE(tree.num_nodes(), 3);
+}
+
+TEST(RegressionTreeTest, ConstantTargetGivesSingleLeaf) {
+  Rng rng(23);
+  Matrix x(30, 2);
+  std::vector<float> y(30, 5.0f);
+  std::vector<int> idx(30);
+  for (int i = 0; i < 30; ++i) {
+    x.at(i, 0) = static_cast<float>(i);
+    idx[i] = i;
+  }
+  RegressionTree tree;
+  tree.Fit(x, y, idx, TreeConfig{}, rng);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  float v = 3.0f;
+  EXPECT_FLOAT_EQ(tree.Predict(&v), 5.0f);
+}
+
+TEST(GbrTest, LearnsLinearPlusStep) {
+  Rng rng(24);
+  std::vector<float> y;
+  Matrix x = MakeRegressionData(400, &y, rng);
+  GradientBoostingRegressor gbr;
+  ASSERT_TRUE(gbr.Fit(x, y).ok());
+  double total_err = 0;
+  for (int i = 0; i < x.rows; ++i) {
+    total_err += std::fabs(gbr.Predict(x.row(i)) - y[i]);
+  }
+  EXPECT_LT(total_err / x.rows, 0.35);
+}
+
+TEST(GbrTest, RejectsBadInput) {
+  GradientBoostingRegressor gbr;
+  EXPECT_FALSE(gbr.Fit(Matrix(), {}).ok());
+  Matrix x(3, 1);
+  EXPECT_FALSE(gbr.Fit(x, {1.0f}).ok());
+}
+
+TEST(GbrTest, PredictBatchMatchesScalar) {
+  Rng rng(25);
+  std::vector<float> y;
+  Matrix x = MakeRegressionData(50, &y, rng);
+  GradientBoostingRegressor gbr;
+  ASSERT_TRUE(gbr.Fit(x, y).ok());
+  const auto batch = gbr.PredictBatch(x);
+  for (int i = 0; i < x.rows; ++i) {
+    EXPECT_FLOAT_EQ(batch[i], gbr.Predict(x.row(i)));
+  }
+}
+
+TEST(GbcTest, SeparatesTwoBlobs) {
+  Rng rng(26);
+  Matrix x(200, 2);
+  std::vector<int> y(200);
+  for (int i = 0; i < 200; ++i) {
+    const bool positive = i % 2 == 0;
+    x.at(i, 0) = static_cast<float>(rng.Gaussian(positive ? 2.0 : -2.0, 0.5));
+    x.at(i, 1) = static_cast<float>(rng.Gaussian());
+    y[i] = positive ? 1 : 0;
+  }
+  GradientBoostingClassifier gbc;
+  ASSERT_TRUE(gbc.Fit(x, y).ok());
+  int correct = 0;
+  for (int i = 0; i < x.rows; ++i) {
+    correct += gbc.Predict(x.row(i)) == y[i];
+  }
+  EXPECT_GT(correct, 190);
+}
+
+TEST(GbcTest, ProbabilitiesInRange) {
+  Rng rng(27);
+  Matrix x(60, 2);
+  std::vector<int> y(60);
+  for (int i = 0; i < 60; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.Gaussian());
+    x.at(i, 1) = static_cast<float>(rng.Gaussian());
+    y[i] = rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  GradientBoostingClassifier gbc;
+  ASSERT_TRUE(gbc.Fit(x, y).ok());
+  for (int i = 0; i < x.rows; ++i) {
+    const float p = gbc.PredictProba(x.row(i));
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(GbcTest, ImbalancedBaseScoreMatchesPrior) {
+  // With no informative features, predicted probability ~= class prior.
+  Rng rng(28);
+  Matrix x(300, 1);
+  std::vector<int> y(300);
+  for (int i = 0; i < 300; ++i) {
+    x.at(i, 0) = 0.0f;  // constant feature: no splits possible
+    y[i] = i < 60 ? 1 : 0;
+  }
+  GradientBoostingClassifier gbc;
+  ASSERT_TRUE(gbc.Fit(x, y).ok());
+  float v = 0.0f;
+  EXPECT_NEAR(gbc.PredictProba(&v), 0.2f, 0.05f);
+}
+
+// Property sweep: more trees never make training-set MAE worse by much
+// (boosting monotonicity on the training set).
+class BoostingDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoostingDepthTest, TrainErrorDecreasesWithTrees) {
+  Rng rng(29);
+  std::vector<float> y;
+  Matrix x = MakeRegressionData(200, &y, rng);
+  auto train_mae = [&](int trees) {
+    BoostingConfig cfg;
+    cfg.num_trees = trees;
+    cfg.tree.max_depth = GetParam();
+    cfg.subsample = 1.0;
+    GradientBoostingRegressor gbr(cfg);
+    EXPECT_TRUE(gbr.Fit(x, y).ok());
+    double err = 0;
+    for (int i = 0; i < x.rows; ++i) {
+      err += std::fabs(gbr.Predict(x.row(i)) - y[i]);
+    }
+    return err / x.rows;
+  };
+  EXPECT_LT(train_mae(100), train_mae(10) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, BoostingDepthTest, ::testing::Values(2, 3, 5));
+
+}  // namespace
+}  // namespace tpr::gbdt

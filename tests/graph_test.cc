@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph.h"
+#include "graph/path_utils.h"
+#include "graph/road_network.h"
+#include "graph/shortest_path.h"
+#include "graph/temporal_graph.h"
+
+namespace tpr::graph {
+namespace {
+
+// A 2x2 square: 0-1 / 2-3 with two-way streets all around.
+RoadNetwork SquareNetwork() {
+  RoadNetwork net;
+  net.AddNode(0, 0);
+  net.AddNode(100, 0);
+  net.AddNode(0, 100);
+  net.AddNode(100, 100);
+  auto add = [&](int a, int b) {
+    auto e = net.AddEdge(a, b, RoadType::kResidential, 1, false, false, 0);
+    ASSERT_TRUE(e.ok());
+  };
+  add(0, 1); add(1, 0);
+  add(0, 2); add(2, 0);
+  add(1, 3); add(3, 1);
+  add(2, 3); add(3, 2);
+  return net;
+}
+
+TEST(GraphTest, AddEdgeUndirectedAddsBothArcs) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(GraphTest, DirectedEdgeIsOneWay) {
+  Graph g(2);
+  g.AddEdge(0, 1, 1.0f, /*undirected=*/false);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(RoadNetworkTest, EdgeLengthFromCoordinates) {
+  RoadNetwork net;
+  net.AddNode(0, 0);
+  net.AddNode(300, 400);
+  auto e = net.AddEdge(0, 1, RoadType::kPrimary, 2, false, false, 0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(net.edge(*e).length_m, 500.0, 1e-6);
+}
+
+TEST(RoadNetworkTest, RejectsBadEndpointsAndLanes) {
+  RoadNetwork net;
+  net.AddNode(0, 0);
+  EXPECT_FALSE(net.AddEdge(0, 5, RoadType::kPrimary, 2, false, false, 0).ok());
+  net.AddNode(1, 1);
+  EXPECT_FALSE(net.AddEdge(0, 1, RoadType::kPrimary, 0, false, false, 0).ok());
+  EXPECT_FALSE(
+      net.AddEdge(0, 1, RoadType::kPrimary, kMaxLanes + 1, false, false, 0)
+          .ok());
+}
+
+TEST(RoadNetworkTest, ValidatePathChecksAdjacency) {
+  RoadNetwork net = SquareNetwork();
+  // 0->1 (edge 0) then 1->3 (edge 4).
+  EXPECT_TRUE(net.ValidatePath({0, 4}).ok());
+  // 0->1 then 2->3 is not adjacent.
+  EXPECT_FALSE(net.ValidatePath({0, 6}).ok());
+  EXPECT_FALSE(net.ValidatePath({}).ok());
+  EXPECT_FALSE(net.ValidatePath({99}).ok());
+}
+
+TEST(RoadNetworkTest, PathLengthSumsEdges) {
+  RoadNetwork net = SquareNetwork();
+  EXPECT_NEAR(net.PathLength({0, 4}), 200.0, 1e-6);
+}
+
+TEST(RoadNetworkTest, InOutEdgesConsistent) {
+  RoadNetwork net = SquareNetwork();
+  for (int v = 0; v < net.num_nodes(); ++v) {
+    for (int eid : net.OutEdges(v)) EXPECT_EQ(net.edge(eid).from, v);
+    for (int eid : net.InEdges(v)) EXPECT_EQ(net.edge(eid).to, v);
+  }
+}
+
+TEST(RoadNetworkTest, TopologyGraphIsUndirectedWithoutDuplicates) {
+  RoadNetwork net = SquareNetwork();
+  Graph topo = net.BuildTopologyGraph();
+  EXPECT_EQ(topo.num_nodes(), 4);
+  // 4 undirected streets -> 8 arcs (two-way duplicates collapsed).
+  EXPECT_EQ(topo.num_arcs(), 8u);
+}
+
+TEST(ShortestPathTest, FindsDirectRoute) {
+  RoadNetwork net = SquareNetwork();
+  auto result = ShortestPath(net, 0, 3, [&](int e) {
+    return net.edge(e).length_m;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->edges.size(), 2u);
+  EXPECT_NEAR(result->cost, 200.0, 1e-6);
+  EXPECT_TRUE(net.ValidatePath(result->edges).ok());
+}
+
+TEST(ShortestPathTest, UnreachableReturnsNotFound) {
+  RoadNetwork net;
+  net.AddNode(0, 0);
+  net.AddNode(10, 0);
+  auto result = ShortestPath(net, 0, 1, [](int) { return 1.0; });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShortestPathTest, RespectsEdgeWeights) {
+  RoadNetwork net = SquareNetwork();
+  // Make the 0->1 edge prohibitively expensive; the path must go via 2.
+  auto result = ShortestPath(net, 0, 3, [&](int e) {
+    return e == 0 ? 1e9 : net.edge(e).length_m;
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(net.edge(result->edges.front()).to, 2);
+}
+
+TEST(ShortestPathTest, TimeDependentUsesEntryTimes) {
+  RoadNetwork net = SquareNetwork();
+  // Cost doubles after 100 seconds; a two-edge path pays the higher rate
+  // on its second edge.
+  auto cost = [&](int e, double t) {
+    return net.edge(e).length_m * (t >= 100.0 ? 2.0 : 1.0) / 1.0;
+  };
+  auto result = TimeDependentFastestPath(net, 0, 3, 0.0, cost);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->cost, 100.0 + 200.0, 1e-6);
+}
+
+TEST(ShortestPathTest, KAlternativesAreDistinctAndValid) {
+  RoadNetwork net = SquareNetwork();
+  auto alts = KAlternativePaths(net, 0, 3, 2, [&](int e) {
+    return net.edge(e).length_m;
+  });
+  ASSERT_TRUE(alts.ok());
+  ASSERT_GE(alts->size(), 2u);
+  EXPECT_NE((*alts)[0].edges, (*alts)[1].edges);
+  for (const auto& alt : *alts) {
+    EXPECT_TRUE(net.ValidatePath(alt.edges).ok());
+  }
+}
+
+TEST(PathUtilsTest, SimilarityBounds) {
+  RoadNetwork net = SquareNetwork();
+  Path a = {0, 4};
+  Path b = {2, 6};  // 0->2->3
+  EXPECT_DOUBLE_EQ(PathSimilarity(net, a, a), 1.0);
+  EXPECT_DOUBLE_EQ(PathSimilarity(net, a, b), 0.0);
+  EXPECT_EQ(SharedEdgeCount(a, b), 0);
+  EXPECT_EQ(SharedEdgeCount(a, a), 2);
+}
+
+TEST(PathUtilsTest, JaccardPartialOverlap) {
+  Path a = {1, 2, 3};
+  Path b = {3, 4};
+  EXPECT_DOUBLE_EQ(PathJaccard(a, b), 0.25);  // |{3}| / |{1,2,3,4}|
+}
+
+TEST(TemporalGraphTest, NodeIdRoundTrip) {
+  TemporalGraphConfig cfg;
+  cfg.slots_per_day = 288;
+  EXPECT_EQ(cfg.num_nodes(), 2016);
+  // Monday 00:06 -> day 0, slot 1 (5-minute slots).
+  EXPECT_EQ(TemporalNodeIdForTime(cfg, 6 * 60), 1);
+  // Tuesday 00:00.
+  EXPECT_EQ(TemporalNodeIdForTime(cfg, 24 * 3600), 288);
+  // Wraps weekly.
+  EXPECT_EQ(TemporalNodeIdForTime(cfg, 7 * 24 * 3600 + 6 * 60), 1);
+  // Negative times wrap too.
+  EXPECT_EQ(TemporalNodeIdForTime(cfg, -1),
+            TemporalNodeIdForTime(cfg, 7 * 24 * 3600 - 1));
+}
+
+TEST(TemporalGraphTest, ConnectivityStructure) {
+  TemporalGraphConfig cfg;
+  cfg.slots_per_day = 24;
+  cfg.days_per_week = 7;
+  Graph g = BuildTemporalGraph(cfg);
+  EXPECT_EQ(g.num_nodes(), 24 * 7);
+  // Adjacent slots within a day.
+  EXPECT_TRUE(g.HasEdge(TemporalNodeId(cfg, 0, 0), TemporalNodeId(cfg, 0, 1)));
+  // Same slot on neighboring days.
+  EXPECT_TRUE(g.HasEdge(TemporalNodeId(cfg, 0, 5), TemporalNodeId(cfg, 1, 5)));
+  // Sunday -> Monday weekly wrap.
+  EXPECT_TRUE(g.HasEdge(TemporalNodeId(cfg, 6, 5), TemporalNodeId(cfg, 0, 5)));
+  // Midnight continuity.
+  EXPECT_TRUE(
+      g.HasEdge(TemporalNodeId(cfg, 0, 23), TemporalNodeId(cfg, 1, 0)));
+  // No edge between unrelated slots.
+  EXPECT_FALSE(
+      g.HasEdge(TemporalNodeId(cfg, 0, 0), TemporalNodeId(cfg, 3, 12)));
+}
+
+// Property sweep: every temporal-graph node has degree >= 3 (two daily
+// neighbors are guaranteed except at day boundaries, which connect
+// across days; plus periodicity links).
+class TemporalGraphDegreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TemporalGraphDegreeTest, AllNodesConnected) {
+  TemporalGraphConfig cfg;
+  cfg.slots_per_day = GetParam();
+  Graph g = BuildTemporalGraph(cfg);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.Neighbors(v).size(), 3u) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotCounts, TemporalGraphDegreeTest,
+                         ::testing::Values(24, 96, 288));
+
+}  // namespace
+}  // namespace tpr::graph

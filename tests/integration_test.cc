@@ -1,0 +1,123 @@
+// Cross-module integration tests: the full quickstart flow (city ->
+// features -> WSCCL -> downstream probes) and the Fig. 7 pre-training
+// flow, at miniature scale.
+
+#include <gtest/gtest.h>
+
+#include "baselines/node2vec_path.h"
+#include "baselines/supervised.h"
+#include "core/wsccl.h"
+#include "eval/downstream.h"
+#include "synth/presets.h"
+
+namespace tpr {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto preset = synth::HarbinPreset();
+    synth::ScaleDataset(preset, 0.1);
+    auto ds = synth::BuildPresetDataset(preset);
+    ASSERT_TRUE(ds.ok());
+    auto data = std::make_shared<synth::CityDataset>(std::move(*ds));
+    core::FeatureConfig fc;
+    fc.temporal_graph.slots_per_day = 48;
+    fc.node2vec.walks_per_node = 2;
+    fc.node2vec.epochs = 1;
+    auto fs = core::BuildFeatureSpace(data, fc);
+    ASSERT_TRUE(fs.ok());
+    features_ = new std::shared_ptr<const core::FeatureSpace>(
+        std::make_shared<const core::FeatureSpace>(std::move(*fs)));
+  }
+
+  static std::shared_ptr<const core::FeatureSpace> features() {
+    return *features_;
+  }
+  static const synth::CityDataset& data() { return *features()->data; }
+
+  static core::WsccalConfig TinyConfig() {
+    core::WsccalConfig cfg;
+    cfg.wsc.encoder.d_hidden = 16;
+    cfg.wsc.encoder.projection_dim = 8;
+    cfg.wsc.anchors_per_batch = 6;
+    cfg.curriculum.num_meta_sets = 2;
+    cfg.curriculum.expert_epochs = 1;
+    cfg.stage_epochs = 1;
+    cfg.final_epochs = 1;
+    return cfg;
+  }
+
+  static std::shared_ptr<const core::FeatureSpace>* features_;
+};
+
+std::shared_ptr<const core::FeatureSpace>* IntegrationTest::features_ =
+    nullptr;
+
+TEST_F(IntegrationTest, EndToEndWsccalProbes) {
+  auto model = core::WsccalPipeline::Train(features(), TinyConfig());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  auto scores = eval::EvaluateTasks(
+      data(), [&](const synth::TemporalPathSample& s) {
+        return (*model)->Encode(s);
+      });
+  ASSERT_TRUE(scores.ok()) << scores.status().ToString();
+  // Sanity bounds, not quality claims (miniature config).
+  EXPECT_GT(scores->tte_mae, 0.0);
+  EXPECT_LT(scores->tte_mare, 1.5);
+  EXPECT_GE(scores->pr_tau, -1.0);
+  EXPECT_LE(scores->pr_tau, 1.0);
+  EXPECT_GE(scores->rec_acc, 0.3);
+}
+
+TEST_F(IntegrationTest, WsccalBeatsTopologyOnlyBaselineOnTte) {
+  auto model = core::WsccalPipeline::Train(features(), TinyConfig());
+  ASSERT_TRUE(model.ok());
+  auto wsccl = eval::EvaluateTasks(
+      data(), [&](const synth::TemporalPathSample& s) {
+        return (*model)->Encode(s);
+      });
+  baselines::Node2vecPathModel baseline(features());
+  ASSERT_TRUE(baseline.Train().ok());
+  auto floor = eval::EvaluateTasks(
+      data(), [&](const synth::TemporalPathSample& s) {
+        return baseline.Encode(s);
+      });
+  ASSERT_TRUE(wsccl.ok() && floor.ok());
+  // At this miniature scale only a loose bound is stable; the bench
+  // harness measures the real margins (see EXPERIMENTS.md).
+  EXPECT_LT(wsccl->tte_mae, floor->tte_mae * 1.6);
+}
+
+TEST_F(IntegrationTest, PretrainingFlowRuns) {
+  auto wsccl = core::WsccalPipeline::Train(features(), TinyConfig());
+  ASSERT_TRUE(wsccl.ok());
+
+  std::vector<int> train, test;
+  eval::SplitGroups(data().labeled, 0.8, 99, &train, &test);
+  baselines::SupervisedConfig cfg;
+  cfg.primary = baselines::SupervisedTask::kTravelTime;
+  cfg.encoder = TinyConfig().wsc.encoder;
+  cfg.epochs = 2;
+
+  baselines::PathRankModel warm(features(), train, cfg);
+  ASSERT_TRUE(warm.InitEncoderFrom((*wsccl)->model().encoder()).ok());
+  ASSERT_TRUE(warm.Train().ok());
+  const double pred = warm.PredictPrimary(data().labeled[test[0]]);
+  EXPECT_TRUE(std::isfinite(pred));
+  EXPECT_GT(pred, 0.0);
+}
+
+TEST_F(IntegrationTest, WeakLabelSchemesProduceDifferentModels) {
+  auto pop_cfg = TinyConfig();
+  auto tci_cfg = TinyConfig();
+  tci_cfg.wsc.weak_labels = synth::WeakLabelScheme::kCongestionIndex;
+  auto pop = core::WsccalPipeline::Train(features(), pop_cfg);
+  auto tci = core::WsccalPipeline::Train(features(), tci_cfg);
+  ASSERT_TRUE(pop.ok() && tci.ok());
+  const auto& s = data().unlabeled.front();
+  EXPECT_NE((*pop)->Encode(s), (*tci)->Encode(s));
+}
+
+}  // namespace
+}  // namespace tpr

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <unistd.h>
+#include <filesystem>
+
+#include "synth/io.h"
+#include "synth/presets.h"
+
+namespace tpr::synth {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tpr_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, SaveLoadRoundTrip) {
+  auto preset = AalborgPreset();
+  ScaleDataset(preset, 0.08);
+  auto original = BuildPresetDataset(preset);
+  ASSERT_TRUE(original.ok());
+
+  ASSERT_TRUE(SaveCityDataset(*original, dir_.string()).ok());
+  auto loaded = LoadCityDataset(dir_.string(), preset.traffic);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->name, original->name);
+  ASSERT_EQ(loaded->network->num_nodes(), original->network->num_nodes());
+  ASSERT_EQ(loaded->network->num_edges(), original->network->num_edges());
+  for (int e = 0; e < original->network->num_edges(); ++e) {
+    const auto& a = original->network->edge(e);
+    const auto& b = loaded->network->edge(e);
+    EXPECT_EQ(a.from, b.from);
+    EXPECT_EQ(a.to, b.to);
+    EXPECT_EQ(a.road_type, b.road_type);
+    EXPECT_EQ(a.num_lanes, b.num_lanes);
+    EXPECT_EQ(a.one_way, b.one_way);
+    EXPECT_EQ(a.has_signal, b.has_signal);
+    EXPECT_EQ(a.zone, b.zone);
+    EXPECT_NEAR(a.length_m, b.length_m, 1e-3);
+  }
+
+  ASSERT_EQ(loaded->unlabeled.size(), original->unlabeled.size());
+  ASSERT_EQ(loaded->labeled.size(), original->labeled.size());
+  for (size_t i = 0; i < original->labeled.size(); ++i) {
+    const auto& a = original->labeled[i];
+    const auto& b = loaded->labeled[i];
+    EXPECT_EQ(a.path, b.path);
+    EXPECT_EQ(a.depart_time_s, b.depart_time_s);
+    EXPECT_NEAR(a.travel_time_s, b.travel_time_s, 1e-3);
+    EXPECT_NEAR(a.rank_score, b.rank_score, 1e-5);
+    EXPECT_EQ(a.recommended, b.recommended);
+    EXPECT_EQ(a.group, b.group);
+  }
+
+  // The reconstructed traffic model works against the loaded network.
+  const auto& sample = loaded->labeled.front();
+  EXPECT_GT(loaded->traffic->PathTravelTime(
+                sample.path, static_cast<double>(sample.depart_time_s)),
+            0.0);
+}
+
+TEST_F(IoTest, LoadMissingDirectoryFails) {
+  auto loaded = LoadCityDataset((dir_ / "nope").string());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, SaveNullNetworkFails) {
+  CityDataset empty;
+  EXPECT_FALSE(SaveCityDataset(empty, dir_.string()).ok());
+}
+
+}  // namespace
+}  // namespace tpr::synth

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "node2vec/alias.h"
+#include "node2vec/node2vec.h"
+
+namespace tpr::node2vec {
+namespace {
+
+// Two 5-cliques joined by a single bridge edge — embeddings should place
+// same-clique nodes closer than cross-clique nodes.
+graph::Graph TwoCliques() {
+  graph::Graph g(10);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      for (int j = i + 1; j < 5; ++j) {
+        g.AddEdge(c * 5 + i, c * 5 + j);
+      }
+    }
+  }
+  g.AddEdge(4, 5);  // bridge
+  return g;
+}
+
+TEST(AliasTest, SamplesProportionally) {
+  AliasTable table({1.0, 0.0, 3.0});
+  Rng rng(11);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[table.Sample(rng)];
+  EXPECT_EQ(counts[1], 0);
+  const double ratio = static_cast<double>(counts[2]) / counts[0];
+  EXPECT_NEAR(ratio, 3.0, 0.4);
+}
+
+TEST(AliasTest, SingleOutcome) {
+  AliasTable table({2.5});
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(WalksTest, WalksStayOnGraph) {
+  graph::Graph g = TwoCliques();
+  Node2VecConfig cfg;
+  cfg.walk_length = 10;
+  cfg.walks_per_node = 2;
+  Rng rng(13);
+  const auto walks = GenerateWalks(g, cfg, rng);
+  EXPECT_EQ(walks.size(), static_cast<size_t>(10 * 2));
+  for (const auto& walk : walks) {
+    EXPECT_GE(walk.size(), 2u);
+    for (size_t i = 1; i < walk.size(); ++i) {
+      EXPECT_TRUE(g.HasEdge(walk[i - 1], walk[i]))
+          << walk[i - 1] << " -> " << walk[i];
+    }
+  }
+}
+
+TEST(WalksTest, IsolatedNodesProduceNoWalks) {
+  graph::Graph g(3);
+  g.AddEdge(0, 1);
+  Node2VecConfig cfg;
+  cfg.walks_per_node = 1;
+  Rng rng(14);
+  const auto walks = GenerateWalks(g, cfg, rng);
+  EXPECT_EQ(walks.size(), 2u);  // node 2 is isolated
+}
+
+TEST(WalksTest, LowPEncouragesBacktracking) {
+  // On a long path graph, p << 1 makes returning to the previous node
+  // much more likely, producing walks that revisit nodes more often.
+  graph::Graph g(30);
+  for (int i = 0; i + 1 < 30; ++i) g.AddEdge(i, i + 1);
+  auto revisit_rate = [&](double p) {
+    Node2VecConfig cfg;
+    cfg.p = p;
+    cfg.q = 1.0;
+    cfg.walk_length = 20;
+    cfg.walks_per_node = 4;
+    Rng rng(15);
+    const auto walks = GenerateWalks(g, cfg, rng);
+    double revisits = 0, steps = 0;
+    for (const auto& walk : walks) {
+      for (size_t i = 2; i < walk.size(); ++i) {
+        revisits += walk[i] == walk[i - 2] ? 1 : 0;
+        steps += 1;
+      }
+    }
+    return revisits / steps;
+  };
+  EXPECT_GT(revisit_rate(0.05), revisit_rate(10.0) + 0.1);
+}
+
+TEST(Node2VecTest, RejectsBadInput) {
+  EXPECT_FALSE(TrainNode2Vec(graph::Graph(0), Node2VecConfig{}).ok());
+  graph::Graph g(2);
+  g.AddEdge(0, 1);
+  Node2VecConfig bad;
+  bad.dim = 0;
+  EXPECT_FALSE(TrainNode2Vec(g, bad).ok());
+}
+
+TEST(Node2VecTest, CommunityStructureInEmbeddings) {
+  graph::Graph g = TwoCliques();
+  Node2VecConfig cfg;
+  cfg.dim = 16;
+  cfg.walks_per_node = 8;
+  cfg.walk_length = 20;
+  cfg.epochs = 3;
+  auto emb = TrainNode2Vec(g, cfg);
+  ASSERT_TRUE(emb.ok());
+  EXPECT_EQ(emb->num_nodes(), 10);
+  EXPECT_EQ(emb->dim, 16);
+
+  // Average intra-clique similarity must exceed inter-clique similarity.
+  double intra = 0, inter = 0;
+  int n_intra = 0, n_inter = 0;
+  for (int i = 0; i < 10; ++i) {
+    for (int j = i + 1; j < 10; ++j) {
+      const double s = emb->Cosine(i, j);
+      if ((i < 5) == (j < 5)) {
+        intra += s;
+        ++n_intra;
+      } else {
+        inter += s;
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_GT(intra / n_intra, inter / n_inter + 0.1);
+}
+
+TEST(Node2VecTest, DeterministicForSeed) {
+  graph::Graph g = TwoCliques();
+  Node2VecConfig cfg;
+  cfg.dim = 8;
+  auto a = TrainNode2Vec(g, cfg);
+  auto b = TrainNode2Vec(g, cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int v = 0; v < 10; ++v) {
+    for (int d = 0; d < 8; ++d) {
+      EXPECT_FLOAT_EQ((*a)[v][d], (*b)[v][d]);
+    }
+  }
+}
+
+TEST(Node2VecTest, EmbeddingsAreFinite) {
+  graph::Graph g = TwoCliques();
+  Node2VecConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 4;
+  auto emb = TrainNode2Vec(g, cfg);
+  ASSERT_TRUE(emb.ok());
+  for (int v = 0; v < emb->num_nodes(); ++v) {
+    for (float x : (*emb)[v]) EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+}  // namespace
+}  // namespace tpr::node2vec

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "graph/path_utils.h"
+#include "graph/shortest_path.h"
+
+#include "synth/city_generator.h"
+#include "synth/dataset.h"
+#include "synth/gps.h"
+#include "synth/presets.h"
+#include "synth/traffic_model.h"
+#include "synth/weak_labels.h"
+
+namespace tpr::synth {
+namespace {
+
+constexpr int64_t kHourS = 3600;
+constexpr int64_t kDayS = 24 * kHourS;
+
+CityConfig SmallCity() {
+  CityConfig cfg;
+  cfg.grid_width = 8;
+  cfg.grid_height = 8;
+  cfg.seed = 5;
+  return cfg;
+}
+
+// BFS reachability over directed edges.
+int CountReachable(const graph::RoadNetwork& net, int start, bool forward) {
+  std::vector<char> seen(net.num_nodes(), 0);
+  std::queue<int> q;
+  q.push(start);
+  seen[start] = 1;
+  int count = 1;
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (int eid : forward ? net.OutEdges(u) : net.InEdges(u)) {
+      const int v = forward ? net.edge(eid).to : net.edge(eid).from;
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++count;
+        q.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(CityGeneratorTest, RejectsDegenerateGrid) {
+  CityConfig cfg;
+  cfg.grid_width = 2;
+  EXPECT_FALSE(GenerateCity(cfg).ok());
+}
+
+TEST(CityGeneratorTest, ProducesStronglyConnectedNetwork) {
+  auto net = GenerateCity(SmallCity());
+  ASSERT_TRUE(net.ok());
+  EXPECT_EQ(net->num_nodes(), 64);
+  EXPECT_GT(net->num_edges(), 100);
+  EXPECT_EQ(CountReachable(*net, 0, true), net->num_nodes());
+  EXPECT_EQ(CountReachable(*net, 0, false), net->num_nodes());
+}
+
+TEST(CityGeneratorTest, ContainsRoadHierarchy) {
+  auto net = GenerateCity(SmallCity());
+  ASSERT_TRUE(net.ok());
+  std::set<graph::RoadType> types;
+  for (const auto& e : net->edges()) types.insert(e.road_type);
+  EXPECT_TRUE(types.count(graph::RoadType::kHighway));
+  EXPECT_TRUE(types.count(graph::RoadType::kPrimary));
+  EXPECT_TRUE(types.count(graph::RoadType::kResidential));
+}
+
+TEST(CityGeneratorTest, DeterministicForSeed) {
+  auto a = GenerateCity(SmallCity());
+  auto b = GenerateCity(SmallCity());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->num_edges(), b->num_edges());
+  for (int e = 0; e < a->num_edges(); ++e) {
+    EXPECT_EQ(a->edge(e).from, b->edge(e).from);
+    EXPECT_EQ(a->edge(e).road_type, b->edge(e).road_type);
+  }
+}
+
+TEST(CityGeneratorTest, ZonesOrderedByDistanceFromCenter) {
+  auto net = GenerateCity(SmallCity());
+  ASSERT_TRUE(net.ok());
+  std::set<int> zones;
+  for (const auto& e : net->edges()) zones.insert(e.zone);
+  EXPECT_GE(zones.size(), 2u);
+  for (const auto& e : net->edges()) {
+    EXPECT_GE(e.zone, 0);
+    EXPECT_LE(e.zone, 2);
+  }
+}
+
+class TrafficModelTest : public ::testing::Test {
+ protected:
+  TrafficModelTest() {
+    auto net = GenerateCity(SmallCity());
+    network_ = std::make_shared<graph::RoadNetwork>(std::move(*net));
+    model_ = std::make_unique<TrafficModel>(network_.get(), TrafficConfig{});
+  }
+
+  std::shared_ptr<graph::RoadNetwork> network_;
+  std::unique_ptr<TrafficModel> model_;
+};
+
+TEST_F(TrafficModelTest, PeakSlowerThanOffPeak) {
+  // Monday 08:00 (peak) vs Monday 12:00 (off-peak).
+  const double peak = 8 * kHourS;
+  const double noon = 12.5 * kHourS;
+  for (int e = 0; e < std::min(20, network_->num_edges()); ++e) {
+    EXPECT_LE(model_->CongestionMultiplier(e, peak),
+              model_->CongestionMultiplier(e, noon));
+  }
+}
+
+TEST_F(TrafficModelTest, WeekendMilderThanWeekday) {
+  const double mon8 = 8 * kHourS;
+  const double sat8 = 5 * kDayS + 8 * kHourS;
+  EXPECT_GT(model_->CityCongestionIndex(mon8),
+            model_->CityCongestionIndex(sat8));
+}
+
+TEST_F(TrafficModelTest, MultiplierBounded) {
+  for (int e = 0; e < std::min(30, network_->num_edges()); ++e) {
+    for (double t = 0; t < 7 * kDayS; t += 3601.0) {
+      const double m = model_->CongestionMultiplier(e, t);
+      EXPECT_GT(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+  }
+}
+
+TEST_F(TrafficModelTest, TravelTimePositiveAndAdditive) {
+  // A longer path takes longer; per-edge times are positive.
+  const int e = 0;
+  EXPECT_GT(model_->TravelTime(e, 0.0), 0.0);
+  graph::Path one = {network_->OutEdges(0)[0]};
+  const double t1 = model_->PathTravelTime(one, 0.0);
+  EXPECT_GT(t1, 0.0);
+}
+
+TEST_F(TrafficModelTest, FifoProperty) {
+  // Departing later never yields an earlier arrival (needed by the
+  // time-dependent Dijkstra). Sampled over edges and times.
+  for (int e = 0; e < std::min(10, network_->num_edges()); ++e) {
+    for (double t = 6 * kHourS; t < 10 * kHourS; t += 600.0) {
+      const double arrive1 = t + model_->TravelTime(e, t);
+      const double t2 = t + 300.0;
+      const double arrive2 = t2 + model_->TravelTime(e, t2);
+      EXPECT_LE(arrive1, arrive2 + 1e-6);
+    }
+  }
+}
+
+TEST_F(TrafficModelTest, HigherClassRoadsAreFaster) {
+  EXPECT_GT(BaseSpeedForType(graph::RoadType::kHighway),
+            BaseSpeedForType(graph::RoadType::kPrimary));
+  EXPECT_GT(BaseSpeedForType(graph::RoadType::kPrimary),
+            BaseSpeedForType(graph::RoadType::kResidential));
+}
+
+TEST(WeakLabelTest, PopLabelWindows) {
+  // Monday 08:00 -> morning peak.
+  EXPECT_EQ(PopWeakLabel(8 * kHourS), kMorningPeak);
+  // Monday 17:00 -> afternoon peak.
+  EXPECT_EQ(PopWeakLabel(17 * kHourS), kAfternoonPeak);
+  // Monday 12:00 -> off peak.
+  EXPECT_EQ(PopWeakLabel(12 * kHourS), kOffPeak);
+  // Saturday 08:00 -> off peak (weekend).
+  EXPECT_EQ(PopWeakLabel(5 * kDayS + 8 * kHourS), kOffPeak);
+  // Negative times wrap.
+  EXPECT_EQ(PopWeakLabel(8 * kHourS - 7 * kDayS), kMorningPeak);
+}
+
+TEST(WeakLabelTest, TciLevelsOrdered) {
+  auto net = GenerateCity(SmallCity());
+  auto network = std::make_shared<graph::RoadNetwork>(std::move(*net));
+  TrafficModel model(network.get(), TrafficConfig{});
+  // Peak center should have a strictly higher level than free flow.
+  const int peak = TciWeakLabel(model, 8 * kHourS);
+  const int night = TciWeakLabel(model, 3 * kHourS);
+  EXPECT_GT(peak, night);
+  EXPECT_EQ(night, 0);
+  EXPECT_LT(peak, kNumTciLabels);
+}
+
+TEST(WeakLabelTest, SchemeDispatch) {
+  auto net = GenerateCity(SmallCity());
+  auto network = std::make_shared<graph::RoadNetwork>(std::move(*net));
+  TrafficModel model(network.get(), TrafficConfig{});
+  EXPECT_EQ(NumWeakLabels(WeakLabelScheme::kPeakOffPeak), 3);
+  EXPECT_EQ(NumWeakLabels(WeakLabelScheme::kCongestionIndex), 4);
+  EXPECT_EQ(WeakLabelFor(WeakLabelScheme::kPeakOffPeak, model, 8 * kHourS),
+            kMorningPeak);
+}
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  DatasetTest() {
+    auto preset = AalborgPreset();
+    ScaleDataset(preset, 0.15);
+    auto ds = BuildPresetDataset(preset);
+    EXPECT_TRUE(ds.ok()) << ds.status().ToString();
+    data_ = std::make_unique<CityDataset>(std::move(*ds));
+  }
+
+  std::unique_ptr<CityDataset> data_;
+};
+
+TEST_F(DatasetTest, AllPathsValid) {
+  for (const auto& s : data_->unlabeled) {
+    EXPECT_TRUE(data_->network->ValidatePath(s.path).ok());
+  }
+  for (const auto& s : data_->labeled) {
+    EXPECT_TRUE(data_->network->ValidatePath(s.path).ok());
+  }
+}
+
+TEST_F(DatasetTest, LabelsWellFormed) {
+  for (const auto& s : data_->labeled) {
+    EXPECT_GT(s.travel_time_s, 0.0);
+    EXPECT_GE(s.rank_score, 0.0);
+    EXPECT_LE(s.rank_score, 1.0);
+    EXPECT_GE(s.group, 0);
+  }
+}
+
+TEST_F(DatasetTest, EachGroupHasExactlyOneRecommendedTopRankedPath) {
+  std::map<int, int> recommended_per_group;
+  std::map<int, double> best_score;
+  for (const auto& s : data_->labeled) {
+    recommended_per_group[s.group] += s.recommended;
+    best_score[s.group] = std::max(best_score[s.group], s.rank_score);
+    if (s.recommended) EXPECT_DOUBLE_EQ(s.rank_score, 1.0);
+  }
+  for (const auto& [g, count] : recommended_per_group) {
+    EXPECT_EQ(count, 1) << "group " << g;
+    EXPECT_DOUBLE_EQ(best_score[g], 1.0) << "group " << g;
+  }
+}
+
+TEST_F(DatasetTest, UnlabeledPathsRepeatAcrossDepartures) {
+  // departures_per_trajectory > 1 means the same path appears with
+  // multiple departure times (the raw material for WSC positives).
+  std::map<graph::Path, std::set<int64_t>> departures;
+  for (const auto& s : data_->unlabeled) {
+    departures[s.path].insert(s.depart_time_s);
+  }
+  int repeated = 0;
+  for (const auto& [path, times] : departures) {
+    if (times.size() >= 2) ++repeated;
+  }
+  EXPECT_GT(repeated, 0);
+}
+
+TEST_F(DatasetTest, PeakTravelSlowerOnAverage) {
+  // Use the deterministic model (not the noisy observations): the same
+  // path must be slower at 8am Monday than 3am Monday.
+  const auto& s = data_->unlabeled.front();
+  const double peak = data_->traffic->PathTravelTime(s.path, 8 * kHourS);
+  const double night = data_->traffic->PathTravelTime(s.path, 3 * kHourS);
+  EXPECT_GT(peak, night);
+}
+
+TEST(DepartureSamplerTest, PeakFractionRespected) {
+  DatasetConfig cfg;
+  cfg.peak_demand_fraction = 1.0;
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const int64_t t = SampleDepartureTime(cfg, rng);
+    EXPECT_NE(PopWeakLabel(t), kOffPeak);
+  }
+}
+
+TEST(PresetTest, AllPresetsBuild) {
+  for (auto preset : AllPresets()) {
+    ScaleDataset(preset, 0.08);
+    auto ds = BuildPresetDataset(preset);
+    EXPECT_TRUE(ds.ok()) << preset.name << ": " << ds.status().ToString();
+    EXPECT_FALSE(ds->unlabeled.empty());
+    EXPECT_FALSE(ds->labeled.empty());
+  }
+}
+
+TEST(GpsTest, TraceFollowsPath) {
+  auto net = GenerateCity(SmallCity());
+  auto network = std::make_shared<graph::RoadNetwork>(std::move(*net));
+  TrafficModel model(network.get(), TrafficConfig{});
+  // Build a real path via shortest path.
+  auto sp = graph::ShortestPath(*network, 0, network->num_nodes() - 1,
+                                [&](int e) { return network->edge(e).length_m; });
+  ASSERT_TRUE(sp.ok());
+  GpsConfig gps;
+  gps.noise_m = 5.0;
+  Rng rng(4);
+  auto trace = SynthesizeTrace(*network, model, sp->edges, 0.0, gps, rng);
+  ASSERT_GT(trace.size(), 2u);
+  // Timestamps increase.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].t, trace[i - 1].t);
+  }
+}
+
+TEST(GpsTest, MapMatchRecoversMostOfThePath) {
+  auto net = GenerateCity(SmallCity());
+  auto network = std::make_shared<graph::RoadNetwork>(std::move(*net));
+  TrafficModel model(network.get(), TrafficConfig{});
+  auto sp = graph::ShortestPath(*network, 0, network->num_nodes() - 1,
+                                [&](int e) { return network->edge(e).length_m; });
+  ASSERT_TRUE(sp.ok());
+  GpsConfig gps;
+  gps.noise_m = 8.0;
+  gps.sample_interval_s = 10.0;
+  Rng rng(4);
+  auto trace = SynthesizeTrace(*network, model, sp->edges, 0.0, gps, rng);
+  auto matched = MapMatch(*network, trace, gps);
+  ASSERT_TRUE(matched.ok()) << matched.status().ToString();
+  EXPECT_TRUE(network->ValidatePath(*matched).ok());
+  // The matched path shares a majority of edges with the true path.
+  const int shared = graph::SharedEdgeCount(*matched, sp->edges);
+  EXPECT_GE(shared, static_cast<int>(sp->edges.size()) / 2);
+}
+
+TEST(GpsTest, MapMatchEmptyTraceFails) {
+  auto net = GenerateCity(SmallCity());
+  auto network = std::make_shared<graph::RoadNetwork>(std::move(*net));
+  EXPECT_FALSE(MapMatch(*network, {}, GpsConfig{}).ok());
+}
+
+// Property sweep: observed travel times stay within a plausible factor of
+// the deterministic model across presets.
+class DatasetNoiseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DatasetNoiseTest, ObservationsNearModel) {
+  auto presets = AllPresets();
+  auto preset = presets[GetParam()];
+  ScaleDataset(preset, 0.08);
+  auto ds = BuildPresetDataset(preset);
+  ASSERT_TRUE(ds.ok());
+  for (const auto& s : ds->labeled) {
+    const double model_time = ds->traffic->PathTravelTime(
+        s.path, static_cast<double>(s.depart_time_s));
+    EXPECT_GT(s.travel_time_s, model_time * 0.5);
+    EXPECT_LT(s.travel_time_s, model_time * 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCities, DatasetNoiseTest,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace tpr::synth

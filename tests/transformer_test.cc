@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+
+namespace tpr::nn {
+namespace {
+
+// Finite-difference gradient check (shared pattern with nn_test).
+void CheckGradient(Var param, const std::function<Var()>& loss_fn,
+                   float tolerance = 5e-2f) {
+  Var loss = loss_fn();
+  param.ZeroGrad();
+  loss.Backward();
+  Tensor analytic = param.grad();
+  ASSERT_FALSE(analytic.empty());
+  const float eps = 1e-3f;
+  Tensor& value = param.mutable_value();
+  for (size_t i = 0; i < value.size(); ++i) {
+    const float original = value[i];
+    value[i] = original + eps;
+    const float up = loss_fn().scalar();
+    value[i] = original - eps;
+    const float down = loss_fn().scalar();
+    value[i] = original;
+    const float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tolerance * std::max(1.0f, std::fabs(numeric)))
+        << "element " << i;
+  }
+}
+
+TEST(SelfAttentionTest, OutputShape) {
+  Rng rng(41);
+  SelfAttention attn(6, 4, rng);
+  Var x = UniformParam(5, 6, 0.5f, rng);
+  Var y = attn.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 4);
+}
+
+TEST(SelfAttentionTest, GradientCheck) {
+  Rng rng(42);
+  SelfAttention attn(3, 3, rng);
+  Var x = UniformParam(4, 3, 0.5f, rng);
+  CheckGradient(x, [&] { return Sum(attn.Forward(x)); });
+  for (auto& p : attn.Parameters()) {
+    CheckGradient(p, [&] { return Sum(attn.Forward(x)); });
+  }
+}
+
+TEST(SelfAttentionTest, PermutationEquivariantWithoutPositions) {
+  // Pure self-attention treats the sequence as a set: permuting the rows
+  // of the input permutes the rows of the output.
+  Rng rng(43);
+  SelfAttention attn(3, 3, rng);
+  Var x = UniformParam(3, 3, 0.5f, rng);
+  Var y = attn.Forward(x);
+
+  // Swap rows 0 and 2 of the input.
+  Tensor swapped = x.value();
+  for (int j = 0; j < 3; ++j) {
+    std::swap(swapped.at(0, j), swapped.at(2, j));
+  }
+  Var y2 = attn.Forward(Var::Leaf(swapped));
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(y.value().at(0, j), y2.value().at(2, j), 1e-5);
+    EXPECT_NEAR(y.value().at(2, j), y2.value().at(0, j), 1e-5);
+    EXPECT_NEAR(y.value().at(1, j), y2.value().at(1, j), 1e-5);
+  }
+}
+
+TEST(TransformerBlockTest, ShapePreservingAndBounded) {
+  Rng rng(44);
+  TransformerBlock block(8, 16, rng);
+  Var x = UniformParam(6, 8, 0.5f, rng);
+  Var y = block.Forward(x);
+  EXPECT_EQ(y.rows(), 6);
+  EXPECT_EQ(y.cols(), 8);
+  for (size_t i = 0; i < y.value().size(); ++i) {
+    EXPECT_LE(std::fabs(y.value()[i]), 1.0f);  // tanh-bounded
+  }
+}
+
+TEST(TransformerEncoderTest, PositionsBreakPermutationInvariance) {
+  // Unlike bare attention, the encoder adds position encodings: the same
+  // multiset of edge vectors in a different order yields different output.
+  Rng rng(45);
+  TransformerEncoder enc(4, 8, 1, rng);
+  Var x = UniformParam(3, 4, 0.5f, rng);
+  Tensor reversed = x.value();
+  for (int j = 0; j < 4; ++j) std::swap(reversed.at(0, j), reversed.at(2, j));
+  Var a = enc.Forward(x);
+  Var b = enc.Forward(Var::Leaf(reversed));
+  // Mean-aggregated outputs differ.
+  Var ma = RowMean(a);
+  Var mb = RowMean(b);
+  double diff = 0;
+  for (int j = 0; j < 8; ++j) {
+    diff += std::fabs(ma.value()[j] - mb.value()[j]);
+  }
+  EXPECT_GT(diff, 1e-4);
+}
+
+TEST(TransformerEncoderTest, TrainsOnToyObjective) {
+  // Regress the mean of the first input column from the aggregated
+  // encoder output; loss should drop.
+  Rng rng(46);
+  TransformerEncoder enc(2, 8, 1, rng);
+  Linear head(8, 1, rng);
+  std::vector<Var> params = enc.Parameters();
+  auto hp = head.Parameters();
+  params.insert(params.end(), hp.begin(), hp.end());
+  Adam opt(params, 0.01f);
+
+  auto make_example = [&](float target) {
+    Tensor x(4, 2);
+    for (int i = 0; i < 4; ++i) {
+      x.at(i, 0) = target + static_cast<float>(rng.Gaussian(0, 0.05));
+      x.at(i, 1) = static_cast<float>(rng.Gaussian());
+    }
+    return x;
+  };
+  auto epoch = [&]() {
+    float total = 0;
+    for (float target : {-0.5f, 0.0f, 0.5f}) {
+      Var x = Var::Leaf(make_example(target));
+      Var pred = head.Forward(RowMean(enc.Forward(x)));
+      Var loss = MseLoss(pred, Tensor::RowVector({target}));
+      opt.ZeroGrad();
+      loss.Backward();
+      opt.Step();
+      total += loss.scalar();
+    }
+    return total / 3;
+  };
+  const float first = epoch();
+  float last = first;
+  for (int e = 0; e < 60; ++e) last = epoch();
+  EXPECT_LT(last, first * 0.5f);
+}
+
+// Property sweep: encoder output is finite for varying sequence lengths.
+class TransformerLengthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformerLengthTest, FiniteOutputs) {
+  Rng rng(47);
+  TransformerEncoder enc(4, 8, 2, rng);
+  Var x = UniformParam(GetParam(), 4, 0.5f, rng);
+  Var y = enc.Forward(x);
+  EXPECT_EQ(y.rows(), GetParam());
+  for (size_t i = 0; i < y.value().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.value()[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, TransformerLengthTest,
+                         ::testing::Values(1, 2, 8, 32));
+
+}  // namespace
+}  // namespace tpr::nn
