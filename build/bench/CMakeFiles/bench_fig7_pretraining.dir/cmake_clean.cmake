@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_pretraining.dir/fig7_pretraining.cc.o"
+  "CMakeFiles/bench_fig7_pretraining.dir/fig7_pretraining.cc.o.d"
+  "bench_fig7_pretraining"
+  "bench_fig7_pretraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_pretraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

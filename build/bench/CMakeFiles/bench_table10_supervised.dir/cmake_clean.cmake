@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_supervised.dir/table10_supervised.cc.o"
+  "CMakeFiles/bench_table10_supervised.dir/table10_supervised.cc.o.d"
+  "bench_table10_supervised"
+  "bench_table10_supervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_supervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_metasets.dir/table12_metasets.cc.o"
+  "CMakeFiles/bench_table12_metasets.dir/table12_metasets.cc.o.d"
+  "bench_table12_metasets"
+  "bench_table12_metasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_metasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

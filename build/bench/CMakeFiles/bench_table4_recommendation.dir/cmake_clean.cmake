@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_recommendation.dir/table4_recommendation.cc.o"
+  "CMakeFiles/bench_table4_recommendation.dir/table4_recommendation.cc.o.d"
+  "bench_table4_recommendation"
+  "bench_table4_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

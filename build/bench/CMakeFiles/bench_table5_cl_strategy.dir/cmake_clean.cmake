@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_cl_strategy.dir/table5_cl_strategy.cc.o"
+  "CMakeFiles/bench_table5_cl_strategy.dir/table5_cl_strategy.cc.o.d"
+  "bench_table5_cl_strategy"
+  "bench_table5_cl_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_cl_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_weak_labels.dir/table7_weak_labels.cc.o"
+  "CMakeFiles/bench_table7_weak_labels.dir/table7_weak_labels.cc.o.d"
+  "bench_table7_weak_labels"
+  "bench_table7_weak_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_weak_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_temporal.dir/table8_temporal.cc.o"
+  "CMakeFiles/bench_table8_temporal.dir/table8_temporal.cc.o.d"
+  "bench_table8_temporal"
+  "bench_table8_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/curriculum_inspect.dir/curriculum_inspect.cpp.o"
+  "CMakeFiles/curriculum_inspect.dir/curriculum_inspect.cpp.o.d"
+  "curriculum_inspect"
+  "curriculum_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/curriculum_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

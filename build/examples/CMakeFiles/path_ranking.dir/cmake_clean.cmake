@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_ranking.dir/path_ranking.cpp.o"
+  "CMakeFiles/path_ranking.dir/path_ranking.cpp.o.d"
+  "path_ranking"
+  "path_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_time_estimation.dir/travel_time_estimation.cpp.o"
+  "CMakeFiles/travel_time_estimation.dir/travel_time_estimation.cpp.o.d"
+  "travel_time_estimation"
+  "travel_time_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_time_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

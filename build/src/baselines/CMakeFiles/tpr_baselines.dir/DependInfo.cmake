@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bert_path.cc" "src/baselines/CMakeFiles/tpr_baselines.dir/bert_path.cc.o" "gcc" "src/baselines/CMakeFiles/tpr_baselines.dir/bert_path.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/tpr_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/tpr_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/dgi.cc" "src/baselines/CMakeFiles/tpr_baselines.dir/dgi.cc.o" "gcc" "src/baselines/CMakeFiles/tpr_baselines.dir/dgi.cc.o.d"
+  "/root/repo/src/baselines/gcn_tte.cc" "src/baselines/CMakeFiles/tpr_baselines.dir/gcn_tte.cc.o" "gcc" "src/baselines/CMakeFiles/tpr_baselines.dir/gcn_tte.cc.o.d"
+  "/root/repo/src/baselines/gmi.cc" "src/baselines/CMakeFiles/tpr_baselines.dir/gmi.cc.o" "gcc" "src/baselines/CMakeFiles/tpr_baselines.dir/gmi.cc.o.d"
+  "/root/repo/src/baselines/infograph.cc" "src/baselines/CMakeFiles/tpr_baselines.dir/infograph.cc.o" "gcc" "src/baselines/CMakeFiles/tpr_baselines.dir/infograph.cc.o.d"
+  "/root/repo/src/baselines/memory_bank.cc" "src/baselines/CMakeFiles/tpr_baselines.dir/memory_bank.cc.o" "gcc" "src/baselines/CMakeFiles/tpr_baselines.dir/memory_bank.cc.o.d"
+  "/root/repo/src/baselines/node2vec_path.cc" "src/baselines/CMakeFiles/tpr_baselines.dir/node2vec_path.cc.o" "gcc" "src/baselines/CMakeFiles/tpr_baselines.dir/node2vec_path.cc.o.d"
+  "/root/repo/src/baselines/pim.cc" "src/baselines/CMakeFiles/tpr_baselines.dir/pim.cc.o" "gcc" "src/baselines/CMakeFiles/tpr_baselines.dir/pim.cc.o.d"
+  "/root/repo/src/baselines/supervised.cc" "src/baselines/CMakeFiles/tpr_baselines.dir/supervised.cc.o" "gcc" "src/baselines/CMakeFiles/tpr_baselines.dir/supervised.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tpr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/tpr_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/tpr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/node2vec/CMakeFiles/tpr_node2vec.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_baselines.dir/bert_path.cc.o"
+  "CMakeFiles/tpr_baselines.dir/bert_path.cc.o.d"
+  "CMakeFiles/tpr_baselines.dir/common.cc.o"
+  "CMakeFiles/tpr_baselines.dir/common.cc.o.d"
+  "CMakeFiles/tpr_baselines.dir/dgi.cc.o"
+  "CMakeFiles/tpr_baselines.dir/dgi.cc.o.d"
+  "CMakeFiles/tpr_baselines.dir/gcn_tte.cc.o"
+  "CMakeFiles/tpr_baselines.dir/gcn_tte.cc.o.d"
+  "CMakeFiles/tpr_baselines.dir/gmi.cc.o"
+  "CMakeFiles/tpr_baselines.dir/gmi.cc.o.d"
+  "CMakeFiles/tpr_baselines.dir/infograph.cc.o"
+  "CMakeFiles/tpr_baselines.dir/infograph.cc.o.d"
+  "CMakeFiles/tpr_baselines.dir/memory_bank.cc.o"
+  "CMakeFiles/tpr_baselines.dir/memory_bank.cc.o.d"
+  "CMakeFiles/tpr_baselines.dir/node2vec_path.cc.o"
+  "CMakeFiles/tpr_baselines.dir/node2vec_path.cc.o.d"
+  "CMakeFiles/tpr_baselines.dir/pim.cc.o"
+  "CMakeFiles/tpr_baselines.dir/pim.cc.o.d"
+  "CMakeFiles/tpr_baselines.dir/supervised.cc.o"
+  "CMakeFiles/tpr_baselines.dir/supervised.cc.o.d"
+  "libtpr_baselines.a"
+  "libtpr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

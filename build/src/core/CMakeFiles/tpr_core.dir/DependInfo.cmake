@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/curriculum.cc" "src/core/CMakeFiles/tpr_core.dir/curriculum.cc.o" "gcc" "src/core/CMakeFiles/tpr_core.dir/curriculum.cc.o.d"
+  "/root/repo/src/core/encoder.cc" "src/core/CMakeFiles/tpr_core.dir/encoder.cc.o" "gcc" "src/core/CMakeFiles/tpr_core.dir/encoder.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/core/CMakeFiles/tpr_core.dir/features.cc.o" "gcc" "src/core/CMakeFiles/tpr_core.dir/features.cc.o.d"
+  "/root/repo/src/core/wsc_loss.cc" "src/core/CMakeFiles/tpr_core.dir/wsc_loss.cc.o" "gcc" "src/core/CMakeFiles/tpr_core.dir/wsc_loss.cc.o.d"
+  "/root/repo/src/core/wsc_trainer.cc" "src/core/CMakeFiles/tpr_core.dir/wsc_trainer.cc.o" "gcc" "src/core/CMakeFiles/tpr_core.dir/wsc_trainer.cc.o.d"
+  "/root/repo/src/core/wsccl.cc" "src/core/CMakeFiles/tpr_core.dir/wsccl.cc.o" "gcc" "src/core/CMakeFiles/tpr_core.dir/wsccl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tpr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/node2vec/CMakeFiles/tpr_node2vec.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/tpr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_core.dir/curriculum.cc.o"
+  "CMakeFiles/tpr_core.dir/curriculum.cc.o.d"
+  "CMakeFiles/tpr_core.dir/encoder.cc.o"
+  "CMakeFiles/tpr_core.dir/encoder.cc.o.d"
+  "CMakeFiles/tpr_core.dir/features.cc.o"
+  "CMakeFiles/tpr_core.dir/features.cc.o.d"
+  "CMakeFiles/tpr_core.dir/wsc_loss.cc.o"
+  "CMakeFiles/tpr_core.dir/wsc_loss.cc.o.d"
+  "CMakeFiles/tpr_core.dir/wsc_trainer.cc.o"
+  "CMakeFiles/tpr_core.dir/wsc_trainer.cc.o.d"
+  "CMakeFiles/tpr_core.dir/wsccl.cc.o"
+  "CMakeFiles/tpr_core.dir/wsccl.cc.o.d"
+  "libtpr_core.a"
+  "libtpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/downstream.cc" "src/eval/CMakeFiles/tpr_eval.dir/downstream.cc.o" "gcc" "src/eval/CMakeFiles/tpr_eval.dir/downstream.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/tpr_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/tpr_eval.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gbdt/CMakeFiles/tpr_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/tpr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_eval.dir/downstream.cc.o"
+  "CMakeFiles/tpr_eval.dir/downstream.cc.o.d"
+  "CMakeFiles/tpr_eval.dir/metrics.cc.o"
+  "CMakeFiles/tpr_eval.dir/metrics.cc.o.d"
+  "libtpr_eval.a"
+  "libtpr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbdt/gradient_boosting.cc" "src/gbdt/CMakeFiles/tpr_gbdt.dir/gradient_boosting.cc.o" "gcc" "src/gbdt/CMakeFiles/tpr_gbdt.dir/gradient_boosting.cc.o.d"
+  "/root/repo/src/gbdt/tree.cc" "src/gbdt/CMakeFiles/tpr_gbdt.dir/tree.cc.o" "gcc" "src/gbdt/CMakeFiles/tpr_gbdt.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_gbdt.dir/gradient_boosting.cc.o"
+  "CMakeFiles/tpr_gbdt.dir/gradient_boosting.cc.o.d"
+  "CMakeFiles/tpr_gbdt.dir/tree.cc.o"
+  "CMakeFiles/tpr_gbdt.dir/tree.cc.o.d"
+  "libtpr_gbdt.a"
+  "libtpr_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

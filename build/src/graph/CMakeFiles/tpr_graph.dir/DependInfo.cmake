@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/tpr_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/tpr_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/path_utils.cc" "src/graph/CMakeFiles/tpr_graph.dir/path_utils.cc.o" "gcc" "src/graph/CMakeFiles/tpr_graph.dir/path_utils.cc.o.d"
+  "/root/repo/src/graph/road_network.cc" "src/graph/CMakeFiles/tpr_graph.dir/road_network.cc.o" "gcc" "src/graph/CMakeFiles/tpr_graph.dir/road_network.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "src/graph/CMakeFiles/tpr_graph.dir/shortest_path.cc.o" "gcc" "src/graph/CMakeFiles/tpr_graph.dir/shortest_path.cc.o.d"
+  "/root/repo/src/graph/temporal_graph.cc" "src/graph/CMakeFiles/tpr_graph.dir/temporal_graph.cc.o" "gcc" "src/graph/CMakeFiles/tpr_graph.dir/temporal_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_graph.dir/graph.cc.o"
+  "CMakeFiles/tpr_graph.dir/graph.cc.o.d"
+  "CMakeFiles/tpr_graph.dir/path_utils.cc.o"
+  "CMakeFiles/tpr_graph.dir/path_utils.cc.o.d"
+  "CMakeFiles/tpr_graph.dir/road_network.cc.o"
+  "CMakeFiles/tpr_graph.dir/road_network.cc.o.d"
+  "CMakeFiles/tpr_graph.dir/shortest_path.cc.o"
+  "CMakeFiles/tpr_graph.dir/shortest_path.cc.o.d"
+  "CMakeFiles/tpr_graph.dir/temporal_graph.cc.o"
+  "CMakeFiles/tpr_graph.dir/temporal_graph.cc.o.d"
+  "libtpr_graph.a"
+  "libtpr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_nn.dir/autograd.cc.o"
+  "CMakeFiles/tpr_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/tpr_nn.dir/modules.cc.o"
+  "CMakeFiles/tpr_nn.dir/modules.cc.o.d"
+  "CMakeFiles/tpr_nn.dir/optimizer.cc.o"
+  "CMakeFiles/tpr_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/tpr_nn.dir/tensor.cc.o"
+  "CMakeFiles/tpr_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/tpr_nn.dir/transformer.cc.o"
+  "CMakeFiles/tpr_nn.dir/transformer.cc.o.d"
+  "libtpr_nn.a"
+  "libtpr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

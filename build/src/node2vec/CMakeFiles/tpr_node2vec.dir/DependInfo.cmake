@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node2vec/alias.cc" "src/node2vec/CMakeFiles/tpr_node2vec.dir/alias.cc.o" "gcc" "src/node2vec/CMakeFiles/tpr_node2vec.dir/alias.cc.o.d"
+  "/root/repo/src/node2vec/node2vec.cc" "src/node2vec/CMakeFiles/tpr_node2vec.dir/node2vec.cc.o" "gcc" "src/node2vec/CMakeFiles/tpr_node2vec.dir/node2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_node2vec.dir/alias.cc.o"
+  "CMakeFiles/tpr_node2vec.dir/alias.cc.o.d"
+  "CMakeFiles/tpr_node2vec.dir/node2vec.cc.o"
+  "CMakeFiles/tpr_node2vec.dir/node2vec.cc.o.d"
+  "libtpr_node2vec.a"
+  "libtpr_node2vec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_node2vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/city_generator.cc" "src/synth/CMakeFiles/tpr_synth.dir/city_generator.cc.o" "gcc" "src/synth/CMakeFiles/tpr_synth.dir/city_generator.cc.o.d"
+  "/root/repo/src/synth/dataset.cc" "src/synth/CMakeFiles/tpr_synth.dir/dataset.cc.o" "gcc" "src/synth/CMakeFiles/tpr_synth.dir/dataset.cc.o.d"
+  "/root/repo/src/synth/gps.cc" "src/synth/CMakeFiles/tpr_synth.dir/gps.cc.o" "gcc" "src/synth/CMakeFiles/tpr_synth.dir/gps.cc.o.d"
+  "/root/repo/src/synth/io.cc" "src/synth/CMakeFiles/tpr_synth.dir/io.cc.o" "gcc" "src/synth/CMakeFiles/tpr_synth.dir/io.cc.o.d"
+  "/root/repo/src/synth/presets.cc" "src/synth/CMakeFiles/tpr_synth.dir/presets.cc.o" "gcc" "src/synth/CMakeFiles/tpr_synth.dir/presets.cc.o.d"
+  "/root/repo/src/synth/traffic_model.cc" "src/synth/CMakeFiles/tpr_synth.dir/traffic_model.cc.o" "gcc" "src/synth/CMakeFiles/tpr_synth.dir/traffic_model.cc.o.d"
+  "/root/repo/src/synth/weak_labels.cc" "src/synth/CMakeFiles/tpr_synth.dir/weak_labels.cc.o" "gcc" "src/synth/CMakeFiles/tpr_synth.dir/weak_labels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

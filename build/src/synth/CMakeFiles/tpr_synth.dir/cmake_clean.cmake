@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_synth.dir/city_generator.cc.o"
+  "CMakeFiles/tpr_synth.dir/city_generator.cc.o.d"
+  "CMakeFiles/tpr_synth.dir/dataset.cc.o"
+  "CMakeFiles/tpr_synth.dir/dataset.cc.o.d"
+  "CMakeFiles/tpr_synth.dir/gps.cc.o"
+  "CMakeFiles/tpr_synth.dir/gps.cc.o.d"
+  "CMakeFiles/tpr_synth.dir/io.cc.o"
+  "CMakeFiles/tpr_synth.dir/io.cc.o.d"
+  "CMakeFiles/tpr_synth.dir/presets.cc.o"
+  "CMakeFiles/tpr_synth.dir/presets.cc.o.d"
+  "CMakeFiles/tpr_synth.dir/traffic_model.cc.o"
+  "CMakeFiles/tpr_synth.dir/traffic_model.cc.o.d"
+  "CMakeFiles/tpr_synth.dir/weak_labels.cc.o"
+  "CMakeFiles/tpr_synth.dir/weak_labels.cc.o.d"
+  "libtpr_synth.a"
+  "libtpr_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_util.dir/logging.cc.o"
+  "CMakeFiles/tpr_util.dir/logging.cc.o.d"
+  "CMakeFiles/tpr_util.dir/rng.cc.o"
+  "CMakeFiles/tpr_util.dir/rng.cc.o.d"
+  "CMakeFiles/tpr_util.dir/status.cc.o"
+  "CMakeFiles/tpr_util.dir/status.cc.o.d"
+  "CMakeFiles/tpr_util.dir/table_printer.cc.o"
+  "CMakeFiles/tpr_util.dir/table_printer.cc.o.d"
+  "libtpr_util.a"
+  "libtpr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
