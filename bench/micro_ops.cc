@@ -26,6 +26,69 @@ void BM_MatMulForward(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMulForward)->Arg(32)->Arg(64)->Arg(128);
 
+nn::Tensor RandomTensor(int rows, int cols, Rng& rng) {
+  std::vector<float> data(static_cast<size_t>(rows) * cols);
+  for (auto& v : data) v = static_cast<float>(rng.Gaussian());
+  return nn::Tensor::FromValues(rows, cols, std::move(data));
+}
+
+// The three accumulate kernels below are the backward-pass workhorses;
+// square n x n operands at sizes spanning sub-tile to multi-tile.
+void BM_MatMulAccumulate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  const nn::Tensor a = RandomTensor(n, n, rng);
+  const nn::Tensor b = RandomTensor(n, n, rng);
+  nn::Tensor out = RandomTensor(n, n, rng);
+  for (auto _ : state) {
+    nn::MatMulAccumulate(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MatMulAccumulate)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransAAccumulate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(12);
+  const nn::Tensor a = RandomTensor(n, n, rng);
+  const nn::Tensor b = RandomTensor(n, n, rng);
+  nn::Tensor out = RandomTensor(n, n, rng);
+  for (auto _ : state) {
+    nn::MatMulTransAAccumulate(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MatMulTransAAccumulate)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransBAccumulate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(13);
+  const nn::Tensor a = RandomTensor(n, n, rng);
+  const nn::Tensor b = RandomTensor(n, n, rng);
+  nn::Tensor out = RandomTensor(n, n, rng);
+  for (auto _ : state) {
+    nn::MatMulTransBAccumulate(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MatMulTransBAccumulate)->Arg(64)->Arg(128)->Arg(256);
+
+// Batch-loss assembly path: concatenating many small per-item losses.
+void BM_ConcatColsForward(benchmark::State& state) {
+  const int parts = static_cast<int>(state.range(0));
+  Rng rng(14);
+  std::vector<nn::Var> vars;
+  vars.reserve(parts);
+  for (int i = 0; i < parts; ++i) {
+    vars.push_back(nn::Var::Leaf(RandomTensor(1, 8, rng)));
+  }
+  for (auto _ : state) {
+    nn::NoGradGuard no_grad;
+    benchmark::DoNotOptimize(nn::ConcatCols(vars).value().data());
+  }
+}
+BENCHMARK(BM_ConcatColsForward)->Arg(16)->Arg(64)->Arg(256);
+
 void BM_LstmForwardBackward(benchmark::State& state) {
   const int steps = static_cast<int>(state.range(0));
   Rng rng(2);

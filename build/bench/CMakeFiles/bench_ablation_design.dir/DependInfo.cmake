@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/node2vec/CMakeFiles/tpr_node2vec.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/tpr_graph.dir/DependInfo.cmake"
   "/root/repo/build/src/nn/CMakeFiles/tpr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/tpr_par.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
   )
 

@@ -244,11 +244,12 @@ bench/CMakeFiles/bench_table8_temporal.dir/table8_temporal.cc.o: \
  /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/nn/transformer.h \
- /root/repo/src/core/wsc_loss.h /root/repo/src/nn/optimizer.h \
- /root/repo/src/synth/weak_labels.h /root/repo/src/eval/downstream.h \
- /root/repo/src/gbdt/gradient_boosting.h /root/repo/src/gbdt/tree.h \
- /root/repo/src/synth/presets.h /root/repo/src/synth/city_generator.h \
- /root/repo/src/util/stopwatch.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/core/wsc_loss.h /root/repo/src/nn/grad_accumulator.h \
+ /root/repo/src/nn/optimizer.h /root/repo/src/synth/weak_labels.h \
+ /root/repo/src/eval/downstream.h /root/repo/src/gbdt/gradient_boosting.h \
+ /root/repo/src/gbdt/tree.h /root/repo/src/synth/presets.h \
+ /root/repo/src/synth/city_generator.h /root/repo/src/util/stopwatch.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /root/repo/src/util/table_printer.h

@@ -244,8 +244,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/nn/transformer.h \
- /root/repo/src/core/wsc_loss.h /root/repo/src/nn/optimizer.h \
- /root/repo/src/synth/weak_labels.h /root/repo/src/eval/downstream.h \
- /root/repo/src/gbdt/gradient_boosting.h /root/repo/src/gbdt/tree.h \
- /root/repo/src/synth/presets.h /root/repo/src/synth/city_generator.h \
+ /root/repo/src/core/wsc_loss.h /root/repo/src/nn/grad_accumulator.h \
+ /root/repo/src/nn/optimizer.h /root/repo/src/synth/weak_labels.h \
+ /root/repo/src/eval/downstream.h /root/repo/src/gbdt/gradient_boosting.h \
+ /root/repo/src/gbdt/tree.h /root/repo/src/synth/presets.h \
+ /root/repo/src/synth/city_generator.h \
  /root/repo/src/util/table_printer.h

@@ -243,7 +243,7 @@ src/core/CMakeFiles/tpr_core.dir/wsccl.cc.o: /root/repo/src/core/wsccl.cc \
  /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/nn/transformer.h \
- /root/repo/src/core/wsc_loss.h /root/repo/src/nn/optimizer.h \
- /root/repo/src/synth/weak_labels.h /usr/include/c++/12/numeric \
- /usr/include/c++/12/bits/stl_numeric.h \
+ /root/repo/src/core/wsc_loss.h /root/repo/src/nn/grad_accumulator.h \
+ /root/repo/src/nn/optimizer.h /root/repo/src/synth/weak_labels.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h

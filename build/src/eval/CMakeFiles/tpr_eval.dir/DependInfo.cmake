@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/synth/CMakeFiles/tpr_synth.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
   "/root/repo/build/src/graph/CMakeFiles/tpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/tpr_par.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/nn/autograd.cc" "src/nn/CMakeFiles/tpr_nn.dir/autograd.cc.o" "gcc" "src/nn/CMakeFiles/tpr_nn.dir/autograd.cc.o.d"
+  "/root/repo/src/nn/grad_accumulator.cc" "src/nn/CMakeFiles/tpr_nn.dir/grad_accumulator.cc.o" "gcc" "src/nn/CMakeFiles/tpr_nn.dir/grad_accumulator.cc.o.d"
   "/root/repo/src/nn/modules.cc" "src/nn/CMakeFiles/tpr_nn.dir/modules.cc.o" "gcc" "src/nn/CMakeFiles/tpr_nn.dir/modules.cc.o.d"
   "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/tpr_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/tpr_nn.dir/optimizer.cc.o.d"
   "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/tpr_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/tpr_nn.dir/tensor.cc.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/tpr_nn.dir/autograd.cc.o"
   "CMakeFiles/tpr_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/tpr_nn.dir/grad_accumulator.cc.o"
+  "CMakeFiles/tpr_nn.dir/grad_accumulator.cc.o.d"
   "CMakeFiles/tpr_nn.dir/modules.cc.o"
   "CMakeFiles/tpr_nn.dir/modules.cc.o.d"
   "CMakeFiles/tpr_nn.dir/optimizer.cc.o"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpr_par.dir/thread_pool.cc.o"
+  "CMakeFiles/tpr_par.dir/thread_pool.cc.o.d"
+  "libtpr_par.a"
+  "libtpr_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpr_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtpr_par.a"
+)

@@ -20,6 +20,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/graph/CMakeFiles/tpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/tpr_par.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
   )
 

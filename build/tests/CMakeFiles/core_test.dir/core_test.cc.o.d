@@ -325,6 +325,7 @@ tests/CMakeFiles/core_test.dir/core_test.cc.o: \
  /root/repo/src/synth/traffic_model.h /root/repo/src/nn/modules.h \
  /root/repo/src/nn/autograd.h /root/repo/src/nn/tensor.h \
  /root/repo/src/util/logging.h /root/repo/src/nn/transformer.h \
- /root/repo/src/core/wsc_loss.h /root/repo/src/nn/optimizer.h \
- /root/repo/src/synth/weak_labels.h /root/repo/src/core/wsccl.h \
- /root/repo/src/synth/presets.h /root/repo/src/synth/city_generator.h
+ /root/repo/src/core/wsc_loss.h /root/repo/src/nn/grad_accumulator.h \
+ /root/repo/src/nn/optimizer.h /root/repo/src/synth/weak_labels.h \
+ /root/repo/src/core/wsccl.h /root/repo/src/synth/presets.h \
+ /root/repo/src/synth/city_generator.h

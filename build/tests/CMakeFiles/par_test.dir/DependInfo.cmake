@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/par_test.cc" "tests/CMakeFiles/par_test.dir/par_test.cc.o" "gcc" "tests/CMakeFiles/par_test.dir/par_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/tpr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/tpr_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/tpr_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/tpr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/node2vec/CMakeFiles/tpr_node2vec.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tpr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/par/CMakeFiles/tpr_par.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -17,3 +17,4 @@ include("/root/repo/build/tests/integration_test[1]_include.cmake")
 include("/root/repo/build/tests/transformer_test[1]_include.cmake")
 include("/root/repo/build/tests/io_test[1]_include.cmake")
 include("/root/repo/build/tests/nn_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/par_test[1]_include.cmake")

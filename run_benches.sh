@@ -13,4 +13,47 @@ for b in /root/repo/build/bench/bench_*; do
   "$b" >> "$out" 2>> "$log"
   echo "" >> "$out"
 done
+
+# ---- Data-parallel training timing ----
+# Times one pretraining bench at a reduced scale with TPR_THREADS=1 vs N
+# and records the wall-clock speedup. Override the bench, scale, or
+# thread count with TPR_TIMING_BENCH / TPR_TIMING_SCALE / TPR_THREADS.
+timing_bench=${TPR_TIMING_BENCH:-/root/repo/build/bench/bench_fig7_pretraining}
+timing_scale=${TPR_TIMING_SCALE:-0.2}
+timing_threads=${TPR_THREADS:-4}
+timing_json=/root/repo/BENCH_parallel_training.json
+if [ -x "$timing_bench" ]; then
+  echo "[suite] timing $(basename "$timing_bench") threads=1 vs $timing_threads" >> "$log"
+  t0=$(date +%s.%N)
+  TPR_BENCH_SCALE=$timing_scale TPR_THREADS=1 "$timing_bench" \
+    > /tmp/tpr_timing_t1.txt 2>> "$log"
+  t1=$(date +%s.%N)
+  TPR_BENCH_SCALE=$timing_scale TPR_THREADS=$timing_threads "$timing_bench" \
+    > /tmp/tpr_timing_tn.txt 2>> "$log"
+  t2=$(date +%s.%N)
+  # Training is designed to be bitwise identical for any thread count;
+  # record whether the two runs printed identical metric tables.
+  if cmp -s /tmp/tpr_timing_t1.txt /tmp/tpr_timing_tn.txt; then
+    identical=true
+  else
+    identical=false
+  fi
+  awk -v b="$(basename "$timing_bench")" -v s="$timing_scale" \
+      -v n="$timing_threads" -v t0="$t0" -v t1="$t1" -v t2="$t2" \
+      -v ident="$identical" 'BEGIN {
+    s1 = t1 - t0; sn = t2 - t1;
+    printf "{\n"
+    printf "  \"bench\": \"%s\",\n", b
+    printf "  \"scale\": %s,\n", s
+    printf "  \"threads\": %d,\n", n
+    printf "  \"seconds_threads1\": %.3f,\n", s1
+    printf "  \"seconds_threadsN\": %.3f,\n", sn
+    printf "  \"speedup\": %.3f,\n", (sn > 0 ? s1 / sn : 0)
+    printf "  \"identical_metrics\": %s\n", ident
+    printf "}\n"
+  }' > "$timing_json"
+  echo "[suite] wrote $timing_json" >> "$log"
+else
+  echo "[suite] timing bench $timing_bench missing; skipped" >> "$log"
+fi
 echo "[suite] done" >> "$log"

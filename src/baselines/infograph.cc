@@ -4,6 +4,7 @@
 
 #include "baselines/common.h"
 #include "nn/optimizer.h"
+#include "par/thread_pool.h"
 
 namespace tpr::baselines {
 
@@ -47,17 +48,21 @@ Status InfoGraphModel::Train() {
           std::min(order.size(), start + config_.batch_paths);
       if (end - start < 2) break;
 
-      std::vector<nn::Var> locals, globals;
-      for (size_t s = start; s < end; ++s) {
-        nn::Var l = LocalReps(pool[order[s]].path);
-        locals.push_back(l);
-        globals.push_back(global_proj_->Forward(nn::RowMean(l)));
-      }
+      // The per-path forward passes are independent (shared parameters
+      // are only read), so they fill fixed slots in parallel; the
+      // rng-coupled loss below stays sequential, keeping the result
+      // bitwise identical to the serial version.
+      const int b = static_cast<int>(end - start);
+      std::vector<nn::Var> locals(b), globals(b);
+      par::DefaultPool().ParallelFor(b, [&](int i) {
+        nn::Var l = LocalReps(pool[order[start + i]].path);
+        locals[i] = l;
+        globals[i] = global_proj_->Forward(nn::RowMean(l));
+      });
 
       // JSD MI estimator: positives (local_i of p, global of p), negatives
       // (local_i of p, global of q != p), subsampled per path.
       std::vector<nn::Var> losses;
-      const int b = static_cast<int>(locals.size());
       for (int p = 0; p < b; ++p) {
         const int rows = locals[p].rows();
         for (int s = 0; s < config_.locals_per_path; ++s) {

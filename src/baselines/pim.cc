@@ -6,6 +6,7 @@
 
 #include "baselines/common.h"
 #include "nn/optimizer.h"
+#include "par/thread_pool.h"
 
 namespace tpr::baselines {
 
@@ -53,10 +54,6 @@ Status PimModel::Train() {
       }
       if (view.size() < 2) view = anchor_path;
 
-      nn::Var anchor_locals = LocalReps(anchor_path);
-      nn::Var anchor = nn::RowMean(anchor_locals);
-      nn::Var positive = nn::RowMean(LocalReps(view));
-
       // Negatives sorted by length dissimilarity; select from the easy or
       // hard end according to training progress.
       std::vector<std::pair<double, int>> by_dissimilarity;
@@ -79,14 +76,30 @@ Status PimModel::Train() {
       }
       if (negatives.empty()) continue;
 
+      // All rng draws for this anchor (besides the JSD row below) are
+      // done; the forward passes only read shared parameters, so they
+      // run in parallel into fixed slots without changing the result.
+      const int num_neg = static_cast<int>(negatives.size());
+      nn::Var anchor_locals, positive_locals;
+      std::vector<nn::Var> neg_globals(num_neg);
+      par::DefaultPool().ParallelFor(num_neg + 2, [&](int t) {
+        if (t == 0) {
+          anchor_locals = LocalReps(anchor_path);
+        } else if (t == 1) {
+          positive_locals = LocalReps(view);
+        } else {
+          neg_globals[t - 2] =
+              nn::RowMean(LocalReps(pool[negatives[t - 2]].path));
+        }
+      });
+      nn::Var anchor = nn::RowMean(anchor_locals);
+      nn::Var positive = nn::RowMean(positive_locals);
+
       // Global InfoNCE with the single positive.
       const float inv_tau = 1.0f / config_.temperature;
       nn::Var pos_sim = nn::Scale(nn::CosineSim(anchor, positive), inv_tau);
       std::vector<nn::Var> sims = {pos_sim};
-      std::vector<nn::Var> neg_globals;
-      for (int j : negatives) {
-        nn::Var g = nn::RowMean(LocalReps(pool[j].path));
-        neg_globals.push_back(g);
+      for (const nn::Var& g : neg_globals) {
         sims.push_back(nn::Scale(nn::CosineSim(anchor, g), inv_tau));
       }
       nn::Var global_loss =
@@ -99,7 +112,7 @@ Status PimModel::Train() {
           rng_.UniformInt(static_cast<uint64_t>(anchor_locals.rows())));
       local_losses.push_back(nn::Softplus(nn::Scale(
           nn::Dot(anchor, nn::SliceRow(anchor_locals, r)), -1.0f)));
-      for (auto& g : neg_globals) {
+      for (const nn::Var& g : neg_globals) {
         local_losses.push_back(nn::Softplus(nn::Dot(anchor, g)));
       }
       nn::Var loss =

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/grad_accumulator.h"
 #include "nn/optimizer.h"
+#include "par/thread_pool.h"
 #include "util/logging.h"
 
 namespace tpr::baselines {
@@ -60,6 +62,21 @@ Status SupervisedBase::Train() {
   auto hp = HeadParameters();
   params.insert(params.end(), hp.begin(), hp.end());
   nn::Adam opt(params, config_.lr);
+  nn::GradAccumulator accumulator(params);
+
+  // One model replica per worker thread, lazily built, values re-synced
+  // from the master parameters once per minibatch. Sharding a batch into
+  // per-shard Sum losses reduced with 1/items reproduces the old
+  // Mean-loss gradient exactly, in fixed shard order, so training is
+  // bitwise identical for any thread count.
+  struct Replica {
+    std::unique_ptr<SupervisedBase> model;
+    std::vector<nn::Var> params;
+    uint64_t synced_step = 0;
+  };
+  par::ThreadPool& tp = par::DefaultPool();
+  std::vector<Replica> replicas(tp.num_threads());
+  uint64_t step = 0;
 
   std::vector<int> order = train_indices_;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
@@ -67,17 +84,44 @@ Status SupervisedBase::Train() {
     for (size_t start = 0; start < order.size(); start += config_.batch_size) {
       const size_t end =
           std::min(order.size(), start + config_.batch_size);
-      std::vector<nn::Var> losses;
-      for (size_t s = start; s < end; ++s) {
-        const auto& sample = labeled[order[s]];
-        const auto encoded =
-            encoder_->Encode(sample.path, sample.depart_time_s);
-        losses.push_back(SampleLoss(encoded.tpr, sample));
-      }
-      if (losses.empty()) continue;
-      nn::Var loss = nn::Mean(nn::ConcatCols(losses));
+      const int items = static_cast<int>(end - start);
+      if (items == 0) continue;
+      const int num_shards = std::min(4, items);
+      ++step;
+      accumulator.BeginBatch(num_shards);
+
+      tp.ParallelFor(num_shards, [&](int s) {
+        Replica& replica = replicas[par::WorkerIndex()];
+        if (replica.model == nullptr) {
+          replica.model = MakeReplica();
+          replica.params = replica.model->encoder_->Parameters();
+          auto rhp = replica.model->HeadParameters();
+          replica.params.insert(replica.params.end(), rhp.begin(), rhp.end());
+        }
+        replica.model->target_mean_ = target_mean_;
+        replica.model->target_std_ = target_std_;
+        if (replica.synced_step != step) {
+          nn::CopyParamValues(accumulator.params(), replica.params);
+          replica.synced_step = step;
+        }
+        const size_t lo = start + static_cast<size_t>(items) * s / num_shards;
+        const size_t hi =
+            start + static_cast<size_t>(items) * (s + 1) / num_shards;
+        std::vector<nn::Var> losses;
+        losses.reserve(hi - lo);
+        for (size_t i = lo; i < hi; ++i) {
+          const auto& sample = labeled[order[i]];
+          const auto encoded = replica.model->encoder_->Encode(
+              sample.path, sample.depart_time_s);
+          losses.push_back(replica.model->SampleLoss(encoded.tpr, sample));
+        }
+        nn::Var loss = nn::Sum(nn::ConcatCols(losses));
+        loss.Backward();
+        accumulator.CaptureShard(s, replica.params);
+      });
+
       opt.ZeroGrad();
-      loss.Backward();
+      accumulator.Reduce(1.0f / static_cast<float>(items));
       opt.ClipGradNorm(config_.grad_clip);
       opt.Step();
     }
@@ -124,6 +168,11 @@ double PathRankModel::HeadPredict(const nn::Var& tpr) const {
 
 std::vector<nn::Var> PathRankModel::HeadParameters() const {
   return head_->Parameters();
+}
+
+std::unique_ptr<SupervisedBase> PathRankModel::MakeReplica() const {
+  return std::make_unique<PathRankModel>(features_, std::vector<int>{},
+                                         config_);
 }
 
 // ---------------------------------------------------------------------------
@@ -184,6 +233,10 @@ std::vector<nn::Var> HmtrlModel::HeadParameters() const {
   return p;
 }
 
+std::unique_ptr<SupervisedBase> HmtrlModel::MakeReplica() const {
+  return std::make_unique<HmtrlModel>(features_, std::vector<int>{}, config_);
+}
+
 // ---------------------------------------------------------------------------
 // DeepGTT
 // ---------------------------------------------------------------------------
@@ -232,6 +285,11 @@ std::vector<nn::Var> DeepGttModel::HeadParameters() const {
   auto l = lambda_head_->Parameters();
   p.insert(p.end(), l.begin(), l.end());
   return p;
+}
+
+std::unique_ptr<SupervisedBase> DeepGttModel::MakeReplica() const {
+  return std::make_unique<DeepGttModel>(features_, std::vector<int>{},
+                                        config_);
 }
 
 }  // namespace tpr::baselines

@@ -59,6 +59,13 @@ class SupervisedBase : public PathRepresentationModel {
   virtual nn::Var SampleLoss(const nn::Var& tpr,
                              const synth::TemporalPathSample& sample) = 0;
 
+  /// Fresh instance of the same model (same features/config). Train()
+  /// keeps one replica per worker thread so minibatch shards can build
+  /// independent autograd graphs; replica parameter values are re-synced
+  /// from the master before each batch, so the construction seed is
+  /// irrelevant.
+  virtual std::unique_ptr<SupervisedBase> MakeReplica() const = 0;
+
   /// Raw head prediction in normalised space.
   virtual double HeadPredict(const nn::Var& tpr) const = 0;
 
@@ -99,6 +106,7 @@ class PathRankModel : public SupervisedBase {
                      const synth::TemporalPathSample& sample) override;
   double HeadPredict(const nn::Var& tpr) const override;
   std::vector<nn::Var> HeadParameters() const override;
+  std::unique_ptr<SupervisedBase> MakeReplica() const override;
 
  private:
   std::unique_ptr<nn::Mlp> head_;
@@ -119,6 +127,7 @@ class HmtrlModel : public SupervisedBase {
                      const synth::TemporalPathSample& sample) override;
   double HeadPredict(const nn::Var& tpr) const override;
   std::vector<nn::Var> HeadParameters() const override;
+  std::unique_ptr<SupervisedBase> MakeReplica() const override;
 
  private:
   std::unique_ptr<nn::Mlp> time_head_;
@@ -141,6 +150,7 @@ class DeepGttModel : public SupervisedBase {
   double HeadPredict(const nn::Var& tpr) const override;
   double Denormalize(double value) const override;
   std::vector<nn::Var> HeadParameters() const override;
+  std::unique_ptr<SupervisedBase> MakeReplica() const override;
 
  private:
   std::unique_ptr<nn::Mlp> mu_head_;

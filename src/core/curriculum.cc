@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/thread_pool.h"
 #include "util/logging.h"
 
 namespace tpr::core {
@@ -49,40 +50,53 @@ StatusOr<std::vector<ScoredSample>> EvaluateDifficulty(
   const int n = static_cast<int>(meta_sets.size());
   if (n == 0) return Status::InvalidArgument("no samples to score");
 
-  // Train one expert per meta-set.
-  std::vector<std::unique_ptr<WscModel>> experts;
-  experts.reserve(n);
-  for (int j = 0; j < n; ++j) {
+  // Train one expert per meta-set. Experts are fully independent (own
+  // seed, own optimizer, own data shard), so they train concurrently;
+  // each expert's construction and updates are deterministic functions
+  // of its config alone, so the result is thread-count invariant.
+  std::vector<std::unique_ptr<WscModel>> experts(n);
+  std::vector<Status> expert_status(n, Status::OK());
+  par::DefaultPool().ParallelFor(n, [&](int j) {
     WscConfig expert_config = wsc_config;
     expert_config.seed = wsc_config.seed + 1000 + j;
     expert_config.encoder.seed = wsc_config.encoder.seed + 1000 + j;
-    auto expert = std::make_unique<WscModel>(features, expert_config);
+    experts[j] = std::make_unique<WscModel>(features, expert_config);
     for (int epoch = 0; epoch < config.expert_epochs; ++epoch) {
-      auto loss = expert->TrainEpoch(meta_sets[j]);
-      if (!loss.ok()) return loss.status();
+      auto loss = experts[j]->TrainEpoch(meta_sets[j]);
+      if (!loss.ok()) {
+        expert_status[j] = loss.status();
+        return;
+      }
     }
-    experts.push_back(std::move(expert));
+  });
+  for (const auto& st : expert_status) {
+    if (!st.ok()) return st;
   }
 
   // Score every sample: sum of cosine similarities between its own
-  // expert's TPR and every other expert's TPR (Eq. 13).
-  std::vector<ScoredSample> scored;
-  scored.reserve(indices.size());
+  // expert's TPR and every other expert's TPR (Eq. 13). Encoding is a
+  // const forward pass, so samples score in parallel into fixed slots.
+  std::vector<std::pair<int, int>> todo;  // (meta-set, pool index)
+  todo.reserve(indices.size());
   for (int j = 0; j < n; ++j) {
-    for (int idx : meta_sets[j]) {
-      const auto& sample = data.unlabeled[idx];
-      const auto own =
-          experts[j]->Encode(sample.path, sample.depart_time_s);
-      double score = 0.0;
-      for (int k = 0; k < n; ++k) {
-        if (k == j) continue;
-        const auto other =
-            experts[k]->Encode(sample.path, sample.depart_time_s);
-        score += CosineOfVectors(own, other);
-      }
-      scored.push_back({idx, score});
-    }
+    for (int idx : meta_sets[j]) todo.emplace_back(j, idx);
   }
+  std::vector<ScoredSample> scored(todo.size());
+  par::DefaultPool().ParallelFor(
+      static_cast<int>(todo.size()), [&](int t) {
+        const auto [j, idx] = todo[t];
+        const auto& sample = data.unlabeled[idx];
+        const auto own =
+            experts[j]->Encode(sample.path, sample.depart_time_s);
+        double score = 0.0;
+        for (int k = 0; k < n; ++k) {
+          if (k == j) continue;
+          const auto other =
+              experts[k]->Encode(sample.path, sample.depart_time_s);
+          score += CosineOfVectors(own, other);
+        }
+        scored[t] = {idx, score};
+      });
   return scored;
 }
 

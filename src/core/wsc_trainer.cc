@@ -1,7 +1,10 @@
 #include "core/wsc_trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
+#include "par/thread_pool.h"
 #include "synth/dataset.h"
 #include "util/logging.h"
 
@@ -10,7 +13,9 @@ namespace tpr::core {
 int64_t SampleDepartureWithLabel(synth::WeakLabelScheme scheme, int label,
                                  const synth::TrafficModel& traffic,
                                  int64_t fallback, Rng& rng) {
-  synth::DatasetConfig demand;  // default demand mixture
+  // The default demand mixture is immutable; constructing it once saves
+  // an allocation per rejection-sampling call on the training hot path.
+  static const synth::DatasetConfig demand;
   for (int attempt = 0; attempt < 200; ++attempt) {
     const int64_t t = synth::SampleDepartureTime(demand, rng);
     if (synth::WeakLabelFor(scheme, traffic, t) == label) return t;
@@ -24,6 +29,8 @@ WscModel::WscModel(std::shared_ptr<const FeatureSpace> features,
   TPR_CHECK(features_ != nullptr);
   encoder_ = std::make_unique<TemporalPathEncoder>(features_, config_.encoder);
   optimizer_ = std::make_unique<nn::Adam>(encoder_->Parameters(), config_.lr);
+  accumulator_ =
+      std::make_unique<nn::GradAccumulator>(encoder_->Parameters());
 }
 
 int WscModel::WeakLabelOf(const synth::TemporalPathSample& sample) const {
@@ -42,59 +49,108 @@ StatusOr<double> WscModel::TrainEpoch(const std::vector<int>& indices) {
   std::vector<int> order = indices;
   rng_.Shuffle(order);
 
+  par::ThreadPool& tp = par::DefaultPool();
+  if (replicas_.size() < static_cast<size_t>(tp.num_threads())) {
+    replicas_.resize(tp.num_threads());
+  }
+
   double total_loss = 0.0;
   int batches = 0;
   const int anchors = std::max(2, config_.anchors_per_batch);
 
   for (size_t start = 0; start < order.size(); start += anchors) {
     const size_t end = std::min(order.size(), start + anchors);
-    if (end - start < 2) break;  // a lone anchor has no negatives
+    const int batch_anchors = static_cast<int>(end - start);
+    if (batch_anchors < 2) break;  // a lone anchor has no negatives
 
-    // Build the minibatch: each anchor plus one generated positive
-    // (same path, fresh departure time with the same weak label).
-    std::vector<BatchItem> batch;
-    batch.reserve(2 * (end - start));
-    for (size_t s = start; s < end; ++s) {
-      const auto& sample = pool[order[s]];
-      BatchItem anchor;
-      anchor.path = &sample.path;
-      anchor.depart_time_s = sample.depart_time_s;
-      anchor.weak_label = synth::WeakLabelFor(config_.weak_labels, traffic,
-                                              sample.depart_time_s);
-      BatchItem positive = anchor;
-      positive.depart_time_s = SampleDepartureWithLabel(
-          config_.weak_labels, anchor.weak_label, traffic,
-          sample.depart_time_s, rng_);
-      batch.push_back(anchor);
-      batch.push_back(positive);
-    }
+    // Shard structure: contiguous anchor ranges of near-equal size,
+    // at least 2 anchors each so every shard can form positives AND
+    // negatives. Depends only on the batch, never on the thread count.
+    const int num_shards =
+        std::clamp(config_.grad_shards, 1, batch_anchors / 2);
+    ++step_;
+    accumulator_->BeginBatch(num_shards);
+    std::vector<double> shard_losses(num_shards,
+                                     std::numeric_limits<double>::quiet_NaN());
 
-    // Forward pass.
-    for (auto& item : batch) {
-      item.encoded = encoder_->Encode(*item.path, item.depart_time_s);
-    }
+    tp.ParallelFor(num_shards, [&](int s) {
+      Replica& replica = replicas_[par::WorkerIndex()];
+      if (replica.encoder == nullptr) {
+        replica.encoder =
+            std::make_unique<TemporalPathEncoder>(features_, config_.encoder);
+        replica.params = replica.encoder->Parameters();
+      }
+      if (replica.synced_step != step_) {
+        nn::CopyParamValues(accumulator_->params(), replica.params);
+        replica.synced_step = step_;
+      }
+      // Independent deterministic RNG stream per (batch, shard).
+      Rng shard_rng(MixSeed(MixSeed(config_.seed, step_),
+                            static_cast<uint64_t>(s)));
 
-    // Joint objective (Eq. 12), as a minimisation.
-    std::vector<nn::Var> parts;
-    if (config_.use_global) {
-      nn::Var g = GlobalWscLoss(batch, config_.loss);
-      if (g.defined()) parts.push_back(nn::Scale(g, config_.lambda));
-    }
-    if (config_.use_local) {
-      nn::Var l = LocalWscLoss(batch, config_.loss, rng_);
-      if (l.defined()) parts.push_back(nn::Scale(l, 1.0f - config_.lambda));
-    }
-    if (parts.empty()) continue;
-    nn::Var loss = parts.size() == 1
-                       ? parts[0]
-                       : nn::Sum(nn::ConcatCols(parts));
+      // Build the shard: each anchor plus one generated positive (same
+      // path, fresh departure time with the same weak label).
+      const size_t lo = start + static_cast<size_t>(batch_anchors) * s /
+                                    num_shards;
+      const size_t hi = start + static_cast<size_t>(batch_anchors) *
+                                    (s + 1) / num_shards;
+      std::vector<BatchItem> batch;
+      batch.reserve(2 * (hi - lo));
+      for (size_t i = lo; i < hi; ++i) {
+        const auto& sample = pool[order[i]];
+        BatchItem anchor;
+        anchor.path = &sample.path;
+        anchor.depart_time_s = sample.depart_time_s;
+        anchor.weak_label = synth::WeakLabelFor(config_.weak_labels, traffic,
+                                                sample.depart_time_s);
+        BatchItem positive = anchor;
+        positive.depart_time_s = SampleDepartureWithLabel(
+            config_.weak_labels, anchor.weak_label, traffic,
+            sample.depart_time_s, shard_rng);
+        batch.push_back(anchor);
+        batch.push_back(positive);
+      }
 
+      // Forward pass on this worker's replica graph.
+      for (auto& item : batch) {
+        item.encoded =
+            replica.encoder->Encode(*item.path, item.depart_time_s);
+      }
+
+      // Joint objective (Eq. 12), as a minimisation.
+      std::vector<nn::Var> parts;
+      if (config_.use_global) {
+        nn::Var g = GlobalWscLoss(batch, config_.loss);
+        if (g.defined()) parts.push_back(nn::Scale(g, config_.lambda));
+      }
+      if (config_.use_local) {
+        nn::Var l = LocalWscLoss(batch, config_.loss, shard_rng);
+        if (l.defined()) parts.push_back(nn::Scale(l, 1.0f - config_.lambda));
+      }
+      if (parts.empty()) return;
+      nn::Var loss =
+          parts.size() == 1 ? parts[0] : nn::Sum(nn::ConcatCols(parts));
+
+      loss.Backward();
+      accumulator_->CaptureShard(s, replica.params);
+      shard_losses[s] = loss.scalar();
+    });
+
+    const int defined = accumulator_->captured();
+    if (defined == 0) continue;
+
+    // Deterministic reduction (fixed shard order), then one Adam step on
+    // the shared parameters.
     optimizer_->ZeroGrad();
-    loss.Backward();
+    accumulator_->Reduce(1.0f / static_cast<float>(defined));
     optimizer_->ClipGradNorm(config_.grad_clip);
     optimizer_->Step();
 
-    total_loss += loss.scalar();
+    double batch_loss = 0.0;
+    for (double l : shard_losses) {
+      if (!std::isnan(l)) batch_loss += l;
+    }
+    total_loss += batch_loss / defined;
     ++batches;
   }
   if (batches == 0) return Status::Internal("no batches were formed");

@@ -6,6 +6,7 @@
 
 #include "core/encoder.h"
 #include "core/wsc_loss.h"
+#include "nn/grad_accumulator.h"
 #include "nn/optimizer.h"
 #include "synth/weak_labels.h"
 
@@ -31,6 +32,15 @@ struct WscConfig {
   /// Ablation switches (Table VI).
   bool use_global = true;
   bool use_local = true;
+
+  /// Data-parallel shards per minibatch. Each shard is a contiguous
+  /// group of anchors (plus their generated positives) whose contrastive
+  /// loss and backward pass run as an independent autograd graph; shard
+  /// gradients are reduced in shard order before the single Adam step.
+  /// The shard structure is a pure function of the batch — never of the
+  /// thread count — so training is bitwise identical for any TPR_THREADS
+  /// value. Clamped so every shard keeps at least 2 anchors.
+  int grad_shards = 4;
 
   uint64_t seed = 7;
 };
@@ -66,10 +76,22 @@ class WscModel {
   const FeatureSpace& features() const { return *features_; }
 
  private:
+  /// Per-worker encoder replica used to build an independent autograd
+  /// graph per thread. Values are lazily re-synced from the master
+  /// parameters once per minibatch (they change at every Adam step).
+  struct Replica {
+    std::unique_ptr<TemporalPathEncoder> encoder;
+    std::vector<nn::Var> params;
+    uint64_t synced_step = 0;  // 0 = never synced
+  };
+
   std::shared_ptr<const FeatureSpace> features_;
   WscConfig config_;
   std::unique_ptr<TemporalPathEncoder> encoder_;
   std::unique_ptr<nn::Adam> optimizer_;
+  std::unique_ptr<nn::GradAccumulator> accumulator_;
+  std::vector<Replica> replicas_;
+  uint64_t step_ = 0;  // minibatch counter, seeds per-shard RNG streams
   Rng rng_;
 };
 

@@ -8,7 +8,9 @@ namespace tpr::nn {
 
 namespace {
 
-int g_no_grad_depth = 0;
+// Thread-local so that concurrent workers can build autograd graphs (or
+// run inference under NoGradGuard) without observing each other's mode.
+thread_local int g_no_grad_depth = 0;
 
 constexpr float kCosineEps = 1e-8f;
 
@@ -392,17 +394,18 @@ Var ConcatCols(const std::vector<Var>& parts) {
     TPR_CHECK(p.rows() == m);
     total += p.cols();
   }
-  Tensor out(m, total);
-  int offset = 0;
-  for (const auto& p : parts) {
-    const int n = p.cols();
-    for (int i = 0; i < m; ++i) {
-      const float* src = p.value().data() + static_cast<size_t>(i) * n;
-      float* dst = out.data() + static_cast<size_t>(i) * total + offset;
-      std::copy(src, src + n, dst);
+  // Build the result with a single reserved append pass instead of
+  // zero-filling an (m x total) tensor and overwriting it.
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(m) * total);
+  for (int i = 0; i < m; ++i) {
+    for (const auto& p : parts) {
+      const float* src =
+          p.value().data() + static_cast<size_t>(i) * p.cols();
+      data.insert(data.end(), src, src + p.cols());
     }
-    offset += n;
   }
+  Tensor out = Tensor::FromValues(m, total, std::move(data));
   std::vector<std::shared_ptr<internal::VarImpl>> impls;
   impls.reserve(parts.size());
   for (const auto& p : parts) impls.push_back(p.impl_ptr());
@@ -435,14 +438,15 @@ Var ConcatRows(const std::vector<Var>& parts) {
     TPR_CHECK(p.cols() == n);
     total += p.rows();
   }
-  Tensor out(total, n);
-  int offset = 0;
+  // Row stacking is a pure append in row-major layout; reserve once and
+  // skip the zero-fill of a fresh (total x n) tensor.
+  std::vector<float> data;
+  data.reserve(static_cast<size_t>(total) * n);
   for (const auto& p : parts) {
-    const size_t count = p.value().size();
-    std::copy(p.value().data(), p.value().data() + count,
-              out.data() + static_cast<size_t>(offset) * n);
-    offset += p.rows();
+    data.insert(data.end(), p.value().data(),
+                p.value().data() + p.value().size());
   }
+  Tensor out = Tensor::FromValues(total, n, std::move(data));
   std::vector<std::shared_ptr<internal::VarImpl>> impls;
   impls.reserve(parts.size());
   for (const auto& p : parts) impls.push_back(p.impl_ptr());

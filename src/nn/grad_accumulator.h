@@ -1,0 +1,56 @@
+#ifndef TPR_NN_GRAD_ACCUMULATOR_H_
+#define TPR_NN_GRAD_ACCUMULATOR_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace tpr::nn {
+
+/// Deterministic gradient reduction for data-parallel training.
+///
+/// Each minibatch is split into a fixed number of shards — a pure
+/// function of the batch, never of the thread count. Every worker runs
+/// forward + Backward() on a parameter *replica* (leaf Vars with the same
+/// layout as the master list), then hands its gradients to the slot of
+/// the shard it processed. Reduce() sums the slots into the master
+/// parameters' gradients in increasing shard order, so the reduced
+/// gradient is bitwise identical no matter how many threads ran the
+/// shards — including a single thread.
+class GradAccumulator {
+ public:
+  explicit GradAccumulator(std::vector<Var> master_params);
+
+  const std::vector<Var>& params() const { return master_; }
+
+  /// Prepares `num_shards` empty gradient slots for the next reduction.
+  void BeginBatch(int num_shards);
+
+  /// Moves the gradients accumulated on `replica_params` (same layout as
+  /// the master list) into slot `shard`, leaving the replica's gradients
+  /// cleared for its next shard. Safe to call concurrently for distinct
+  /// shard indices.
+  void CaptureShard(int shard, const std::vector<Var>& replica_params);
+
+  /// Number of slots filled since BeginBatch. Call only after all
+  /// CaptureShard calls of the batch have completed.
+  int captured() const;
+
+  /// master.grad += scale * sum over filled slots, iterating slots in
+  /// increasing index order. Does not zero the master gradients first;
+  /// pair with Optimizer::ZeroGrad().
+  void Reduce(float scale);
+
+ private:
+  std::vector<Var> master_;
+  std::vector<std::vector<Tensor>> shard_grads_;
+  std::vector<char> filled_;
+};
+
+/// Copies parameter values between two same-layout parameter lists (used
+/// to refresh per-worker replicas after each optimizer step).
+void CopyParamValues(const std::vector<Var>& from, std::vector<Var>& to);
+
+}  // namespace tpr::nn
+
+#endif  // TPR_NN_GRAD_ACCUMULATOR_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "node2vec/alias.h"
+#include "par/thread_pool.h"
 #include "util/logging.h"
 
 namespace tpr::node2vec {
@@ -46,43 +47,57 @@ std::vector<std::vector<int>> GenerateWalks(const graph::Graph& g,
     first_order[u] = AliasTable(w);
   }
 
-  std::vector<std::vector<int>> walks;
-  walks.reserve(static_cast<size_t>(n) * cfg.walks_per_node);
+  // Shuffles and per-walk seeds are drawn sequentially from the caller's
+  // rng, then the walks themselves — each on its own seeded stream —
+  // generate in parallel into fixed slots, so the output is identical
+  // for any thread count.
+  struct PendingWalk {
+    int start;
+    uint64_t seed;
+  };
+  std::vector<PendingWalk> pending;
+  pending.reserve(static_cast<size_t>(n) * cfg.walks_per_node);
   std::vector<int> starts(n);
   for (int i = 0; i < n; ++i) starts[i] = i;
-  std::vector<double> bias_weights;
-
   for (int r = 0; r < cfg.walks_per_node; ++r) {
     rng.Shuffle(starts);
     for (int start : starts) {
       if (g.Neighbors(start).empty()) continue;
-      std::vector<int> walk;
-      walk.reserve(cfg.walk_length);
-      walk.push_back(start);
-      int cur = start;
-      int prev = -1;
-      while (static_cast<int>(walk.size()) < cfg.walk_length) {
-        const auto& nbrs = g.Neighbors(cur);
-        if (nbrs.empty()) break;
-        int next;
-        if (prev < 0) {
-          next = nbrs[first_order[cur].Sample(rng)].first;
-        } else {
-          bias_weights.clear();
-          bias_weights.reserve(nbrs.size());
-          for (const auto& [v, weight] : nbrs) {
-            bias_weights.push_back(
-                BiasWeight(g, prev, v, cfg.p, cfg.q, weight));
-          }
-          next = nbrs[rng.SampleDiscrete(bias_weights)].first;
-        }
-        walk.push_back(next);
-        prev = cur;
-        cur = next;
-      }
-      walks.push_back(std::move(walk));
+      pending.push_back({start, rng.NextU64()});
     }
   }
+
+  std::vector<std::vector<int>> walks(pending.size());
+  par::DefaultPool().ParallelFor(
+      static_cast<int>(pending.size()), [&](int t) {
+        Rng walk_rng(pending[t].seed);
+        std::vector<double> bias_weights;
+        std::vector<int> walk;
+        walk.reserve(cfg.walk_length);
+        walk.push_back(pending[t].start);
+        int cur = pending[t].start;
+        int prev = -1;
+        while (static_cast<int>(walk.size()) < cfg.walk_length) {
+          const auto& nbrs = g.Neighbors(cur);
+          if (nbrs.empty()) break;
+          int next;
+          if (prev < 0) {
+            next = nbrs[first_order[cur].Sample(walk_rng)].first;
+          } else {
+            bias_weights.clear();
+            bias_weights.reserve(nbrs.size());
+            for (const auto& [v, weight] : nbrs) {
+              bias_weights.push_back(
+                  BiasWeight(g, prev, v, cfg.p, cfg.q, weight));
+            }
+            next = nbrs[walk_rng.SampleDiscrete(bias_weights)].first;
+          }
+          walk.push_back(next);
+          prev = cur;
+          cur = next;
+        }
+        walks[t] = std::move(walk);
+      });
   return walks;
 }
 

@@ -1,0 +1,147 @@
+#include "par/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace tpr::par {
+namespace {
+
+// Identity of the current thread inside a pool. The caller of a pool (or
+// any thread that never entered one) has index 0 and a null pool.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local int t_worker_index = 0;
+
+}  // namespace
+
+int WorkerIndex() { return t_worker_index; }
+
+int ConfiguredThreads() {
+  if (const char* s = std::getenv("TPR_THREADS")) {
+    const int v = std::atoi(s);
+    if (v >= 1) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+struct ThreadPool::ForState {
+  int n = 0;
+  const std::function<void(int)>* fn = nullptr;
+  std::atomic<int> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex m;
+  std::condition_variable done_cv;
+  int done = 0;  // iterations finished or skipped, guarded by m
+  std::exception_ptr error;  // first exception, guarded by m
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+bool ThreadPool::InsidePool() const { return t_pool == this; }
+
+void ThreadPool::Enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  t_pool = this;
+  t_worker_index = worker_index;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::RunForChunk(const std::shared_ptr<ForState>& state) {
+  int finished = 0;
+  std::exception_ptr error;
+  for (;;) {
+    const int i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->n) break;
+    if (!state->abort.load(std::memory_order_relaxed)) {
+      try {
+        (*state->fn)(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+        state->abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    ++finished;
+  }
+  if (finished > 0 || error) {
+    std::lock_guard<std::mutex> lock(state->m);
+    state->done += finished;
+    if (error && !state->error) state->error = error;
+    if (state->done == state->n) state->done_cv.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (InsidePool() || num_threads_ == 1 || n == 1) {
+    // Inline: either nested inside a pool task (spawning helpers could
+    // deadlock on a saturated queue) or there is nothing to fan out to.
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  state->fn = &fn;
+  const int helpers = std::min(num_threads_ - 1, n - 1);
+  for (int h = 0; h < helpers; ++h) {
+    Enqueue([state] { RunForChunk(state); });
+  }
+  RunForChunk(state);  // the caller works too, as slot 0
+  std::unique_lock<std::mutex> lock(state->m);
+  state->done_cv.wait(lock, [&] { return state->done == state->n; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+namespace {
+
+std::mutex g_default_pool_mu;
+std::unique_ptr<ThreadPool> g_default_pool;
+
+}  // namespace
+
+ThreadPool& DefaultPool() {
+  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  if (!g_default_pool) {
+    g_default_pool = std::make_unique<ThreadPool>(ConfiguredThreads());
+  }
+  return *g_default_pool;
+}
+
+void SetDefaultThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_default_pool_mu);
+  g_default_pool.reset();
+  g_default_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+}  // namespace tpr::par

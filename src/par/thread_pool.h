@@ -1,0 +1,93 @@
+#ifndef TPR_PAR_THREAD_POOL_H_
+#define TPR_PAR_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tpr::par {
+
+/// Worker slot of the calling thread: 0 for a pool's caller thread (and
+/// any thread outside a pool), 1..num_threads-1 for pool workers. Stable
+/// for the lifetime of the thread, so callers can index per-worker
+/// scratch state (e.g. model replicas) without locks.
+int WorkerIndex();
+
+/// Thread count requested via the TPR_THREADS environment variable,
+/// falling back to std::thread::hardware_concurrency(). Always >= 1.
+int ConfiguredThreads();
+
+/// A fixed-size FIFO thread pool (no work stealing). `num_threads`
+/// counts the caller: a pool of size N spawns N-1 background workers and
+/// the caller participates in ParallelFor. Tasks submitted from inside a
+/// pool worker run inline, which makes nested Submit/ParallelFor calls
+/// deadlock-free.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, n) across the pool and blocks until
+  /// all iterations finish. The caller executes iterations too. Indices
+  /// are claimed dynamically; each runs exactly once on exactly one
+  /// thread. The first exception thrown by fn is rethrown here (remaining
+  /// unclaimed iterations are skipped). Safe to call from inside a pool
+  /// task: it then runs the whole loop inline on the current thread.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// Enqueues a task and returns its future. When called from inside a
+  /// pool worker the task runs inline (nested-submit safety) and the
+  /// returned future is already ready.
+  template <typename F>
+  auto Submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    if (InsidePool()) {
+      (*task)();
+    } else {
+      Enqueue([task] { (*task)(); });
+    }
+    return fut;
+  }
+
+ private:
+  struct ForState;
+
+  /// True when the current thread is one of this pool's workers.
+  bool InsidePool() const;
+  void Enqueue(std::function<void()> job);
+  void WorkerLoop(int worker_index);
+  static void RunForChunk(const std::shared_ptr<ForState>& state);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool, lazily created with ConfiguredThreads()
+/// workers. All library parallel loops run on this pool so that one
+/// TPR_THREADS setting governs the whole process.
+ThreadPool& DefaultPool();
+
+/// Rebuilds the default pool with the given thread count. Test-only:
+/// must not race with running work on the old pool.
+void SetDefaultThreads(int num_threads);
+
+}  // namespace tpr::par
+
+#endif  // TPR_PAR_THREAD_POOL_H_

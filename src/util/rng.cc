@@ -47,6 +47,11 @@ double Rng::Gaussian() {
   return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
 }
 
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ (b * 0x9E3779B97F4A7C15ULL + 0x2545F4914F6CDD1DULL);
+  return SplitMix64(x);
+}
+
 size_t Rng::SampleDiscrete(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) total += w;

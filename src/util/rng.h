@@ -63,6 +63,12 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Deterministically mixes two 64-bit values into a well-distributed seed
+/// (splitmix64 finaliser). Used to derive independent per-item RNG
+/// streams — per shard, per trajectory, per walk — from one base seed, so
+/// parallel loops produce the same output for any thread count.
+uint64_t MixSeed(uint64_t a, uint64_t b);
+
 }  // namespace tpr
 
 #endif  // TPR_UTIL_RNG_H_

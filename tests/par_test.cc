@@ -1,0 +1,197 @@
+#include "par/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/wsc_trainer.h"
+#include "nn/autograd.h"
+#include "nn/grad_accumulator.h"
+#include "synth/presets.h"
+
+namespace tpr::par {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  int sum = 0;  // no atomics needed: everything runs on this thread
+  pool.ParallelFor(10, [&](int i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(3);
+  auto fut = pool.Submit([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesException) {
+  ThreadPool pool(3);
+  auto fut = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](int i) {
+                         if (i == 37) throw std::runtime_error("bad index");
+                       }),
+      std::runtime_error);
+  // The pool must stay usable after an aborted loop.
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(6 * 5);
+  pool.ParallelFor(6, [&](int i) {
+    pool.ParallelFor(5, [&](int j) { hits[i * 5 + j].fetch_add(1); });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmitRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](int i) {
+    auto fut = pool.Submit([i] { return i + 1; });
+    total.fetch_add(fut.get());
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPoolTest, WorkerIndexStaysWithinPoolBounds) {
+  ThreadPool pool(4);
+  EXPECT_EQ(WorkerIndex(), 0);  // caller thread
+  std::atomic<bool> in_bounds{true};
+  pool.ParallelFor(64, [&](int) {
+    const int w = WorkerIndex();
+    if (w < 0 || w >= pool.num_threads()) in_bounds = false;
+  });
+  EXPECT_TRUE(in_bounds.load());
+}
+
+TEST(ThreadPoolTest, ConfiguredThreadsIsPositive) {
+  EXPECT_GE(ConfiguredThreads(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// GradAccumulator
+// ---------------------------------------------------------------------------
+
+TEST(GradAccumulatorTest, ReduceSumsShardsInOrder) {
+  auto master = nn::Var::Leaf(nn::Tensor::RowVector({1.0f, 2.0f}), true);
+  nn::GradAccumulator acc({master});
+  acc.BeginBatch(3);
+
+  // Fill shards 2, 0 out of order; leave shard 1 empty (failed shard).
+  for (int shard : {2, 0}) {
+    auto replica = nn::Var::Leaf(nn::Tensor::RowVector({1.0f, 2.0f}), true);
+    auto loss = nn::Sum(nn::Scale(replica, static_cast<float>(shard + 1)));
+    loss.Backward();
+    acc.CaptureShard(shard, {replica});
+    // Capture moves the gradient out, leaving the replica reusable.
+    EXPECT_TRUE(replica.grad().empty());
+  }
+  EXPECT_EQ(acc.captured(), 2);
+
+  master.ZeroGrad();
+  acc.Reduce(0.5f);
+  // d(shard0)/dp = 1, d(shard2)/dp = 3; scaled by 0.5 -> 2.0 per element.
+  ASSERT_FALSE(master.grad().empty());
+  EXPECT_FLOAT_EQ(master.grad().at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(master.grad().at(0, 1), 2.0f);
+}
+
+TEST(GradAccumulatorTest, CopyParamValuesSyncsReplicas) {
+  auto master = nn::Var::Leaf(nn::Tensor::RowVector({3.0f, -1.0f}), true);
+  std::vector<nn::Var> replica = {
+      nn::Var::Leaf(nn::Tensor::RowVector({0.0f, 0.0f}), true)};
+  nn::CopyParamValues({master}, replica);
+  EXPECT_FLOAT_EQ(replica[0].value().at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(replica[0].value().at(0, 1), -1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: training must be bitwise identical for any
+// thread count because shard structure and rng streams never depend on
+// the thread count, and gradients reduce in fixed shard order.
+// ---------------------------------------------------------------------------
+
+class ParDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto preset = synth::AalborgPreset();
+    synth::ScaleDataset(preset, 0.1);
+    auto ds = synth::BuildPresetDataset(preset);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    auto data = std::make_shared<synth::CityDataset>(std::move(*ds));
+    core::FeatureConfig fc;
+    fc.temporal_graph.slots_per_day = 48;
+    fc.node2vec.walks_per_node = 2;
+    fc.node2vec.epochs = 1;
+    auto fs = core::BuildFeatureSpace(data, fc);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    features_ = new std::shared_ptr<const core::FeatureSpace>(
+        std::make_shared<const core::FeatureSpace>(std::move(*fs)));
+  }
+
+  static core::WscConfig TinyWsc() {
+    core::WscConfig cfg;
+    cfg.encoder.d_hidden = 16;
+    cfg.encoder.projection_dim = 8;
+    cfg.anchors_per_batch = 6;
+    return cfg;
+  }
+
+  static std::shared_ptr<const core::FeatureSpace>* features_;
+};
+
+std::shared_ptr<const core::FeatureSpace>* ParDeterminismTest::features_ =
+    nullptr;
+
+TEST_F(ParDeterminismTest, TrainEpochIsBitwiseIdenticalAcrossThreadCounts) {
+  std::vector<int> idx(24);
+  std::iota(idx.begin(), idx.end(), 0);
+
+  auto train = [&](int threads) {
+    SetDefaultThreads(threads);
+    core::WscModel model(*features_, TinyWsc());
+    auto loss = model.TrainEpoch(idx);
+    EXPECT_TRUE(loss.ok()) << loss.status().ToString();
+    std::vector<float> flat;
+    for (const auto& p : model.encoder().Parameters()) {
+      const auto& v = p.value();
+      flat.insert(flat.end(), v.data(), v.data() + v.size());
+    }
+    return std::make_pair(*loss, flat);
+  };
+
+  const auto [loss1, params1] = train(1);
+  const auto [loss4, params4] = train(4);
+  SetDefaultThreads(ConfiguredThreads());  // restore for other tests
+
+  EXPECT_EQ(loss1, loss4);  // exact, not approximate
+  ASSERT_EQ(params1.size(), params4.size());
+  for (size_t i = 0; i < params1.size(); ++i) {
+    ASSERT_EQ(params1[i], params4[i]) << "parameter element " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tpr::par
