@@ -5,9 +5,10 @@
 
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpr;
   using namespace tpr::bench;
+  Init(argc, argv);
 
   std::printf("Design ablation: aggregation and sequence model (Aalborg)\n");
   PreparedCity city = PrepareCity(synth::AalborgPreset());

@@ -62,9 +62,10 @@ std::vector<SeriesPoint> RunTask(const PreparedCity& city,
 }  // namespace
 }  // namespace tpr::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpr;
   using namespace tpr::bench;
+  Init(argc, argv);
 
   std::printf("Fig. 7: Effects of Pre-training (PathRank MAE vs #labels)\n");
   for (const auto& preset : synth::AllPresets()) {

@@ -5,19 +5,35 @@
 // bench binary regenerates one table or figure of the paper on the three
 // synthetic city datasets.
 //
+// Command-line flags (parsed by Init):
+//   --smoke          — tiny preset, few iterations: scales the datasets
+//                      down hard and shrinks the curriculum so the whole
+//                      binary finishes in seconds. CI runs every bench in
+//                      this mode and gates on the emitted metrics.
+//
 // Environment knobs:
 //   TPR_BENCH_SCALE  — scales dataset sizes (default 1.0; 0.5 halves).
 //   TPR_BENCH_SEED   — base seed offset for a different repetition.
+//   TPR_BENCH_JSON   — when set, a structured JSON record (bench name,
+//                      per-metric values, thread count, commit) is
+//                      written to this path at process exit.
+//   TPR_COMMIT       — commit id stamped into the JSON record (CI sets
+//                      this from GITHUB_SHA; empty otherwise).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/features.h"
 #include "core/wsccl.h"
 #include "eval/downstream.h"
+#include "obs/metrics.h"
+#include "par/thread_pool.h"
 #include "synth/presets.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -25,14 +41,108 @@
 
 namespace tpr::bench {
 
+/// Process-wide bench state (flags + collected metric records). Leaked
+/// so the atexit JSON writer can never observe a destroyed object.
+struct BenchState {
+  std::string name = "bench";  // basename of argv[0]
+  bool smoke = false;
+  Stopwatch wall;
+  std::mutex mu;
+  std::vector<std::pair<std::string, double>> records;
+};
+
+inline BenchState& State() {
+  static BenchState* s = new BenchState();
+  return *s;
+}
+
+/// True when running in --smoke mode.
+inline bool Smoke() { return State().smoke; }
+
+/// Records one named metric value. Safe from any thread. Records are
+/// always collected; the file is only written when TPR_BENCH_JSON is set.
+inline void Record(const std::string& metric, double value) {
+  BenchState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.records.emplace_back(metric, value);
+}
+
 inline double BenchScale() {
   const char* s = std::getenv("TPR_BENCH_SCALE");
-  return s != nullptr ? std::atof(s) : 1.0;
+  const double base = s != nullptr ? std::atof(s) : 1.0;
+  // Smoke mode shrinks whatever scale was requested by another 20x.
+  return Smoke() ? base * 0.05 : base;
 }
 
 inline uint64_t BenchSeedOffset() {
   const char* s = std::getenv("TPR_BENCH_SEED");
   return s != nullptr ? static_cast<uint64_t>(std::atoll(s)) : 0;
+}
+
+namespace internal {
+
+inline void WriteBenchJson(const char* path) {
+  BenchState& s = State();
+  const char* commit = std::getenv("TPR_COMMIT");
+  if (commit == nullptr) commit = std::getenv("GITHUB_SHA");
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::fprintf(f,
+               "{\n  \"bench\": \"%s\",\n  \"smoke\": %s,\n"
+               "  \"threads\": %d,\n  \"scale\": %.6g,\n"
+               "  \"commit\": \"%s\",\n  \"metrics\": {\n",
+               s.name.c_str(), s.smoke ? "true" : "false",
+               par::ConfiguredThreads(), BenchScale(),
+               commit != nullptr ? commit : "");
+  std::fprintf(f, "    \"wall_seconds\": %.6g", s.wall.ElapsedSeconds());
+  for (const auto& [metric, value] : s.records) {
+    std::fprintf(f, ",\n    \"%s\": %.17g", metric.c_str(), value);
+  }
+  if (s.smoke) {
+    // Work counters are machine-independent (unlike wall time), so they
+    // make tight regression-gate signals: an op-count jump is an
+    // algorithmic perf regression regardless of CI hardware.
+    std::fprintf(f, ",\n    \"nn.matmul_ops\": %llu",
+                 static_cast<unsigned long long>(
+                     obs::GetCounter("nn.matmul_ops").value()));
+    std::fprintf(f, ",\n    \"nn.adam_steps\": %llu",
+                 static_cast<unsigned long long>(
+                     obs::GetCounter("nn.adam_steps").value()));
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace internal
+
+/// Parses bench flags and arms the exit-time JSON record. Call first in
+/// every bench main().
+inline void Init(int argc, char** argv) {
+  BenchState& s = State();
+  if (argc > 0) {
+    const char* slash = std::strrchr(argv[0], '/');
+    s.name = slash != nullptr ? slash + 1 : argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      s.smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", s.name.c_str());
+      std::exit(2);
+    }
+  }
+  // Smoke runs always collect metrics so the JSON record can include op
+  // counters; full runs keep the zero-overhead default unless the user
+  // opts in via TPR_METRICS_OUT.
+  if (s.smoke) obs::SetMetricsEnabled(true);
+  s.wall.Restart();
+  if (std::getenv("TPR_BENCH_JSON") != nullptr) {
+    std::atexit([] { internal::WriteBenchJson(std::getenv("TPR_BENCH_JSON")); });
+  }
 }
 
 /// One fully prepared city: dataset + node2vec feature space.
@@ -42,11 +152,18 @@ struct PreparedCity {
   std::shared_ptr<const core::FeatureSpace> features;
 };
 
-/// Standard feature configuration used by every experiment.
+/// Standard feature configuration used by every experiment. Smoke mode
+/// coarsens the temporal graph and cheapens node2vec — feature building
+/// dominates a tiny run otherwise.
 inline core::FeatureConfig DefaultFeatureConfig() {
   core::FeatureConfig fc;
   fc.temporal_graph.slots_per_day = 96;  // 15-minute slots
   fc.node2vec.seed = 42 + BenchSeedOffset();
+  if (Smoke()) {
+    fc.temporal_graph.slots_per_day = 24;
+    fc.node2vec.walks_per_node = 2;
+    fc.node2vec.epochs = 1;
+  }
   return fc;
 }
 
@@ -55,6 +172,7 @@ inline core::FeatureConfig DefaultFeatureConfig() {
 inline PreparedCity PrepareCity(synth::CityPreset preset) {
   synth::ScaleDataset(preset, BenchScale());
   preset.data.seed += BenchSeedOffset();
+  Stopwatch sw;
   auto dataset = synth::BuildPresetDataset(preset);
   TPR_CHECK(dataset.ok()) << dataset.status().ToString();
   PreparedCity city;
@@ -64,16 +182,18 @@ inline PreparedCity PrepareCity(synth::CityPreset preset) {
   TPR_CHECK(features.ok()) << features.status().ToString();
   city.features =
       std::make_shared<const core::FeatureSpace>(std::move(*features));
+  Record(city.name + ".prepare_seconds", sw.ElapsedSeconds());
   return city;
 }
 
-/// All three cities in the paper's order.
+/// All three cities in the paper's order (just the first in smoke mode).
 inline std::vector<PreparedCity> PrepareAllCities() {
   std::vector<PreparedCity> cities;
   for (auto& preset : synth::AllPresets()) {
     std::fprintf(stderr, "[bench] preparing city %s...\n",
                  preset.name.c_str());
     cities.push_back(PrepareCity(preset));
+    if (Smoke()) break;
   }
   return cities;
 }
@@ -87,19 +207,30 @@ inline core::WsccalConfig DefaultWsccalConfig() {
   cfg.curriculum.expert_epochs = 1;
   cfg.stage_epochs = 1;
   cfg.final_epochs = 2;
+  if (Smoke()) {
+    cfg.curriculum.num_meta_sets = 2;
+    cfg.final_epochs = 1;
+  }
   return cfg;
 }
 
-/// Trains WSCCL (or a variant) and evaluates all downstream tasks.
+/// Trains WSCCL (or a variant) and evaluates all downstream tasks. The
+/// per-city training time, final loss, and headline scores land in the
+/// bench JSON record.
 inline eval::TaskScores TrainAndScoreWsccl(const PreparedCity& city,
                                            const core::WsccalConfig& config) {
+  Stopwatch sw;
   auto model = core::WsccalPipeline::Train(city.features, config);
   TPR_CHECK(model.ok()) << model.status().ToString();
+  Record(city.name + ".wsccl.train_seconds", sw.ElapsedSeconds());
+  Record(city.name + ".wsccl.final_loss", (*model)->final_loss());
   auto scores = eval::EvaluateTasks(
       *city.data, [&](const synth::TemporalPathSample& s) {
         return (*model)->Encode(s);
       });
   TPR_CHECK(scores.ok()) << scores.status().ToString();
+  Record(city.name + ".wsccl.tte_mae", scores->tte_mae);
+  Record(city.name + ".wsccl.pr_mae", scores->pr_mae);
   return *scores;
 }
 

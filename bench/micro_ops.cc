@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "gbdt/gradient_boosting.h"
 #include "nn/modules.h"
 #include "nn/optimizer.h"
@@ -139,3 +142,26 @@ BENCHMARK(BM_GbdtFit);
 
 }  // namespace
 }  // namespace tpr
+
+// Custom main instead of benchmark_main so the CI smoke runner can pass
+// the same --smoke flag it gives every other bench binary: smoke mode
+// caps per-benchmark measurement time so the full suite runs in seconds.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  static char min_time[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

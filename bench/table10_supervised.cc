@@ -29,9 +29,10 @@ eval::TaskScores RunVariant(const PreparedCity& city,
 }  // namespace
 }  // namespace tpr::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpr;
   using namespace tpr::bench;
+  Init(argc, argv);
 
   std::printf("Table X: Comparison with Supervised Methods\n");
   for (const auto& preset : synth::AllPresets()) {

@@ -109,9 +109,10 @@ CityResults RunCity(const PreparedCity& city) {
 }  // namespace
 }  // namespace tpr::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpr;
   using namespace tpr::bench;
+  Init(argc, argv);
 
   const auto cities = PrepareAllCities();
   std::vector<CityResults> all;

@@ -57,9 +57,10 @@ std::vector<std::pair<std::string, eval::TaskScores>> RunCity(
 }  // namespace
 }  // namespace tpr::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpr;
   using namespace tpr::bench;
+  Init(argc, argv);
 
   const auto cities = PrepareAllCities();
   std::printf("Table IV: Overall Performance on Path Recommendation\n");
@@ -71,8 +72,13 @@ int main() {
     all.push_back(RunCity(city));
   }
 
-  TablePrinter t({"Method", "Aalborg Acc", "Aalborg HR", "Harbin Acc",
-                  "Harbin HR", "Chengdu Acc", "Chengdu HR"});
+  // Header follows the cities actually prepared (smoke mode runs one).
+  std::vector<std::string> header = {"Method"};
+  for (const auto& city : cities) {
+    header.push_back(city.name + " Acc");
+    header.push_back(city.name + " HR");
+  }
+  TablePrinter t(std::move(header));
   const size_t num_methods = all[0].size();
   for (size_t m = 0; m < num_methods; ++m) {
     if (all[0][m].first == "WSCCL") t.AddSeparator();

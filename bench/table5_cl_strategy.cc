@@ -3,9 +3,10 @@
 
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpr;
   using namespace tpr::bench;
+  Init(argc, argv);
 
   std::printf("Table V: Effect of the CL Design Strategy\n");
   for (const auto& preset : synth::AllPresets()) {

@@ -3,9 +3,10 @@
 
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpr;
   using namespace tpr::bench;
+  Init(argc, argv);
 
   std::printf("Table VI: Effects of CL, Global Loss and Local Loss\n");
   for (const auto& preset : synth::AllPresets()) {

@@ -4,9 +4,10 @@
 
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpr;
   using namespace tpr::bench;
+  Init(argc, argv);
 
   std::printf("Table VII: Effect of Different Weak Labels\n");
   for (const auto& preset :

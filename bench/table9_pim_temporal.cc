@@ -6,9 +6,10 @@
 #include "baselines/pim.h"
 #include "harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tpr;
   using namespace tpr::bench;
+  Init(argc, argv);
 
   std::printf("Table IX: Comparison with Temporally Enhanced PIM\n");
   for (const auto& preset : synth::AllPresets()) {

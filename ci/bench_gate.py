@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Merge per-bench smoke JSON records and gate on perf regressions.
+
+Subcommands:
+
+  merge <dir> -o merged.json
+      Collects every *.json record written by the bench binaries
+      (TPR_BENCH_JSON) under <dir> into one {"records": [...]} document,
+      sorted by bench name so the artifact diffs cleanly.
+
+  check <merged.json> <baseline.json> [--tolerance 0.25]
+      Compares current metrics against the checked-in baseline. All
+      gated metrics are lower-is-better; a metric regresses when
+      current > baseline * (1 + tolerance). A baseline metric may be a
+      bare number (uses the default tolerance) or an object
+      {"value": v, "tolerance": t} for metrics with a wider noise band
+      (wall time on shared CI runners). A bench or metric present in
+      the baseline but missing from the merged record is also a
+      failure: losing coverage silently would defeat the gate.
+
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {rec["bench"]: rec for rec in doc["records"]}
+
+
+def cmd_merge(args):
+    records = []
+    for p in sorted(pathlib.Path(args.dir).glob("*.json")):
+        try:
+            with open(p) as f:
+                records.append(json.load(f))
+        except (json.JSONDecodeError, OSError) as e:
+            print(f"bench_gate: skipping unreadable {p}: {e}", file=sys.stderr)
+            return 1
+    records.sort(key=lambda r: r.get("bench", ""))
+    merged = {"records": records}
+    with open(args.output, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"bench_gate: merged {len(records)} records into {args.output}")
+    return 0
+
+
+def baseline_entry(raw, default_tolerance):
+    if isinstance(raw, dict):
+        return float(raw["value"]), float(raw.get("tolerance", default_tolerance))
+    return float(raw), default_tolerance
+
+
+def cmd_check(args):
+    current = load_records(args.merged)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    rows = []
+    for rec in baseline["records"]:
+        bench = rec["bench"]
+        cur = current.get(bench)
+        if cur is None:
+            failures.append(f"{bench}: missing from merged results")
+            continue
+        for metric, raw in sorted(rec["metrics"].items()):
+            base, tol = baseline_entry(raw, args.tolerance)
+            if metric not in cur.get("metrics", {}):
+                failures.append(f"{bench}/{metric}: missing from merged results")
+                continue
+            value = float(cur["metrics"][metric])
+            limit = base * (1.0 + tol)
+            ok = value <= limit
+            rows.append((bench, metric, base, value, tol, ok))
+            if not ok:
+                failures.append(
+                    f"{bench}/{metric}: {value:.6g} exceeds baseline "
+                    f"{base:.6g} by more than {tol:.0%}"
+                )
+
+    width = max((len(f"{b}/{m}") for b, m, *_ in rows), default=20)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'tol':>5}  status")
+    for bench, metric, base, value, tol, ok in rows:
+        print(f"{bench + '/' + metric:<{width}}  {base:>12.6g}  "
+              f"{value:>12.6g}  {tol:>5.0%}  {'ok' if ok else 'REGRESSED'}")
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} failure(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nbench_gate: all {len(rows)} gated metrics within tolerance")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_merge = sub.add_parser("merge", help="merge per-bench records")
+    p_merge.add_argument("dir", help="directory of per-bench *.json records")
+    p_merge.add_argument("-o", "--output", required=True)
+    p_merge.set_defaults(func=cmd_merge)
+
+    p_check = sub.add_parser("check", help="gate merged results vs baseline")
+    p_check.add_argument("merged")
+    p_check.add_argument("baseline")
+    p_check.add_argument("--tolerance", type=float, default=0.25,
+                         help="default relative tolerance (default 0.25)")
+    p_check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args()
+    sys.exit(args.func(args))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,12 +1,54 @@
 #!/bin/sh
-# Runs every bench binary in sequence and collects their stdout into
-# bench_output.txt. Stderr (progress logs) goes to bench_progress.log.
+# Runs the bench suite.
+#
+#   run_benches.sh          — full mode: every bench binary in sequence,
+#                             stdout collected into bench_output.txt,
+#                             stderr (progress logs) into
+#                             bench_progress.log, plus the data-parallel
+#                             training timing comparison.
+#   run_benches.sh --smoke  — CI mode: every bench binary with --smoke,
+#                             one JSON record per bench under
+#                             bench_smoke/, merged into
+#                             bench_smoke_metrics.json by
+#                             ci/bench_gate.py. No timing section.
 set -u
-out=/root/repo/bench_output.txt
-log=/root/repo/bench_progress.log
+root=$(cd "$(dirname "$0")" && pwd)
+bindir=$root/build/bench
+
+smoke=false
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=true ;;
+    *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+  esac
+done
+
+if [ "$smoke" = true ]; then
+  outdir=$root/bench_smoke
+  rm -rf "$outdir"
+  mkdir -p "$outdir"
+  fail=0
+  for b in "$bindir"/bench_*; do
+    [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "[suite] smoke $name" >&2
+    if ! TPR_BENCH_JSON=$outdir/$name.json "$b" --smoke \
+        > "$outdir/$name.out" 2> "$outdir/$name.log"; then
+      echo "[suite] FAILED: $name (see $outdir/$name.log)" >&2
+      fail=1
+    fi
+  done
+  python3 "$root/ci/bench_gate.py" merge "$outdir" \
+    -o "$root/bench_smoke_metrics.json" || fail=1
+  echo "[suite] wrote $root/bench_smoke_metrics.json" >&2
+  exit $fail
+fi
+
+out=$root/bench_output.txt
+log=$root/bench_progress.log
 : > "$out"
 : > "$log"
-for b in /root/repo/build/bench/bench_*; do
+for b in "$bindir"/bench_*; do
   name=$(basename "$b")
   echo "==================== $name ====================" >> "$out"
   echo "[suite] running $name" >> "$log"
@@ -18,10 +60,10 @@ done
 # Times one pretraining bench at a reduced scale with TPR_THREADS=1 vs N
 # and records the wall-clock speedup. Override the bench, scale, or
 # thread count with TPR_TIMING_BENCH / TPR_TIMING_SCALE / TPR_THREADS.
-timing_bench=${TPR_TIMING_BENCH:-/root/repo/build/bench/bench_fig7_pretraining}
+timing_bench=${TPR_TIMING_BENCH:-$bindir/bench_fig7_pretraining}
 timing_scale=${TPR_TIMING_SCALE:-0.2}
 timing_threads=${TPR_THREADS:-4}
-timing_json=/root/repo/BENCH_parallel_training.json
+timing_json=$root/BENCH_parallel_training.json
 if [ -x "$timing_bench" ]; then
   echo "[suite] timing $(basename "$timing_bench") threads=1 vs $timing_threads" >> "$log"
   t0=$(date +%s.%N)

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace tpr::core {
 namespace {
@@ -56,19 +59,28 @@ StatusOr<std::vector<ScoredSample>> EvaluateDifficulty(
   // of its config alone, so the result is thread-count invariant.
   std::vector<std::unique_ptr<WscModel>> experts(n);
   std::vector<Status> expert_status(n, Status::OK());
-  par::DefaultPool().ParallelFor(n, [&](int j) {
-    WscConfig expert_config = wsc_config;
-    expert_config.seed = wsc_config.seed + 1000 + j;
-    expert_config.encoder.seed = wsc_config.encoder.seed + 1000 + j;
-    experts[j] = std::make_unique<WscModel>(features, expert_config);
-    for (int epoch = 0; epoch < config.expert_epochs; ++epoch) {
-      auto loss = experts[j]->TrainEpoch(meta_sets[j]);
-      if (!loss.ok()) {
-        expert_status[j] = loss.status();
-        return;
+  {
+    obs::ScopedSpan experts_span("curriculum.train_experts", "experts", n);
+    par::DefaultPool().ParallelFor(n, [&](int j) {
+      obs::ScopedSpan expert_span("curriculum.expert", "expert", j);
+      Stopwatch expert_sw;
+      WscConfig expert_config = wsc_config;
+      expert_config.seed = wsc_config.seed + 1000 + j;
+      expert_config.encoder.seed = wsc_config.encoder.seed + 1000 + j;
+      experts[j] = std::make_unique<WscModel>(features, expert_config);
+      for (int epoch = 0; epoch < config.expert_epochs; ++epoch) {
+        auto loss = experts[j]->TrainEpoch(meta_sets[j]);
+        if (!loss.ok()) {
+          expert_status[j] = loss.status();
+          return;
+        }
       }
-    }
-  });
+      if (obs::MetricsEnabled()) {
+        obs::GetHistogram("curriculum.expert_seconds")
+            .Observe(expert_sw.ElapsedSeconds());
+      }
+    });
+  }
   for (const auto& st : expert_status) {
     if (!st.ok()) return st;
   }
@@ -81,6 +93,8 @@ StatusOr<std::vector<ScoredSample>> EvaluateDifficulty(
   for (int j = 0; j < n; ++j) {
     for (int idx : meta_sets[j]) todo.emplace_back(j, idx);
   }
+  obs::ScopedSpan score_span("curriculum.score_samples", "samples",
+                             static_cast<double>(todo.size()));
   std::vector<ScoredSample> scored(todo.size());
   par::DefaultPool().ParallelFor(
       static_cast<int>(todo.size()), [&](int t) {

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "par/thread_pool.h"
 #include "synth/dataset.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace tpr::core {
 
@@ -43,6 +46,9 @@ StatusOr<double> WscModel::TrainEpoch(const std::vector<int>& indices) {
   if (!config_.use_global && !config_.use_local) {
     return Status::InvalidArgument("both losses disabled");
   }
+  obs::ScopedSpan epoch_span("wsc.train_epoch", "samples",
+                             static_cast<double>(indices.size()));
+  Stopwatch epoch_sw;
   const auto& pool = features_->data->unlabeled;
   const auto& traffic = *features_->data->traffic;
 
@@ -74,6 +80,7 @@ StatusOr<double> WscModel::TrainEpoch(const std::vector<int>& indices) {
                                      std::numeric_limits<double>::quiet_NaN());
 
     tp.ParallelFor(num_shards, [&](int s) {
+      obs::ScopedSpan shard_span("wsc.shard", "shard", s);
       Replica& replica = replicas_[par::WorkerIndex()];
       if (replica.encoder == nullptr) {
         replica.encoder =
@@ -154,7 +161,13 @@ StatusOr<double> WscModel::TrainEpoch(const std::vector<int>& indices) {
     ++batches;
   }
   if (batches == 0) return Status::Internal("no batches were formed");
-  return total_loss / batches;
+  const double mean_loss = total_loss / batches;
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("wsc.batches").Add(batches);
+    obs::GetHistogram("wsc.epoch_seconds").Observe(epoch_sw.ElapsedSeconds());
+    obs::GetGauge("wsc.last_epoch_loss").Set(mean_loss);
+  }
+  return mean_loss;
 }
 
 }  // namespace tpr::core

@@ -1,8 +1,12 @@
 #include "core/wsccl.h"
 
 #include <numeric>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace tpr::core {
 
@@ -12,31 +16,53 @@ StatusOr<std::unique_ptr<WsccalPipeline>> WsccalPipeline::Train(
   const auto& pool = features->data->unlabeled;
   if (pool.empty()) return Status::InvalidArgument("empty unlabeled pool");
 
+  obs::ScopedSpan train_span("wsccl.train");
   std::vector<int> all(pool.size());
   std::iota(all.begin(), all.end(), 0);
 
-  auto stages =
-      BuildCurriculum(features, config.wsc, config.curriculum, all);
+  StatusOr<std::vector<std::vector<int>>> stages = [&] {
+    obs::ScopedSpan span("wsccl.build_curriculum");
+    return BuildCurriculum(features, config.wsc, config.curriculum, all);
+  }();
   if (!stages.ok()) return stages.status();
 
   auto pipeline = std::unique_ptr<WsccalPipeline>(new WsccalPipeline());
   pipeline->model_ = std::make_unique<WscModel>(features, config.wsc);
 
-  // Stages ST_1..ST_M, easy to hard (Section VI-C).
-  for (const auto& stage : *stages) {
+  // Stages ST_1..ST_M, easy to hard (Section VI-C). Per-phase loss and
+  // wall time land in wsccl.stage<i>.* metrics.
+  for (size_t i = 0; i < stages->size(); ++i) {
+    const auto& stage = (*stages)[i];
     if (stage.empty()) continue;
+    obs::ScopedSpan stage_span("wsccl.stage", "stage",
+                               static_cast<double>(i));
+    Stopwatch stage_sw;
+    double stage_loss = 0.0;
     for (int epoch = 0; epoch < config.stage_epochs; ++epoch) {
       auto loss = pipeline->model_->TrainEpoch(stage);
       if (!loss.ok()) return loss.status();
+      stage_loss = *loss;
+    }
+    if (obs::MetricsEnabled()) {
+      const std::string prefix = "wsccl.stage" + std::to_string(i);
+      obs::GetGauge(prefix + ".loss").Set(stage_loss);
+      obs::GetGauge(prefix + ".seconds").Set(stage_sw.ElapsedSeconds());
     }
   }
 
   // Final stage ST_{M+1}: the whole training set.
+  obs::ScopedSpan final_span("wsccl.final_stage", "epochs",
+                             config.final_epochs);
+  Stopwatch final_sw;
   double final_loss = 0.0;
   for (int epoch = 0; epoch < config.final_epochs; ++epoch) {
     auto loss = pipeline->model_->TrainEpoch(all);
     if (!loss.ok()) return loss.status();
     final_loss = *loss;
+  }
+  if (obs::MetricsEnabled()) {
+    obs::GetGauge("wsccl.final_stage.loss").Set(final_loss);
+    obs::GetGauge("wsccl.final_stage.seconds").Set(final_sw.ElapsedSeconds());
   }
   pipeline->final_loss_ = final_loss;
   return pipeline;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace tpr::nn {
 
 namespace {
@@ -118,6 +120,10 @@ Var UnaryOp(const Var& a, Fwd fwd, Bwd dfd) {
 }  // namespace
 
 Var MatMul(const Var& a, const Var& b) {
+  static obs::Counter& ops = obs::GetCounter("nn.matmul_ops");
+  static obs::Counter& flops = obs::GetCounter("nn.matmul_flops");
+  ops.Add();
+  flops.Add(2ull * a.rows() * a.cols() * b.cols());
   Tensor out(a.rows(), b.cols());
   MatMulAccumulate(a.value(), b.value(), out);
   auto a_impl = a.impl_ptr();
@@ -387,6 +393,8 @@ Var RowMax(const Var& a) {
 }
 
 Var ConcatCols(const std::vector<Var>& parts) {
+  static obs::Counter& ops = obs::GetCounter("nn.concat_ops");
+  ops.Add();
   TPR_CHECK(!parts.empty());
   const int m = parts[0].rows();
   int total = 0;
@@ -431,6 +439,8 @@ Var ConcatCols(const std::vector<Var>& parts) {
 }
 
 Var ConcatRows(const std::vector<Var>& parts) {
+  static obs::Counter& ops = obs::GetCounter("nn.concat_ops");
+  ops.Add();
   TPR_CHECK(!parts.empty());
   const int n = parts[0].cols();
   int total = 0;

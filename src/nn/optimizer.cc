@@ -1,6 +1,10 @@
 #include "nn/optimizer.h"
 
+#include <chrono>
 #include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tpr::nn {
 
@@ -13,6 +17,12 @@ float Optimizer::ClipGradNorm(float max_norm) {
     }
   }
   const float norm = static_cast<float>(std::sqrt(total));
+  if (obs::MetricsEnabled()) {
+    obs::GetHistogram("nn.grad_norm",
+                      {1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 2, 5, 10, 50, 1e3, 1e6})
+        .Observe(norm);
+    obs::GetGauge("nn.last_grad_norm").Set(norm);
+  }
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (auto& p : params_) {
@@ -53,6 +63,10 @@ Adam::Adam(std::vector<Var> params, float lr, float beta1, float beta2,
 }
 
 void Adam::Step() {
+  obs::ScopedSpan span("nn.adam_step");
+  const bool observe = obs::MetricsEnabled();
+  const auto start = observe ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point();
   ++t_;
   const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
@@ -69,6 +83,21 @@ void Adam::Step() {
       const float vhat = v[i] / bc2;
       w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
+  }
+  if (observe) {
+    obs::GetCounter("nn.adam_steps").Add();
+    obs::GetHistogram("nn.adam_step_seconds")
+        .Observe(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+    double norm = 0.0;
+    for (const auto& p : params_) {
+      const Tensor& w = p.value();
+      for (size_t i = 0; i < w.size(); ++i) {
+        norm += static_cast<double>(w[i]) * w[i];
+      }
+    }
+    obs::GetGauge("nn.param_norm").Set(std::sqrt(norm));
   }
 }
 

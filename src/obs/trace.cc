@@ -1,0 +1,219 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace tpr::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One buffered trace event. `name`/`arg_name` are borrowed pointers
+// (string literals per the header contract); `str_arg` owns the payload
+// of metadata events.
+struct Event {
+  const char* name = nullptr;
+  char phase = 'X';
+  int tid = 0;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  const char* arg_name = nullptr;
+  double arg_value = 0.0;
+  std::string str_arg;
+};
+
+// Completed events are buffered per thread: appends lock only the
+// owning thread's (uncontended) mutex; the flusher locks the registry
+// and then each buffer. Buffers are kept alive by the registry's
+// shared_ptr even after their thread exits.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+  int tid = 0;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::string path;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<int> next_tid{0};
+  // Trace epoch: steady-clock microseconds at StartTrace. Atomic so
+  // span threads can read it without taking the registry lock.
+  std::atomic<int64_t> epoch_us{0};
+};
+
+TraceRegistry& GetTraceRegistry() {
+  static TraceRegistry* r = new TraceRegistry();  // leaked: exit-safe
+  return *r;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    TraceRegistry& r = GetTraceRegistry();
+    auto b = std::make_shared<ThreadBuffer>();
+    b->tid = r.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void AppendEvent(Event e) {
+  ThreadBuffer& b = LocalBuffer();
+  e.tid = b.tid;
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.events.push_back(std::move(e));
+}
+
+void AppendEscaped(std::ostringstream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+
+void WriteEventJson(std::ostringstream& os, const Event& e) {
+  os << "{\"name\":\"";
+  AppendEscaped(os, e.phase == 'M' ? "thread_name" : e.name);
+  os << "\",\"cat\":\"tpr\",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts_us
+     << ",\"pid\":1,\"tid\":" << e.tid;
+  if (e.phase == 'X') os << ",\"dur\":" << e.dur_us;
+  if (e.phase == 'M') {
+    os << ",\"args\":{\"name\":\"";
+    AppendEscaped(os, e.str_arg.c_str());
+    os << "\"}";
+  } else if (e.phase == 'C') {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", e.arg_value);
+    os << ",\"args\":{\"value\":" << buf << "}";
+  } else if (e.arg_name != nullptr) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", e.arg_value);
+    os << ",\"args\":{\"";
+    AppendEscaped(os, e.arg_name);
+    os << "\":" << buf << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void StartTrace(std::string path) {
+  TraceRegistry& r = GetTraceRegistry();
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& b : r.buffers) {
+    std::lock_guard<std::mutex> block(b->mu);
+    b->events.clear();
+  }
+  r.path = std::move(path);
+  r.epoch_us.store(SteadyNowUs(), std::memory_order_relaxed);
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+bool StopTrace() {
+  TraceRegistry& r = GetTraceRegistry();
+  if (!TraceEnabled()) return false;
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (auto& b : r.buffers) {
+    std::lock_guard<std::mutex> block(b->mu);
+    for (const Event& e : b->events) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      WriteEventJson(os, e);
+    }
+    b->events.clear();
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  const std::string json = os.str();
+  std::FILE* f = std::fopen(r.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[obs] cannot open trace file %s\n", r.path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+int TraceThreadId() { return LocalBuffer().tid; }
+
+void SetTraceThreadName(const std::string& name) {
+  if (!TraceEnabled()) return;
+  Event e;
+  e.phase = 'M';
+  e.str_arg = name;
+  AppendEvent(std::move(e));
+}
+
+void TraceCounter(const char* name, double value) {
+  if (!TraceEnabled()) return;
+  TraceRegistry& r = GetTraceRegistry();
+  Event e;
+  e.name = name;
+  e.phase = 'C';
+  e.ts_us = SteadyNowUs() - r.epoch_us.load(std::memory_order_relaxed);
+  e.arg_value = value;
+  if (e.ts_us < 0) return;  // trace restarted concurrently; drop
+  AppendEvent(std::move(e));
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* arg_name,
+                       double arg_value) {
+  if (!TraceEnabled()) return;
+  name_ = name;
+  arg_name_ = arg_name;
+  arg_value_ = arg_value;
+  start_us_ = SteadyNowUs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (name_ == nullptr || !TraceEnabled()) return;
+  TraceRegistry& r = GetTraceRegistry();
+  Event e;
+  e.name = name_;
+  e.phase = 'X';
+  e.ts_us = start_us_ - r.epoch_us.load(std::memory_order_relaxed);
+  e.dur_us = SteadyNowUs() - start_us_;
+  e.arg_name = arg_name_;
+  e.arg_value = arg_value_;
+  if (e.ts_us < 0) return;  // span outlived the trace it started in
+  AppendEvent(std::move(e));
+}
+
+namespace {
+
+// Reads TPR_TRACE once at load time: starts the trace immediately and
+// writes it when the process exits.
+struct TraceEnvInit {
+  TraceEnvInit() {
+    if (const char* p = std::getenv("TPR_TRACE")) {
+      if (*p != '\0') {
+        StartTrace(p);
+        std::atexit([] { StopTrace(); });
+      }
+    }
+  }
+} g_trace_env_init;
+
+}  // namespace
+
+}  // namespace tpr::obs

@@ -1,0 +1,75 @@
+#ifndef TPR_OBS_TRACE_H_
+#define TPR_OBS_TRACE_H_
+
+// RAII scoped-span tracing that exports chrome://tracing-compatible JSON
+// (load the file at chrome://tracing or https://ui.perfetto.dev).
+//
+// Enabled by TPR_TRACE=<path> in the environment (the trace is written
+// to <path> at process exit) or programmatically with StartTrace(). When
+// disabled — the default — constructing a ScopedSpan is one relaxed
+// atomic load plus a branch: no clock read, no allocation.
+//
+// Span names must be string literals (or otherwise outlive the trace):
+// events store the pointer, not a copy. Completed spans are buffered
+// per thread and merged on flush, so recording from pool workers stays
+// contention-free and race-free under TSan.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tpr::obs {
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// True while a trace is being collected. The fast gate checked by every
+/// span constructor.
+inline bool TraceEnabled() {
+  return internal::g_trace_enabled.load(std::memory_order_acquire);
+}
+
+/// Begins collecting a trace to be written to `path`. Resets previously
+/// buffered events. Safe to call when already tracing (restarts).
+void StartTrace(std::string path);
+
+/// Stops collecting and writes the JSON file. Returns false on I/O
+/// failure or if tracing was not active. Also invoked automatically at
+/// process exit when tracing was enabled via TPR_TRACE.
+bool StopTrace();
+
+/// Stable small integer identifying the calling thread in trace output
+/// (assigned on first use; the process main thread is usually 0).
+int TraceThreadId();
+
+/// Names the calling thread in the trace viewer (chrome "thread_name"
+/// metadata). No-op while tracing is disabled.
+void SetTraceThreadName(const std::string& name);
+
+/// Emits a counter track sample (chrome "C" phase), e.g. queue depth
+/// over time. No-op while tracing is disabled.
+void TraceCounter(const char* name, double value);
+
+/// Times the enclosing scope as one complete ("X") event on the calling
+/// thread's track. Nesting works naturally: inner spans close first and
+/// the viewer stacks them. Optionally carries one numeric argument
+/// (shown in the viewer's args pane).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : ScopedSpan(name, nullptr, 0.0) {}
+  ScopedSpan(const char* name, const char* arg_name, double arg_value);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr: tracing was off at entry
+  const char* arg_name_ = nullptr;
+  double arg_value_ = 0.0;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace tpr::obs
+
+#endif  // TPR_OBS_TRACE_H_

@@ -1,7 +1,12 @@
 #include "par/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tpr::par {
 namespace {
@@ -10,6 +15,20 @@ namespace {
 // any thread that never entered one) has index 0 and a null pool.
 thread_local const ThreadPool* t_pool = nullptr;
 thread_local int t_worker_index = 0;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-worker busy/idle accounting, accumulated in microsecond counters
+// (par.worker<i>.busy_us / .idle_us). Guarded on MetricsEnabled so the
+// disabled path never reads the clock or builds a name.
+void AddWorkerTime(int worker_index, const char* kind, double seconds) {
+  obs::GetCounter("par.worker" + std::to_string(worker_index) + "." + kind)
+      .Add(static_cast<uint64_t>(seconds * 1e6));
+}
 
 }  // namespace
 
@@ -55,26 +74,51 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::InsidePool() const { return t_pool == this; }
 
 void ThreadPool::Enqueue(std::function<void()> job) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(job));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  if (obs::MetricsEnabled()) {
+    obs::GetGauge("par.queue_depth").Set(static_cast<double>(depth));
+  }
+  obs::TraceCounter("par.queue_depth", static_cast<double>(depth));
 }
 
 void ThreadPool::WorkerLoop(int worker_index) {
   t_pool = this;
   t_worker_index = worker_index;
+  obs::SetTraceThreadName("par.worker " + std::to_string(worker_index));
   for (;;) {
     std::function<void()> job;
+    const bool observe = obs::MetricsEnabled();
+    const double wait_start = observe ? NowSeconds() : 0.0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and queue drained
+      if (queue_.empty()) {
+        if (observe) {
+          AddWorkerTime(worker_index, "idle_us", NowSeconds() - wait_start);
+        }
+        return;  // stop_ set and queue drained
+      }
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    const double job_start = observe ? NowSeconds() : 0.0;
+    {
+      obs::ScopedSpan span("par.task");
+      job();
+    }
+    if (observe) {
+      const double job_end = NowSeconds();
+      AddWorkerTime(worker_index, "idle_us", job_start - wait_start);
+      AddWorkerTime(worker_index, "busy_us", job_end - job_start);
+      obs::GetCounter("par.tasks").Add();
+      obs::GetHistogram("par.task_seconds").Observe(job_end - job_start);
+    }
   }
 }
 
@@ -94,6 +138,14 @@ void ThreadPool::RunForChunk(const std::shared_ptr<ForState>& state) {
     }
     ++finished;
   }
+  // Iterations claimed by this participant: the spread across
+  // participants is the shard-imbalance signal.
+  if (obs::MetricsEnabled()) {
+    obs::GetHistogram("par.for_iters_per_worker",
+                      {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                       256.0, 1024.0, 4096.0})
+        .Observe(static_cast<double>(finished));
+  }
   if (finished > 0 || error) {
     std::lock_guard<std::mutex> lock(state->m);
     state->done += finished;
@@ -107,9 +159,17 @@ void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (InsidePool() || num_threads_ == 1 || n == 1) {
     // Inline: either nested inside a pool task (spawning helpers could
     // deadlock on a saturated queue) or there is nothing to fan out to.
-    for (int i = 0; i < n; ++i) fn(i);
+    // Nested (inside-pool) loops are not spanned: their time is already
+    // inside the enclosing par.task span.
+    if (!InsidePool()) {
+      obs::ScopedSpan span("par.parallel_for", "n", n);
+      for (int i = 0; i < n; ++i) fn(i);
+    } else {
+      for (int i = 0; i < n; ++i) fn(i);
+    }
     return;
   }
+  obs::ScopedSpan span("par.parallel_for", "n", n);
   auto state = std::make_shared<ForState>();
   state->n = n;
   state->fn = &fn;
