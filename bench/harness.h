@@ -19,16 +19,27 @@
 //                      written to this path at process exit.
 //   TPR_COMMIT       — commit id stamped into the JSON record (CI sets
 //                      this from GITHUB_SHA; empty otherwise).
+//   TPR_MODEL_REGISTRY — directory of cached trained models. When set,
+//                      TrainAndScoreWsccl first tries to load the
+//                      checkpoint keyed by (city, config fingerprint,
+//                      scale) instead of retraining, and stores a fresh
+//                      checkpoint there after any training run. Entries
+//                      that fail validation (torn file, different
+//                      config) are ignored and retrained, never trusted.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "core/features.h"
 #include "core/wsccl.h"
 #include "eval/downstream.h"
@@ -112,6 +123,19 @@ inline void WriteBenchJson(const char* path) {
     std::fprintf(f, ",\n    \"nn.adam_steps\": %llu",
                  static_cast<unsigned long long>(
                      obs::GetCounter("nn.adam_steps").value()));
+    // Checkpoint cost of the run: smoke WSCCL training writes real
+    // checkpoints (see TrainAndScoreWsccl), so save counts and byte
+    // volume are deterministic; wall time is gated loosely.
+    std::fprintf(f, ",\n    \"ckpt.saves\": %llu",
+                 static_cast<unsigned long long>(
+                     obs::GetCounter("ckpt.saves").value()));
+    std::fprintf(f, ",\n    \"ckpt.saved_bytes\": %llu",
+                 static_cast<unsigned long long>(
+                     obs::GetCounter("ckpt.saved_bytes").value()));
+    std::fprintf(f, ",\n    \"ckpt.save_seconds\": %.17g",
+                 obs::GetHistogram("ckpt.save_seconds").sum());
+    std::fprintf(f, ",\n    \"ckpt.load_seconds\": %.17g",
+                 obs::GetHistogram("ckpt.load_seconds").sum());
   }
   std::fprintf(f, "\n  }\n}\n");
   std::fclose(f);
@@ -214,19 +238,101 @@ inline core::WsccalConfig DefaultWsccalConfig() {
   return cfg;
 }
 
+inline std::string HexId(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Registry file name of a (city, config, scale) combination. The config
+/// fingerprint already covers every training-relevant field including the
+/// TPR_BENCH_SEED-offset seeds; scale changes the dataset, so it is part
+/// of the key too.
+inline std::string RegistryKey(const std::string& city_name,
+                               const core::WsccalConfig& config) {
+  char scale[32];
+  std::snprintf(scale, sizeof scale, "%g", BenchScale());
+  return "wsccl-" + city_name + "-" +
+         HexId(core::WsccalPipeline::ConfigFingerprint(config)) + "-s" +
+         scale + ".tpr";
+}
+
 /// Trains WSCCL (or a variant) and evaluates all downstream tasks. The
 /// per-city training time, final loss, and headline scores land in the
-/// bench JSON record.
+/// bench JSON record. With TPR_MODEL_REGISTRY set, a cached trained
+/// model is loaded instead of retraining (and stored after a fresh
+/// train); smoke runs additionally write periodic checkpoints to a
+/// per-process temp dir so the save path is exercised and measured.
 inline eval::TaskScores TrainAndScoreWsccl(const PreparedCity& city,
                                            const core::WsccalConfig& config) {
-  Stopwatch sw;
-  auto model = core::WsccalPipeline::Train(city.features, config);
-  TPR_CHECK(model.ok()) << model.status().ToString();
-  Record(city.name + ".wsccl.train_seconds", sw.ElapsedSeconds());
-  Record(city.name + ".wsccl.final_loss", (*model)->final_loss());
+  core::WsccalConfig cfg = config;
+  const std::string key = RegistryKey(city.name, cfg);
+  if (cfg.ckpt_dir.empty()) {
+    if (const char* env = std::getenv("TPR_CKPT_DIR")) {
+      // Benches train several cities/variants per run; each needs its
+      // own checkpoint directory or the trainer would (correctly)
+      // refuse the previous model's fingerprint.
+      cfg.ckpt_dir = std::string(env) + "/" + key;
+    } else if (Smoke()) {
+      // Fresh per process, so reruns never resume and results stay
+      // identical to an uncheckpointed run.
+      cfg.ckpt_dir = std::filesystem::temp_directory_path().string() +
+                     "/tpr-smoke-ckpt-" + std::to_string(::getpid()) + "/" +
+                     key;
+    }
+  }
+
+  std::unique_ptr<core::WsccalPipeline> model;
+  std::string registry_path;
+  if (const char* reg = std::getenv("TPR_MODEL_REGISTRY")) {
+    registry_path = std::string(reg) + "/" + key;
+    auto bytes = ckpt::ReadFileBytes(registry_path);
+    if (bytes.ok()) {
+      Stopwatch load_sw;
+      auto payload = ckpt::UnwrapPayload(*bytes);
+      auto cached =
+          payload.ok()
+              ? core::WsccalPipeline::Deserialize(city.features, cfg, *payload)
+              : payload.status();
+      if (cached.ok()) {
+        model = std::move(*cached);
+        Record(city.name + ".wsccl.registry_load_seconds",
+               load_sw.ElapsedSeconds());
+        Record(city.name + ".wsccl.registry_hit", 1.0);
+      } else {
+        // Never trust a bad entry; retrain and overwrite it below.
+        std::fprintf(stderr, "[bench] registry entry %s rejected: %s\n",
+                     registry_path.c_str(),
+                     cached.status().ToString().c_str());
+      }
+    }
+  }
+
+  if (model == nullptr) {
+    Stopwatch sw;
+    auto trained = core::WsccalPipeline::Train(city.features, cfg);
+    TPR_CHECK(trained.ok()) << trained.status().ToString();
+    model = std::move(*trained);
+    Record(city.name + ".wsccl.train_seconds", sw.ElapsedSeconds());
+    if (!registry_path.empty()) {
+      auto payload = model->Serialize();
+      TPR_CHECK(payload.ok()) << payload.status().ToString();
+      std::error_code ec;
+      std::filesystem::create_directories(
+          std::filesystem::path(registry_path).parent_path(), ec);
+      const Status st =
+          ckpt::AtomicWriteFile(registry_path, ckpt::WrapPayload(*payload));
+      if (!st.ok()) {
+        std::fprintf(stderr, "[bench] cannot store registry entry %s: %s\n",
+                     registry_path.c_str(), st.ToString().c_str());
+      }
+    }
+  }
+  Record(city.name + ".wsccl.final_loss", model->final_loss());
   auto scores = eval::EvaluateTasks(
       *city.data, [&](const synth::TemporalPathSample& s) {
-        return (*model)->Encode(s);
+        return model->Encode(s);
       });
   TPR_CHECK(scores.ok()) << scores.status().ToString();
   Record(city.name + ".wsccl.tte_mae", scores->tte_mae);

@@ -1,0 +1,55 @@
+#include "baselines/baseline.h"
+
+namespace tpr::baselines {
+namespace {
+
+constexpr char kBaselineTag[] = "baseline";
+constexpr uint32_t kBaselineVersion = 1;
+
+}  // namespace
+
+Status SaveBaseline(const BaselineState& model, ckpt::Writer& w) {
+  w.Str(kBaselineTag);
+  w.U32(kBaselineVersion);
+  w.Str(model.name());
+  ckpt::WriteParamValues(w, model.StateParams());
+  ckpt::WriteTensorList(w, model.ExtraState());
+  const std::vector<double> scalars = model.ExtraScalars();
+  w.U32(static_cast<uint32_t>(scalars.size()));
+  for (double v : scalars) w.F64(v);
+  return Status::OK();
+}
+
+Status LoadBaseline(BaselineState& model, ckpt::Reader& r) {
+  std::string tag;
+  TPR_RETURN_IF_ERROR(r.Str(&tag));
+  if (tag != kBaselineTag) {
+    return Status::FailedPrecondition("not a baseline checkpoint: " + tag);
+  }
+  uint32_t version = 0;
+  TPR_RETURN_IF_ERROR(r.U32(&version));
+  if (version != kBaselineVersion) {
+    return Status::FailedPrecondition(
+        "unsupported baseline checkpoint version " + std::to_string(version));
+  }
+  std::string name;
+  TPR_RETURN_IF_ERROR(r.Str(&name));
+  if (name != model.name()) {
+    return Status::FailedPrecondition("checkpoint holds a " + name +
+                                      " model, expected " + model.name());
+  }
+  TPR_RETURN_IF_ERROR(ckpt::ReadParamValuesInto(r, model.StateParams()));
+  std::vector<nn::Tensor> extra;
+  TPR_RETURN_IF_ERROR(ckpt::ReadTensorList(r, &extra));
+  TPR_RETURN_IF_ERROR(model.SetExtraState(std::move(extra)));
+  uint32_t num_scalars = 0;
+  TPR_RETURN_IF_ERROR(r.U32(&num_scalars));
+  if (num_scalars > 1024) {
+    return Status::OutOfRange("implausible baseline scalar count");
+  }
+  std::vector<double> scalars(num_scalars);
+  for (double& v : scalars) TPR_RETURN_IF_ERROR(r.F64(&v));
+  return model.SetExtraScalars(scalars);
+}
+
+}  // namespace tpr::baselines

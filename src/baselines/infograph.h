@@ -35,6 +35,8 @@ class InfoGraphModel : public PathRepresentationModel {
   std::vector<float> Encode(
       const synth::TemporalPathSample& sample) const override;
 
+  std::vector<nn::Var> StateParams() const override;
+
  private:
   nn::Var LocalReps(const graph::Path& path) const;
 

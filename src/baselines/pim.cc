@@ -144,4 +144,8 @@ std::vector<float> PimTemporalModel::Encode(
   return rep;
 }
 
+std::vector<nn::Var> PimModel::StateParams() const {
+  return lstm_->Parameters();
+}
+
 }  // namespace tpr::baselines

@@ -292,4 +292,24 @@ std::unique_ptr<SupervisedBase> DeepGttModel::MakeReplica() const {
                                         config_);
 }
 
+std::vector<nn::Var> SupervisedBase::StateParams() const {
+  std::vector<nn::Var> params = encoder_->Parameters();
+  for (const auto& p : HeadParameters()) params.push_back(p);
+  return params;
+}
+
+std::vector<double> SupervisedBase::ExtraScalars() const {
+  return {target_mean_, target_std_};
+}
+
+Status SupervisedBase::SetExtraScalars(const std::vector<double>& scalars) {
+  if (scalars.size() != 2) {
+    return Status::FailedPrecondition(
+        name() + " checkpoint must hold the {mean, std} target normalisation");
+  }
+  target_mean_ = scalars[0];
+  target_std_ = scalars[1];
+  return Status::OK();
+}
+
 }  // namespace tpr::baselines

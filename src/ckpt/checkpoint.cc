@@ -1,0 +1,244 @@
+#include "ckpt/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+#include <vector>
+
+#include "ckpt/serialize.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace tpr::ckpt {
+namespace {
+
+std::function<size_t(size_t)>& FaultInjector() {
+  static std::function<size_t(size_t)> injector;
+  return injector;
+}
+
+Status Errno(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+/// fsyncs a directory so a preceding rename inside it is durable.
+Status SyncDir(const std::filesystem::path& dir) {
+  const std::string d = dir.empty() ? "." : dir.string();
+  const int fd = ::open(d.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open(dir)", d);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync(dir)", d);
+  return Status::OK();
+}
+
+constexpr char kFilePrefix[] = "ckpt-";
+constexpr char kFileSuffix[] = ".tpr";
+
+/// Parses "ckpt-<seq>.tpr"; returns false for unrelated files.
+bool ParseSeq(const std::string& filename, uint64_t* seq) {
+  const size_t prefix = sizeof(kFilePrefix) - 1;
+  const size_t suffix = sizeof(kFileSuffix) - 1;
+  if (filename.size() <= prefix + suffix) return false;
+  if (filename.compare(0, prefix, kFilePrefix) != 0) return false;
+  if (filename.compare(filename.size() - suffix, suffix, kFileSuffix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = prefix; i < filename.size() - suffix; ++i) {
+    if (filename[i] < '0' || filename[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(filename[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+/// All checkpoint sequence numbers present in `dir`, newest first.
+std::vector<uint64_t> ListSeqsDescending(const std::string& dir) {
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t seq = 0;
+    if (ParseSeq(entry.path().filename().string(), &seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.rbegin(), seqs.rend());
+  return seqs;
+}
+
+}  // namespace
+
+std::string WrapPayload(std::string_view payload) {
+  Writer w;
+  w.U32(kMagic);
+  w.U32(kFormatVersion);
+  w.U64(payload.size());
+  w.Bytes(payload.data(), payload.size());
+  const uint32_t crc = Crc32(w.bytes().data(), w.bytes().size());
+  w.U32(crc);
+  return w.TakeBytes();
+}
+
+StatusOr<std::string> UnwrapPayload(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes + kFooterBytes) {
+    return Status::OutOfRange("checkpoint shorter than envelope");
+  }
+  Reader r(bytes);
+  uint32_t magic = 0, version = 0;
+  uint64_t length = 0;
+  TPR_RETURN_IF_ERROR(r.U32(&magic));
+  TPR_RETURN_IF_ERROR(r.U32(&version));
+  TPR_RETURN_IF_ERROR(r.U64(&length));
+  if (magic != kMagic) {
+    return Status::FailedPrecondition("not a TPR checkpoint (bad magic)");
+  }
+  if (version == 0 || version > kFormatVersion) {
+    return Status::FailedPrecondition(
+        "unsupported checkpoint format version " + std::to_string(version));
+  }
+  if (length != bytes.size() - kHeaderBytes - kFooterBytes) {
+    return Status::OutOfRange("checkpoint length field mismatch (torn file)");
+  }
+  const uint32_t expected =
+      Crc32(bytes.data(), bytes.size() - kFooterBytes);
+  uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - kFooterBytes,
+              sizeof stored);
+  if (stored != expected) {
+    return Status::FailedPrecondition("checkpoint CRC mismatch (corrupt)");
+  }
+  return std::string(bytes.substr(kHeaderBytes, length));
+}
+
+void SetWriteFaultInjector(std::function<size_t(size_t size)> injector) {
+  FaultInjector() = std::move(injector);
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  size_t to_write = bytes.size();
+  bool die_before_rename = false;
+  if (const auto& injector = FaultInjector()) {
+    const size_t kill = injector(bytes.size());
+    if (kill < bytes.size()) {
+      to_write = kill;
+    } else if (kill == bytes.size()) {
+      die_before_rename = true;
+    }
+  }
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  size_t written = 0;
+  while (written < to_write) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, to_write - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("write", tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (to_write < bytes.size()) {
+    // Simulated kill mid-write: the torn temp file stays on disk, the
+    // destination is untouched — exactly what a real crash leaves.
+    ::close(fd);
+    return Status::Internal("injected crash during checkpoint write");
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) return Errno("close", tmp);
+  if (die_before_rename) {
+    return Status::Internal("injected crash before checkpoint rename");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", path);
+  }
+  return SyncDir(std::filesystem::path(path).parent_path());
+}
+
+StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.append(buf, n);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::Internal("read error on " + path);
+  return bytes;
+}
+
+std::string CheckpointDir::PathFor(uint64_t seq) const {
+  char name[48];
+  std::snprintf(name, sizeof name, "%s%020llu%s", kFilePrefix,
+                static_cast<unsigned long long>(seq), kFileSuffix);
+  return dir_ + "/" + name;
+}
+
+Status CheckpointDir::Save(uint64_t seq, std::string_view payload, int keep) {
+  Stopwatch sw;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create checkpoint dir " + dir_ + ": " +
+                            ec.message());
+  }
+  const std::string bytes = WrapPayload(payload);
+  TPR_RETURN_IF_ERROR(AtomicWriteFile(PathFor(seq), bytes));
+  if (obs::MetricsEnabled()) {
+    obs::GetHistogram("ckpt.save_seconds").Observe(sw.ElapsedSeconds());
+    obs::GetCounter("ckpt.saved_bytes").Add(bytes.size());
+    obs::GetCounter("ckpt.saves").Add(1);
+  }
+  // Prune old generations only after the new one is durable, always
+  // retaining `keep` so the next (possibly crashing) save has a valid
+  // predecessor to fall back to.
+  const std::vector<uint64_t> seqs = ListSeqsDescending(dir_);
+  for (size_t i = 0; i < seqs.size(); ++i) {
+    if (i >= static_cast<size_t>(std::max(1, keep))) {
+      std::filesystem::remove(PathFor(seqs[i]), ec);
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<CheckpointDir::Loaded> CheckpointDir::LoadLatest() const {
+  Stopwatch sw;
+  for (uint64_t seq : ListSeqsDescending(dir_)) {
+    auto bytes = ReadFileBytes(PathFor(seq));
+    if (bytes.ok()) {
+      auto payload = UnwrapPayload(*bytes);
+      if (payload.ok()) {
+        if (obs::MetricsEnabled()) {
+          obs::GetHistogram("ckpt.load_seconds")
+              .Observe(sw.ElapsedSeconds());
+          obs::GetCounter("ckpt.loads").Add(1);
+        }
+        return Loaded{seq, *std::move(payload)};
+      }
+    }
+    // Torn or corrupt generation: fall back to the previous one.
+    obs::GetCounter("ckpt.load_fallbacks").Add(1);
+  }
+  return Status::NotFound("no valid checkpoint in " + dir_);
+}
+
+}  // namespace tpr::ckpt

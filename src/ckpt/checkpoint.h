@@ -1,0 +1,107 @@
+#ifndef TPR_CKPT_CHECKPOINT_H_
+#define TPR_CKPT_CHECKPOINT_H_
+
+// Crash-safe checkpoint files.
+//
+// Envelope layout (little-endian):
+//
+//   offset size  field
+//   0      4     magic "TPRC"
+//   4      4     format version (currently 1)
+//   8      8     payload length in bytes
+//   16     n     payload (opaque to this layer)
+//   16+n   4     CRC-32 over bytes [0, 16+n)
+//
+// Files are written with write-to-temp + fsync + atomic-rename + parent
+// directory fsync, so a crash at ANY byte of the write sequence leaves
+// either the previous file intact or the new file complete — never a
+// torn visible checkpoint. The CRC footer additionally catches torn or
+// bit-flipped files that bypass the rename protocol (e.g. a copied
+// checkpoint truncated in transit): UnwrapPayload refuses them with a
+// Status instead of returning corrupt state.
+//
+// CheckpointDir layers rotation on top: sequence-numbered files with the
+// last two generations retained, and LoadLatest falling back to the
+// previous generation when the newest file fails validation.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace tpr::ckpt {
+
+inline constexpr uint32_t kMagic = 0x43525054u;  // "TPRC" little-endian
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kHeaderBytes = 16;
+inline constexpr size_t kFooterBytes = 4;
+
+/// Wraps an opaque payload in the versioned magic + length + CRC
+/// envelope described above.
+std::string WrapPayload(std::string_view payload);
+
+/// Validates the envelope (magic, version, length, CRC) and returns the
+/// payload. Any inconsistency — truncation, bit flips, a newer format
+/// version — is a Status, never a crash or silently corrupt bytes.
+StatusOr<std::string> UnwrapPayload(std::string_view bytes);
+
+/// Durably writes `bytes` to `path`: write to `<path>.tmp`, fsync,
+/// rename over `path`, fsync the parent directory. A crash anywhere in
+/// the sequence leaves the previous `path` contents intact.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// Reads a whole file. NotFound when it does not exist.
+StatusOr<std::string> ReadFileBytes(const std::string& path);
+
+/// Test-only crash simulator for AtomicWriteFile. The injector is
+/// called once per write with the total byte count and returns how many
+/// bytes to actually write before the simulated kill:
+///   - k <  size: the temp file is left torn at k bytes, no rename
+///     happens, and AtomicWriteFile returns Internal.
+///   - k == size: the temp file is complete and fsynced but the process
+///     "dies" before the rename (returns Internal).
+///   - k >  size: no fault; the write completes normally.
+/// Pass nullptr to uninstall.
+void SetWriteFaultInjector(std::function<size_t(size_t size)> injector);
+
+/// A directory of rotating, sequence-numbered checkpoint files
+/// (`ckpt-<seq>.tpr`). Concurrent writers are not supported; one
+/// training process owns a directory.
+class CheckpointDir {
+ public:
+  explicit CheckpointDir(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+
+  /// Wraps `payload` in the envelope and atomically writes it as
+  /// sequence `seq` (monotonically increasing, e.g. the global epoch).
+  /// On success prunes all but the newest `keep` generations — the
+  /// previous generation is retained so a fault during the NEXT save
+  /// can always fall back. Records ckpt.save_seconds / ckpt.saved_bytes
+  /// via tpr::obs when metrics are enabled.
+  Status Save(uint64_t seq, std::string_view payload, int keep = 2);
+
+  struct Loaded {
+    uint64_t seq = 0;
+    std::string payload;
+  };
+
+  /// Returns the newest checkpoint that passes envelope validation,
+  /// skipping (and counting via ckpt.load_fallbacks) corrupt or torn
+  /// newer files. NotFound when the directory holds no valid
+  /// checkpoint — the caller starts fresh; corrupt state is never
+  /// returned.
+  StatusOr<Loaded> LoadLatest() const;
+
+  /// Path of the checkpoint file for a sequence number.
+  std::string PathFor(uint64_t seq) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace tpr::ckpt
+
+#endif  // TPR_CKPT_CHECKPOINT_H_

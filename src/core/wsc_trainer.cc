@@ -12,6 +12,45 @@
 #include "util/stopwatch.h"
 
 namespace tpr::core {
+namespace {
+
+constexpr char kModelTag[] = "wsc-model";
+constexpr uint32_t kModelVersion = 1;
+
+}  // namespace
+
+Status WscModel::SaveState(ckpt::Writer& w) const {
+  w.Str(kModelTag);
+  w.U32(kModelVersion);
+  w.U64(step_);
+  ckpt::WriteRng(w, rng_);
+  ckpt::WriteParamValues(w, encoder_->Parameters());
+  ckpt::WriteAdamState(w, *optimizer_);
+  return Status::OK();
+}
+
+Status WscModel::LoadState(ckpt::Reader& r) {
+  std::string tag;
+  TPR_RETURN_IF_ERROR(r.Str(&tag));
+  if (tag != kModelTag) {
+    return Status::FailedPrecondition("not a WSC model checkpoint: " + tag);
+  }
+  uint32_t version = 0;
+  TPR_RETURN_IF_ERROR(r.U32(&version));
+  if (version != kModelVersion) {
+    return Status::FailedPrecondition(
+        "unsupported WSC model checkpoint version " +
+        std::to_string(version));
+  }
+  TPR_RETURN_IF_ERROR(r.U64(&step_));
+  TPR_RETURN_IF_ERROR(ckpt::ReadRng(r, &rng_));
+  TPR_RETURN_IF_ERROR(ckpt::ReadParamValuesInto(r, encoder_->Parameters()));
+  TPR_RETURN_IF_ERROR(ckpt::ReadAdamStateInto(r, optimizer_.get()));
+  // Drop worker replicas: one could carry a synced_step equal to the
+  // restored step_ and would then silently keep its stale values.
+  replicas_.clear();
+  return Status::OK();
+}
 
 int64_t SampleDepartureWithLabel(synth::WeakLabelScheme scheme, int label,
                                  const synth::TrafficModel& traffic,

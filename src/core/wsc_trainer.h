@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/serialize.h"
 #include "core/encoder.h"
 #include "core/wsc_loss.h"
 #include "nn/grad_accumulator.h"
@@ -74,6 +75,19 @@ class WscModel {
   TemporalPathEncoder* mutable_encoder() { return encoder_.get(); }
   const WscConfig& config() const { return config_; }
   const FeatureSpace& features() const { return *features_; }
+
+  /// Serializes the complete trainer state — encoder parameters, Adam
+  /// moments, the minibatch counter that seeds per-shard RNG streams,
+  /// and the epoch-shuffle RNG — so a restored model continues training
+  /// bit-exactly where the original stopped.
+  Status SaveState(ckpt::Writer& w) const;
+
+  /// Restores state written by SaveState into this model. The model
+  /// must have been built with an architecture-identical config
+  /// (parameter count and shapes are verified). Worker replicas are
+  /// invalidated so the next minibatch re-syncs from the restored
+  /// parameters.
+  Status LoadState(ckpt::Reader& r);
 
  private:
   /// Per-worker encoder replica used to build an independent autograd

@@ -1,14 +1,164 @@
 #include "core/wsccl.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <numeric>
 #include <string>
+#include <utility>
 
+#include "ckpt/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace tpr::core {
+namespace {
+
+constexpr char kPipelineTag[] = "wsccl-pipeline";
+constexpr uint32_t kPipelineVersion = 1;
+
+uint64_t FloatBits(float x) {
+  uint32_t b = 0;
+  std::memcpy(&b, &x, sizeof b);
+  return b;
+}
+
+}  // namespace
+
+uint64_t WsccalPipeline::ConfigFingerprint(const WsccalConfig& config) {
+  const WscConfig& w = config.wsc;
+  const EncoderConfig& e = w.encoder;
+  uint64_t h = 0x575343434Cu;  // "WSCCL"
+  for (uint64_t v : {
+           static_cast<uint64_t>(e.d_rt), static_cast<uint64_t>(e.d_lanes),
+           static_cast<uint64_t>(e.d_oneway),
+           static_cast<uint64_t>(e.d_signal),
+           static_cast<uint64_t>(e.d_hidden),
+           static_cast<uint64_t>(e.lstm_layers),
+           static_cast<uint64_t>(e.sequence_model),
+           static_cast<uint64_t>(e.aggregation),
+           static_cast<uint64_t>(e.use_temporal),
+           static_cast<uint64_t>(e.use_projection_head),
+           static_cast<uint64_t>(e.projection_dim), e.seed,
+           FloatBits(w.loss.temperature),
+           static_cast<uint64_t>(w.loss.pos_edges_per_query),
+           static_cast<uint64_t>(w.loss.neg_edges_per_query),
+           FloatBits(w.lambda), static_cast<uint64_t>(w.anchors_per_batch),
+           FloatBits(w.lr), FloatBits(w.grad_clip),
+           static_cast<uint64_t>(w.weak_labels),
+           static_cast<uint64_t>(w.use_global),
+           static_cast<uint64_t>(w.use_local),
+           static_cast<uint64_t>(w.grad_shards), w.seed,
+           static_cast<uint64_t>(config.curriculum.strategy),
+           static_cast<uint64_t>(config.curriculum.num_meta_sets),
+           static_cast<uint64_t>(config.curriculum.expert_epochs),
+           static_cast<uint64_t>(config.stage_epochs),
+           static_cast<uint64_t>(config.final_epochs)}) {
+    h = MixSeed(h, v);
+  }
+  return h;
+}
+
+std::string WsccalPipeline::BuildPayload() const {
+  ckpt::Writer w;
+  w.Str(kPipelineTag);
+  w.U32(kPipelineVersion);
+  w.U64(ConfigFingerprint(config_));
+  w.U8(completed_ ? 1 : 0);
+  w.I32(next_stage_);
+  w.I32(next_epoch_);
+  w.U64(global_epoch_);
+  w.F64(final_loss_);
+  w.U32(static_cast<uint32_t>(stages_.size()));
+  for (const auto& stage : stages_) {
+    w.U32(static_cast<uint32_t>(stage.size()));
+    for (int idx : stage) w.I32(idx);
+  }
+  const Status st = model_->SaveState(w);
+  TPR_CHECK(st.ok()) << st.ToString();
+  return w.TakeBytes();
+}
+
+Status WsccalPipeline::RestorePayload(std::string_view payload) {
+  ckpt::Reader r(payload);
+  std::string tag;
+  TPR_RETURN_IF_ERROR(r.Str(&tag));
+  if (tag != kPipelineTag) {
+    return Status::FailedPrecondition("not a WSCCL pipeline checkpoint: " +
+                                      tag);
+  }
+  uint32_t version = 0;
+  TPR_RETURN_IF_ERROR(r.U32(&version));
+  if (version != kPipelineVersion) {
+    return Status::FailedPrecondition(
+        "unsupported pipeline checkpoint version " + std::to_string(version));
+  }
+  uint64_t fingerprint = 0;
+  TPR_RETURN_IF_ERROR(r.U64(&fingerprint));
+  if (fingerprint != ConfigFingerprint(config_)) {
+    return Status::FailedPrecondition(
+        "checkpoint was trained under a different WSCCL configuration; "
+        "refusing to resume");
+  }
+  uint8_t completed = 0;
+  TPR_RETURN_IF_ERROR(r.U8(&completed));
+  TPR_RETURN_IF_ERROR(r.I32(&next_stage_));
+  TPR_RETURN_IF_ERROR(r.I32(&next_epoch_));
+  TPR_RETURN_IF_ERROR(r.U64(&global_epoch_));
+  TPR_RETURN_IF_ERROR(r.F64(&final_loss_));
+  uint32_t num_stages = 0;
+  TPR_RETURN_IF_ERROR(r.U32(&num_stages));
+  const size_t pool_size = model_->features().data->unlabeled.size();
+  if (num_stages > pool_size + 1) {
+    return Status::OutOfRange("checkpoint stage count exceeds pool size");
+  }
+  stages_.assign(num_stages, {});
+  for (auto& stage : stages_) {
+    uint32_t len = 0;
+    TPR_RETURN_IF_ERROR(r.U32(&len));
+    if (len > pool_size) {
+      return Status::OutOfRange("checkpoint stage length exceeds pool size");
+    }
+    stage.resize(len);
+    for (auto& idx : stage) {
+      TPR_RETURN_IF_ERROR(r.I32(&idx));
+      if (idx < 0 || static_cast<size_t>(idx) >= pool_size) {
+        return Status::OutOfRange("checkpoint stage index out of pool range");
+      }
+    }
+  }
+  if (next_stage_ < 0 ||
+      next_stage_ > static_cast<int>(stages_.size()) + 1 || next_epoch_ < 0) {
+    return Status::OutOfRange("checkpoint schedule cursor out of range");
+  }
+  completed_ = completed != 0;
+  return model_->LoadState(r);
+}
+
+StatusOr<std::string> WsccalPipeline::Serialize() const {
+  if (!completed_) {
+    return Status::FailedPrecondition(
+        "cannot serialize a partially trained pipeline");
+  }
+  return BuildPayload();
+}
+
+StatusOr<std::unique_ptr<WsccalPipeline>> WsccalPipeline::Deserialize(
+    std::shared_ptr<const FeatureSpace> features, const WsccalConfig& config,
+    std::string_view payload) {
+  if (features == nullptr) return Status::InvalidArgument("null features");
+  auto pipeline = std::unique_ptr<WsccalPipeline>(new WsccalPipeline());
+  pipeline->config_ = config;
+  pipeline->model_ = std::make_unique<WscModel>(features, config.wsc);
+  TPR_RETURN_IF_ERROR(pipeline->RestorePayload(payload));
+  if (!pipeline->completed_) {
+    return Status::FailedPrecondition(
+        "checkpoint describes an unfinished training run");
+  }
+  return pipeline;
+}
 
 StatusOr<std::unique_ptr<WsccalPipeline>> WsccalPipeline::Train(
     std::shared_ptr<const FeatureSpace> features, const WsccalConfig& config) {
@@ -20,51 +170,105 @@ StatusOr<std::unique_ptr<WsccalPipeline>> WsccalPipeline::Train(
   std::vector<int> all(pool.size());
   std::iota(all.begin(), all.end(), 0);
 
-  StatusOr<std::vector<std::vector<int>>> stages = [&] {
-    obs::ScopedSpan span("wsccl.build_curriculum");
-    return BuildCurriculum(features, config.wsc, config.curriculum, all);
-  }();
-  if (!stages.ok()) return stages.status();
-
   auto pipeline = std::unique_ptr<WsccalPipeline>(new WsccalPipeline());
-  pipeline->model_ = std::make_unique<WscModel>(features, config.wsc);
+  pipeline->config_ = config;
 
-  // Stages ST_1..ST_M, easy to hard (Section VI-C). Per-phase loss and
-  // wall time land in wsccl.stage<i>.* metrics.
-  for (size_t i = 0; i < stages->size(); ++i) {
-    const auto& stage = (*stages)[i];
+  std::string dir = config.ckpt_dir;
+  if (dir.empty()) {
+    if (const char* env = std::getenv("TPR_CKPT_DIR")) dir = env;
+  }
+  std::unique_ptr<ckpt::CheckpointDir> cdir;
+  bool resumed = false;
+  if (!dir.empty()) {
+    cdir = std::make_unique<ckpt::CheckpointDir>(dir);
+    auto loaded = cdir->LoadLatest();
+    if (loaded.ok()) {
+      obs::ScopedSpan resume_span("wsccl.resume");
+      pipeline->model_ = std::make_unique<WscModel>(features, config.wsc);
+      TPR_RETURN_IF_ERROR(pipeline->RestorePayload(loaded->payload));
+      resumed = true;
+      if (obs::MetricsEnabled()) {
+        obs::GetCounter("wsccl.resumes").Add(1);
+        obs::GetGauge("wsccl.resume_epoch")
+            .Set(static_cast<double>(pipeline->global_epoch_));
+      }
+      // A completed checkpoint IS the trained model; nothing to train.
+      if (pipeline->completed_) return pipeline;
+    }
+  }
+  if (!resumed) {
+    StatusOr<std::vector<std::vector<int>>> stages = [&] {
+      obs::ScopedSpan span("wsccl.build_curriculum");
+      return BuildCurriculum(features, config.wsc, config.curriculum, all);
+    }();
+    if (!stages.ok()) return stages.status();
+    pipeline->stages_ = *std::move(stages);
+    pipeline->model_ = std::make_unique<WscModel>(features, config.wsc);
+  }
+
+  // Stages ST_1..ST_M easy to hard (Section VI-C), then the final
+  // full-data stage ST_{M+1}, starting from the checkpoint cursor.
+  // Per-phase loss and wall time land in wsccl.stage<i>.* metrics.
+  const int num_stages = static_cast<int>(pipeline->stages_.size());
+  for (int s = pipeline->next_stage_; s <= num_stages; ++s) {
+    const bool final_stage = s == num_stages;
+    const auto& stage = final_stage ? all : pipeline->stages_[s];
+    const int epochs = final_stage ? config.final_epochs : config.stage_epochs;
+    const int start_epoch = s == pipeline->next_stage_
+                                ? std::min(pipeline->next_epoch_, epochs)
+                                : 0;
     if (stage.empty()) continue;
-    obs::ScopedSpan stage_span("wsccl.stage", "stage",
-                               static_cast<double>(i));
+    obs::ScopedSpan stage_span(final_stage ? "wsccl.final_stage"
+                                           : "wsccl.stage",
+                               "stage", static_cast<double>(s));
     Stopwatch stage_sw;
     double stage_loss = 0.0;
-    for (int epoch = 0; epoch < config.stage_epochs; ++epoch) {
+    for (int epoch = start_epoch; epoch < epochs; ++epoch) {
       auto loss = pipeline->model_->TrainEpoch(stage);
       if (!loss.ok()) return loss.status();
       stage_loss = *loss;
+      ++pipeline->global_epoch_;
+      pipeline->final_loss_ = *loss;
+      // Cursor names the NEXT epoch to run, so a checkpoint written now
+      // resumes directly after this epoch.
+      if (epoch + 1 < epochs) {
+        pipeline->next_stage_ = s;
+        pipeline->next_epoch_ = epoch + 1;
+      } else {
+        pipeline->next_stage_ = s + 1;
+        pipeline->next_epoch_ = 0;
+      }
+      const bool last = final_stage && epoch == epochs - 1;
+      if (cdir != nullptr && !last && config.checkpoint_every_n_epochs > 0 &&
+          pipeline->global_epoch_ %
+                  static_cast<uint64_t>(config.checkpoint_every_n_epochs) ==
+              0) {
+        TPR_RETURN_IF_ERROR(cdir->Save(pipeline->global_epoch_,
+                                       pipeline->BuildPayload()));
+      }
+      if (config.stop_after_epochs > 0 &&
+          pipeline->global_epoch_ >=
+              static_cast<uint64_t>(config.stop_after_epochs) &&
+          !last) {
+        // Simulated kill: return the partial pipeline as-is. State past
+        // the last periodic checkpoint is intentionally lost.
+        return pipeline;
+      }
     }
     if (obs::MetricsEnabled()) {
-      const std::string prefix = "wsccl.stage" + std::to_string(i);
+      const std::string prefix =
+          final_stage ? "wsccl.final_stage"
+                      : "wsccl.stage" + std::to_string(s);
       obs::GetGauge(prefix + ".loss").Set(stage_loss);
       obs::GetGauge(prefix + ".seconds").Set(stage_sw.ElapsedSeconds());
     }
   }
 
-  // Final stage ST_{M+1}: the whole training set.
-  obs::ScopedSpan final_span("wsccl.final_stage", "epochs",
-                             config.final_epochs);
-  Stopwatch final_sw;
-  double final_loss = 0.0;
-  for (int epoch = 0; epoch < config.final_epochs; ++epoch) {
-    auto loss = pipeline->model_->TrainEpoch(all);
-    if (!loss.ok()) return loss.status();
-    final_loss = *loss;
+  pipeline->completed_ = true;
+  if (cdir != nullptr) {
+    TPR_RETURN_IF_ERROR(
+        cdir->Save(pipeline->global_epoch_, pipeline->BuildPayload()));
   }
-  if (obs::MetricsEnabled()) {
-    obs::GetGauge("wsccl.final_stage.loss").Set(final_loss);
-    obs::GetGauge("wsccl.final_stage.seconds").Set(final_sw.ElapsedSeconds());
-  }
-  pipeline->final_loss_ = final_loss;
   return pipeline;
 }
 

@@ -2,7 +2,10 @@
 #define TPR_CORE_WSCCL_H_
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "core/curriculum.h"
 #include "core/wsc_trainer.h"
 
@@ -18,16 +21,54 @@ struct WsccalConfig {
 
   /// Epochs of the final full-data stage ST_{M+1} (paper: to convergence).
   int final_epochs = 4;
+
+  /// Crash-safe checkpointing. When `ckpt_dir` is non-empty — or the
+  /// TPR_CKPT_DIR environment variable is set — Train() resumes from the
+  /// newest valid checkpoint in that directory and writes a new one
+  /// every `checkpoint_every_n_epochs` training epochs (stage and
+  /// final-stage epochs count equally; 0 writes only the completion
+  /// checkpoint). Checkpoints capture the curriculum stages, the
+  /// schedule cursor, and the full trainer state, so a resumed run
+  /// reproduces the uninterrupted run bit-exactly.
+  std::string ckpt_dir;
+  int checkpoint_every_n_epochs = 1;
+
+  /// Test/ops hook simulating a kill: when > 0, Train() returns cleanly
+  /// after this many total epochs, without any extra state flush beyond
+  /// the periodic checkpoint schedule. The returned pipeline is
+  /// partially trained; calling Train() again with the same ckpt_dir
+  /// resumes from the last checkpoint.
+  int stop_after_epochs = 0;
 };
 
 /// The trained WSCCL model: runs curriculum construction, staged training
 /// and the final full-data stage, then exposes the frozen encoder.
 class WsccalPipeline {
  public:
-  /// Trains end to end on the dataset's unlabeled pool.
+  /// Trains end to end on the dataset's unlabeled pool, resuming from
+  /// `config.ckpt_dir` when it holds a valid checkpoint. Resuming under
+  /// a config whose fingerprint differs from the checkpoint's is a
+  /// FailedPrecondition — a checkpoint is never silently reinterpreted.
   static StatusOr<std::unique_ptr<WsccalPipeline>> Train(
       std::shared_ptr<const FeatureSpace> features,
       const WsccalConfig& config);
+
+  /// Serialized trained pipeline (curriculum stages + trainer state),
+  /// for the bench model registry. Only complete pipelines serialize;
+  /// partial ones (see stop_after_epochs) are refused.
+  StatusOr<std::string> Serialize() const;
+
+  /// Reconstructs a trained pipeline from Serialize() output. The
+  /// config must fingerprint-match the one the checkpoint was trained
+  /// with, and the payload must describe a completed run.
+  static StatusOr<std::unique_ptr<WsccalPipeline>> Deserialize(
+      std::shared_ptr<const FeatureSpace> features,
+      const WsccalConfig& config, std::string_view payload);
+
+  /// Hash of every configuration field that affects the trained result
+  /// (architecture, seeds, curriculum schedule — not checkpoint paths).
+  /// Stored in checkpoints to refuse cross-config resumes.
+  static uint64_t ConfigFingerprint(const WsccalConfig& config);
 
   /// Frozen TPR for a temporal path.
   std::vector<float> Encode(const graph::Path& path,
@@ -42,13 +83,36 @@ class WsccalPipeline {
   const WscModel& model() const { return *model_; }
   WscModel* mutable_model() { return model_.get(); }
 
-  /// Mean training loss of the last final-stage epoch (diagnostics).
+  /// Mean training loss of the last completed epoch (diagnostics; the
+  /// last final-stage epoch for a completed run).
   double final_loss() const { return final_loss_; }
+
+  /// False when training was interrupted by stop_after_epochs before
+  /// the schedule finished.
+  bool completed() const { return completed_; }
+
+  /// Total training epochs completed so far (stage + final).
+  uint64_t epochs_completed() const { return global_epoch_; }
 
  private:
   WsccalPipeline() = default;
 
+  /// Payload for both periodic checkpoints and registry serialization.
+  std::string BuildPayload() const;
+
+  /// Restores cursor, stages, and model state from BuildPayload()
+  /// output. config_ and model_ must already be set.
+  Status RestorePayload(std::string_view payload);
+
+  WsccalConfig config_;
   std::unique_ptr<WscModel> model_;
+  std::vector<std::vector<int>> stages_;
+  // Schedule cursor: the NEXT (stage, epoch) to run. next_stage_ ==
+  // stages_.size() addresses the final full-data stage.
+  int next_stage_ = 0;
+  int next_epoch_ = 0;
+  uint64_t global_epoch_ = 0;
+  bool completed_ = false;
   double final_loss_ = 0.0;
 };
 

@@ -101,4 +101,33 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.t = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+Status Adam::ImportState(AdamState state) {
+  if (state.m.size() != params_.size() ||
+      state.v.size() != params_.size()) {
+    return Status::FailedPrecondition(
+        "Adam state holds " + std::to_string(state.m.size()) +
+        " moment tensors, optimizer has " + std::to_string(params_.size()) +
+        " parameters");
+  }
+  for (size_t k = 0; k < params_.size(); ++k) {
+    if (!state.m[k].SameShape(params_[k].value()) ||
+        !state.v[k].SameShape(params_[k].value())) {
+      return Status::FailedPrecondition(
+          "Adam moment shape mismatch at parameter " + std::to_string(k));
+    }
+  }
+  t_ = state.t;
+  m_ = std::move(state.m);
+  v_ = std::move(state.v);
+  return Status::OK();
+}
+
 }  // namespace tpr::nn

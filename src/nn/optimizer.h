@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "nn/autograd.h"
+#include "util/status.h"
 
 namespace tpr::nn {
 
@@ -46,6 +47,16 @@ class Sgd : public Optimizer {
   float weight_decay_;
 };
 
+/// The mutable state of an Adam optimizer: step count and first/second
+/// moment estimates, in parameter order. Hyper-parameters (lr, betas,
+/// eps) are configuration, not state — a restored optimizer keeps the
+/// values it was constructed with.
+struct AdamState {
+  int t = 0;
+  std::vector<Tensor> m;
+  std::vector<Tensor> v;
+};
+
 /// Adam (Kingma & Ba). The paper trains with lr = 3e-4.
 class Adam : public Optimizer {
  public:
@@ -56,6 +67,13 @@ class Adam : public Optimizer {
 
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+
+  /// Copies out the moment estimates and step count (checkpointing).
+  AdamState ExportState() const;
+
+  /// Restores previously exported state. The moment tensors must match
+  /// this optimizer's parameter list in count and shape.
+  Status ImportState(AdamState state);
 
  private:
   float lr_;

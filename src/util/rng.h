@@ -1,6 +1,7 @@
 #ifndef TPR_UTIL_RNG_H_
 #define TPR_UTIL_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -58,6 +59,19 @@ class Rng {
   /// Samples an index from an unnormalised non-negative weight vector.
   /// Returns weights.size() - 1 if rounding leaves residual mass.
   size_t SampleDiscrete(const std::vector<double>& weights);
+
+  /// The full 256-bit generator state, for checkpointing. A generator
+  /// restored from this state reproduces the exact draw sequence the
+  /// original would have produced (there is no hidden carry state: every
+  /// draw, including Gaussian(), is a pure function of s_).
+  std::array<uint64_t, 4> Serialize() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void Restore(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
+    // Guard against a hand-crafted all-zero state, as in Seed().
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
 
  private:
   uint64_t s_[4];

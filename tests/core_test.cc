@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "core/curriculum.h"
+#include "gradcheck.h"
 #include "core/encoder.h"
 #include "core/features.h"
 #include "core/wsc_loss.h"
@@ -434,6 +435,74 @@ INSTANTIATE_TEST_SUITE_P(
     Schemes, WeakLabelSchemeTest,
     ::testing::Values(synth::WeakLabelScheme::kPeakOffPeak,
                       synth::WeakLabelScheme::kCongestionIndex));
+
+// End-to-end gradient checks of the WSC losses through the full encoder.
+// The batch is two positive pairs with opposite weak labels, so every
+// query has at least one positive and one negative for both losses.
+class WscLossGradCheck : public CoreTest {
+ protected:
+  std::vector<BatchItem> MakeBatch() {
+    const auto& a = data().unlabeled[0];
+    const auto& b = data().unlabeled[1];
+    std::vector<BatchItem> batch;
+    for (const auto* sample : {&a, &a, &b, &b}) {
+      BatchItem item;
+      item.path = &sample->path;
+      item.depart_time_s = sample->depart_time_s;
+      item.weak_label = sample == &a ? 0 : 1;
+      batch.push_back(item);
+    }
+    // Positives of the same path at different departure times (Section V-A).
+    batch[1].depart_time_s += 1800;
+    batch[3].depart_time_s += 1800;
+    return batch;
+  }
+
+  static EncoderConfig GradCheckEncoder() {
+    EncoderConfig cfg;
+    cfg.d_hidden = 8;
+    cfg.projection_dim = 4;
+    cfg.lstm_layers = 1;
+    return cfg;
+  }
+
+  static tpr::testing::GradCheckOptions LossOptions() {
+    tpr::testing::GradCheckOptions opts;
+    opts.max_entries_per_param = 4;
+    return opts;
+  }
+};
+
+TEST_F(WscLossGradCheck, GlobalWscLossMatchesFiniteDifferences) {
+  TemporalPathEncoder encoder(features(), GradCheckEncoder());
+  WscLossConfig cfg;
+  auto loss_fn = [&] {
+    auto batch = MakeBatch();
+    for (auto& item : batch) {
+      item.encoded = encoder.Encode(*item.path, item.depart_time_s);
+    }
+    return GlobalWscLoss(batch, cfg);
+  };
+  tpr::testing::ExpectGradientsMatch(loss_fn, encoder.Parameters(),
+                                     LossOptions());
+}
+
+TEST_F(WscLossGradCheck, LocalWscLossMatchesFiniteDifferences) {
+  TemporalPathEncoder encoder(features(), GradCheckEncoder());
+  WscLossConfig cfg;
+  cfg.pos_edges_per_query = 2;
+  cfg.neg_edges_per_query = 3;
+  auto loss_fn = [&] {
+    auto batch = MakeBatch();
+    for (auto& item : batch) {
+      item.encoded = encoder.Encode(*item.path, item.depart_time_s);
+    }
+    Rng rng(123);  // re-seeded so every evaluation samples the same edges
+    return LocalWscLoss(batch, cfg, rng);
+  };
+  tpr::testing::ExpectGradientsMatch(loss_fn, encoder.Parameters(),
+                                     LossOptions());
+}
 
 }  // namespace
 }  // namespace tpr::core

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
 #include "eval/downstream.h"
 #include "eval/metrics.h"
 #include "synth/presets.h"
+#include "util/rng.h"
 
 namespace tpr::eval {
 namespace {
@@ -151,6 +156,95 @@ TEST_F(DownstreamTest, FeatureMatrixShape) {
   EXPECT_EQ(m.rows, static_cast<int>(data_->labeled.size()));
   EXPECT_EQ(m.cols, 2);
   EXPECT_FLOAT_EQ(m.at(0, 1), 2.0f);
+}
+
+// --- Property-style metric tests over randomised data (fixed seeds) ---
+
+// Random truth/prediction vectors with strictly positive truth values so
+// every metric (including Mare/Mape) is defined.
+struct MetricFixture {
+  std::vector<double> truth;
+  std::vector<double> pred;
+};
+
+MetricFixture RandomMetricData(uint64_t seed, int n = 32) {
+  Rng rng(seed);
+  MetricFixture f;
+  for (int i = 0; i < n; ++i) {
+    f.truth.push_back(rng.Uniform(10.0, 100.0));
+    f.pred.push_back(rng.Uniform(10.0, 100.0));
+  }
+  return f;
+}
+
+template <typename Metric>
+void ExpectPermutationInvariant(const Metric& metric, uint64_t seed) {
+  const MetricFixture f = RandomMetricData(seed);
+  std::vector<size_t> order(f.truth.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  Rng rng(seed + 1);
+  rng.Shuffle(order);
+  std::vector<double> truth_p, pred_p;
+  for (size_t i : order) {
+    truth_p.push_back(f.truth[i]);
+    pred_p.push_back(f.pred[i]);
+  }
+  EXPECT_NEAR(*metric(f.truth, f.pred), *metric(truth_p, pred_p), 1e-12)
+      << "metric not invariant under a joint permutation";
+}
+
+TEST(MetricPropertiesTest, PermutationInvariance) {
+  ExpectPermutationInvariant(Mae, 501);
+  ExpectPermutationInvariant(Mare, 502);
+  ExpectPermutationInvariant(Mape, 503);
+  ExpectPermutationInvariant(KendallTau, 504);
+  ExpectPermutationInvariant(SpearmanRho, 505);
+}
+
+TEST(MetricPropertiesTest, ScaleBehaviour) {
+  const MetricFixture f = RandomMetricData(510);
+  const double k = 3.75;
+  std::vector<double> truth_k = f.truth, pred_k = f.pred;
+  for (double& v : truth_k) v *= k;
+  for (double& v : pred_k) v *= k;
+  // MAE is homogeneous of degree one; the relative errors are
+  // scale-invariant under a common positive scaling.
+  EXPECT_NEAR(*Mae(truth_k, pred_k), k * *Mae(f.truth, f.pred), 1e-9);
+  EXPECT_NEAR(*Mare(truth_k, pred_k), *Mare(f.truth, f.pred), 1e-12);
+  EXPECT_NEAR(*Mape(truth_k, pred_k), *Mape(f.truth, f.pred), 1e-9);
+}
+
+TEST(MetricPropertiesTest, RankCorrelationsInvariantUnderMonotoneMap) {
+  const MetricFixture f = RandomMetricData(520);
+  std::vector<double> pred_mono = f.pred;
+  for (double& v : pred_mono) v = std::exp(0.05 * v) + 2.0 * v;
+  EXPECT_NEAR(*KendallTau(f.truth, pred_mono), *KendallTau(f.truth, f.pred),
+              1e-12);
+  EXPECT_NEAR(*SpearmanRho(f.truth, pred_mono), *SpearmanRho(f.truth, f.pred),
+              1e-12);
+}
+
+TEST(MetricPropertiesTest, PerfectPredictionIsAFixedPoint) {
+  const MetricFixture f = RandomMetricData(530);
+  EXPECT_DOUBLE_EQ(*Mae(f.truth, f.truth), 0.0);
+  EXPECT_DOUBLE_EQ(*Mare(f.truth, f.truth), 0.0);
+  EXPECT_DOUBLE_EQ(*Mape(f.truth, f.truth), 0.0);
+  EXPECT_DOUBLE_EQ(*KendallTau(f.truth, f.truth), 1.0);
+  EXPECT_DOUBLE_EQ(*SpearmanRho(f.truth, f.truth), 1.0);
+  std::vector<int> labels;
+  Rng rng(531);
+  for (int i = 0; i < 32; ++i) labels.push_back(rng.Bernoulli(0.5) ? 1 : 0);
+  EXPECT_DOUBLE_EQ(*Accuracy(labels, labels), 1.0);
+  EXPECT_DOUBLE_EQ(*HitRate(labels, labels), 1.0);
+}
+
+TEST(MetricPropertiesTest, GroupedTauMatchesUngroupedOnSingleGroup) {
+  const MetricFixture f = RandomMetricData(540, 12);
+  const std::vector<int> one_group(f.truth.size(), 0);
+  EXPECT_NEAR(*GroupedKendallTau(one_group, f.truth, f.pred),
+              *KendallTau(f.truth, f.pred), 1e-12);
+  EXPECT_NEAR(*GroupedSpearmanRho(one_group, f.truth, f.pred),
+              *SpearmanRho(f.truth, f.pred), 1e-12);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+#ifndef TPR_TESTS_GRADCHECK_H_
+#define TPR_TESTS_GRADCHECK_H_
+
+// Central finite-difference gradient checker for the autograd engine.
+//
+// ExpectGradientsMatch evaluates the analytic gradients of a scalar loss
+// with respect to a parameter list and compares each probed entry against
+// the central difference (f(θ+h) − f(θ−h)) / 2h. The loss closure must
+// be a pure function of the parameter VALUES: any internal randomness
+// (negative sampling, dropout) must be re-seeded identically on every
+// call, otherwise the finite difference measures noise, not gradient.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/tensor.h"
+
+namespace tpr::testing {
+
+struct GradCheckOptions {
+  /// Central-difference step. float32 forward passes limit how small
+  /// this can usefully be; 1e-3 balances truncation vs rounding error.
+  float step = 1e-3f;
+  /// An entry passes when |analytic − numeric| <= abs_tol + rel_tol *
+  /// max(|analytic|, |numeric|).
+  float abs_tol = 2e-3f;
+  float rel_tol = 2e-2f;
+  /// Entries probed per parameter tensor (strided across the tensor, so
+  /// every weight matrix region is sampled). Two forward passes per
+  /// entry make exhaustive probing of large losses too slow.
+  int max_entries_per_param = 16;
+};
+
+inline void ExpectGradientsMatch(const std::function<nn::Var()>& loss_fn,
+                                 const std::vector<nn::Var>& params,
+                                 const GradCheckOptions& opts = {}) {
+  // Analytic pass.
+  for (nn::Var p : params) p.ZeroGrad();
+  nn::Var loss = loss_fn();
+  ASSERT_TRUE(loss.defined()) << "loss closure returned an undefined Var";
+  loss.Backward();
+  std::vector<nn::Tensor> analytic;
+  analytic.reserve(params.size());
+  for (const nn::Var& p : params) analytic.push_back(p.grad());
+
+  const auto eval = [&loss_fn]() -> double {
+    nn::NoGradGuard guard;  // FD probes need values only
+    return loss_fn().scalar();
+  };
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    nn::Var p = params[i];  // shared handle; mutations hit the model
+    nn::Tensor& value = p.mutable_value();
+    const size_t n = value.size();
+    if (n == 0) continue;
+    const size_t stride =
+        std::max<size_t>(1, n / static_cast<size_t>(
+                                  std::max(1, opts.max_entries_per_param)));
+    for (size_t k = 0; k < n; k += stride) {
+      const float saved = value[k];
+      value[k] = saved + opts.step;
+      const double f_plus = eval();
+      value[k] = saved - opts.step;
+      const double f_minus = eval();
+      value[k] = saved;
+      const double numeric = (f_plus - f_minus) / (2.0 * opts.step);
+      const double a =
+          analytic[i].empty() ? 0.0 : static_cast<double>(analytic[i][k]);
+      const double tol =
+          opts.abs_tol +
+          opts.rel_tol * std::max(std::fabs(a), std::fabs(numeric));
+      EXPECT_NEAR(a, numeric, tol)
+          << "param " << i << " entry " << k << " (of " << n << ")";
+    }
+  }
+}
+
+}  // namespace tpr::testing
+
+#endif  // TPR_TESTS_GRADCHECK_H_

@@ -3,9 +3,12 @@
 #include <cmath>
 #include <functional>
 
+#include "gradcheck.h"
 #include "nn/autograd.h"
 #include "nn/modules.h"
 #include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "util/rng.h"
 
 namespace tpr::nn {
 namespace {
@@ -324,6 +327,40 @@ TEST(OptimizerTest, ClipGradNormBoundsNorm) {
   const float pre_norm = opt.ClipGradNorm(1.0f);
   EXPECT_NEAR(pre_norm, 50.0f, 1e-3f);
   EXPECT_NEAR(w.grad().Norm(), 1.0f, 1e-4f);
+}
+
+// Fixed input sequence for the module-level gradient checks.
+Var FixedSequence(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.Gaussian(0.0, 0.5));
+  }
+  return Var::Leaf(std::move(t));
+}
+
+TEST(GradCheckModules, LstmMatchesFiniteDifferences) {
+  Rng rng(101);
+  Lstm lstm(3, 4, 2, rng);
+  Var x = FixedSequence(5, 3, 7);
+  tpr::testing::ExpectGradientsMatch([&] { return Sum(lstm.Forward(x)); },
+                                     lstm.Parameters());
+}
+
+TEST(GradCheckModules, GruMatchesFiniteDifferences) {
+  Rng rng(102);
+  GruLayer gru(3, 4, rng);
+  Var x = FixedSequence(5, 3, 8);
+  tpr::testing::ExpectGradientsMatch([&] { return Sum(gru.Forward(x)); },
+                                     gru.Parameters());
+}
+
+TEST(GradCheckModules, SelfAttentionMatchesFiniteDifferences) {
+  Rng rng(103);
+  SelfAttention attention(4, 4, rng);
+  Var x = FixedSequence(6, 4, 9);
+  tpr::testing::ExpectGradientsMatch(
+      [&] { return Sum(attention.Forward(x)); }, attention.Parameters());
 }
 
 }  // namespace
