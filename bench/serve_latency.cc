@@ -1,0 +1,303 @@
+// Latency/robustness bench for the embedding inference service
+// (tpr::serve). Four phases over the same service instance:
+//
+//   clean    — no fault plan; measures baseline sojourn latency
+//              (admission -> result) under a closed-loop submitter.
+//   faulted  — a deterministic tpr::fault plan injects encoder-forward
+//              failures, ckpt-read failures, scratch-alloc failures,
+//              queue-full sheds, and worker latency; measures degraded
+//              latency plus the shed / retry / degradation-rung counters.
+//   outage   — encoder-forward:p=1 (total rung-0 outage): every request
+//              lands on the fallback rung and the circuit breaker trips,
+//              yielding exact trip/open-skip counts.
+//   recovery — plan cleared; the breaker drains its open window, probes,
+//              and re-closes, ending with full-rung service restored.
+//
+// The faulted-phase outcome counters are bitwise-deterministic (single
+// submitter, keyed fault verdicts, admission-order breaker fold — see
+// src/serve/service.h), so ci/bench_gate.py gates them exactly; wall
+// time and percentiles are gated loosely like every other bench.
+//
+// TPR_FAULT, when set, replaces the built-in fault plan (the CI soak job
+// uses this to run the smoke bench under TSan with its own spec; the
+// perf-gate job leaves it unset so gated counters match the baseline).
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.h"
+#include "harness.h"
+#include "serve/service.h"
+
+namespace tpr::bench {
+namespace {
+
+// Built-in faulted-phase plan: the ISSUE's headline outage (10% of
+// encoder forwards, 10% of checkpoint reads) plus a trickle of admission
+// sheds and injected worker latency so every resilience path runs.
+constexpr const char* kDefaultFaultSpec =
+    "encoder-forward:p=0.1;ckpt-read:p=0.1;alloc:p=0.02;"
+    "queue-full:p=0.01;slow-worker:p=0.05,delay_ms=0.2";
+
+struct PhaseStats {
+  int requests = 0;
+  int ok_full = 0;
+  int ok_cached = 0;
+  int ok_fallback = 0;
+  int shed = 0;
+  int other_errors = 0;
+  double seconds = 0.0;
+  std::vector<double> latencies_ms;
+
+  int ok() const { return ok_full + ok_cached + ok_fallback; }
+};
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<size_t>(q * (values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+void Classify(const serve::ServeResult& result, PhaseStats* stats) {
+  if (result.status.ok()) {
+    switch (result.rung) {
+      case serve::Rung::kFull: ++stats->ok_full; break;
+      case serve::Rung::kCached: ++stats->ok_cached; break;
+      case serve::Rung::kFallback: ++stats->ok_fallback; break;
+    }
+  } else if (result.status.code() == StatusCode::kResourceExhausted) {
+    ++stats->shed;
+  } else {
+    ++stats->other_errors;
+  }
+}
+
+// Closed-loop submitter: keeps a small in-flight window so the workers
+// stay busy while per-request sojourn latency is still well defined.
+// Request ids are the loop index — replaying the phase replays the keyed
+// fault verdicts. Every `reload_every` requests the submitter also
+// issues a LoadModel, exercising the ckpt-read fault path (a failed
+// reload must leave the old generation serving).
+PhaseStats RunPhase(serve::InferenceService& service,
+                    const std::vector<synth::TemporalPathSample>& samples,
+                    const std::string& model_dir, int num_requests,
+                    int reload_every, size_t window = 8) {
+  using Clock = std::chrono::steady_clock;
+  struct Pending {
+    Clock::time_point submitted;
+    std::future<serve::ServeResult> future;
+  };
+
+  PhaseStats stats;
+  stats.requests = num_requests;
+  stats.latencies_ms.reserve(static_cast<size_t>(num_requests));
+  std::deque<Pending> pending;
+
+  auto drain_one = [&] {
+    Pending p = std::move(pending.front());
+    pending.pop_front();
+    const serve::ServeResult result = p.future.get();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - p.submitted)
+                          .count();
+    stats.latencies_ms.push_back(ms);
+    Classify(result, &stats);
+  };
+
+  Stopwatch sw;
+  for (int i = 0; i < num_requests; ++i) {
+    if (reload_every > 0 && i > 0 && i % reload_every == 0) {
+      (void)service.LoadModel(model_dir);  // failure keeps the old model
+    }
+    const auto& sample = samples[static_cast<size_t>(i) % samples.size()];
+    serve::PathQuery query;
+    query.path = sample.path;
+    // Walk across cache time buckets so rung 1 sees hits and misses.
+    query.depart_time_s = sample.depart_time_s + (i % 7) * 450;
+    query.id = static_cast<uint64_t>(i + 1);
+    auto submitted = service.Submit(std::move(query));
+    if (!submitted.ok()) {
+      serve::ServeResult shed;
+      shed.status = submitted.status();
+      Classify(shed, &stats);
+    } else {
+      pending.push_back({Clock::now(), std::move(*submitted)});
+    }
+    while (pending.size() >= window) drain_one();
+  }
+  while (!pending.empty()) drain_one();
+  stats.seconds = sw.ElapsedSeconds();
+  return stats;
+}
+
+void RecordPhase(const std::string& prefix, const PhaseStats& stats) {
+  Record(prefix + ".ok_full", stats.ok_full);
+  Record(prefix + ".ok_cached", stats.ok_cached);
+  Record(prefix + ".ok_fallback", stats.ok_fallback);
+  Record(prefix + ".shed", stats.shed);
+  Record(prefix + ".other_errors", stats.other_errors);
+  Record(prefix + ".p50_ms", Percentile(stats.latencies_ms, 0.50));
+  Record(prefix + ".p99_ms", Percentile(stats.latencies_ms, 0.99));
+}
+
+std::vector<std::string> PhaseRow(const std::string& name,
+                                  const PhaseStats& s) {
+  return {name,
+          std::to_string(s.requests),
+          std::to_string(s.ok()),
+          std::to_string(s.ok_full),
+          std::to_string(s.ok_cached),
+          std::to_string(s.ok_fallback),
+          std::to_string(s.shed),
+          TablePrinter::Num(Percentile(s.latencies_ms, 0.50), 3),
+          TablePrinter::Num(Percentile(s.latencies_ms, 0.95), 3),
+          TablePrinter::Num(Percentile(s.latencies_ms, 0.99), 3),
+          TablePrinter::Num(s.seconds > 0 ? s.requests / s.seconds : 0, 0)};
+}
+
+}  // namespace
+}  // namespace tpr::bench
+
+int main(int argc, char** argv) {
+  using namespace tpr;
+  using namespace tpr::bench;
+  Init(argc, argv);
+  // The gated shed/retry/breaker counters must be live in full mode too,
+  // not only under --smoke.
+  obs::SetMetricsEnabled(true);
+
+  const PreparedCity city = PrepareCity(synth::AalborgPreset());
+  TPR_CHECK(!city.data->unlabeled.empty());
+
+  core::EncoderConfig encoder_config;
+  if (Smoke()) {
+    encoder_config.d_hidden = 32;
+    encoder_config.lstm_layers = 1;
+  }
+
+  serve::ServiceConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 64;
+  // Backpressure, not shedding: the only sheds are injected queue-full
+  // faults (keyed by ticket), which keeps the shed counter deterministic.
+  config.block_when_full = true;
+  config.max_retries = 2;
+  config.backoff_base_ms = 0.2;
+  config.backoff_max_ms = 5.0;
+  config.breaker_trip_threshold = 10;
+  config.breaker_open_requests = 32;
+  config.cache_capacity = 512;
+  config.time_bucket_s = 900;
+
+  serve::InferenceService service(city.features, encoder_config, config);
+
+  // Stage a model checkpoint and install it through the load path, all
+  // before any fault plan exists.
+  fault::ClearPlan();
+  const std::string model_dir =
+      std::filesystem::temp_directory_path().string() + "/tpr-serve-bench-" +
+      std::to_string(::getpid());
+  {
+    core::TemporalPathEncoder encoder(city.features, encoder_config);
+    TPR_CHECK(serve::InferenceService::SaveModel(encoder, model_dir, 1).ok());
+  }
+  TPR_CHECK(service.LoadModel(model_dir).ok());
+  TPR_CHECK(service.Start().ok());
+
+  const int clean_requests = Smoke() ? 600 : 5000;
+  const int faulted_requests = Smoke() ? 1200 : 10000;
+
+  std::fprintf(stderr, "[bench] clean phase: %d requests...\n",
+               clean_requests);
+  const PhaseStats clean = RunPhase(service, city.data->unlabeled, model_dir,
+                                    clean_requests, /*reload_every=*/0);
+  TPR_CHECK(clean.ok() == clean.requests);
+
+  const char* env_spec = std::getenv("TPR_FAULT");
+  const std::string spec = env_spec != nullptr ? env_spec : kDefaultFaultSpec;
+  std::fprintf(stderr, "[bench] faulted phase: %d requests, plan \"%s\"...\n",
+               faulted_requests, spec.c_str());
+  auto plan = fault::FaultPlan::Parse(spec);
+  TPR_CHECK(plan.ok()) << plan.status().ToString();
+  fault::InstallPlan(std::move(*plan));
+
+  const uint64_t retries0 = obs::GetCounter("serve.retries").value();
+  const uint64_t trips0 = obs::GetCounter("serve.breaker_trips").value();
+  const uint64_t skips0 = obs::GetCounter("serve.breaker_open_skips").value();
+  const uint64_t load_fail0 =
+      obs::GetCounter("serve.model_load_failures").value();
+
+  const PhaseStats faulted =
+      RunPhase(service, city.data->unlabeled, model_dir, faulted_requests,
+               /*reload_every=*/faulted_requests / 4);
+  // Everything admitted must resolve; sheds are the only error budget.
+  TPR_CHECK(faulted.other_errors == 0);
+  TPR_CHECK(faulted.ok() + faulted.shed == faulted.requests);
+  const double faulted_retries =
+      static_cast<double>(obs::GetCounter("serve.retries").value() - retries0);
+  const double faulted_load_failures = static_cast<double>(
+      obs::GetCounter("serve.model_load_failures").value() - load_fail0);
+
+  // Total rung-0 outage: the breaker must trip (the admission-order fold
+  // makes trip/skip counts exact), and every request must still resolve
+  // on the fallback rung.
+  const int outage_requests = 120;
+  std::fprintf(stderr, "[bench] outage phase: %d requests...\n",
+               outage_requests);
+  auto outage_plan = fault::FaultPlan::Parse("encoder-forward:p=1");
+  TPR_CHECK(outage_plan.ok());
+  fault::InstallPlan(std::move(*outage_plan));
+  const PhaseStats outage = RunPhase(service, city.data->unlabeled, model_dir,
+                                     outage_requests, /*reload_every=*/0);
+  TPR_CHECK(outage.ok() == outage.requests);
+  TPR_CHECK(obs::GetCounter("serve.breaker_trips").value() > trips0);
+
+  // Recovery: window 1 serializes admissions against completions, so the
+  // open-window drain, the successful probe, and the re-close land at
+  // fixed request positions.
+  const int recovery_requests = 60;
+  std::fprintf(stderr, "[bench] recovery phase: %d requests...\n",
+               recovery_requests);
+  fault::ClearPlan();
+  const PhaseStats recovery =
+      RunPhase(service, city.data->unlabeled, model_dir, recovery_requests,
+               /*reload_every=*/0, /*window=*/1);
+  TPR_CHECK(recovery.ok() == recovery.requests);
+  TPR_CHECK(recovery.ok_full > 0);  // the breaker re-closed
+
+  service.Shutdown();
+  std::filesystem::remove_all(model_dir);
+
+  RecordPhase("serve.clean", clean);
+  RecordPhase("serve.faulted", faulted);
+  Record("serve.faulted.retries", faulted_retries);
+  Record("serve.faulted.model_load_failures", faulted_load_failures);
+  Record("serve.outage.ok_fallback", outage.ok_fallback);
+  Record("serve.recovery.ok_full", recovery.ok_full);
+  // Gate-friendly inverse (the perf gate is upper-bound-only): requests
+  // the re-closing breaker still served off the full rung.
+  Record("serve.recovery.degraded", recovery.requests - recovery.ok_full);
+  Record("serve.breaker_trips",
+         static_cast<double>(obs::GetCounter("serve.breaker_trips").value() -
+                             trips0));
+  Record("serve.breaker_open_skips",
+         static_cast<double>(
+             obs::GetCounter("serve.breaker_open_skips").value() - skips0));
+
+  std::printf("Inference service latency under deterministic faults\n");
+  std::printf("fault plan: %s\n\n", spec.c_str());
+  TablePrinter table({"Phase", "Req", "OK", "Full", "Cached", "Fallback",
+                      "Shed", "p50 ms", "p95 ms", "p99 ms", "req/s"});
+  table.AddRow(PhaseRow("clean", clean));
+  table.AddRow(PhaseRow("faulted", faulted));
+  table.AddRow(PhaseRow("outage", outage));
+  table.AddRow(PhaseRow("recovery", recovery));
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -12,16 +12,12 @@
 #include <vector>
 
 #include "ckpt/serialize.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "util/stopwatch.h"
 
 namespace tpr::ckpt {
 namespace {
-
-std::function<size_t(size_t)>& FaultInjector() {
-  static std::function<size_t(size_t)> injector;
-  return injector;
-}
 
 Status Errno(const std::string& op, const std::string& path) {
   return Status::Internal(op + " failed for " + path + ": " +
@@ -119,14 +115,20 @@ StatusOr<std::string> UnwrapPayload(std::string_view bytes) {
 }
 
 void SetWriteFaultInjector(std::function<size_t(size_t size)> injector) {
-  FaultInjector() = std::move(injector);
+  fault::SetCkptWriteKillPoint(std::move(injector));
 }
 
 Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  // Coarse plan-driven failure: the whole write is refused up front, as
+  // if the disk were full or read-only. The byte-granular kill point
+  // below simulates mid-write crashes instead.
+  if (fault::ShouldFail(fault::kCkptWrite)) {
+    return Status::Internal("injected ckpt-write fault for " + path);
+  }
   const std::string tmp = path + ".tmp";
   size_t to_write = bytes.size();
   bool die_before_rename = false;
-  if (const auto& injector = FaultInjector()) {
+  if (const auto& injector = fault::CkptWriteKillPoint()) {
     const size_t kill = injector(bytes.size());
     if (kill < bytes.size()) {
       to_write = kill;
@@ -169,6 +171,12 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
 }
 
 StatusOr<std::string> ReadFileBytes(const std::string& path) {
+  // Injected read failure: reported exactly like an I/O error, so
+  // CheckpointDir::LoadLatest exercises its corrupt/unreadable-generation
+  // fallback and tpr::serve its keep-serving-the-old-model path.
+  if (fault::ShouldFail(fault::kCkptRead)) {
+    return Status::Internal("injected ckpt-read fault for " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open " + path + ": " +

@@ -63,7 +63,10 @@ StatusOr<std::string> ReadFileBytes(const std::string& path);
 ///   - k == size: the temp file is complete and fsynced but the process
 ///     "dies" before the rename (returns Internal).
 ///   - k >  size: no fault; the write completes normally.
-/// Pass nullptr to uninstall.
+/// Pass nullptr to uninstall. Forwards to
+/// fault::SetCkptWriteKillPoint — the hook now lives in tpr::fault,
+/// alongside the plan-driven "ckpt-write" (whole-write refusal) and
+/// "ckpt-read" (ReadFileBytes failure) sites driven by TPR_FAULT.
 void SetWriteFaultInjector(std::function<size_t(size_t size)> injector);
 
 /// A directory of rotating, sequence-numbered checkpoint files

@@ -68,10 +68,22 @@ nn::Var TemporalPathEncoder::BuildStaticFeatures(const graph::Path& path,
 
 EncodedPath TemporalPathEncoder::Encode(const graph::Path& path,
                                         int64_t depart_time_s) const {
+  auto out = EncodeImpl(path, depart_time_s, /*cancelled=*/nullptr);
+  TPR_CHECK(out.has_value());  // never cancelled without a callback
+  return *std::move(out);
+}
+
+std::optional<EncodedPath> TemporalPathEncoder::EncodeImpl(
+    const graph::Path& path, int64_t depart_time_s,
+    const std::function<bool()>* cancelled) const {
   TPR_CHECK(!path.empty());
   const auto& network = *features_->data->network;
   const int T = static_cast<int>(path.size());
+  const auto is_cancelled = [cancelled] {
+    return cancelled != nullptr && *cancelled && (*cancelled)();
+  };
 
+  if (is_cancelled()) return std::nullopt;
   std::vector<int> rt_ids(T), lane_ids(T), ow_ids(T), ts_ids(T);
   for (int i = 0; i < T; ++i) {
     const auto& e = network.edge(path[i]);
@@ -89,9 +101,11 @@ EncodedPath TemporalPathEncoder::Encode(const graph::Path& path,
                               signal_emb_->Forward(ts_ids),
                               BuildStaticFeatures(path, depart_time_s)});
 
+  if (is_cancelled()) return std::nullopt;
   EncodedPath out;
   out.edge_reps = lstm_ != nullptr ? lstm_->Forward(x)
                                    : transformer_->Forward(x);  // Eq. 7
+  if (is_cancelled()) return std::nullopt;
   switch (config_.aggregation) {            // Eq. 8 (mean by default)
     case Aggregation::kMean:
       out.tpr = nn::RowMean(out.edge_reps);
@@ -121,6 +135,16 @@ std::vector<float> TemporalPathEncoder::EncodeValue(
   nn::NoGradGuard no_grad;
   const EncodedPath encoded = Encode(path, depart_time_s);
   const nn::Tensor& v = encoded.tpr.value();
+  return std::vector<float>(v.data(), v.data() + v.size());
+}
+
+std::optional<std::vector<float>> TemporalPathEncoder::EncodeValueCancellable(
+    const graph::Path& path, int64_t depart_time_s,
+    const std::function<bool()>& cancelled) const {
+  nn::NoGradGuard no_grad;
+  const auto encoded = EncodeImpl(path, depart_time_s, &cancelled);
+  if (!encoded.has_value()) return std::nullopt;
+  const nn::Tensor& v = encoded->tpr.value();
   return std::vector<float>(v.data(), v.data() + v.size());
 }
 

@@ -2,7 +2,9 @@
 #define TPR_CORE_ENCODER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/features.h"
@@ -76,6 +78,16 @@ class TemporalPathEncoder : public nn::Module {
   std::vector<float> EncodeValue(const graph::Path& path,
                                  int64_t depart_time_s) const;
 
+  /// Like EncodeValue, but polls `cancelled` between pipeline stages
+  /// (feature assembly, sequence model, aggregation/projection) and
+  /// returns nullopt as soon as it observes true. This is how
+  /// tpr::serve propagates request deadlines into a forward pass that
+  /// is already running: cancellation is cooperative and stage-granular,
+  /// never mid-matmul.
+  std::optional<std::vector<float>> EncodeValueCancellable(
+      const graph::Path& path, int64_t depart_time_s,
+      const std::function<bool()>& cancelled) const;
+
   std::vector<nn::Var> Parameters() const override;
 
   const EncoderConfig& config() const { return config_; }
@@ -85,6 +97,13 @@ class TemporalPathEncoder : public nn::Module {
   int input_dim() const;
 
  private:
+  /// Shared pipeline behind Encode / EncodeValueCancellable. `cancelled`
+  /// may be null; when non-null it is polled between stages and a true
+  /// observation aborts the pass with nullopt.
+  std::optional<EncodedPath> EncodeImpl(
+      const graph::Path& path, int64_t depart_time_s,
+      const std::function<bool()>* cancelled) const;
+
   /// The frozen spatio-temporal input sequence for a path (T x input_dim
   /// minus the trainable categorical part, see Encode()).
   nn::Var BuildStaticFeatures(const graph::Path& path,

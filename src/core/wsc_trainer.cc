@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
@@ -185,17 +186,52 @@ StatusOr<double> WscModel::TrainEpoch(const std::vector<int>& indices) {
     const int defined = accumulator_->captured();
     if (defined == 0) continue;
 
+    double batch_loss = 0.0;
+    bool finite_loss = true;
+    for (double l : shard_losses) {
+      if (std::isnan(l)) continue;  // NaN marks an undefined shard
+      if (!std::isfinite(l)) finite_loss = false;
+      batch_loss += l;
+    }
+    if (!std::isfinite(batch_loss)) finite_loss = false;
+
     // Deterministic reduction (fixed shard order), then one Adam step on
     // the shared parameters.
     optimizer_->ZeroGrad();
     accumulator_->Reduce(1.0f / static_cast<float>(defined));
-    optimizer_->ClipGradNorm(config_.grad_clip);
+    const float grad_norm = optimizer_->ClipGradNorm(config_.grad_clip);
+
+    // Watchdog: a non-finite loss, an exploding pre-clip gradient norm,
+    // or an injected nan-loss fault (drills) marks the batch bad. Bad
+    // batches are skipped — the already-reduced gradients are discarded
+    // by the next ZeroGrad — and a long enough streak aborts the epoch
+    // so the pipeline can roll back to the last checkpoint.
+    if (config_.watchdog_max_consecutive_bad > 0) {
+      const bool bad = !finite_loss || !std::isfinite(grad_norm) ||
+                       grad_norm > config_.watchdog_max_grad_norm ||
+                       fault::ShouldFail(fault::kNanLoss, step_);
+      if (bad) {
+        ++consecutive_bad_;
+        obs::GetCounter("wsc.watchdog_skipped").Add(1);
+        TPR_LOG(Warning) << "watchdog: skipping bad batch at step " << step_
+                         << " (loss=" << batch_loss
+                         << ", grad_norm=" << grad_norm << ", streak "
+                         << consecutive_bad_ << "/"
+                         << config_.watchdog_max_consecutive_bad << ")";
+        if (consecutive_bad_ >= config_.watchdog_max_consecutive_bad) {
+          consecutive_bad_ = 0;
+          return Status::DataLoss(
+              "watchdog: " +
+              std::to_string(config_.watchdog_max_consecutive_bad) +
+              " consecutive bad batches (last step " +
+              std::to_string(step_) + ")");
+        }
+        continue;
+      }
+      consecutive_bad_ = 0;
+    }
     optimizer_->Step();
 
-    double batch_loss = 0.0;
-    for (double l : shard_losses) {
-      if (!std::isnan(l)) batch_loss += l;
-    }
     total_loss += batch_loss / defined;
     ++batches;
   }

@@ -43,6 +43,17 @@ struct WscConfig {
   /// value. Clamped so every shard keeps at least 2 anchors.
   int grad_shards = 4;
 
+  /// Training watchdog. A batch is "bad" when its loss is non-finite or
+  /// its pre-clip gradient norm exceeds watchdog_max_grad_norm; bad
+  /// batches are skipped (no optimizer step, counted in
+  /// wsc.watchdog_skipped) so one poisoned batch cannot NaN every
+  /// parameter. After watchdog_max_consecutive_bad consecutive bad
+  /// batches the epoch aborts with DataLoss — the signal
+  /// WsccalPipeline::Train uses to roll back to the last checkpoint
+  /// generation. watchdog_max_consecutive_bad = 0 disables the watchdog.
+  float watchdog_max_grad_norm = 1e6f;
+  int watchdog_max_consecutive_bad = 8;
+
   uint64_t seed = 7;
 };
 
@@ -70,6 +81,9 @@ class WscModel {
                             int64_t depart_time_s) const {
     return encoder_->EncodeValue(path, depart_time_s);
   }
+
+  /// Bad-batch streak the watchdog is currently tracking (diagnostics).
+  int consecutive_bad_batches() const { return consecutive_bad_; }
 
   const TemporalPathEncoder& encoder() const { return *encoder_; }
   TemporalPathEncoder* mutable_encoder() { return encoder_.get(); }
@@ -106,6 +120,7 @@ class WscModel {
   std::unique_ptr<nn::GradAccumulator> accumulator_;
   std::vector<Replica> replicas_;
   uint64_t step_ = 0;  // minibatch counter, seeds per-shard RNG streams
+  int consecutive_bad_ = 0;  // watchdog streak; transient, not checkpointed
   Rng rng_;
 };
 

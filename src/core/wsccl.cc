@@ -50,7 +50,9 @@ uint64_t WsccalPipeline::ConfigFingerprint(const WsccalConfig& config) {
            static_cast<uint64_t>(w.weak_labels),
            static_cast<uint64_t>(w.use_global),
            static_cast<uint64_t>(w.use_local),
-           static_cast<uint64_t>(w.grad_shards), w.seed,
+           static_cast<uint64_t>(w.grad_shards),
+           FloatBits(w.watchdog_max_grad_norm),
+           static_cast<uint64_t>(w.watchdog_max_consecutive_bad), w.seed,
            static_cast<uint64_t>(config.curriculum.strategy),
            static_cast<uint64_t>(config.curriculum.num_meta_sets),
            static_cast<uint64_t>(config.curriculum.expert_epochs),
@@ -209,60 +211,94 @@ StatusOr<std::unique_ptr<WsccalPipeline>> WsccalPipeline::Train(
   // Stages ST_1..ST_M easy to hard (Section VI-C), then the final
   // full-data stage ST_{M+1}, starting from the checkpoint cursor.
   // Per-phase loss and wall time land in wsccl.stage<i>.* metrics.
-  const int num_stages = static_cast<int>(pipeline->stages_.size());
-  for (int s = pipeline->next_stage_; s <= num_stages; ++s) {
-    const bool final_stage = s == num_stages;
-    const auto& stage = final_stage ? all : pipeline->stages_[s];
-    const int epochs = final_stage ? config.final_epochs : config.stage_epochs;
-    const int start_epoch = s == pipeline->next_stage_
-                                ? std::min(pipeline->next_epoch_, epochs)
-                                : 0;
-    if (stage.empty()) continue;
-    obs::ScopedSpan stage_span(final_stage ? "wsccl.final_stage"
-                                           : "wsccl.stage",
-                               "stage", static_cast<double>(s));
-    Stopwatch stage_sw;
-    double stage_loss = 0.0;
-    for (int epoch = start_epoch; epoch < epochs; ++epoch) {
-      auto loss = pipeline->model_->TrainEpoch(stage);
-      if (!loss.ok()) return loss.status();
-      stage_loss = *loss;
-      ++pipeline->global_epoch_;
-      pipeline->final_loss_ = *loss;
-      // Cursor names the NEXT epoch to run, so a checkpoint written now
-      // resumes directly after this epoch.
-      if (epoch + 1 < epochs) {
-        pipeline->next_stage_ = s;
-        pipeline->next_epoch_ = epoch + 1;
-      } else {
-        pipeline->next_stage_ = s + 1;
-        pipeline->next_epoch_ = 0;
+  // Returns OK when the whole schedule ran; `stopped` reports a
+  // stop_after_epochs exit.
+  bool stopped = false;
+  const auto run_schedule = [&]() -> Status {
+    const int num_stages = static_cast<int>(pipeline->stages_.size());
+    for (int s = pipeline->next_stage_; s <= num_stages; ++s) {
+      const bool final_stage = s == num_stages;
+      const auto& stage = final_stage ? all : pipeline->stages_[s];
+      const int epochs =
+          final_stage ? config.final_epochs : config.stage_epochs;
+      const int start_epoch = s == pipeline->next_stage_
+                                  ? std::min(pipeline->next_epoch_, epochs)
+                                  : 0;
+      if (stage.empty()) continue;
+      obs::ScopedSpan stage_span(final_stage ? "wsccl.final_stage"
+                                             : "wsccl.stage",
+                                 "stage", static_cast<double>(s));
+      Stopwatch stage_sw;
+      double stage_loss = 0.0;
+      for (int epoch = start_epoch; epoch < epochs; ++epoch) {
+        auto loss = pipeline->model_->TrainEpoch(stage);
+        if (!loss.ok()) return loss.status();
+        stage_loss = *loss;
+        ++pipeline->global_epoch_;
+        pipeline->final_loss_ = *loss;
+        // Cursor names the NEXT epoch to run, so a checkpoint written
+        // now resumes directly after this epoch.
+        if (epoch + 1 < epochs) {
+          pipeline->next_stage_ = s;
+          pipeline->next_epoch_ = epoch + 1;
+        } else {
+          pipeline->next_stage_ = s + 1;
+          pipeline->next_epoch_ = 0;
+        }
+        const bool last = final_stage && epoch == epochs - 1;
+        if (cdir != nullptr && !last &&
+            config.checkpoint_every_n_epochs > 0 &&
+            pipeline->global_epoch_ %
+                    static_cast<uint64_t>(
+                        config.checkpoint_every_n_epochs) ==
+                0) {
+          TPR_RETURN_IF_ERROR(cdir->Save(pipeline->global_epoch_,
+                                         pipeline->BuildPayload()));
+        }
+        if (config.stop_after_epochs > 0 &&
+            pipeline->global_epoch_ >=
+                static_cast<uint64_t>(config.stop_after_epochs) &&
+            !last) {
+          // Simulated kill: return the partial pipeline as-is. State
+          // past the last periodic checkpoint is intentionally lost.
+          stopped = true;
+          return Status::OK();
+        }
       }
-      const bool last = final_stage && epoch == epochs - 1;
-      if (cdir != nullptr && !last && config.checkpoint_every_n_epochs > 0 &&
-          pipeline->global_epoch_ %
-                  static_cast<uint64_t>(config.checkpoint_every_n_epochs) ==
-              0) {
-        TPR_RETURN_IF_ERROR(cdir->Save(pipeline->global_epoch_,
-                                       pipeline->BuildPayload()));
-      }
-      if (config.stop_after_epochs > 0 &&
-          pipeline->global_epoch_ >=
-              static_cast<uint64_t>(config.stop_after_epochs) &&
-          !last) {
-        // Simulated kill: return the partial pipeline as-is. State past
-        // the last periodic checkpoint is intentionally lost.
-        return pipeline;
+      if (obs::MetricsEnabled()) {
+        const std::string prefix =
+            final_stage ? "wsccl.final_stage"
+                        : "wsccl.stage" + std::to_string(s);
+        obs::GetGauge(prefix + ".loss").Set(stage_loss);
+        obs::GetGauge(prefix + ".seconds").Set(stage_sw.ElapsedSeconds());
       }
     }
-    if (obs::MetricsEnabled()) {
-      const std::string prefix =
-          final_stage ? "wsccl.final_stage"
-                      : "wsccl.stage" + std::to_string(s);
-      obs::GetGauge(prefix + ".loss").Set(stage_loss);
-      obs::GetGauge(prefix + ".seconds").Set(stage_sw.ElapsedSeconds());
+    return Status::OK();
+  };
+
+  // Watchdog recovery: a DataLoss abort (a run of poisoned batches)
+  // rolls the pipeline back to the last durable checkpoint generation
+  // and re-runs the schedule from its cursor, a bounded number of times.
+  // Any other error — or DataLoss with nothing to roll back to — is
+  // returned as-is.
+  for (int rollbacks = 0;;) {
+    const Status st = run_schedule();
+    if (st.ok()) break;
+    if (st.code() != StatusCode::kDataLoss || cdir == nullptr ||
+        rollbacks >= config.max_watchdog_rollbacks) {
+      return st;
     }
+    auto reloaded = cdir->LoadLatest();
+    if (!reloaded.ok()) return st;
+    TPR_RETURN_IF_ERROR(pipeline->RestorePayload(reloaded->payload));
+    ++rollbacks;
+    obs::GetCounter("wsccl.watchdog_rollbacks").Add(1);
+    TPR_LOG(Warning) << "watchdog rollback " << rollbacks << "/"
+                     << config.max_watchdog_rollbacks
+                     << ": resuming from checkpoint seq " << reloaded->seq
+                     << " (" << st.ToString() << ")";
   }
+  if (stopped) return pipeline;
 
   pipeline->completed_ = true;
   if (cdir != nullptr) {

@@ -33,6 +33,14 @@ struct WsccalConfig {
   std::string ckpt_dir;
   int checkpoint_every_n_epochs = 1;
 
+  /// How many times Train() rolls back to the last valid checkpoint
+  /// generation after the training watchdog aborts with DataLoss (see
+  /// WscConfig::watchdog_max_consecutive_bad), before giving up and
+  /// returning the error. Rollback needs a ckpt_dir with at least one
+  /// checkpoint. Not part of the config fingerprint: it changes failure
+  /// handling, never the trained result.
+  int max_watchdog_rollbacks = 2;
+
   /// Test/ops hook simulating a kill: when > 0, Train() returns cleanly
   /// after this many total epochs, without any extra state flush beyond
   /// the periodic checkpoint schedule. The returned pipeline is

@@ -1,0 +1,285 @@
+#include "fault/fault.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tpr::fault {
+namespace {
+
+// The active plan plus per-site call counters, swapped atomically as one
+// unit so a query never sees a new plan with old counters. Leaked (like
+// the obs registry) so exit-time queries from atexit hooks stay safe.
+struct ActivePlan {
+  FaultPlan plan;
+  // One counter per rule, same order as plan.rules().
+  std::unique_ptr<std::atomic<uint64_t>[]> counters;
+};
+
+std::mutex g_mu;
+std::atomic<ActivePlan*> g_active{nullptr};
+std::atomic<bool> g_env_loaded{false};
+
+std::function<size_t(size_t)>& CkptKillPoint() {
+  static auto* hook = new std::function<size_t(size_t)>();
+  return *hook;
+}
+
+void Activate(FaultPlan plan) {
+  auto* next = new ActivePlan();
+  next->counters = std::make_unique<std::atomic<uint64_t>[]>(
+      plan.rules().size() == 0 ? 1 : plan.rules().size());
+  for (size_t i = 0; i < plan.rules().size(); ++i) next->counters[i] = 0;
+  next->plan = std::move(plan);
+  std::lock_guard<std::mutex> lock(g_mu);
+  // The previous plan is never freed — a concurrent reader may still
+  // hold the pointer — but it is parked in a reachable registry so the
+  // retention is deliberate to LeakSanitizer too. Plans are tiny
+  // test/bench objects.
+  static auto* retired = new std::vector<ActivePlan*>();
+  if (ActivePlan* prev = g_active.load(std::memory_order_relaxed)) {
+    retired->push_back(prev);
+  }
+  g_active.store(next->plan.empty() ? nullptr : next,
+                 std::memory_order_release);
+  if (next->plan.empty()) delete next;
+}
+
+/// Loads TPR_FAULT exactly once for lazy (library-site) callers.
+ActivePlan* LazyActive() {
+  ActivePlan* active = g_active.load(std::memory_order_acquire);
+  if (active != nullptr) return active;
+  if (g_env_loaded.load(std::memory_order_acquire)) return nullptr;
+  const Status st = InstallPlanFromEnv();
+  if (!st.ok()) {
+    TPR_LOG(Error) << "ignoring malformed TPR_FAULT: " << st.ToString();
+  }
+  return g_active.load(std::memory_order_acquire);
+}
+
+/// splitmix64 finalizer over (site hash, seed, key): the pure p-mode
+/// verdict function. The site name is hashed so rules decorrelate even
+/// with equal seeds.
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool PVerdict(const SiteRule& rule, std::string_view site, uint64_t key) {
+  if (rule.probability <= 0.0) return false;
+  const uint64_t mixed =
+      MixSeed(MixSeed(HashSite(site), rule.seed), key);
+  // Map the top 53 bits to [0, 1), matching Rng::Uniform's resolution.
+  const double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
+  return u < rule.probability;
+}
+
+void CountInjected(std::string_view site, const char* kind) {
+  if (!obs::MetricsEnabled()) return;
+  obs::GetCounter("fault." + std::string(site) + "." + kind).Add();
+}
+
+struct SiteLookup {
+  const SiteRule* rule = nullptr;
+  std::atomic<uint64_t>* counter = nullptr;
+};
+
+SiteLookup Lookup(std::string_view site) {
+  ActivePlan* active = LazyActive();
+  if (active == nullptr) return {};
+  const auto& rules = active->plan.rules();
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].site == site) return {&rules[i], &active->counters[i]};
+  }
+  return {};
+}
+
+bool ParseU64(std::string_view s, uint64_t* out) {
+  const char* end = s.data() + s.size();
+  auto [p, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc() && p == end;
+}
+
+bool ParseF64(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  // std::from_chars<double> is not universally available; strtod with a
+  // bounded copy keeps the parser dependency-free.
+  std::string buf(s);
+  char* end = nullptr;
+  *out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size();
+}
+
+}  // namespace
+
+StatusOr<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    const size_t semi = spec.find(';', pos);
+    std::string_view entry = spec.substr(
+        pos, semi == std::string_view::npos ? spec.size() - pos : semi - pos);
+    pos = semi == std::string_view::npos ? spec.size() + 1 : semi + 1;
+    if (entry.empty()) continue;
+    const size_t colon = entry.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument("fault rule needs 'site:options': \"" +
+                                     std::string(entry) + "\"");
+    }
+    SiteRule rule;
+    rule.site = std::string(entry.substr(0, colon));
+    std::string_view opts = entry.substr(colon + 1);
+    size_t opos = 0;
+    bool any = false;
+    while (opos <= opts.size()) {
+      const size_t comma = opts.find(',', opos);
+      std::string_view opt = opts.substr(
+          opos,
+          comma == std::string_view::npos ? opts.size() - opos : comma - opos);
+      opos = comma == std::string_view::npos ? opts.size() + 1 : comma + 1;
+      if (opt.empty()) continue;
+      const size_t eq = opt.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::InvalidArgument("fault option needs 'name=value': \"" +
+                                       std::string(opt) + "\"");
+      }
+      const std::string_view name = opt.substr(0, eq);
+      const std::string_view value = opt.substr(eq + 1);
+      bool ok = true;
+      if (name == "p") {
+        ok = ParseF64(value, &rule.probability) && rule.probability >= 0.0 &&
+             rule.probability <= 1.0;
+      } else if (name == "seed") {
+        ok = ParseU64(value, &rule.seed);
+      } else if (name == "nth") {
+        ok = ParseU64(value, &rule.nth) && rule.nth > 0;
+      } else if (name == "after") {
+        ok = ParseU64(value, &rule.after);
+        rule.has_after = ok;
+      } else if (name == "until") {
+        ok = ParseU64(value, &rule.until) && rule.until > 0;
+      } else if (name == "delay_ms") {
+        ok = ParseF64(value, &rule.delay_ms) && rule.delay_ms >= 0.0;
+      } else {
+        return Status::InvalidArgument("unknown fault option \"" +
+                                       std::string(name) + "\"");
+      }
+      if (!ok) {
+        return Status::InvalidArgument("bad fault option value \"" +
+                                       std::string(opt) + "\" for site " +
+                                       rule.site);
+      }
+      any = true;
+    }
+    if (!any) {
+      return Status::InvalidArgument("fault rule for " + rule.site +
+                                     " has no options");
+    }
+    if (rule.until > 0 && (!rule.has_after || rule.until <= rule.after)) {
+      return Status::InvalidArgument(
+          "'until' needs a smaller 'after' on site " + rule.site);
+    }
+    for (const auto& existing : plan.rules_) {
+      if (existing.site == rule.site) {
+        return Status::InvalidArgument("duplicate fault rule for site " +
+                                       rule.site);
+      }
+    }
+    plan.rules_.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+const SiteRule* FaultPlan::Find(std::string_view site) const {
+  for (const auto& rule : rules_) {
+    if (rule.site == site) return &rule;
+  }
+  return nullptr;
+}
+
+void InstallPlan(FaultPlan plan) {
+  g_env_loaded.store(true, std::memory_order_release);
+  Activate(std::move(plan));
+}
+
+void ClearPlan() { InstallPlan(FaultPlan()); }
+
+Status InstallPlanFromEnv() {
+  g_env_loaded.store(true, std::memory_order_release);
+  const char* spec = std::getenv("TPR_FAULT");
+  if (spec == nullptr || *spec == '\0') return Status::OK();
+  auto plan = FaultPlan::Parse(spec);
+  if (!plan.ok()) return plan.status();
+  Activate(*std::move(plan));
+  return Status::OK();
+}
+
+bool PlanActive() { return LazyActive() != nullptr; }
+
+bool ShouldFail(std::string_view site, uint64_t key) {
+  const SiteLookup hit = Lookup(site);
+  if (hit.rule == nullptr) return false;
+  const uint64_t call =
+      hit.counter->fetch_add(1, std::memory_order_relaxed) + 1;  // 1-based
+  bool fail = PVerdict(*hit.rule, site, key);
+  if (hit.rule->nth > 0 && call % hit.rule->nth == 0) fail = true;
+  if (hit.rule->has_after && call > hit.rule->after &&
+      (hit.rule->until == 0 || call <= hit.rule->until)) {
+    fail = true;
+  }
+  if (fail) CountInjected(site, "injected");
+  return fail;
+}
+
+bool ShouldFail(std::string_view site) {
+  const SiteLookup hit = Lookup(site);
+  if (hit.rule == nullptr) return false;
+  const uint64_t call =
+      hit.counter->fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fail = PVerdict(*hit.rule, site, call);
+  if (hit.rule->nth > 0 && call % hit.rule->nth == 0) fail = true;
+  if (hit.rule->has_after && call > hit.rule->after &&
+      (hit.rule->until == 0 || call <= hit.rule->until)) {
+    fail = true;
+  }
+  if (fail) CountInjected(site, "injected");
+  return fail;
+}
+
+bool WouldFail(std::string_view site, uint64_t key) {
+  const SiteLookup hit = Lookup(site);
+  if (hit.rule == nullptr) return false;
+  return PVerdict(*hit.rule, site, key);
+}
+
+double DelayMs(std::string_view site, uint64_t key) {
+  const SiteLookup hit = Lookup(site);
+  if (hit.rule == nullptr || hit.rule->delay_ms <= 0.0) return 0.0;
+  if (hit.rule->probability > 0.0 && !PVerdict(*hit.rule, site, key)) {
+    return 0.0;  // p gates the delay when both are present
+  }
+  CountInjected(site, "delays");
+  return hit.rule->delay_ms;
+}
+
+void SetCkptWriteKillPoint(std::function<size_t(size_t)> hook) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  CkptKillPoint() = std::move(hook);
+}
+
+const std::function<size_t(size_t)>& CkptWriteKillPoint() {
+  return CkptKillPoint();
+}
+
+}  // namespace tpr::fault

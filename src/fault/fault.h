@@ -1,0 +1,144 @@
+#ifndef TPR_FAULT_FAULT_H_
+#define TPR_FAULT_FAULT_H_
+
+// Deterministic fault injection (`tpr::fault`).
+//
+// A FaultPlan maps named call sites to failure rules. Instrumented code
+// asks ShouldFail(site[, key]) at the site and turns a `true` into the
+// same failure a real fault would produce (an error Status, a dropped
+// work item, a forced queue-full). With no plan installed — the default —
+// every query is one relaxed atomic load plus a branch, so sites can
+// live on hot paths.
+//
+// Spec grammar (the TPR_FAULT environment variable, or Parse()):
+//
+//   spec  := site_rule (';' site_rule)*
+//   site_rule := site ':' option (',' option)*
+//   option := 'p=' float        — keyed-probabilistic failure
+//           | 'seed=' uint      — decorrelates p-mode across sites/runs
+//           | 'nth=' uint       — every nth call to the site fails
+//           | 'after=' uint     — every call after the first N fails
+//           | 'until=' uint     — bounds after-mode: calls in (after, until]
+//                                 fail, later calls recover (outage window)
+//           | 'delay_ms=' float — latency injection instead of failure
+//
+//   TPR_FAULT="encoder-forward:p=0.1;ckpt-read:p=0.1;slow-worker:p=0.05,delay_ms=2"
+//
+// Determinism. p-mode decides by hashing (site, seed, key): for a fixed
+// spec the verdict for a key is a pure function, independent of thread
+// interleaving — callers that pass a stable key (request id, batch
+// counter) get bitwise-reproducible failure patterns at any thread
+// count. nth/after-modes use a per-site atomic call counter and are
+// deterministic only when the site's calls are themselves ordered
+// (single-threaded loops, sequential tests). ShouldFail(site) without a
+// key uses the call counter as the key.
+//
+// Sites are just strings; the constants below name the ones instrumented
+// today. Every injected failure increments the obs counter
+// "fault.<site>.injected" (and delays "fault.<site>.delays").
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tpr::fault {
+
+// Instrumented sites.
+inline constexpr char kAlloc[] = "alloc";                    // serve worker scratch alloc
+inline constexpr char kCkptRead[] = "ckpt-read";             // ckpt::ReadFileBytes
+inline constexpr char kCkptWrite[] = "ckpt-write";           // ckpt::AtomicWriteFile
+inline constexpr char kEncoderForward[] = "encoder-forward"; // serve rung-1/2 forwards
+inline constexpr char kQueueFull[] = "queue-full";           // serve admission
+inline constexpr char kSlowWorker[] = "slow-worker";         // serve worker latency
+inline constexpr char kNanLoss[] = "nan-loss";               // trainer watchdog drills
+
+/// Failure rule for one site. A rule may combine modes; the site fails
+/// when ANY active mode fires.
+struct SiteRule {
+  std::string site;
+  double probability = 0.0;   // p-mode; 0 disables
+  uint64_t seed = 0;          // p-mode decorrelation
+  uint64_t nth = 0;           // nth-mode; 0 disables
+  uint64_t after = 0;         // after-mode; 0 disables (calls are 1-based)
+  bool has_after = false;
+  uint64_t until = 0;         // after-mode window end; 0 = never recovers
+  double delay_ms = 0.0;      // latency injection; 0 disables
+};
+
+/// A parsed fault plan: an immutable list of site rules.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses the spec grammar above. Unknown options, malformed numbers,
+  /// or empty site names are InvalidArgument — a mistyped TPR_FAULT must
+  /// never silently test nothing.
+  static StatusOr<FaultPlan> Parse(std::string_view spec);
+
+  bool empty() const { return rules_.empty(); }
+  const std::vector<SiteRule>& rules() const { return rules_; }
+  const SiteRule* Find(std::string_view site) const;
+
+ private:
+  std::vector<SiteRule> rules_;
+};
+
+/// Installs `plan` process-wide, replacing any previous plan (including
+/// one loaded from TPR_FAULT). Thread-safe, but intended for test/bench
+/// setup, not concurrent flipping under load.
+void InstallPlan(FaultPlan plan);
+
+/// Removes the active plan. Queries return false until a new plan is
+/// installed; TPR_FAULT is NOT re-read.
+void ClearPlan();
+
+/// Parses TPR_FAULT and installs it. OK (and a no-op) when the variable
+/// is unset; InvalidArgument on a malformed spec. Benches and services
+/// call this at startup so a bad spec fails loudly; library code that
+/// queries a site lazily falls back to the same env load on first use,
+/// logging (not throwing) on malformed input.
+Status InstallPlanFromEnv();
+
+/// True when a non-empty plan is active. One relaxed atomic load.
+bool PlanActive();
+
+/// Deterministic failure verdict for an explicitly keyed call: p-mode
+/// hashes (site, seed, key); nth/after-modes consult the site's call
+/// counter (which this query advances). False when no plan is active or
+/// the site has no rule. Increments "fault.<site>.injected" on true.
+bool ShouldFail(std::string_view site, uint64_t key);
+
+/// Counter-keyed variant: uses the site's (advancing) call count as the
+/// p-mode key. For sites with no natural request identity (ckpt reads).
+bool ShouldFail(std::string_view site);
+
+/// Pure lookahead for ShouldFail(site, key): same verdict for p-mode,
+/// but no counter advance, no metrics, and nth/after-modes are ignored
+/// (they are call-order dependent, so a lookahead cannot know them).
+/// Lets a coordinator fold keyed failure predictions in a deterministic
+/// order (tpr::serve's admission-time circuit breaker).
+bool WouldFail(std::string_view site, uint64_t key);
+
+/// Injected latency in milliseconds for (site, key); 0 when none. The
+/// caller sleeps — the framework never blocks by itself. Increments
+/// "fault.<site>.delays" when non-zero.
+double DelayMs(std::string_view site, uint64_t key);
+
+/// Byte-granular kill point for checkpoint writes, migrated here from
+/// tpr::ckpt (PR 3). The hook is called once per AtomicWriteFile with
+/// the total byte count and returns how many bytes survive the simulated
+/// crash (see ckpt/checkpoint.h for the k </=/> size semantics). Pass
+/// nullptr to uninstall. Orthogonal to the plan: the ckpt kill-sweep
+/// tests need per-byte control that the spec grammar cannot express.
+void SetCkptWriteKillPoint(std::function<size_t(size_t size)> hook);
+
+/// The installed kill point (empty function when none).
+const std::function<size_t(size_t)>& CkptWriteKillPoint();
+
+}  // namespace tpr::fault
+
+#endif  // TPR_FAULT_FAULT_H_

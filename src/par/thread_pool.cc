@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 
 namespace tpr::par {
 namespace {
@@ -51,7 +52,12 @@ struct ThreadPool::ForState {
   std::mutex m;
   std::condition_variable done_cv;
   int done = 0;  // iterations finished or skipped, guarded by m
-  std::exception_ptr error;  // first exception, guarded by m
+  // The propagated exception: among all iterations that threw before the
+  // abort flag stopped the loop, the one with the smallest index wins.
+  // With a single failing index this makes the rethrown exception
+  // deterministic at any thread count. Guarded by m.
+  std::exception_ptr error;
+  int error_index = -1;
 };
 
 ThreadPool::ThreadPool(int num_threads)
@@ -108,9 +114,19 @@ void ThreadPool::WorkerLoop(int worker_index) {
       queue_.pop_front();
     }
     const double job_start = observe ? NowSeconds() : 0.0;
-    {
+    try {
       obs::ScopedSpan span("par.task");
       job();
+    } catch (...) {
+      // Jobs enqueued by Submit/ParallelFor capture their own exceptions;
+      // anything arriving here escaped that wrapping (an instrumentation
+      // allocation failure, a raw Enqueue) and would otherwise
+      // std::terminate the process from a worker thread. Contain it: the
+      // pool survives, the job is reported lost.
+      obs::GetCounter("par.worker_job_crashes").Add(1);
+      TPR_LOG(Error) << "thread-pool worker " << worker_index
+                     << " caught an exception that escaped its job; "
+                        "dropping the job and continuing";
     }
     if (observe) {
       const double job_end = NowSeconds();
@@ -125,6 +141,7 @@ void ThreadPool::WorkerLoop(int worker_index) {
 void ThreadPool::RunForChunk(const std::shared_ptr<ForState>& state) {
   int finished = 0;
   std::exception_ptr error;
+  int error_index = -1;
   for (;;) {
     const int i = state->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state->n) break;
@@ -132,7 +149,12 @@ void ThreadPool::RunForChunk(const std::shared_ptr<ForState>& state) {
       try {
         (*state->fn)(i);
       } catch (...) {
-        if (!error) error = std::current_exception();
+        // Indices are claimed in ascending order, so this participant's
+        // first error is also its smallest-index one.
+        if (!error) {
+          error = std::current_exception();
+          error_index = i;
+        }
         state->abort.store(true, std::memory_order_relaxed);
       }
     }
@@ -149,7 +171,11 @@ void ThreadPool::RunForChunk(const std::shared_ptr<ForState>& state) {
   if (finished > 0 || error) {
     std::lock_guard<std::mutex> lock(state->m);
     state->done += finished;
-    if (error && !state->error) state->error = error;
+    if (error &&
+        (!state->error || error_index < state->error_index)) {
+      state->error = error;
+      state->error_index = error_index;
+    }
     if (state->done == state->n) state->done_cv.notify_all();
   }
 }

@@ -40,9 +40,12 @@ class ThreadPool {
   /// Runs fn(i) for every i in [0, n) across the pool and blocks until
   /// all iterations finish. The caller executes iterations too. Indices
   /// are claimed dynamically; each runs exactly once on exactly one
-  /// thread. The first exception thrown by fn is rethrown here (remaining
-  /// unclaimed iterations are skipped). Safe to call from inside a pool
-  /// task: it then runs the whole loop inline on the current thread.
+  /// thread. Exceptions from fn never reach std::terminate: the loop
+  /// stops claiming new iterations, every participant joins, and the
+  /// smallest-index exception among those that fired is rethrown HERE on
+  /// the calling thread (deterministic when a single index throws).
+  /// Safe to call from inside a pool task: it then runs the whole loop
+  /// inline on the current thread.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
   /// Enqueues a task and returns its future. When called from inside a

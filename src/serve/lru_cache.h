@@ -1,0 +1,82 @@
+#ifndef TPR_SERVE_LRU_CACHE_H_
+#define TPR_SERVE_LRU_CACHE_H_
+
+// Thread-safe LRU cache of path embeddings, keyed by (edge sequence,
+// time bucket). The degradation ladder's middle rung: when the full
+// temporal encoder is unavailable, a previously computed bucket-level
+// embedding is close enough — departure times within one bucket map to
+// the same temporal-graph neighbourhood anyway.
+//
+// Values MUST be pure functions of the key (tpr::serve computes them at
+// the bucket-representative time, never the request's exact time), so a
+// hit and a recompute return bitwise-identical bytes and eviction order
+// can never change what a request observes — only whether it pays the
+// recompute.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tpr::serve {
+
+class EmbeddingLruCache {
+ public:
+  explicit EmbeddingLruCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached embedding and refreshes its recency, or nullopt.
+  std::optional<std::vector<float>> Get(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entries beyond capacity. A capacity of 0 disables caching.
+  void Put(const std::string& key, std::vector<float> value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    while (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.clear();
+    order_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::pair<std::string, std::vector<float>>> order_;
+  std::unordered_map<std::string,
+                     std::list<std::pair<std::string, std::vector<float>>>::
+                         iterator>
+      index_;
+};
+
+}  // namespace tpr::serve
+
+#endif  // TPR_SERVE_LRU_CACHE_H_

@@ -1,0 +1,505 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/serialize.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace tpr::serve {
+namespace {
+
+// Salts decorrelating the keyed fault verdicts of the different sites a
+// single request touches (rung-0 attempts vs alloc vs rung-1 compute).
+constexpr uint64_t kAllocSalt = 0xA110C5EEDULL;
+constexpr uint64_t kCacheSalt = 0xCAC4E5EEDULL;
+
+void SleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+void ObserveRungLatency(Rung rung, double seconds) {
+  if (!obs::MetricsEnabled()) return;
+  switch (rung) {
+    case Rung::kFull:
+      obs::GetHistogram("serve.rung_full_seconds").Observe(seconds);
+      break;
+    case Rung::kCached:
+      obs::GetHistogram("serve.rung_cached_seconds").Observe(seconds);
+      break;
+    case Rung::kFallback:
+      obs::GetHistogram("serve.rung_fallback_seconds").Observe(seconds);
+      break;
+  }
+}
+
+constexpr char kModelTag[] = "tpr-serve-model";
+
+}  // namespace
+
+const char* RungName(Rung r) {
+  switch (r) {
+    case Rung::kFull:
+      return "full";
+    case Rung::kCached:
+      return "cached";
+    case Rung::kFallback:
+      return "fallback";
+  }
+  return "?";
+}
+
+InferenceService::InferenceService(
+    std::shared_ptr<const core::FeatureSpace> features,
+    const core::EncoderConfig& encoder_config, const ServiceConfig& config)
+    : features_(std::move(features)),
+      encoder_config_(encoder_config),
+      config_(config),
+      cache_(config.cache_capacity) {
+  TPR_CHECK(features_ != nullptr);
+  TPR_CHECK(config_.num_workers > 0);
+  TPR_CHECK(config_.queue_capacity > 0);
+  TPR_CHECK(config_.max_retries >= 0);
+  TPR_CHECK(config_.time_bucket_s > 0);
+}
+
+InferenceService::~InferenceService() { Shutdown(); }
+
+Status InferenceService::SaveModel(const core::TemporalPathEncoder& encoder,
+                                   const std::string& dir,
+                                   uint64_t generation) {
+  ckpt::Writer w;
+  w.Str(kModelTag);
+  w.U64(generation);
+  w.I32(encoder.representation_dim());
+  ckpt::WriteParamValues(w, encoder.Parameters());
+  return ckpt::CheckpointDir(dir).Save(generation, w.bytes());
+}
+
+Status InferenceService::LoadModel(const std::string& dir) {
+  auto loaded = ckpt::CheckpointDir(dir).LoadLatest();
+  if (!loaded.ok()) {
+    obs::GetCounter("serve.model_load_failures").Add(1);
+    return loaded.status();
+  }
+  ckpt::Reader r(loaded->payload);
+  std::string tag;
+  uint64_t generation = 0;
+  int32_t dim = 0;
+  TPR_RETURN_IF_ERROR(r.Str(&tag));
+  if (tag != kModelTag) {
+    return Status::FailedPrecondition("not a serve model checkpoint");
+  }
+  TPR_RETURN_IF_ERROR(r.U64(&generation));
+  TPR_RETURN_IF_ERROR(r.I32(&dim));
+  if (dim != encoder_config_.d_hidden) {
+    return Status::FailedPrecondition(
+        "serve model dim " + std::to_string(dim) + " != configured " +
+        std::to_string(encoder_config_.d_hidden));
+  }
+  auto encoder = std::make_shared<core::TemporalPathEncoder>(features_,
+                                                             encoder_config_);
+  TPR_RETURN_IF_ERROR(ckpt::ReadParamValuesInto(r, encoder->Parameters()));
+  InstallModel(std::move(encoder), generation);
+  return Status::OK();
+}
+
+void InferenceService::InstallModel(
+    std::shared_ptr<const core::TemporalPathEncoder> encoder,
+    uint64_t generation) {
+  TPR_CHECK(encoder != nullptr);
+  bool new_generation = false;
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    new_generation = generation != generation_;
+    model_ = std::move(encoder);
+    generation_ = generation;
+  }
+  if (new_generation) {
+    // Breaker state and cached embeddings described the old parameters;
+    // a new generation starts with a clean slate.
+    cache_.Clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    breaker_ = Breaker{};
+  }
+  obs::GetGauge("serve.model_generation").Set(static_cast<double>(generation));
+}
+
+uint64_t InferenceService::model_generation() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return generation_;
+}
+
+Status InferenceService::Start() {
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    if (model_ == nullptr) {
+      return Status::FailedPrecondition("no model installed");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return Status::FailedPrecondition("already started");
+  started_ = true;
+  stopping_ = false;
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void InferenceService::Shutdown() {
+  std::deque<Request> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    orphaned.swap(queue_);
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& req : orphaned) {
+    ServeResult result;
+    result.status = Status::Unavailable("service shutting down");
+    result.ticket = req.ticket;
+    req.promise.set_value(std::move(result));
+  }
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+  obs::GetGauge("serve.queue_depth").Set(0);
+}
+
+bool InferenceService::PredictRung0Failure(const PathQuery& query) const {
+  if (fault::WouldFail(fault::kAlloc, MixSeed(kAllocSalt, query.id))) {
+    // The worker will degrade without attempting rung 0 — neither a
+    // success nor a failure signal for the breaker.
+    return false;
+  }
+  for (int a = 0; a <= config_.max_retries; ++a) {
+    if (!fault::WouldFail(fault::kEncoderForward,
+                          MixSeed(query.id, static_cast<uint64_t>(a)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void InferenceService::BreakerAdmit(Request& req) {
+  if (!fault::PlanActive()) return;  // observed mode: workers report
+  req.breaker_predicted = true;
+  const bool alloc_fail =
+      fault::WouldFail(fault::kAlloc, MixSeed(kAllocSalt, req.query.id));
+  const bool predicted_fail = PredictRung0Failure(req.query);
+  switch (breaker_.state) {
+    case Breaker::State::kClosed:
+      if (alloc_fail) break;  // no rung-0 attempt, no signal
+      if (predicted_fail) {
+        if (++breaker_.consecutive_failures >= config_.breaker_trip_threshold) {
+          breaker_.state = Breaker::State::kOpen;
+          breaker_.open_skips_remaining = config_.breaker_open_requests;
+          obs::GetCounter("serve.breaker_trips").Add(1);
+        }
+      } else {
+        breaker_.consecutive_failures = 0;
+      }
+      break;
+    case Breaker::State::kOpen:
+      req.skip_rung0 = true;
+      obs::GetCounter("serve.breaker_open_skips").Add(1);
+      if (--breaker_.open_skips_remaining <= 0) {
+        breaker_.state = Breaker::State::kHalfOpen;
+      }
+      break;
+    case Breaker::State::kHalfOpen:
+      // This request is the probe: it goes to rung 0 and its predicted
+      // outcome resolves the breaker immediately, in admission order.
+      if (alloc_fail || predicted_fail) {
+        breaker_.state = Breaker::State::kOpen;
+        breaker_.open_skips_remaining = config_.breaker_open_requests;
+        if (predicted_fail) obs::GetCounter("serve.breaker_trips").Add(1);
+      } else {
+        breaker_.state = Breaker::State::kClosed;
+        breaker_.consecutive_failures = 0;
+      }
+      break;
+  }
+}
+
+void InferenceService::BreakerRecord(bool success, bool was_probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (was_probe) breaker_.probe_in_flight = false;
+  if (success) {
+    breaker_.state = Breaker::State::kClosed;
+    breaker_.consecutive_failures = 0;
+    return;
+  }
+  if (breaker_.state == Breaker::State::kHalfOpen ||
+      ++breaker_.consecutive_failures >= config_.breaker_trip_threshold) {
+    if (breaker_.state != Breaker::State::kOpen) {
+      obs::GetCounter("serve.breaker_trips").Add(1);
+    }
+    breaker_.state = Breaker::State::kOpen;
+    breaker_.open_skips_remaining = config_.breaker_open_requests;
+  }
+}
+
+StatusOr<std::future<ServeResult>> InferenceService::Submit(
+    PathQuery query, double deadline_ms) {
+  const auto admitted_at = std::chrono::steady_clock::now();
+  Request req;
+  req.query = std::move(query);
+  if (deadline_ms > 0) {
+    req.has_deadline = true;
+    req.deadline =
+        admitted_at + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              deadline_ms));
+  }
+  std::future<ServeResult> future = req.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      return Status::Unavailable("service not accepting requests");
+    }
+    req.ticket = next_ticket_++;
+    obs::GetCounter("serve.requests").Add(1);
+    // Injected admission failure: behaves exactly like a full queue.
+    if (fault::ShouldFail(fault::kQueueFull, req.ticket)) {
+      obs::GetCounter("serve.shed").Add(1);
+      return Status::ResourceExhausted("queue full (injected)");
+    }
+    if (queue_.size() >= static_cast<size_t>(config_.queue_capacity)) {
+      if (!config_.block_when_full) {
+        obs::GetCounter("serve.shed").Add(1);
+        return Status::ResourceExhausted(
+            "queue full (" + std::to_string(queue_.size()) + ")");
+      }
+      not_full_.wait(lock, [this] {
+        return stopping_ ||
+               queue_.size() < static_cast<size_t>(config_.queue_capacity);
+      });
+      if (stopping_) {
+        return Status::Unavailable("service shutting down");
+      }
+    }
+    BreakerAdmit(req);
+    // Observed-mode half-open probe: admit exactly one request back into
+    // rung 0; others keep degrading until the probe reports.
+    if (!req.breaker_predicted) {
+      if (breaker_.state == Breaker::State::kOpen) {
+        req.skip_rung0 = true;
+        obs::GetCounter("serve.breaker_open_skips").Add(1);
+        if (--breaker_.open_skips_remaining <= 0) {
+          breaker_.state = Breaker::State::kHalfOpen;
+        }
+      } else if (breaker_.state == Breaker::State::kHalfOpen) {
+        if (breaker_.probe_in_flight) {
+          req.skip_rung0 = true;
+          obs::GetCounter("serve.breaker_open_skips").Add(1);
+        } else {
+          breaker_.probe_in_flight = true;
+          req.breaker_probe = true;
+        }
+      }
+    }
+    queue_.push_back(std::move(req));
+    obs::GetGauge("serve.queue_depth")
+        .Set(static_cast<double>(queue_.size()));
+  }
+  not_empty_.notify_one();
+  return future;
+}
+
+ServeResult InferenceService::SubmitAndWait(PathQuery query,
+                                            double deadline_ms) {
+  auto submitted = Submit(std::move(query), deadline_ms);
+  if (!submitted.ok()) {
+    ServeResult result;
+    result.status = submitted.status();
+    return result;
+  }
+  return submitted->get();
+}
+
+void InferenceService::WorkerLoop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, queue drained by Shutdown
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      obs::GetGauge("serve.queue_depth")
+          .Set(static_cast<double>(queue_.size()));
+    }
+    not_full_.notify_one();
+    ServeResult result = Process(req);
+    req.promise.set_value(std::move(result));
+  }
+}
+
+ServeResult InferenceService::Process(Request& req) {
+  Stopwatch sw;
+  ServeResult result;
+  result.ticket = req.ticket;
+  const PathQuery& q = req.query;
+
+  std::shared_ptr<const core::TemporalPathEncoder> model;
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    model = model_;
+  }
+
+  const auto deadline_passed = [&req] {
+    return req.has_deadline &&
+           std::chrono::steady_clock::now() >= req.deadline;
+  };
+  const std::function<bool()> cancelled = deadline_passed;
+  const auto deadline_result = [&] {
+    // A probe that times out reports failure so the breaker never waits
+    // on a probe that will not come back.
+    if (!req.breaker_predicted && req.breaker_probe) {
+      BreakerRecord(false, /*was_probe=*/true);
+    }
+    obs::GetCounter("serve.deadline_exceeded").Add(1);
+    result.status = Status::DeadlineExceeded(
+        "deadline elapsed (ticket " + std::to_string(req.ticket) + ")");
+    return result;
+  };
+
+  // Injected worker slowness: the latency the ladder protects against.
+  SleepMs(fault::DelayMs(fault::kSlowWorker, q.id));
+
+  // Rung 0: full temporal encoder at the exact request time, with
+  // retries. Skipped when the breaker is open or the per-request scratch
+  // allocation "fails".
+  bool attempted_rung0 = false;
+  if (!req.skip_rung0 &&
+      !fault::ShouldFail(fault::kAlloc, MixSeed(kAllocSalt, q.id))) {
+    attempted_rung0 = true;
+    for (int a = 0; a <= config_.max_retries; ++a) {
+      if (deadline_passed()) return deadline_result();
+      result.attempts = a + 1;
+      if (a > 0) obs::GetCounter("serve.retries").Add(1);
+      const uint64_t attempt_key = MixSeed(q.id, static_cast<uint64_t>(a));
+      if (!fault::ShouldFail(fault::kEncoderForward, attempt_key)) {
+        auto embedding =
+            model->EncodeValueCancellable(q.path, q.depart_time_s, cancelled);
+        if (!embedding.has_value()) return deadline_result();
+        if (!req.breaker_predicted) {
+          BreakerRecord(true, req.breaker_probe);
+        }
+        result.status = Status::OK();
+        result.rung = Rung::kFull;
+        result.embedding = *std::move(embedding);
+        ObserveRungLatency(result.rung, sw.ElapsedSeconds());
+        return result;
+      }
+      // Deterministic jittered exponential backoff before the retry.
+      if (a < config_.max_retries) {
+        const double base = std::min(
+            config_.backoff_max_ms,
+            config_.backoff_base_ms * static_cast<double>(1ULL << a));
+        Rng jitter(MixSeed(config_.seed, attempt_key));
+        SleepMs(base * (0.5 + 0.5 * jitter.Uniform()));
+      }
+    }
+    if (!req.breaker_predicted) {
+      BreakerRecord(false, req.breaker_probe);
+    }
+  }
+  (void)attempted_rung0;
+
+  // Rung 1: bucket-level cache. Values are computed at the bucket's
+  // representative time, so every request mapping to the key sees the
+  // same bytes whether it hits or recomputes. Rung-0 successes never
+  // populate this cache: they are exact-time embeddings and would make
+  // the cached bytes depend on which request got there first.
+  if (deadline_passed()) return deadline_result();
+  int64_t bucket = 0;
+  const std::string key = CacheKey(q, &bucket);
+  if (auto hit = cache_.Get(key)) {
+    obs::GetCounter("serve.cache_hits").Add(1);
+    result.status = Status::OK();
+    result.rung = Rung::kCached;
+    result.embedding = *std::move(hit);
+    ObserveRungLatency(result.rung, sw.ElapsedSeconds());
+    return result;
+  }
+  obs::GetCounter("serve.cache_misses").Add(1);
+  // Keyed by the cache key, not the request id: every request for this
+  // (path, bucket) gets the same recompute verdict, so which of them
+  // arrives first cannot change anyone's outcome.
+  const uint64_t cache_fault_key =
+      MixSeed(kCacheSalt, std::hash<std::string>{}(key));
+  if (!fault::ShouldFail(fault::kEncoderForward, cache_fault_key)) {
+    const int64_t bucket_time = bucket * config_.time_bucket_s;
+    auto embedding =
+        model->EncodeValueCancellable(q.path, bucket_time, cancelled);
+    if (!embedding.has_value()) return deadline_result();
+    cache_.Put(key, *embedding);
+    result.status = Status::OK();
+    result.rung = Rung::kCached;
+    result.embedding = *std::move(embedding);
+    ObserveRungLatency(result.rung, sw.ElapsedSeconds());
+    return result;
+  }
+
+  // Rung 2: frozen node2vec mean-pool. Pure arithmetic — always succeeds.
+  if (deadline_passed()) return deadline_result();
+  result.status = Status::OK();
+  result.rung = Rung::kFallback;
+  result.embedding = FallbackEmbedding(q);
+  ObserveRungLatency(result.rung, sw.ElapsedSeconds());
+  return result;
+}
+
+std::string InferenceService::CacheKey(const PathQuery& query,
+                                       int64_t* bucket) const {
+  *bucket = query.depart_time_s / config_.time_bucket_s;
+  std::string key;
+  key.reserve(query.path.size() * sizeof(int) + sizeof(int64_t));
+  key.append(reinterpret_cast<const char*>(bucket), sizeof(*bucket));
+  key.append(reinterpret_cast<const char*>(query.path.data()),
+             query.path.size() * sizeof(int));
+  return key;
+}
+
+std::vector<float> InferenceService::FallbackEmbedding(
+    const PathQuery& query) const {
+  const auto& network = *features_->data->network;
+  const int d_road = features_->road_embeddings.dim;
+  const int dim = encoder_config_.d_hidden;
+  std::vector<float> pooled(static_cast<size_t>(2 * d_road), 0.0f);
+  for (int edge_id : query.path) {
+    const auto& e = network.edge(edge_id);
+    const auto& from_vec = features_->road_embeddings[e.from];
+    const auto& to_vec = features_->road_embeddings[e.to];
+    for (int j = 0; j < d_road; ++j) {
+      pooled[static_cast<size_t>(j)] += from_vec[static_cast<size_t>(j)];
+      pooled[static_cast<size_t>(d_road + j)] += to_vec[static_cast<size_t>(j)];
+    }
+  }
+  if (!query.path.empty()) {
+    const float inv = 1.0f / static_cast<float>(query.path.size());
+    for (float& v : pooled) v *= inv;
+  }
+  // Shape to the encoder's representation_dim so downstream consumers
+  // never see a rung-dependent dimensionality.
+  std::vector<float> out(static_cast<size_t>(dim), 0.0f);
+  const size_t n = std::min(out.size(), pooled.size());
+  std::copy(pooled.begin(), pooled.begin() + static_cast<long>(n),
+            out.begin());
+  return out;
+}
+
+}  // namespace tpr::serve

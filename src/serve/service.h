@@ -1,0 +1,215 @@
+#ifndef TPR_SERVE_SERVICE_H_
+#define TPR_SERVE_SERVICE_H_
+
+// In-process embedding inference service over the trained WSCCL temporal
+// path encoder.
+//
+// Requests enter a bounded queue guarded by admission control (shed or
+// block when full), are processed by dedicated worker threads, and carry
+// an optional deadline that is propagated into the encoder forward pass
+// as cooperative cancellation. Transient rung-1 failures are retried
+// with deterministic jittered exponential backoff; sustained failure
+// trips a per-model-generation circuit breaker. Every request that is
+// admitted resolves — in the worst case via the degradation ladder:
+//
+//   rung 0 (kFull)     full temporal encoder at the exact request time
+//   rung 1 (kCached)   LRU-cached embedding keyed by (path, time bucket),
+//                      computed at the bucket-representative time
+//   rung 2 (kFallback) node2vec mean-pool over the path's edge endpoint
+//                      embeddings, shaped to representation_dim
+//
+// Determinism contract (what the soak test asserts): with a fixed
+// TPR_FAULT spec, seed, and single submitter, the (status, rung,
+// embedding bytes) outcome of every request is identical across runs and
+// worker counts. This falls out of three choices: fault verdicts are
+// keyed by request id (never by wall clock or thread), cache values are
+// pure functions of the cache key (so hit vs recompute is invisible),
+// and the circuit breaker folds keyed failure *predictions* in admission
+// order rather than observed completions in race order. Deadlines are
+// wall-clock dependent and therefore outside the contract.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/encoder.h"
+#include "core/features.h"
+#include "serve/lru_cache.h"
+#include "util/status.h"
+
+namespace tpr::serve {
+
+/// One embedding request: a path and a departure time. `id` is the
+/// stable request identity — fault verdicts and backoff jitter key off
+/// it, so replaying the same ids reproduces the same outcomes.
+struct PathQuery {
+  graph::Path path;
+  int64_t depart_time_s = 0;
+  uint64_t id = 0;
+};
+
+/// Which rung of the degradation ladder produced the embedding.
+enum class Rung { kFull = 0, kCached = 1, kFallback = 2 };
+
+const char* RungName(Rung r);
+
+/// Outcome of one admitted request.
+struct ServeResult {
+  Status status;                  // OK, DeadlineExceeded, or Unavailable
+  Rung rung = Rung::kFull;        // valid when status.ok()
+  std::vector<float> embedding;   // representation_dim values when ok
+  int attempts = 0;               // rung-0 encoder attempts made
+  uint64_t ticket = 0;            // admission order, 0-based
+};
+
+struct ServiceConfig {
+  int num_workers = 4;
+  int queue_capacity = 256;
+  /// Full queue: true blocks the submitter (backpressure), false sheds
+  /// with ResourceExhausted (load shedding).
+  bool block_when_full = false;
+  /// Rung-0 encoder attempts = 1 + max_retries.
+  int max_retries = 2;
+  double backoff_base_ms = 1.0;
+  double backoff_max_ms = 50.0;
+  /// Consecutive rung-0 request failures that open the breaker.
+  int breaker_trip_threshold = 5;
+  /// Requests sent straight to rung 1 while open, before one half-open
+  /// probe is allowed back into rung 0.
+  int breaker_open_requests = 16;
+  size_t cache_capacity = 1024;
+  /// Width of the rung-1 cache's time buckets.
+  int64_t time_bucket_s = 900;
+  /// Drives backoff jitter (mixed with request id and attempt).
+  uint64_t seed = 7;
+};
+
+/// Multi-threaded inference service. Construction wires the pipeline but
+/// takes no model; call LoadModel (or InstallModel) then Start. All
+/// public methods are thread-safe.
+class InferenceService {
+ public:
+  InferenceService(std::shared_ptr<const core::FeatureSpace> features,
+                   const core::EncoderConfig& encoder_config,
+                   const ServiceConfig& config);
+  ~InferenceService();
+
+  InferenceService(const InferenceService&) = delete;
+  InferenceService& operator=(const InferenceService&) = delete;
+
+  /// Writes `encoder`'s parameters as serve model generation `generation`
+  /// into `dir` (a ckpt::CheckpointDir of envelope-wrapped files).
+  static Status SaveModel(const core::TemporalPathEncoder& encoder,
+                          const std::string& dir, uint64_t generation);
+
+  /// Loads the newest valid model generation from `dir` into a fresh
+  /// encoder built from the constructor's EncoderConfig. On any failure
+  /// (injected ckpt-read fault, torn file, shape mismatch) the currently
+  /// installed model — if any — keeps serving and the error is returned.
+  /// Loading a NEW generation resets the circuit breaker and clears the
+  /// rung-1 cache: their state described the old parameters.
+  Status LoadModel(const std::string& dir);
+
+  /// Installs an already-built encoder as model generation `generation`
+  /// (tests, or callers that keep the encoder in process).
+  void InstallModel(std::shared_ptr<const core::TemporalPathEncoder> encoder,
+                    uint64_t generation);
+
+  /// Spawns the worker threads. FailedPrecondition without a model.
+  Status Start();
+
+  /// Stops admission, fails queued-but-unprocessed requests with
+  /// Unavailable, and joins the workers. Idempotent; the destructor
+  /// calls it.
+  void Shutdown();
+
+  /// Admission control. On success the future resolves to the request's
+  /// ServeResult; the error path is shedding (ResourceExhausted — queue
+  /// full and block_when_full is false, or an injected queue-full fault)
+  /// or Unavailable after Shutdown. `deadline_ms` <= 0 means no
+  /// deadline; otherwise it is relative to the moment of admission and
+  /// propagates into the worker as cooperative cancellation.
+  StatusOr<std::future<ServeResult>> Submit(PathQuery query,
+                                            double deadline_ms = 0);
+
+  /// Submit + wait, folding admission errors into ServeResult::status.
+  ServeResult SubmitAndWait(PathQuery query, double deadline_ms = 0);
+
+  /// Generation of the installed model (0 before any install).
+  uint64_t model_generation() const;
+
+  int representation_dim() const { return encoder_config_.d_hidden; }
+
+ private:
+  struct Request {
+    PathQuery query;
+    uint64_t ticket = 0;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    bool skip_rung0 = false;       // breaker-open: straight to rung 1
+    bool breaker_predicted = false;  // outcome already folded at admission
+    bool breaker_probe = false;      // observed-mode half-open probe
+    std::promise<ServeResult> promise;
+  };
+
+  // Breaker state machine. Guarded by mu_ (admission path) so the fold
+  // order is exactly the ticket order.
+  struct Breaker {
+    enum class State { kClosed, kOpen, kHalfOpen };
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    int open_skips_remaining = 0;
+    bool probe_in_flight = false;  // observed mode only
+  };
+
+  /// Pure prediction: will every rung-0 attempt of this request fail
+  /// under the active fault plan? (p-mode sites only; see fault.h.)
+  bool PredictRung0Failure(const PathQuery& query) const;
+
+  /// Admission-time breaker fold; decides skip_rung0. Caller holds mu_.
+  void BreakerAdmit(Request& req);
+
+  /// Observed-mode breaker update from a worker (no active fault plan).
+  void BreakerRecord(bool success, bool was_probe);
+
+  void WorkerLoop();
+  ServeResult Process(Request& req);
+
+  /// Rung 2: mean-pooled node2vec endpoint embeddings, zero-padded or
+  /// truncated to representation_dim. Pure; cannot fail.
+  std::vector<float> FallbackEmbedding(const PathQuery& query) const;
+
+  std::string CacheKey(const PathQuery& query, int64_t* bucket) const;
+
+  std::shared_ptr<const core::FeatureSpace> features_;
+  const core::EncoderConfig encoder_config_;
+  const ServiceConfig config_;
+
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const core::TemporalPathEncoder> model_;
+  uint64_t generation_ = 0;
+
+  EmbeddingLruCache cache_;
+
+  mutable std::mutex mu_;  // queue + breaker + tickets
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Request> queue_;
+  Breaker breaker_;
+  uint64_t next_ticket_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tpr::serve
+
+#endif  // TPR_SERVE_SERVICE_H_

@@ -64,6 +64,21 @@ StatusOr<graph::Path> MapMatch(const graph::RoadNetwork& network,
                                const std::vector<GpsPoint>& trace,
                                const GpsConfig& config) {
   if (trace.empty()) return Status::InvalidArgument("empty trace");
+  // Fix timestamps must be non-decreasing and finite: an out-of-order or
+  // NaN clock means the trace was corrupted in transit, and matching it
+  // would silently produce a path for a trajectory that never happened.
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (!std::isfinite(trace[i].t)) {
+      return Status::InvalidArgument("non-finite timestamp at fix " +
+                                     std::to_string(i));
+    }
+    if (i > 0 && trace[i].t < trace[i - 1].t) {
+      return Status::InvalidArgument(
+          "non-monotone timestamps at fix " + std::to_string(i) + " (" +
+          std::to_string(trace[i].t) + " < " +
+          std::to_string(trace[i - 1].t) + ")");
+    }
+  }
   const double sigma = std::max(1.0, config.noise_m);
 
   // Candidate edges per fix (brute force; networks here are small).

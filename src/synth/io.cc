@@ -1,11 +1,47 @@
 #include "synth/io.h"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace tpr::synth {
 namespace {
+
+// Checked field parsers. External CSV is untrusted input: every field
+// goes through these instead of std::stoi/std::stod, whose exceptions
+// would crash callers that follow this library's no-throw Status
+// convention. Trailing junk, overflow, empty fields, and non-finite
+// floats are all InvalidArgument.
+
+template <typename Int>
+Status ParseInt(const std::string& s, const char* what, Int* out) {
+  const char* end = s.data() + s.size();
+  auto [p, ec] = std::from_chars(s.data(), end, *out);
+  if (ec != std::errc() || p != end) {
+    return Status::InvalidArgument("bad " + std::string(what) + " field: \"" +
+                                   s + "\"");
+  }
+  return Status::OK();
+}
+
+Status ParseDouble(const std::string& s, const char* what, double* out) {
+  if (s.empty()) {
+    return Status::InvalidArgument("empty " + std::string(what) + " field");
+  }
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE ||
+      !std::isfinite(*out)) {
+    return Status::InvalidArgument("bad " + std::string(what) + " field: \"" +
+                                   s + "\"");
+  }
+  return Status::OK();
+}
 
 std::string PathToString(const graph::Path& path) {
   std::string out;
@@ -22,7 +58,9 @@ StatusOr<graph::Path> PathFromString(const std::string& s) {
   std::string part;
   while (std::getline(ss, part, '|')) {
     if (part.empty()) continue;
-    path.push_back(std::stoi(part));
+    int edge = 0;
+    TPR_RETURN_IF_ERROR(ParseInt(part, "path edge id", &edge));
+    path.push_back(edge);
   }
   if (path.empty()) return Status::InvalidArgument("empty path field");
   return path;
@@ -52,24 +90,37 @@ StatusOr<std::vector<TemporalPathSample>> ReadSamples(
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::stringstream ss(line);
-    std::string field;
-    TemporalPathSample s;
-    if (!std::getline(ss, field, ',')) {
-      return Status::InvalidArgument("bad sample row: " + line);
+    std::string f[6];
+    for (int i = 0; i < 6; ++i) {
+      if (!std::getline(ss, f[i], ',')) {
+        return Status::InvalidArgument("truncated sample row: " + line);
+      }
     }
-    auto path = PathFromString(field);
+    std::string extra;
+    if (std::getline(ss, extra, ',')) {
+      return Status::InvalidArgument("too many fields in sample row: " +
+                                     line);
+    }
+    TemporalPathSample s;
+    auto path = PathFromString(f[0]);
     if (!path.ok()) return path.status();
     s.path = std::move(*path);
-    std::getline(ss, field, ',');
-    s.depart_time_s = std::stoll(field);
-    std::getline(ss, field, ',');
-    s.travel_time_s = std::stod(field);
-    std::getline(ss, field, ',');
-    s.rank_score = std::stod(field);
-    std::getline(ss, field, ',');
-    s.recommended = std::stoi(field);
-    std::getline(ss, field, ',');
-    s.group = std::stoi(field);
+    TPR_RETURN_IF_ERROR(ParseInt(f[1], "depart_time_s", &s.depart_time_s));
+    TPR_RETURN_IF_ERROR(ParseDouble(f[2], "travel_time_s", &s.travel_time_s));
+    TPR_RETURN_IF_ERROR(ParseDouble(f[3], "rank_score", &s.rank_score));
+    int recommended = 0;
+    TPR_RETURN_IF_ERROR(ParseInt(f[4], "recommended", &recommended));
+    if (recommended != 0 && recommended != 1) {
+      return Status::OutOfRange("recommended flag must be 0 or 1: " + line);
+    }
+    s.recommended = recommended;
+    TPR_RETURN_IF_ERROR(ParseInt(f[5], "group", &s.group));
+    if (s.depart_time_s < 0) {
+      return Status::OutOfRange("negative depart_time_s: " + line);
+    }
+    if (s.travel_time_s < 0.0) {
+      return Status::OutOfRange("negative travel_time_s: " + line);
+    }
     samples.push_back(std::move(s));
   }
   return samples;
@@ -130,9 +181,13 @@ StatusOr<CityDataset> LoadCityDataset(const std::string& directory,
       if (line.empty()) continue;
       std::stringstream ss(line);
       std::string x, y;
-      std::getline(ss, x, ',');
-      std::getline(ss, y, ',');
-      network->AddNode(std::stod(x), std::stod(y));
+      if (!std::getline(ss, x, ',') || !std::getline(ss, y, ',')) {
+        return Status::InvalidArgument("truncated node row: " + line);
+      }
+      double xv = 0.0, yv = 0.0;
+      TPR_RETURN_IF_ERROR(ParseDouble(x, "node x", &xv));
+      TPR_RETURN_IF_ERROR(ParseDouble(y, "node y", &yv));
+      network->AddNode(xv, yv);
     }
   }
   {
@@ -144,11 +199,33 @@ StatusOr<CityDataset> LoadCityDataset(const std::string& directory,
       if (line.empty()) continue;
       std::stringstream ss(line);
       std::string f[8];
-      for (auto& field : f) std::getline(ss, field, ',');
+      for (auto& field : f) {
+        if (!std::getline(ss, field, ',')) {
+          return Status::InvalidArgument("truncated edge row: " + line);
+        }
+      }
+      int from = 0, to = 0, road_type = 0, num_lanes = 0, zone = 0;
+      double length_m = 0.0;
+      TPR_RETURN_IF_ERROR(ParseInt(f[0], "edge from", &from));
+      TPR_RETURN_IF_ERROR(ParseInt(f[1], "edge to", &to));
+      TPR_RETURN_IF_ERROR(ParseDouble(f[2], "edge length_m", &length_m));
+      TPR_RETURN_IF_ERROR(ParseInt(f[3], "edge road_type", &road_type));
+      TPR_RETURN_IF_ERROR(ParseInt(f[4], "edge num_lanes", &num_lanes));
+      TPR_RETURN_IF_ERROR(ParseInt(f[7], "edge zone", &zone));
+      if (road_type < 0 || road_type >= graph::kNumRoadTypes) {
+        return Status::OutOfRange("edge road_type out of range: " + line);
+      }
+      if (f[5] != "0" && f[5] != "1") {
+        return Status::OutOfRange("edge one_way must be 0 or 1: " + line);
+      }
+      if (f[6] != "0" && f[6] != "1") {
+        return Status::OutOfRange("edge has_signal must be 0 or 1: " + line);
+      }
+      // AddEdge validates endpoint and lane ranges itself; out-of-range
+      // node ids in a hand-edited edges.csv surface as its Status.
       auto added = network->AddEdge(
-          std::stoi(f[0]), std::stoi(f[1]),
-          static_cast<graph::RoadType>(std::stoi(f[3])), std::stoi(f[4]),
-          f[5] == "1", f[6] == "1", std::stoi(f[7]), std::stod(f[2]));
+          from, to, static_cast<graph::RoadType>(road_type), num_lanes,
+          f[5] == "1", f[6] == "1", zone, length_m);
       if (!added.ok()) return added.status();
     }
   }

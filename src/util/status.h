@@ -17,6 +17,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  kResourceExhausted,   // admission refused: queue full, quota spent
+  kDeadlineExceeded,    // request deadline elapsed before completion
+  kUnavailable,         // transiently unusable: breaker open, shutting down
+  kCancelled,           // caller or shutdown cancelled the work
+  kDataLoss,            // unrecoverable corruption: NaN cascade, bad bytes
 };
 
 /// A Status encapsulates the result of an operation: success, or an error
@@ -46,6 +51,21 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

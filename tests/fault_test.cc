@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "core/wsccl.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "par/thread_pool.h"
+#include "synth/presets.h"
+
+namespace tpr::fault {
+namespace {
+
+using core::CurriculumStrategy;
+using core::FeatureSpace;
+using core::WsccalConfig;
+using core::WsccalPipeline;
+using core::WscModel;
+
+// Fresh, empty scratch directory under the test temp root.
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "tpr_fault_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+uint64_t Bits(double v) {
+  uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+// The plan is process-global; every test installs its own and tears it
+// down so verdicts never leak across tests.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClearPlan();
+    obs::SetMetricsEnabled(false);
+    obs::ResetAllMetrics();
+  }
+  void TearDown() override {
+    ClearPlan();
+    SetCkptWriteKillPoint(nullptr);
+    obs::SetMetricsEnabled(false);
+    unsetenv("TPR_FAULT");
+  }
+
+  static void Install(const std::string& spec) {
+    auto plan = FaultPlan::Parse(spec);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    InstallPlan(*std::move(plan));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Spec grammar.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, ParseAcceptsFullGrammar) {
+  auto plan = FaultPlan::Parse(
+      "encoder-forward:p=0.25,seed=9;ckpt-read:nth=3;"
+      "alloc:after=2,until=5;slow-worker:p=0.5,delay_ms=1.5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->rules().size(), 4u);
+
+  const SiteRule* fwd = plan->Find(kEncoderForward);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_DOUBLE_EQ(fwd->probability, 0.25);
+  EXPECT_EQ(fwd->seed, 9u);
+
+  const SiteRule* read = plan->Find(kCkptRead);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->nth, 3u);
+
+  const SiteRule* alloc = plan->Find(kAlloc);
+  ASSERT_NE(alloc, nullptr);
+  EXPECT_TRUE(alloc->has_after);
+  EXPECT_EQ(alloc->after, 2u);
+  EXPECT_EQ(alloc->until, 5u);
+
+  const SiteRule* slow = plan->Find(kSlowWorker);
+  ASSERT_NE(slow, nullptr);
+  EXPECT_DOUBLE_EQ(slow->delay_ms, 1.5);
+
+  EXPECT_EQ(plan->Find("no-such-site"), nullptr);
+}
+
+TEST_F(FaultTest, ParseRejectsMalformedSpecs) {
+  const char* bad[] = {
+      "encoder-forward",             // no options
+      ":p=0.1",                      // empty site
+      "alloc:boom=1",                // unknown option
+      "alloc:p",                     // option without value
+      "alloc:p=abc",                 // unparseable number
+      "alloc:p=1.5",                 // probability out of range
+      "alloc:nth=0",                 // nth must be positive
+      "alloc:until=3",               // until without after
+      "alloc:after=5,until=3",       // empty window
+      "alloc:after=5,until=5",       // empty window (boundary)
+      "alloc:delay_ms=-1",           // negative delay
+      "alloc:p=0.1;alloc:p=0.2",     // duplicate site
+  };
+  for (const char* spec : bad) {
+    EXPECT_FALSE(FaultPlan::Parse(spec).ok()) << spec;
+  }
+  // Empty spec parses to an empty (inactive) plan.
+  auto empty = FaultPlan::Parse("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(FaultTest, EnvInstallLoadsAndValidatesTprFault) {
+  setenv("TPR_FAULT", "alloc:p=1", 1);
+  ASSERT_TRUE(InstallPlanFromEnv().ok());
+  EXPECT_TRUE(PlanActive());
+  EXPECT_TRUE(ShouldFail(kAlloc, 1));
+
+  // An unset TPR_FAULT is a no-op, not a clear: an explicitly installed
+  // plan survives, and only ClearPlan removes it.
+  unsetenv("TPR_FAULT");
+  ASSERT_TRUE(InstallPlanFromEnv().ok());
+  EXPECT_TRUE(PlanActive());
+  ClearPlan();
+  EXPECT_FALSE(PlanActive());
+
+  setenv("TPR_FAULT", "alloc:wat=1", 1);
+  EXPECT_EQ(InstallPlanFromEnv().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Verdict semantics.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, NoPlanNeverFails) {
+  EXPECT_FALSE(PlanActive());
+  EXPECT_FALSE(ShouldFail(kAlloc, 123));
+  EXPECT_FALSE(ShouldFail(kCkptRead));
+  EXPECT_FALSE(WouldFail(kEncoderForward, 7));
+  EXPECT_DOUBLE_EQ(DelayMs(kSlowWorker, 1), 0.0);
+}
+
+TEST_F(FaultTest, PModeIsAPureFunctionOfTheKey) {
+  Install("encoder-forward:p=0.5,seed=42");
+  constexpr int kKeys = 2000;
+  std::vector<bool> first(kKeys), second(kKeys);
+  int fails = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    first[k] = ShouldFail(kEncoderForward, k);
+    fails += first[k] ? 1 : 0;
+  }
+  for (int k = 0; k < kKeys; ++k) second[k] = ShouldFail(kEncoderForward, k);
+  EXPECT_EQ(first, second);
+  // Hash-uniform: the empirical rate is close to p.
+  EXPECT_GT(fails, kKeys / 2 - kKeys / 8);
+  EXPECT_LT(fails, kKeys / 2 + kKeys / 8);
+  // WouldFail is the pure lookahead of the same verdict.
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(WouldFail(kEncoderForward, k), first[k]) << k;
+  }
+}
+
+TEST_F(FaultTest, PModeIsIndependentOfThreadInterleaving) {
+  Install("encoder-forward:p=0.3,seed=11");
+  constexpr int kKeys = 512;
+  std::vector<char> serial(kKeys), threaded(kKeys);
+  for (int k = 0; k < kKeys; ++k) {
+    serial[k] = ShouldFail(kEncoderForward, k) ? 1 : 0;
+  }
+  par::SetDefaultThreads(4);
+  par::DefaultPool().ParallelFor(kKeys, [&](int k) {
+    threaded[k] = ShouldFail(kEncoderForward, k) ? 1 : 0;
+  });
+  par::SetDefaultThreads(1);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST_F(FaultTest, SeedDecorrelatesPModeVerdicts) {
+  Install("alloc:p=0.5,seed=1");
+  std::vector<bool> a(256);
+  for (int k = 0; k < 256; ++k) a[k] = WouldFail(kAlloc, k);
+  Install("alloc:p=0.5,seed=2");
+  std::vector<bool> b(256);
+  for (int k = 0; k < 256; ++k) b[k] = WouldFail(kAlloc, k);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultTest, NthModeFailsEveryNthCall) {
+  Install("ckpt-read:nth=3");
+  std::vector<bool> verdicts;
+  for (int i = 0; i < 9; ++i) verdicts.push_back(ShouldFail(kCkptRead));
+  const std::vector<bool> expected = {false, false, true, false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(verdicts, expected);
+}
+
+TEST_F(FaultTest, AfterModeFailsForeverWithoutUntil) {
+  Install("alloc:after=2");
+  std::vector<bool> verdicts;
+  for (int i = 0; i < 6; ++i) verdicts.push_back(ShouldFail(kAlloc, 0));
+  const std::vector<bool> expected = {false, false, true, true, true, true};
+  EXPECT_EQ(verdicts, expected);
+}
+
+TEST_F(FaultTest, UntilBoundsTheOutageWindow) {
+  Install("alloc:after=2,until=4");
+  std::vector<bool> verdicts;
+  for (int i = 0; i < 6; ++i) verdicts.push_back(ShouldFail(kAlloc, 0));
+  // Calls are 1-based: (after, until] = {3, 4} fail, then the site
+  // recovers — the shape the watchdog-rollback tests below rely on.
+  const std::vector<bool> expected = {false, false, true, true, false, false};
+  EXPECT_EQ(verdicts, expected);
+}
+
+TEST_F(FaultTest, DelayIsGatedByProbabilityWhenBothPresent) {
+  Install("slow-worker:delay_ms=2.5");
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(DelayMs(kSlowWorker, k), 2.5);
+  }
+  Install("slow-worker:p=0.5,seed=3,delay_ms=2.5");
+  int delayed = 0, clean = 0;
+  for (int k = 0; k < 256; ++k) {
+    const double d = DelayMs(kSlowWorker, k);
+    (d > 0 ? delayed : clean) += 1;
+    EXPECT_EQ(d > 0, WouldFail(kSlowWorker, k)) << k;
+  }
+  EXPECT_GT(delayed, 0);
+  EXPECT_GT(clean, 0);
+}
+
+TEST_F(FaultTest, InjectedFailuresAreCounted) {
+  obs::SetMetricsEnabled(true);
+  obs::ResetAllMetrics();
+  Install("alloc:p=1");
+  for (int k = 0; k < 5; ++k) EXPECT_TRUE(ShouldFail(kAlloc, k));
+  EXPECT_EQ(obs::GetCounter("fault.alloc.injected").value(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint I/O sites.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, CkptWriteFaultFailsTheSave) {
+  const std::string dir = ScratchDir("write_fault");
+  ckpt::CheckpointDir cd(dir);
+  Install("ckpt-write:after=0");
+  EXPECT_FALSE(cd.Save(1, "payload").ok());
+  ClearPlan();
+  ASSERT_TRUE(cd.Save(1, "payload").ok());
+  auto loaded = cd.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->payload, "payload");
+}
+
+TEST_F(FaultTest, CkptReadFaultFallsBackToOlderGeneration) {
+  const std::string dir = ScratchDir("read_fault");
+  ckpt::CheckpointDir cd(dir);
+  ASSERT_TRUE(cd.Save(1, "old").ok());
+  ASSERT_TRUE(cd.Save(2, "new").ok());
+  // The first read (the newest file) fails once; LoadLatest must fall
+  // back to the surviving older generation instead of erroring out.
+  Install("ckpt-read:after=0,until=1");
+  auto loaded = cd.LoadLatest();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->seq, 1u);
+  EXPECT_EQ(loaded->payload, "old");
+  // With the window expired the newest generation is served again.
+  auto recovered = cd.LoadLatest();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->seq, 2u);
+}
+
+TEST_F(FaultTest, CkptKillPointHookRoundTrips) {
+  EXPECT_FALSE(static_cast<bool>(CkptWriteKillPoint()));
+  SetCkptWriteKillPoint([](size_t size) { return size / 2; });
+  ASSERT_TRUE(static_cast<bool>(CkptWriteKillPoint()));
+  EXPECT_EQ(CkptWriteKillPoint()(10), 5u);
+  SetCkptWriteKillPoint(nullptr);
+  EXPECT_FALSE(static_cast<bool>(CkptWriteKillPoint()));
+}
+
+// ---------------------------------------------------------------------------
+// Training watchdog drills (nan-loss site) on a tiny city.
+// ---------------------------------------------------------------------------
+
+class WatchdogTest : public FaultTest {
+ protected:
+  static void SetUpTestSuite() {
+    auto preset = synth::AalborgPreset();
+    synth::ScaleDataset(preset, 0.1);
+    auto ds = synth::BuildPresetDataset(preset);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    data_ = new std::shared_ptr<synth::CityDataset>(
+        std::make_shared<synth::CityDataset>(std::move(*ds)));
+    core::FeatureConfig fc;
+    fc.temporal_graph.slots_per_day = 48;
+    fc.node2vec.walks_per_node = 2;
+    fc.node2vec.epochs = 1;
+    auto fs = core::BuildFeatureSpace(*data_, fc);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    features_ = new std::shared_ptr<const FeatureSpace>(
+        std::make_shared<const FeatureSpace>(std::move(*fs)));
+  }
+
+  // Freed so the suite is LeakSanitizer-clean (CI runs it under ASan).
+  static void TearDownTestSuite() {
+    delete features_;
+    features_ = nullptr;
+    delete data_;
+    data_ = nullptr;
+  }
+
+  static core::WscConfig TinyWsc() {
+    core::WscConfig cfg;
+    cfg.encoder.d_hidden = 16;
+    cfg.encoder.projection_dim = 8;
+    cfg.anchors_per_batch = 6;
+    return cfg;
+  }
+
+  static WsccalConfig TinyWsccal() {
+    WsccalConfig cfg;
+    cfg.wsc = TinyWsc();
+    cfg.curriculum.strategy = CurriculumStrategy::kHeuristic;
+    cfg.curriculum.num_meta_sets = 2;
+    cfg.curriculum.expert_epochs = 1;
+    cfg.stage_epochs = 1;
+    cfg.final_epochs = 2;
+    return cfg;
+  }
+
+  static std::vector<int> AllUnlabeled() {
+    std::vector<int> all((*data_)->unlabeled.size());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+
+  std::shared_ptr<const FeatureSpace> features() { return *features_; }
+
+  static std::shared_ptr<synth::CityDataset>* data_;
+  static std::shared_ptr<const FeatureSpace>* features_;
+};
+
+std::shared_ptr<synth::CityDataset>* WatchdogTest::data_ = nullptr;
+std::shared_ptr<const FeatureSpace>* WatchdogTest::features_ = nullptr;
+
+TEST_F(WatchdogTest, SkipsInjectedBadBatchesAndFinishesTheEpoch) {
+  par::SetDefaultThreads(1);
+  obs::SetMetricsEnabled(true);
+  obs::ResetAllMetrics();
+  Install("nan-loss:nth=4");
+  WscModel model(features(), TinyWsc());
+  auto loss = model.TrainEpoch(AllUnlabeled());
+  ASSERT_TRUE(loss.ok()) << loss.status().ToString();
+  EXPECT_TRUE(std::isfinite(*loss));
+  EXPECT_GE(obs::GetCounter("wsc.watchdog_skipped").value(), 1u);
+  EXPECT_EQ(model.consecutive_bad_batches(), 0);
+}
+
+TEST_F(WatchdogTest, AbortsWithDataLossAfterConsecutiveBadBatches) {
+  par::SetDefaultThreads(1);
+  Install("nan-loss:after=0");  // every batch is poisoned
+  core::WscConfig cfg = TinyWsc();
+  cfg.watchdog_max_consecutive_bad = 3;
+  WscModel model(features(), cfg);
+  auto loss = model.TrainEpoch(AllUnlabeled());
+  EXPECT_EQ(loss.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WatchdogTest, PipelineRollsBackOnceAndMatchesTheCleanRunBitwise) {
+  par::SetDefaultThreads(1);
+  obs::SetMetricsEnabled(true);
+
+  // Clean reference run. wsc.batches counts every stepped batch, which
+  // with no bad batches equals the number of nan-loss watchdog checks —
+  // the call count the fault window below is aimed at.
+  WsccalConfig cfg = TinyWsccal();
+  cfg.wsc.watchdog_max_consecutive_bad = 1;
+  obs::ResetAllMetrics();
+  cfg.ckpt_dir = ScratchDir("rollback_clean");
+  auto clean = WsccalPipeline::Train(features(), cfg);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  ASSERT_TRUE((*clean)->completed());
+  const uint64_t total_batches = obs::GetCounter("wsc.batches").value();
+  ASSERT_GT(total_batches, 2u);
+  const double clean_loss = (*clean)->final_loss();
+
+  // Faulted run: poison exactly the last batch of the schedule. The
+  // watchdog aborts the final epoch with DataLoss, the pipeline rolls
+  // back to the last checkpoint, and the re-run (site calls past the
+  // window) must reproduce the clean run bit for bit.
+  obs::ResetAllMetrics();
+  Install("nan-loss:after=" + std::to_string(total_batches - 1) +
+          ",until=" + std::to_string(total_batches));
+  cfg.ckpt_dir = ScratchDir("rollback_faulted");
+  auto healed = WsccalPipeline::Train(features(), cfg);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_TRUE((*healed)->completed());
+  EXPECT_EQ(obs::GetCounter("wsccl.watchdog_rollbacks").value(), 1u);
+  EXPECT_GE(obs::GetCounter("wsc.watchdog_skipped").value(), 1u);
+  EXPECT_EQ(Bits((*healed)->final_loss()), Bits(clean_loss));
+}
+
+TEST_F(WatchdogTest, PipelineGivesUpAfterMaxRollbacks) {
+  par::SetDefaultThreads(1);
+  obs::SetMetricsEnabled(true);
+
+  // Clean run, only to size the outage: the fault must start after at
+  // least one checkpoint exists or there is nothing to roll back to.
+  WsccalConfig cfg = TinyWsccal();
+  cfg.wsc.watchdog_max_consecutive_bad = 1;
+  cfg.max_watchdog_rollbacks = 2;
+  obs::ResetAllMetrics();
+  cfg.ckpt_dir = ScratchDir("exhausted_clean");
+  ASSERT_TRUE(WsccalPipeline::Train(features(), cfg).ok());
+  const uint64_t total_batches = obs::GetCounter("wsc.batches").value();
+  ASSERT_GT(total_batches, 2u);
+
+  // A permanent outage from the last batch on: every rollback re-runs
+  // straight into a poisoned batch until the budget is exhausted.
+  obs::ResetAllMetrics();
+  Install("nan-loss:after=" + std::to_string(total_batches - 1));
+  cfg.ckpt_dir = ScratchDir("exhausted_faulted");
+  auto result = WsccalPipeline::Train(features(), cfg);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(obs::GetCounter("wsccl.watchdog_rollbacks").value(), 2u);
+}
+
+}  // namespace
+}  // namespace tpr::fault

@@ -3,9 +3,12 @@
 #include <cstdlib>
 #include <unistd.h>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "synth/io.h"
 #include "synth/presets.h"
+#include "util/rng.h"
 
 namespace tpr::synth {
 namespace {
@@ -77,6 +80,136 @@ TEST_F(IoTest, LoadMissingDirectoryFails) {
 TEST_F(IoTest, SaveNullNetworkFails) {
   CityDataset empty;
   EXPECT_FALSE(SaveCityDataset(empty, dir_.string()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input hardening: external CSV is untrusted. Every corruption
+// must surface as a typed Status — never an exception, crash, or a
+// silently wrong dataset.
+// ---------------------------------------------------------------------------
+
+class IoHardeningTest : public IoTest {
+ protected:
+  // A tiny valid dataset written field by field, so each test can replace
+  // exactly one file with a corrupted variant.
+  void SetUp() override {
+    IoTest::SetUp();
+    WriteFile("meta.csv", "name\ntiny\n");
+    WriteFile("nodes.csv", "x,y\n0,0\n100,0\n100,100\n");
+    WriteFile("edges.csv",
+              "from,to,length_m,road_type,num_lanes,one_way,has_signal,zone\n"
+              "0,1,100,0,2,0,0,0\n"
+              "1,2,100,0,2,0,1,0\n");
+    WriteFile("unlabeled.csv", kSampleHeader + std::string(kGoodRow));
+    WriteFile("labeled.csv", kSampleHeader + std::string(kGoodRow));
+  }
+
+  static constexpr const char* kSampleHeader =
+      "path,depart_time_s,travel_time_s,rank_score,recommended,group\n";
+  static constexpr const char* kGoodRow = "0|1,100,10.5,0.5,1,0\n";
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ / name);
+    out << content;
+    ASSERT_TRUE(out.good());
+  }
+
+  StatusOr<CityDataset> Load() {
+    return LoadCityDataset(dir_.string(), TrafficConfig{});
+  }
+
+  // Replaces the unlabeled samples with one row and loads.
+  Status LoadWithSampleRow(const std::string& row) {
+    WriteFile("unlabeled.csv", kSampleHeader + row);
+    return Load().status();
+  }
+};
+
+TEST_F(IoHardeningTest, BaselineDatasetLoads) {
+  auto loaded = Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->network->num_edges(), 2);
+  ASSERT_EQ(loaded->unlabeled.size(), 1u);
+  EXPECT_EQ(loaded->unlabeled[0].path, (graph::Path{0, 1}));
+}
+
+TEST_F(IoHardeningTest, SampleRowCorruptionsAreTypedErrors) {
+  // Truncated row (field missing).
+  EXPECT_EQ(LoadWithSampleRow("0|1,100,10.5,0.5,1\n").code(),
+            StatusCode::kInvalidArgument);
+  // Too many fields.
+  EXPECT_EQ(LoadWithSampleRow("0|1,100,10.5,0.5,1,0,9\n").code(),
+            StatusCode::kInvalidArgument);
+  // Trailing junk on an integer field.
+  EXPECT_EQ(LoadWithSampleRow("0|1,100x,10.5,0.5,1,0\n").code(),
+            StatusCode::kInvalidArgument);
+  // Non-finite float.
+  EXPECT_EQ(LoadWithSampleRow("0|1,100,inf,0.5,1,0\n").code(),
+            StatusCode::kInvalidArgument);
+  // Empty path.
+  EXPECT_EQ(LoadWithSampleRow(",100,10.5,0.5,1,0\n").code(),
+            StatusCode::kInvalidArgument);
+  // Flag outside {0, 1}.
+  EXPECT_EQ(LoadWithSampleRow("0|1,100,10.5,0.5,2,0\n").code(),
+            StatusCode::kOutOfRange);
+  // Negative times.
+  EXPECT_EQ(LoadWithSampleRow("0|1,-5,10.5,0.5,1,0\n").code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(LoadWithSampleRow("0|1,100,-1,0.5,1,0\n").code(),
+            StatusCode::kOutOfRange);
+  // Path referencing an edge the network does not have.
+  EXPECT_FALSE(LoadWithSampleRow("0|999,100,10.5,0.5,1,0\n").ok());
+}
+
+TEST_F(IoHardeningTest, EdgeRowCorruptionsAreTypedErrors) {
+  const std::string header =
+      "from,to,length_m,road_type,num_lanes,one_way,has_signal,zone\n";
+  // road_type outside the enum.
+  WriteFile("edges.csv", header + "0,1,100,99,2,0,0,0\n");
+  EXPECT_EQ(Load().status().code(), StatusCode::kOutOfRange);
+  // Boolean field that is not 0/1.
+  WriteFile("edges.csv", header + "0,1,100,0,2,2,0,0\n");
+  EXPECT_EQ(Load().status().code(), StatusCode::kOutOfRange);
+  // Endpoint outside the node table (caught by AddEdge's validation).
+  WriteFile("edges.csv", header + "0,57,100,0,2,0,0,0\n");
+  EXPECT_FALSE(Load().ok());
+  // Truncated row.
+  WriteFile("edges.csv", header + "0,1,100,0\n");
+  EXPECT_EQ(Load().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoHardeningTest, NodeRowCorruptionsAreTypedErrors) {
+  WriteFile("nodes.csv", "x,y\n0\n");
+  EXPECT_EQ(Load().status().code(), StatusCode::kInvalidArgument);
+  WriteFile("nodes.csv", "x,y\n0,nan\n");
+  EXPECT_EQ(Load().status().code(), StatusCode::kInvalidArgument);
+}
+
+// Fuzz-style sweep: random byte flips and truncations of the sample file
+// must load cleanly or fail with a Status — never crash (ASan/UBSan run
+// this in CI). Deterministic seed, so a failure replays.
+TEST_F(IoHardeningTest, RandomlyCorruptedSampleFilesNeverCrash) {
+  const std::string good =
+      kSampleHeader + std::string(kGoodRow) + "1|0,200,7.25,0.25,0,1\n";
+  Rng rng(20260805);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string bytes = good;
+    const int mode = static_cast<int>(rng.Uniform() * 3);
+    if (mode == 0 && !bytes.empty()) {  // truncate
+      bytes.resize(static_cast<size_t>(rng.Uniform() * bytes.size()));
+    } else {  // flip 1-4 bytes
+      const int flips = 1 + static_cast<int>(rng.Uniform() * 4);
+      for (int f = 0; f < flips && !bytes.empty(); ++f) {
+        const size_t pos = static_cast<size_t>(rng.Uniform() * bytes.size());
+        bytes[pos] = static_cast<char>(rng.Uniform() * 256);
+      }
+    }
+    WriteFile("unlabeled.csv", bytes);
+    auto loaded = Load();  // OK or typed error are both fine; UB is not
+    if (!loaded.ok()) {
+      EXPECT_FALSE(loaded.status().ToString().empty());
+    }
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/wsc_trainer.h"
@@ -54,6 +55,55 @@ TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
   std::atomic<int> count{0};
   pool.ParallelFor(8, [&](int) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 8);
+}
+
+// When several indices throw concurrently, the smallest-index exception
+// must be the one rethrown on the calling thread. Indices are claimed in
+// ascending order, so the smallest throwing index always fires before
+// the abort flag can stop it — the winner is deterministic at any thread
+// count. Repeated to rattle the race under TSan.
+TEST(ThreadPoolTest, ParallelForRethrowsTheSmallestIndexException) {
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 25; ++rep) {
+    try {
+      pool.ParallelFor(256, [&](int i) {
+        if (i == 10 || i == 90 || i == 200) {
+          throw std::runtime_error(std::to_string(i));
+        }
+      });
+      FAIL() << "ParallelFor must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "10") << "rep " << rep;
+    }
+  }
+}
+
+// Exception storm: every participant throws repeatedly while others are
+// mid-iteration. The loop must neither terminate the process nor wedge
+// the pool, and index 0 — always the first claim — must win the rethrow.
+TEST(ThreadPoolTest, ExceptionStormLeavesThePoolUsable) {
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 10; ++rep) {
+    try {
+      pool.ParallelFor(128, [&](int i) {
+        if (i % 7 == 0) throw std::runtime_error(std::to_string(i));
+      });
+      FAIL() << "ParallelFor must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "0") << "rep " << rep;
+    }
+    std::atomic<int> count{0};
+    pool.ParallelFor(32, [&](int) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 32);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitExceptionDoesNotPoisonLaterTasks) {
+  ThreadPool pool(3);
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.Submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 7);
 }
 
 TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {

@@ -1,0 +1,562 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/features.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "serve/lru_cache.h"
+#include "serve/service.h"
+#include "synth/presets.h"
+#include "util/rng.h"
+
+namespace tpr::serve {
+namespace {
+
+using core::FeatureSpace;
+using core::TemporalPathEncoder;
+
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "tpr_serve_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// LRU cache.
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingLruCacheTest, EvictsLeastRecentlyUsed) {
+  EmbeddingLruCache cache(2);
+  cache.Put("a", {1.0f});
+  cache.Put("b", {2.0f});
+  ASSERT_TRUE(cache.Get("a").has_value());  // refresh "a"
+  cache.Put("c", {3.0f});                   // evicts "b"
+  EXPECT_TRUE(cache.Get("a").has_value());
+  EXPECT_FALSE(cache.Get("b").has_value());
+  EXPECT_TRUE(cache.Get("c").has_value());
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get("a").has_value());
+}
+
+TEST(EmbeddingLruCacheTest, ZeroCapacityDisablesCaching) {
+  EmbeddingLruCache cache(0);
+  cache.Put("a", {1.0f});
+  EXPECT_FALSE(cache.Get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service fixture on a tiny city.
+// ---------------------------------------------------------------------------
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto preset = synth::AalborgPreset();
+    synth::ScaleDataset(preset, 0.1);
+    auto ds = synth::BuildPresetDataset(preset);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    data_ = new std::shared_ptr<synth::CityDataset>(
+        std::make_shared<synth::CityDataset>(std::move(*ds)));
+    core::FeatureConfig fc;
+    fc.temporal_graph.slots_per_day = 48;
+    fc.node2vec.walks_per_node = 2;
+    fc.node2vec.epochs = 1;
+    auto fs = core::BuildFeatureSpace(*data_, fc);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    features_ = new std::shared_ptr<const FeatureSpace>(
+        std::make_shared<const FeatureSpace>(std::move(*fs)));
+  }
+
+  // Freed so the suite is LeakSanitizer-clean (CI runs it under ASan).
+  static void TearDownTestSuite() {
+    delete features_;
+    features_ = nullptr;
+    delete data_;
+    data_ = nullptr;
+  }
+
+  void SetUp() override {
+    fault::ClearPlan();
+    obs::SetMetricsEnabled(true);
+    obs::ResetAllMetrics();
+  }
+  void TearDown() override {
+    fault::ClearPlan();
+    obs::SetMetricsEnabled(false);
+  }
+
+  static core::EncoderConfig TinyEncoder() {
+    core::EncoderConfig cfg;
+    cfg.d_hidden = 16;
+    cfg.projection_dim = 8;
+    return cfg;
+  }
+
+  static ServiceConfig TinyService() {
+    ServiceConfig cfg;
+    cfg.num_workers = 2;
+    cfg.queue_capacity = 64;
+    cfg.block_when_full = true;
+    cfg.max_retries = 2;
+    cfg.backoff_base_ms = 0.01;
+    cfg.backoff_max_ms = 0.05;
+    cfg.breaker_trip_threshold = 5;
+    cfg.breaker_open_requests = 4;
+    cfg.cache_capacity = 256;
+    cfg.time_bucket_s = 600;
+    return cfg;
+  }
+
+  static void Install(const std::string& spec) {
+    auto plan = fault::FaultPlan::Parse(spec);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    fault::InstallPlan(*std::move(plan));
+  }
+
+  PathQuery Query(int sample, uint64_t id, int64_t time_shift = 0) {
+    const auto& s =
+        (*data_)->unlabeled[static_cast<size_t>(sample) %
+                            (*data_)->unlabeled.size()];
+    PathQuery q;
+    q.path = s.path;
+    q.depart_time_s = s.depart_time_s + time_shift;
+    q.id = id;
+    return q;
+  }
+
+  std::shared_ptr<const FeatureSpace> features() { return *features_; }
+
+  static std::shared_ptr<synth::CityDataset>* data_;
+  static std::shared_ptr<const FeatureSpace>* features_;
+};
+
+std::shared_ptr<synth::CityDataset>* ServeTest::data_ = nullptr;
+std::shared_ptr<const FeatureSpace>* ServeTest::features_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Basic serving.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, StartRequiresAModel) {
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  EXPECT_EQ(svc.Start().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(svc.SubmitAndWait(Query(0, 1)).status.code(),
+            StatusCode::kUnavailable);
+
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  EXPECT_EQ(svc.Start().code(), StatusCode::kFailedPrecondition);
+  svc.Shutdown();
+  EXPECT_EQ(svc.SubmitAndWait(Query(0, 2)).status.code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(ServeTest, FullRungMatchesTheEncoderExactly) {
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  svc.InstallModel(encoder, 1);
+  ASSERT_TRUE(svc.Start().ok());
+
+  const PathQuery q = Query(0, 42);
+  ServeResult r = svc.SubmitAndWait(q);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rung, Rung::kFull);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(r.embedding, encoder->EncodeValue(q.path, q.depart_time_s));
+  EXPECT_EQ(static_cast<int>(r.embedding.size()), svc.representation_dim());
+}
+
+TEST_F(ServeTest, CancellableEncodeMatchesAndHonoursCancellation) {
+  TemporalPathEncoder encoder(features(), TinyEncoder());
+  const PathQuery q = Query(0, 1);
+  auto full = encoder.EncodeValueCancellable(q.path, q.depart_time_s,
+                                             [] { return false; });
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, encoder.EncodeValue(q.path, q.depart_time_s));
+  EXPECT_FALSE(encoder
+                   .EncodeValueCancellable(q.path, q.depart_time_s,
+                                           [] { return true; })
+                   .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Model lifecycle through the checkpoint layer.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, LoadModelKeepsServingTheOldGenerationOnFailure) {
+  const std::string dir_a = ScratchDir("gen_a");
+  const std::string dir_b = ScratchDir("gen_b");
+  TemporalPathEncoder encoder(features(), TinyEncoder());
+  ASSERT_TRUE(InferenceService::SaveModel(encoder, dir_a, 3).ok());
+  ASSERT_TRUE(InferenceService::SaveModel(encoder, dir_b, 4).ok());
+
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  ASSERT_TRUE(svc.LoadModel(dir_a).ok());
+  EXPECT_EQ(svc.model_generation(), 3u);
+  ASSERT_TRUE(svc.Start().ok());
+
+  const PathQuery q = Query(0, 7);
+  EXPECT_EQ(svc.SubmitAndWait(q).embedding,
+            encoder.EncodeValue(q.path, q.depart_time_s));
+
+  // A dead checkpoint store must not dislodge the installed model.
+  Install("ckpt-read:after=0");
+  EXPECT_FALSE(svc.LoadModel(dir_b).ok());
+  EXPECT_EQ(svc.model_generation(), 3u);
+  ServeResult still = svc.SubmitAndWait(Query(0, 8));
+  ASSERT_TRUE(still.status.ok());
+  EXPECT_EQ(still.rung, Rung::kFull);
+
+  fault::ClearPlan();
+  ASSERT_TRUE(svc.LoadModel(dir_b).ok());
+  EXPECT_EQ(svc.model_generation(), 4u);
+}
+
+TEST_F(ServeTest, LoadModelRejectsMismatchedRepresentationDim) {
+  const std::string dir = ScratchDir("wrong_dim");
+  core::EncoderConfig wide = TinyEncoder();
+  wide.d_hidden = 8;
+  TemporalPathEncoder encoder(features(), wide);
+  ASSERT_TRUE(InferenceService::SaveModel(encoder, dir, 1).ok());
+
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  EXPECT_EQ(svc.LoadModel(dir).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(svc.model_generation(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder under injected faults.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, AllocFaultDegradesToTheCacheRung) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("alloc:p=1");  // rung 0 is never attempted
+
+  ServeResult first = svc.SubmitAndWait(Query(0, 100));
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.rung, Rung::kCached);
+  EXPECT_EQ(first.attempts, 0);
+
+  // Same (path, bucket), different request: a cache hit with identical
+  // bytes — hit vs recompute is invisible in the result.
+  ServeResult second = svc.SubmitAndWait(Query(0, 101));
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.rung, Rung::kCached);
+  EXPECT_EQ(second.embedding, first.embedding);
+  EXPECT_EQ(obs::GetCounter("serve.cache_hits").value(), 1u);
+  EXPECT_EQ(obs::GetCounter("serve.cache_misses").value(), 1u);
+}
+
+TEST_F(ServeTest, TotalEncoderOutageDegradesToTheFallbackRung) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;  // keep rung 0 reachable throughout
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("encoder-forward:p=1");
+
+  ServeResult r = svc.SubmitAndWait(Query(1, 200));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rung, Rung::kFallback);
+  EXPECT_EQ(r.attempts, 1 + cfg.max_retries);
+  EXPECT_EQ(static_cast<int>(r.embedding.size()), svc.representation_dim());
+  // The fallback is pure arithmetic over frozen node2vec vectors.
+  EXPECT_EQ(svc.SubmitAndWait(Query(1, 201)).embedding, r.embedding);
+  EXPECT_GE(obs::GetCounter("serve.retries").value(),
+            static_cast<uint64_t>(cfg.max_retries));
+}
+
+TEST_F(ServeTest, RetryRecoversFromATransientForwardFault) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("encoder-forward:p=0.5,seed=9");
+
+  // Find a request id whose first attempt fails and second succeeds —
+  // WouldFail is the pure lookahead of the worker's verdicts.
+  uint64_t id = 0;
+  bool found = false;
+  for (uint64_t k = 1; k < 4096 && !found; ++k) {
+    if (fault::WouldFail(fault::kEncoderForward, MixSeed(k, 0)) &&
+        !fault::WouldFail(fault::kEncoderForward, MixSeed(k, 1))) {
+      id = k;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  ServeResult r = svc.SubmitAndWait(Query(2, id));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rung, Rung::kFull);
+  EXPECT_EQ(r.attempts, 2);
+}
+
+TEST_F(ServeTest, EveryRungIsReachableUnderAProbabilisticOutage) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;
+  cfg.cache_capacity = 4;  // force recomputes too
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("encoder-forward:p=0.6,seed=5");
+
+  int rung_count[3] = {0, 0, 0};
+  for (int i = 0; i < 200; ++i) {
+    ServeResult r = svc.SubmitAndWait(
+        Query(i % 17, 1000 + static_cast<uint64_t>(i), (i % 5) * 700));
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    rung_count[static_cast<int>(r.rung)] += 1;
+  }
+  EXPECT_GT(rung_count[0], 0) << "full rung never reached";
+  EXPECT_GT(rung_count[1], 0) << "cached rung never reached";
+  EXPECT_GT(rung_count[2], 0) << "fallback rung never reached";
+  EXPECT_GT(obs::GetCounter("serve.retries").value(), 0u);
+}
+
+TEST_F(ServeTest, InjectedQueueFullShedsAtAdmission) {
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("queue-full:p=1");
+  ServeResult r = svc.SubmitAndWait(Query(0, 1));
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(obs::GetCounter("serve.shed").value(), 1u);
+
+  fault::ClearPlan();
+  EXPECT_TRUE(svc.SubmitAndWait(Query(0, 2)).status.ok());
+}
+
+TEST_F(ServeTest, DeadlineExceededUnderInjectedSlowness) {
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("slow-worker:delay_ms=50");
+  ServeResult r = svc.SubmitAndWait(Query(0, 1), /*deadline_ms=*/2);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(obs::GetCounter("serve.deadline_exceeded").value(), 1u);
+
+  // Without the injected slowness the same deadline is comfortable.
+  fault::ClearPlan();
+  EXPECT_TRUE(svc.SubmitAndWait(Query(0, 2), /*deadline_ms=*/5000).status.ok());
+}
+
+TEST_F(ServeTest, ShutdownResolvesEveryQueuedRequest) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("slow-worker:delay_ms=20");
+
+  std::vector<std::future<ServeResult>> futures;
+  for (uint64_t i = 0; i < 8; ++i) {
+    auto submitted = svc.Submit(Query(0, i));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  svc.Shutdown();
+  int unavailable = 0;
+  for (auto& f : futures) {
+    ServeResult r = f.get();  // every promise must resolve — no hangs
+    EXPECT_TRUE(r.status.ok() ||
+                r.status.code() == StatusCode::kUnavailable)
+        << r.status.ToString();
+    unavailable += r.status.code() == StatusCode::kUnavailable ? 1 : 0;
+  }
+  EXPECT_GT(unavailable, 0) << "shutdown drained nothing";
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, BreakerTripsUnderOutageAndReclosesAfterRecovery) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.max_retries = 0;
+  cfg.breaker_trip_threshold = 3;
+  cfg.breaker_open_requests = 2;
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+
+  // Total outage, folded predictively in admission order: requests 1-3
+  // trip the breaker, 4-5 are skipped straight past rung 0, and the
+  // half-open probe (6) fails and reopens it.
+  Install("encoder-forward:p=1");
+  uint64_t id = 0;
+  for (int i = 0; i < 3; ++i) {
+    ServeResult r = svc.SubmitAndWait(Query(0, ++id));
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.rung, Rung::kFallback);
+    EXPECT_EQ(r.attempts, 1);
+  }
+  EXPECT_EQ(obs::GetCounter("serve.breaker_trips").value(), 1u);
+  for (int i = 0; i < 2; ++i) {
+    ServeResult r = svc.SubmitAndWait(Query(0, ++id));
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.attempts, 0) << "open breaker must skip rung 0";
+  }
+  EXPECT_EQ(obs::GetCounter("serve.breaker_open_skips").value(), 2u);
+  ServeResult probe = svc.SubmitAndWait(Query(0, ++id));
+  ASSERT_TRUE(probe.status.ok());
+  EXPECT_EQ(probe.attempts, 1);  // the probe goes back into rung 0
+  EXPECT_EQ(probe.rung, Rung::kFallback);
+  EXPECT_EQ(obs::GetCounter("serve.breaker_trips").value(), 2u);
+
+  // The outage ends (observed mode: no plan). The still-open breaker
+  // keeps skipping rung 0 for its window, then a successful probe
+  // re-closes it and traffic returns to the full encoder.
+  fault::ClearPlan();
+  for (int i = 0; i < 2; ++i) {
+    ServeResult r = svc.SubmitAndWait(Query(0, ++id));
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.attempts, 0);
+  }
+  ServeResult recovery_probe = svc.SubmitAndWait(Query(0, ++id));
+  ASSERT_TRUE(recovery_probe.status.ok());
+  EXPECT_EQ(recovery_probe.rung, Rung::kFull);
+  ServeResult after = svc.SubmitAndWait(Query(0, ++id));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.rung, Rung::kFull);
+  EXPECT_EQ(obs::GetCounter("serve.breaker_open_skips").value(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance soak: 10k requests, 4 workers, 10% forward faults —
+// zero crashes, every request resolves, and outcomes are bitwise
+// identical across runs and worker counts.
+// ---------------------------------------------------------------------------
+
+struct Outcome {
+  int code = 0;
+  int rung = -1;
+  int attempts = 0;
+  std::vector<float> embedding;
+  bool operator==(const Outcome& o) const {
+    return code == o.code && rung == o.rung && attempts == o.attempts &&
+           embedding == o.embedding;
+  }
+};
+
+class SoakTest : public ServeTest {
+ protected:
+  static constexpr char kSpec[] =
+      "encoder-forward:p=0.1;ckpt-read:p=0.1;alloc:p=0.02;queue-full:p=0.01";
+
+  std::vector<Outcome> RunSoak(int num_workers, int n) {
+    Install(kSpec);
+    ServiceConfig cfg = TinyService();
+    cfg.num_workers = num_workers;
+    cfg.queue_capacity = 128;
+    cfg.block_when_full = true;  // backpressure: sheds stay deterministic
+    InferenceService svc(features(), TinyEncoder(), cfg);
+    svc.InstallModel(
+        std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+    EXPECT_TRUE(svc.Start().ok());
+
+    // Single submitter, ids == tickets: the determinism contract's
+    // preconditions (see serve/service.h).
+    std::vector<Outcome> outcomes(static_cast<size_t>(n));
+    std::vector<std::pair<size_t, std::future<ServeResult>>> pending;
+    pending.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto submitted = svc.Submit(
+          Query(i % 31, static_cast<uint64_t>(i), (i % 7) * 500));
+      if (!submitted.ok()) {
+        outcomes[static_cast<size_t>(i)].code =
+            static_cast<int>(submitted.status().code());
+        continue;
+      }
+      pending.emplace_back(static_cast<size_t>(i), std::move(*submitted));
+    }
+    for (auto& [idx, future] : pending) {
+      ServeResult r = future.get();
+      Outcome& o = outcomes[idx];
+      o.code = static_cast<int>(r.status.code());
+      if (r.status.ok()) {
+        o.rung = static_cast<int>(r.rung);
+        o.attempts = r.attempts;
+        o.embedding = std::move(r.embedding);
+      }
+    }
+    svc.Shutdown();
+    fault::ClearPlan();
+    return outcomes;
+  }
+};
+
+TEST_F(SoakTest, TenThousandRequestsAreBitwiseReproducible) {
+  const int n = 10000;
+  std::vector<Outcome> run_a = RunSoak(/*num_workers=*/4, n);
+
+  // Every request resolved: success on some rung, or an explicit shed.
+  int ok = 0, shed = 0;
+  int rung_count[3] = {0, 0, 0};
+  for (const Outcome& o : run_a) {
+    if (o.code == static_cast<int>(StatusCode::kOk)) {
+      ++ok;
+      ASSERT_GE(o.rung, 0);
+      rung_count[o.rung] += 1;
+      EXPECT_EQ(o.embedding.size(), 16u);
+    } else {
+      EXPECT_EQ(o.code, static_cast<int>(StatusCode::kResourceExhausted));
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, n);
+  EXPECT_GT(ok, n / 2);
+  EXPECT_GT(shed, 0);
+  EXPECT_GT(rung_count[0], 0);
+  EXPECT_GT(rung_count[1], 0);
+  EXPECT_GT(rung_count[2], 0);
+
+  // Same spec + seed + thread count: bitwise identical per-request
+  // outcomes, including which rung served each request.
+  std::vector<Outcome> run_b = RunSoak(/*num_workers=*/4, n);
+  ASSERT_EQ(run_a.size(), run_b.size());
+  for (size_t i = 0; i < run_a.size(); ++i) {
+    ASSERT_TRUE(run_a[i] == run_b[i]) << "outcome diverged at request " << i;
+  }
+
+  // Outcomes are a pure function of the request id, so a different
+  // worker count reproduces the same prefix too.
+  const int m = 1500;
+  std::vector<Outcome> run_c = RunSoak(/*num_workers=*/1, m);
+  for (size_t i = 0; i < run_c.size(); ++i) {
+    ASSERT_TRUE(run_a[i] == run_c[i])
+        << "outcome diverged from single-worker run at request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tpr::serve

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <queue>
 #include <set>
+#include <utility>
 
 #include "graph/path_utils.h"
 #include "graph/shortest_path.h"
@@ -331,6 +333,33 @@ TEST(GpsTest, MapMatchEmptyTraceFails) {
   auto net = GenerateCity(SmallCity());
   auto network = std::make_shared<graph::RoadNetwork>(std::move(*net));
   EXPECT_FALSE(MapMatch(*network, {}, GpsConfig{}).ok());
+}
+
+TEST(GpsTest, MapMatchRejectsCorruptTimestamps) {
+  auto net = GenerateCity(SmallCity());
+  auto network = std::make_shared<graph::RoadNetwork>(std::move(*net));
+  TrafficModel model(network.get(), TrafficConfig{});
+  auto sp = graph::ShortestPath(*network, 0, network->num_nodes() - 1,
+                                [&](int e) { return network->edge(e).length_m; });
+  ASSERT_TRUE(sp.ok());
+  GpsConfig gps;
+  gps.noise_m = 8.0;
+  gps.sample_interval_s = 10.0;
+  Rng rng(4);
+  auto trace = SynthesizeTrace(*network, model, sp->edges, 0.0, gps, rng);
+  ASSERT_GT(trace.size(), 2u);
+
+  // Out-of-order clock: the trace was corrupted in transit.
+  auto swapped = trace;
+  std::swap(swapped[0].t, swapped[1].t);
+  EXPECT_EQ(MapMatch(*network, swapped, gps).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Non-finite timestamp.
+  auto poisoned = trace;
+  poisoned.back().t = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(MapMatch(*network, poisoned, gps).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 // Property sweep: observed travel times stay within a plausible factor of
