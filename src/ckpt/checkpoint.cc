@@ -201,6 +201,30 @@ std::string CheckpointDir::PathFor(uint64_t seq) const {
   return dir_ + "/" + name;
 }
 
+std::vector<uint64_t> CheckpointDir::ListSeqs() const {
+  std::vector<uint64_t> seqs = ListSeqsDescending(dir_);
+  std::reverse(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+Status CheckpointDir::Quarantine(uint64_t seq) const {
+  const std::string qdir = dir_ + "/quarantine";
+  std::error_code ec;
+  std::filesystem::create_directories(qdir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + qdir + ": " + ec.message());
+  }
+  const std::string src = PathFor(seq);
+  const std::string dst =
+      qdir + "/" + std::filesystem::path(src).filename().string();
+  std::filesystem::rename(src, dst, ec);
+  if (ec) {
+    return Status::Internal("cannot quarantine " + src + ": " + ec.message());
+  }
+  obs::GetCounter("ckpt.quarantined").Add(1);
+  return Status::OK();
+}
+
 Status CheckpointDir::Save(uint64_t seq, std::string_view payload, int keep) {
   Stopwatch sw;
   std::error_code ec;
@@ -242,8 +266,14 @@ StatusOr<CheckpointDir::Loaded> CheckpointDir::LoadLatest() const {
         }
         return Loaded{seq, *std::move(payload)};
       }
+      // The file's *content* is bad (torn or bit-flipped past the rename
+      // protocol): move it aside so the next load does not re-read it.
+      // Best effort — a failed move degrades to the old skip behaviour.
+      (void)Quarantine(seq);
     }
-    // Torn or corrupt generation: fall back to the previous one.
+    // Torn, corrupt, or unreadable generation: fall back to the
+    // previous one. Read errors (a flaky disk, an injected ckpt-read
+    // fault) are transient and do NOT quarantine the file.
     obs::GetCounter("ckpt.load_fallbacks").Add(1);
   }
   return Status::NotFound("no valid checkpoint in " + dir_);

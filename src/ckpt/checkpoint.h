@@ -28,6 +28,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/status.h"
 
@@ -95,8 +96,24 @@ class CheckpointDir {
   /// skipping (and counting via ckpt.load_fallbacks) corrupt or torn
   /// newer files. NotFound when the directory holds no valid
   /// checkpoint — the caller starts fresh; corrupt state is never
-  /// returned.
+  /// returned. A file whose *content* fails envelope validation (torn
+  /// bytes, CRC mismatch) is moved to the `quarantine/` subdirectory so
+  /// a flapping disk cannot make every future load re-scan the same bad
+  /// files; read errors (including injected ckpt-read faults) are
+  /// treated as transient and leave the file in place.
   StatusOr<Loaded> LoadLatest() const;
+
+  /// Every checkpoint sequence number present in the directory, in
+  /// ascending order (quarantined files excluded). Empty when the
+  /// directory does not exist. Consumers that promote generations one at
+  /// a time (tpr::rollout) scan with this instead of LoadLatest.
+  std::vector<uint64_t> ListSeqs() const;
+
+  /// Moves the checkpoint file for `seq` into the `quarantine/`
+  /// subdirectory, creating it on demand. Used for files whose content
+  /// failed validation: they are preserved for post-mortem but never
+  /// offered by ListSeqs/LoadLatest again.
+  Status Quarantine(uint64_t seq) const;
 
   /// Path of the checkpoint file for a sequence number.
   std::string PathFor(uint64_t seq) const;

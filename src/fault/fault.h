@@ -55,6 +55,8 @@ inline constexpr char kEncoderForward[] = "encoder-forward"; // serve rung-1/2 f
 inline constexpr char kQueueFull[] = "queue-full";           // serve admission
 inline constexpr char kSlowWorker[] = "slow-worker";         // serve worker latency
 inline constexpr char kNanLoss[] = "nan-loss";               // trainer watchdog drills
+inline constexpr char kRolloutPublish[] = "rollout-publish"; // rollout manifest publish
+inline constexpr char kCanaryRegression[] = "canary-regression";  // serve canary quality drills
 
 /// Failure rule for one site. A rule may combine modes; the site fails
 /// when ANY active mode fires.

@@ -1,0 +1,154 @@
+#include "rollout/manifest.h"
+
+#include <fstream>
+#include <utility>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/serialize.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
+namespace tpr::rollout {
+namespace {
+
+constexpr char kManifestTag[] = "tpr-rollout-manifest";
+constexpr uint32_t kManifestVersion = 1;
+
+}  // namespace
+
+const char* ModelStateName(ModelState s) {
+  switch (s) {
+    case ModelState::kCandidate:
+      return "candidate";
+    case ModelState::kCanary:
+      return "canary";
+    case ModelState::kLive:
+      return "live";
+    case ModelState::kQuarantined:
+      return "quarantined";
+    case ModelState::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
+const ModelRecord* Manifest::Find(uint64_t generation) const {
+  for (const ModelRecord& r : records_) {
+    if (r.generation == generation) return &r;
+  }
+  return nullptr;
+}
+
+ModelRecord* Manifest::Find(uint64_t generation) {
+  for (ModelRecord& r : records_) {
+    if (r.generation == generation) return &r;
+  }
+  return nullptr;
+}
+
+void Manifest::Upsert(ModelRecord rec) {
+  rec.decided_at_publish = publish_count_ + 1;  // the upcoming publish
+  if (ModelRecord* existing = Find(rec.generation)) {
+    *existing = std::move(rec);
+    return;
+  }
+  records_.push_back(std::move(rec));
+}
+
+std::string Manifest::Encode() const {
+  ckpt::Writer w;
+  w.Str(kManifestTag);
+  w.U32(kManifestVersion);
+  w.U64(publish_count_);
+  w.U64(live_generation_);
+  w.U64(canary_generation_);
+  w.U64(records_.size());
+  for (const ModelRecord& r : records_) {
+    w.U64(r.generation);
+    w.U8(static_cast<uint8_t>(r.state));
+    w.F64(r.probe_mae);
+    w.F64(r.incumbent_mae);
+    w.U64(r.decided_at_publish);
+    w.Str(r.reason);
+  }
+  return w.TakeBytes();
+}
+
+StatusOr<Manifest> Manifest::Decode(std::string_view payload) {
+  ckpt::Reader r(payload);
+  std::string tag;
+  uint32_t version = 0;
+  TPR_RETURN_IF_ERROR(r.Str(&tag));
+  if (tag != kManifestTag) {
+    return Status::FailedPrecondition("not a rollout manifest");
+  }
+  TPR_RETURN_IF_ERROR(r.U32(&version));
+  if (version == 0 || version > kManifestVersion) {
+    return Status::FailedPrecondition("unsupported manifest version " +
+                                      std::to_string(version));
+  }
+  Manifest m;
+  uint64_t count = 0;
+  TPR_RETURN_IF_ERROR(r.U64(&m.publish_count_));
+  TPR_RETURN_IF_ERROR(r.U64(&m.live_generation_));
+  TPR_RETURN_IF_ERROR(r.U64(&m.canary_generation_));
+  TPR_RETURN_IF_ERROR(r.U64(&count));
+  m.records_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ModelRecord rec;
+    uint8_t state = 0;
+    TPR_RETURN_IF_ERROR(r.U64(&rec.generation));
+    TPR_RETURN_IF_ERROR(r.U8(&state));
+    if (state > static_cast<uint8_t>(ModelState::kRetired)) {
+      return Status::FailedPrecondition("unknown model state " +
+                                        std::to_string(state));
+    }
+    rec.state = static_cast<ModelState>(state);
+    TPR_RETURN_IF_ERROR(r.F64(&rec.probe_mae));
+    TPR_RETURN_IF_ERROR(r.F64(&rec.incumbent_mae));
+    TPR_RETURN_IF_ERROR(r.U64(&rec.decided_at_publish));
+    TPR_RETURN_IF_ERROR(r.Str(&rec.reason));
+    m.records_.push_back(std::move(rec));
+  }
+  return m;
+}
+
+Status Manifest::Publish(const std::string& dir) {
+  ++publish_count_;
+  const std::string bytes = ckpt::WrapPayload(Encode());
+  const std::string path = dir + "/" + kFileName;
+  // Injected torn publish: a plain (non-atomic) truncated write lands in
+  // MANIFEST — exactly what a crash mid-write without the rename
+  // protocol would leave. Load() detects it via the envelope CRC and
+  // falls back to the mirror.
+  if (fault::ShouldFail(fault::kRolloutPublish)) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+    obs::GetCounter("rollout.publish_torn").Add(1);
+    return Status::Internal("injected torn manifest publish in " + dir);
+  }
+  TPR_RETURN_IF_ERROR(ckpt::AtomicWriteFile(path, bytes));
+  TPR_RETURN_IF_ERROR(
+      ckpt::AtomicWriteFile(dir + "/" + kBackupName, bytes));
+  obs::GetCounter("rollout.publishes").Add(1);
+  return Status::OK();
+}
+
+StatusOr<Manifest> Manifest::Load(const std::string& dir) {
+  for (const char* name : {kFileName, kBackupName}) {
+    auto bytes = ckpt::ReadFileBytes(dir + "/" + std::string(name));
+    if (!bytes.ok()) continue;
+    auto payload = ckpt::UnwrapPayload(*bytes);
+    if (!payload.ok()) {
+      obs::GetCounter("rollout.manifest_torn").Add(1);
+      continue;
+    }
+    auto manifest = Manifest::Decode(*payload);
+    if (manifest.ok()) return manifest;
+    obs::GetCounter("rollout.manifest_torn").Add(1);
+  }
+  return Status::NotFound("no valid rollout manifest in " + dir);
+}
+
+}  // namespace tpr::rollout

@@ -1,0 +1,113 @@
+#ifndef TPR_ROLLOUT_MANIFEST_H_
+#define TPR_ROLLOUT_MANIFEST_H_
+
+// Rollout lineage manifest.
+//
+// The manifest is the durable record of every model generation the
+// rollout controller has ever seen and what became of it:
+//
+//   candidate ──validation──▶ canary ──clean traffic──▶ live ─▶ retired
+//        │                      │
+//        └──────── gate ────────┴──── trip / regression ──▶ quarantined
+//
+// It is published to `<dir>/MANIFEST` as a CRC-enveloped file written
+// with the ckpt atomic-write protocol, mirrored to `MANIFEST.bak` so a
+// torn publish (simulated by the `rollout-publish` fault site, which
+// writes a deliberately truncated non-atomic file) is detected by the
+// envelope CRC on load and recovered from the mirror. Terminal states
+// (quarantined, retired) are how the controller remembers across
+// restarts that a generation must never be offered again.
+//
+// Time is logical: decisions are stamped with the manifest's publish
+// counter, never wall clock, so two runs of the same rollout sequence
+// produce byte-identical manifests.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tpr::rollout {
+
+/// Lifecycle state of one model generation.
+enum class ModelState {
+  kCandidate = 0,    // discovered, not yet validated
+  kCanary = 1,       // validated, taking a keyed fraction of traffic
+  kLive = 2,         // the incumbent
+  kQuarantined = 3,  // failed a gate, a canary, or envelope validation
+  kRetired = 4,      // was live, superseded by a promoted canary
+};
+
+const char* ModelStateName(ModelState s);
+
+/// One generation's lineage entry.
+struct ModelRecord {
+  uint64_t generation = 0;
+  ModelState state = ModelState::kCandidate;
+  /// Golden-probe travel-time MAE of this generation; negative when it
+  /// was never probed (e.g. quarantined before decoding).
+  double probe_mae = -1.0;
+  /// The incumbent's probe MAE at decision time (the gate baseline);
+  /// negative when there was no incumbent (bootstrap).
+  double incumbent_mae = -1.0;
+  /// Logical decision time: the manifest publish count when this record
+  /// last changed state.
+  uint64_t decided_at_publish = 0;
+  std::string reason;
+};
+
+/// In-memory manifest: an ordered list of generation records plus the
+/// current live/canary pointers and the logical publish clock.
+class Manifest {
+ public:
+  static constexpr char kFileName[] = "MANIFEST";
+  static constexpr char kBackupName[] = "MANIFEST.bak";
+
+  /// Record for `generation`, or nullptr. Records are unique per
+  /// generation.
+  const ModelRecord* Find(uint64_t generation) const;
+  ModelRecord* Find(uint64_t generation);
+
+  /// Inserts or replaces the record for `rec.generation`, stamping its
+  /// decided_at_publish with the upcoming publish count. First insertion
+  /// order is preserved.
+  void Upsert(ModelRecord rec);
+
+  const std::vector<ModelRecord>& records() const { return records_; }
+  uint64_t live_generation() const { return live_generation_; }
+  uint64_t canary_generation() const { return canary_generation_; }
+  void set_live_generation(uint64_t g) { live_generation_ = g; }
+  void set_canary_generation(uint64_t g) { canary_generation_ = g; }
+  uint64_t publish_count() const { return publish_count_; }
+
+  /// Serialized payload (before envelope wrapping).
+  std::string Encode() const;
+
+  /// Inverse of Encode. FailedPrecondition on a foreign tag or version.
+  static StatusOr<Manifest> Decode(std::string_view payload);
+
+  /// Increments the publish clock and durably writes the manifest to
+  /// `<dir>/MANIFEST` (atomic write) and then to the `MANIFEST.bak`
+  /// mirror. An active `rollout-publish` fault instead leaves a torn,
+  /// non-atomically-written MANIFEST behind — the failure mode the
+  /// backup exists for — and returns Internal; the caller retries on a
+  /// later tick.
+  Status Publish(const std::string& dir);
+
+  /// Loads `<dir>/MANIFEST`, falling back to the mirror when the primary
+  /// is missing or fails envelope validation (counting the fallback via
+  /// the rollout.manifest_torn counter). NotFound when neither exists.
+  static StatusOr<Manifest> Load(const std::string& dir);
+
+ private:
+  std::vector<ModelRecord> records_;
+  uint64_t live_generation_ = 0;    // 0 = none
+  uint64_t canary_generation_ = 0;  // 0 = none
+  uint64_t publish_count_ = 0;
+};
+
+}  // namespace tpr::rollout
+
+#endif  // TPR_ROLLOUT_MANIFEST_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/serialize.h"
@@ -16,9 +17,11 @@ namespace tpr::serve {
 namespace {
 
 // Salts decorrelating the keyed fault verdicts of the different sites a
-// single request touches (rung-0 attempts vs alloc vs rung-1 compute).
+// single request touches (rung-0 attempts vs alloc vs rung-1 compute),
+// and the canary routing hash from all of them.
 constexpr uint64_t kAllocSalt = 0xA110C5EEDULL;
 constexpr uint64_t kCacheSalt = 0xCAC4E5EEDULL;
+constexpr uint64_t kRouteSalt = 0xCA9A995EEDULL;
 
 void SleepMs(double ms) {
   if (ms <= 0.0) return;
@@ -56,18 +59,29 @@ const char* RungName(Rung r) {
   return "?";
 }
 
+const char* CanaryVerdictName(CanaryVerdict v) {
+  switch (v) {
+    case CanaryVerdict::kPromoted:
+      return "promoted";
+    case CanaryVerdict::kRolledBack:
+      return "rolled-back";
+  }
+  return "?";
+}
+
 InferenceService::InferenceService(
     std::shared_ptr<const core::FeatureSpace> features,
     const core::EncoderConfig& encoder_config, const ServiceConfig& config)
     : features_(std::move(features)),
       encoder_config_(encoder_config),
-      config_(config),
-      cache_(config.cache_capacity) {
+      config_(config) {
   TPR_CHECK(features_ != nullptr);
   TPR_CHECK(config_.num_workers > 0);
   TPR_CHECK(config_.queue_capacity > 0);
   TPR_CHECK(config_.max_retries >= 0);
   TPR_CHECK(config_.time_bucket_s > 0);
+  TPR_CHECK(config_.canary_permille >= 0 && config_.canary_permille <= 1000);
+  TPR_CHECK(config_.canary_promote_after > 0);
 }
 
 InferenceService::~InferenceService() { Shutdown(); }
@@ -83,13 +97,11 @@ Status InferenceService::SaveModel(const core::TemporalPathEncoder& encoder,
   return ckpt::CheckpointDir(dir).Save(generation, w.bytes());
 }
 
-Status InferenceService::LoadModel(const std::string& dir) {
-  auto loaded = ckpt::CheckpointDir(dir).LoadLatest();
-  if (!loaded.ok()) {
-    obs::GetCounter("serve.model_load_failures").Add(1);
-    return loaded.status();
-  }
-  ckpt::Reader r(loaded->payload);
+StatusOr<InferenceService::DecodedModel> InferenceService::DecodeModelPayload(
+    std::string_view payload,
+    std::shared_ptr<const core::FeatureSpace> features,
+    const core::EncoderConfig& config) {
+  ckpt::Reader r(payload);
   std::string tag;
   uint64_t generation = 0;
   int32_t dim = 0;
@@ -99,52 +111,169 @@ Status InferenceService::LoadModel(const std::string& dir) {
   }
   TPR_RETURN_IF_ERROR(r.U64(&generation));
   TPR_RETURN_IF_ERROR(r.I32(&dim));
-  if (dim != encoder_config_.d_hidden) {
+  if (dim != config.d_hidden) {
     return Status::FailedPrecondition(
         "serve model dim " + std::to_string(dim) + " != configured " +
-        std::to_string(encoder_config_.d_hidden));
+        std::to_string(config.d_hidden));
   }
-  auto encoder = std::make_shared<core::TemporalPathEncoder>(features_,
-                                                             encoder_config_);
+  auto encoder =
+      std::make_shared<core::TemporalPathEncoder>(std::move(features), config);
   TPR_RETURN_IF_ERROR(ckpt::ReadParamValuesInto(r, encoder->Parameters()));
-  InstallModel(std::move(encoder), generation);
+  DecodedModel out;
+  out.encoder = std::move(encoder);
+  out.generation = generation;
+  return out;
+}
+
+Status InferenceService::LoadModel(const std::string& dir) {
+  auto loaded = ckpt::CheckpointDir(dir).LoadLatest();
+  if (!loaded.ok()) {
+    obs::GetCounter("serve.model_load_failures").Add(1);
+    return loaded.status();
+  }
+  auto decoded = DecodeModelPayload(loaded->payload, features_, encoder_config_);
+  if (!decoded.ok()) {
+    obs::GetCounter("serve.model_load_failures").Add(1);
+    return decoded.status();
+  }
+  InstallModel(std::move(decoded->encoder), decoded->generation);
   return Status::OK();
+}
+
+std::shared_ptr<InferenceService::GenState> InferenceService::MakeGenState(
+    std::shared_ptr<const core::TemporalPathEncoder> encoder,
+    uint64_t generation) const {
+  auto gen = std::make_shared<GenState>();
+  gen->model = std::move(encoder);
+  gen->generation = generation;
+  gen->cache = std::make_unique<EmbeddingLruCache>(config_.cache_capacity);
+  return gen;
 }
 
 void InferenceService::InstallModel(
     std::shared_ptr<const core::TemporalPathEncoder> encoder,
     uint64_t generation) {
   TPR_CHECK(encoder != nullptr);
-  bool new_generation = false;
+  auto gen = MakeGenState(std::move(encoder), generation);
   {
-    std::lock_guard<std::mutex> lock(model_mu_);
-    new_generation = generation != generation_;
-    model_ = std::move(encoder);
-    generation_ = generation;
-  }
-  if (new_generation) {
-    // Breaker state and cached embeddings described the old parameters;
-    // a new generation starts with a clean slate.
-    cache_.Clear();
     std::lock_guard<std::mutex> lock(mu_);
-    breaker_ = Breaker{};
+    if (canary_ != nullptr) {
+      // The incumbent the canary was being compared against is gone, so
+      // the comparison is void: roll the canary back rather than keep
+      // scoring it against a different baseline.
+      ResolveCanaryLocked(CanaryVerdict::kRolledBack,
+                          "superseded by InstallModel");
+    }
+    live_ = std::move(gen);
   }
   obs::GetGauge("serve.model_generation").Set(static_cast<double>(generation));
 }
 
+Status InferenceService::BeginCanary(
+    std::shared_ptr<const core::TemporalPathEncoder> encoder,
+    uint64_t generation) {
+  if (encoder == nullptr) {
+    return Status::InvalidArgument("null canary encoder");
+  }
+  auto gen = MakeGenState(std::move(encoder), generation);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("no incumbent model to canary against");
+  }
+  if (canary_ != nullptr) {
+    return Status::FailedPrecondition("a canary is already in flight");
+  }
+  canary_ = std::move(gen);
+  obs::GetCounter("serve.canaries").Add(1);
+  obs::GetGauge("serve.canary_generation").Set(static_cast<double>(generation));
+  return Status::OK();
+}
+
+Status InferenceService::PromoteCanary(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (canary_ == nullptr) {
+    return Status::FailedPrecondition("no canary in flight");
+  }
+  ResolveCanaryLocked(CanaryVerdict::kPromoted, reason);
+  return Status::OK();
+}
+
+Status InferenceService::AbortCanary(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (canary_ == nullptr) {
+    return Status::FailedPrecondition("no canary in flight");
+  }
+  ResolveCanaryLocked(CanaryVerdict::kRolledBack, reason);
+  return Status::OK();
+}
+
+std::optional<CanaryResolution> InferenceService::TakeCanaryResolution() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (resolutions_.empty()) return std::nullopt;
+  CanaryResolution res = std::move(resolutions_.front());
+  resolutions_.pop_front();
+  return res;
+}
+
+CanaryStatus InferenceService::canary_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CanaryStatus s;
+  if (canary_ != nullptr) {
+    s.installed = true;
+    s.generation = canary_->generation;
+    s.routed = canary_->routed;
+    s.clean = canary_->clean;
+  }
+  return s;
+}
+
+void InferenceService::ResolveCanaryLocked(CanaryVerdict verdict,
+                                           const std::string& reason) {
+  CanaryResolution res;
+  res.generation = canary_->generation;
+  res.verdict = verdict;
+  res.reason = reason;
+  res.routed = canary_->routed;
+  res.clean = canary_->clean;
+  if (verdict == CanaryVerdict::kPromoted) {
+    // The canary slot — fresh breaker, warm cache, its own metrics —
+    // becomes the incumbent wholesale; nothing about its state resets.
+    live_ = std::move(canary_);
+    obs::GetCounter("serve.canary_promotions").Add(1);
+    obs::GetGauge("serve.model_generation")
+        .Set(static_cast<double>(live_->generation));
+  } else {
+    obs::GetCounter("serve.canary_rollbacks").Add(1);
+  }
+  canary_.reset();
+  obs::GetGauge("serve.canary_generation").Set(0);
+  resolutions_.push_back(std::move(res));
+}
+
 uint64_t InferenceService::model_generation() const {
-  std::lock_guard<std::mutex> lock(model_mu_);
-  return generation_;
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_ != nullptr ? live_->generation : 0;
+}
+
+std::shared_ptr<const core::TemporalPathEncoder>
+InferenceService::live_model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_ != nullptr ? live_->model : nullptr;
+}
+
+bool InferenceService::RoutesToCanary(uint64_t id) const {
+  // Pure hash of the request id: the same id routes the same way at any
+  // worker count, on any run. (Whether a canary is actually installed is
+  // a separate question — this is only the routing predicate.)
+  return MixSeed(kRouteSalt, id) % 1000 <
+         static_cast<uint64_t>(config_.canary_permille);
 }
 
 Status InferenceService::Start() {
-  {
-    std::lock_guard<std::mutex> lock(model_mu_);
-    if (model_ == nullptr) {
-      return Status::FailedPrecondition("no model installed");
-    }
-  }
   std::lock_guard<std::mutex> lock(mu_);
+  if (live_ == nullptr) {
+    return Status::FailedPrecondition("no model installed");
+  }
   if (started_) return Status::FailedPrecondition("already started");
   started_ = true;
   stopping_ = false;
@@ -157,11 +286,15 @@ Status InferenceService::Start() {
 
 void InferenceService::Shutdown() {
   std::deque<Request> orphaned;
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ && workers_.empty()) return;
     stopping_ = true;
+    // Claim the queue AND the worker threads under the lock so racing
+    // Shutdown calls (or Shutdown vs destructor) each join a disjoint —
+    // possibly empty — set of threads instead of double-joining.
     orphaned.swap(queue_);
+    workers.swap(workers_);
   }
   not_empty_.notify_all();
   not_full_.notify_all();
@@ -169,11 +302,12 @@ void InferenceService::Shutdown() {
     ServeResult result;
     result.status = Status::Unavailable("service shutting down");
     result.ticket = req.ticket;
+    if (req.gen != nullptr) result.generation = req.gen->generation;
+    result.canary = req.canary;
     req.promise.set_value(std::move(result));
   }
-  for (auto& t : workers_) t.join();
-  workers_.clear();
-  obs::GetGauge("serve.queue_depth").Set(0);
+  for (auto& t : workers) t.join();
+  if (!workers.empty()) obs::GetGauge("serve.queue_depth").Set(0);
 }
 
 bool InferenceService::PredictRung0Failure(const PathQuery& query) const {
@@ -191,62 +325,142 @@ bool InferenceService::PredictRung0Failure(const PathQuery& query) const {
   return true;
 }
 
-void InferenceService::BreakerAdmit(Request& req) {
-  if (!fault::PlanActive()) return;  // observed mode: workers report
+bool InferenceService::BreakerAdmit(GenState& gen, Request& req) {
+  Breaker& b = gen.breaker;
   req.breaker_predicted = true;
   const bool alloc_fail =
       fault::WouldFail(fault::kAlloc, MixSeed(kAllocSalt, req.query.id));
   const bool predicted_fail = PredictRung0Failure(req.query);
-  switch (breaker_.state) {
+  bool tripped = false;
+  switch (b.state) {
     case Breaker::State::kClosed:
       if (alloc_fail) break;  // no rung-0 attempt, no signal
       if (predicted_fail) {
-        if (++breaker_.consecutive_failures >= config_.breaker_trip_threshold) {
-          breaker_.state = Breaker::State::kOpen;
-          breaker_.open_skips_remaining = config_.breaker_open_requests;
+        if (++b.consecutive_failures >= config_.breaker_trip_threshold) {
+          b.state = Breaker::State::kOpen;
+          b.open_skips_remaining = config_.breaker_open_requests;
           obs::GetCounter("serve.breaker_trips").Add(1);
+          tripped = true;
         }
       } else {
-        breaker_.consecutive_failures = 0;
+        b.consecutive_failures = 0;
       }
       break;
     case Breaker::State::kOpen:
       req.skip_rung0 = true;
       obs::GetCounter("serve.breaker_open_skips").Add(1);
-      if (--breaker_.open_skips_remaining <= 0) {
-        breaker_.state = Breaker::State::kHalfOpen;
+      if (--b.open_skips_remaining <= 0) {
+        b.state = Breaker::State::kHalfOpen;
       }
       break;
     case Breaker::State::kHalfOpen:
       // This request is the probe: it goes to rung 0 and its predicted
       // outcome resolves the breaker immediately, in admission order.
       if (alloc_fail || predicted_fail) {
-        breaker_.state = Breaker::State::kOpen;
-        breaker_.open_skips_remaining = config_.breaker_open_requests;
-        if (predicted_fail) obs::GetCounter("serve.breaker_trips").Add(1);
+        b.state = Breaker::State::kOpen;
+        b.open_skips_remaining = config_.breaker_open_requests;
+        if (predicted_fail) {
+          obs::GetCounter("serve.breaker_trips").Add(1);
+          tripped = true;
+        }
       } else {
-        breaker_.state = Breaker::State::kClosed;
-        breaker_.consecutive_failures = 0;
+        b.state = Breaker::State::kClosed;
+        b.consecutive_failures = 0;
       }
       break;
   }
+  return tripped;
 }
 
-void InferenceService::BreakerRecord(bool success, bool was_probe) {
+void InferenceService::BreakerRecord(GenState& gen, bool success,
+                                     bool was_probe) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (was_probe) breaker_.probe_in_flight = false;
+  Breaker& b = gen.breaker;
+  if (was_probe) b.probe_in_flight = false;
   if (success) {
-    breaker_.state = Breaker::State::kClosed;
-    breaker_.consecutive_failures = 0;
+    b.state = Breaker::State::kClosed;
+    b.consecutive_failures = 0;
+    // Observed-mode canary accounting: clean rung-0 completions promote.
+    // (Completion order is thread-dependent, so observed-mode canarying
+    // is outside the bitwise-determinism contract — see the header.)
+    if (&gen == canary_.get()) {
+      if (++gen.clean >=
+          static_cast<uint64_t>(config_.canary_promote_after)) {
+        ResolveCanaryLocked(CanaryVerdict::kPromoted, "clean-requests");
+      }
+    }
     return;
   }
-  if (breaker_.state == Breaker::State::kHalfOpen ||
-      ++breaker_.consecutive_failures >= config_.breaker_trip_threshold) {
-    if (breaker_.state != Breaker::State::kOpen) {
+  const bool was_open = b.state == Breaker::State::kOpen;
+  if (b.state == Breaker::State::kHalfOpen ||
+      ++b.consecutive_failures >= config_.breaker_trip_threshold) {
+    if (b.state != Breaker::State::kOpen) {
       obs::GetCounter("serve.breaker_trips").Add(1);
     }
-    breaker_.state = Breaker::State::kOpen;
-    breaker_.open_skips_remaining = config_.breaker_open_requests;
+    b.state = Breaker::State::kOpen;
+    b.open_skips_remaining = config_.breaker_open_requests;
+  }
+  if (&gen == canary_.get() && !was_open &&
+      b.state == Breaker::State::kOpen) {
+    ResolveCanaryLocked(CanaryVerdict::kRolledBack, "breaker-trip");
+  }
+}
+
+void InferenceService::AdmitToGeneration(Request& req) {
+  req.gen = live_;
+  if (canary_ != nullptr && RoutesToCanary(req.query.id)) {
+    ++canary_->routed;
+    obs::GetCounter("serve.canary_requests").Add(1);
+    // Injected quality regression: the canary rolls back the moment
+    // traffic reaches it, and this request is served by the incumbent —
+    // canary failures must never cost a user a good answer.
+    if (fault::ShouldFail(fault::kCanaryRegression, canary_->generation)) {
+      ResolveCanaryLocked(CanaryVerdict::kRolledBack,
+                          "injected canary-regression");
+    } else {
+      req.gen = canary_;
+      req.canary = true;
+    }
+  }
+  GenState& gen = *req.gen;
+  if (fault::PlanActive()) {
+    const bool tripped = BreakerAdmit(gen, req);
+    if (req.canary) {
+      if (tripped) {
+        // The request stays pinned to the now-detached canary state and
+        // serves degraded; every later request routes to the incumbent.
+        ResolveCanaryLocked(CanaryVerdict::kRolledBack, "breaker-trip");
+      } else if (!req.skip_rung0 &&
+                 !fault::WouldFail(fault::kAlloc,
+                                   MixSeed(kAllocSalt, req.query.id)) &&
+                 !PredictRung0Failure(req.query)) {
+        if (++gen.clean >=
+            static_cast<uint64_t>(config_.canary_promote_after)) {
+          ResolveCanaryLocked(CanaryVerdict::kPromoted, "clean-requests");
+        }
+      }
+    }
+    return;
+  }
+  // Observed mode (no fault plan): breaker outcomes are reported by the
+  // workers; admission only applies the current state. Half-open admits
+  // exactly one probe back into rung 0; others keep degrading until the
+  // probe reports.
+  Breaker& b = gen.breaker;
+  if (b.state == Breaker::State::kOpen) {
+    req.skip_rung0 = true;
+    obs::GetCounter("serve.breaker_open_skips").Add(1);
+    if (--b.open_skips_remaining <= 0) {
+      b.state = Breaker::State::kHalfOpen;
+    }
+  } else if (b.state == Breaker::State::kHalfOpen) {
+    if (b.probe_in_flight) {
+      req.skip_rung0 = true;
+      obs::GetCounter("serve.breaker_open_skips").Add(1);
+    } else {
+      b.probe_in_flight = true;
+      req.breaker_probe = true;
+    }
   }
 }
 
@@ -290,26 +504,7 @@ StatusOr<std::future<ServeResult>> InferenceService::Submit(
         return Status::Unavailable("service shutting down");
       }
     }
-    BreakerAdmit(req);
-    // Observed-mode half-open probe: admit exactly one request back into
-    // rung 0; others keep degrading until the probe reports.
-    if (!req.breaker_predicted) {
-      if (breaker_.state == Breaker::State::kOpen) {
-        req.skip_rung0 = true;
-        obs::GetCounter("serve.breaker_open_skips").Add(1);
-        if (--breaker_.open_skips_remaining <= 0) {
-          breaker_.state = Breaker::State::kHalfOpen;
-        }
-      } else if (breaker_.state == Breaker::State::kHalfOpen) {
-        if (breaker_.probe_in_flight) {
-          req.skip_rung0 = true;
-          obs::GetCounter("serve.breaker_open_skips").Add(1);
-        } else {
-          breaker_.probe_in_flight = true;
-          req.breaker_probe = true;
-        }
-      }
-    }
+    AdmitToGeneration(req);
     queue_.push_back(std::move(req));
     obs::GetGauge("serve.queue_depth")
         .Set(static_cast<double>(queue_.size()));
@@ -351,13 +546,15 @@ ServeResult InferenceService::Process(Request& req) {
   Stopwatch sw;
   ServeResult result;
   result.ticket = req.ticket;
+  result.generation = req.gen->generation;
+  result.canary = req.canary;
   const PathQuery& q = req.query;
 
-  std::shared_ptr<const core::TemporalPathEncoder> model;
-  {
-    std::lock_guard<std::mutex> lock(model_mu_);
-    model = model_;
-  }
+  // The generation was pinned at admission: model and cache reads are
+  // lock-free (both pointers are immutable after the slot is built), and
+  // a LoadModel/promotion racing past cannot tear this request.
+  const core::TemporalPathEncoder& model = *req.gen->model;
+  EmbeddingLruCache& cache = *req.gen->cache;
 
   const auto deadline_passed = [&req] {
     return req.has_deadline &&
@@ -368,7 +565,7 @@ ServeResult InferenceService::Process(Request& req) {
     // A probe that times out reports failure so the breaker never waits
     // on a probe that will not come back.
     if (!req.breaker_predicted && req.breaker_probe) {
-      BreakerRecord(false, /*was_probe=*/true);
+      BreakerRecord(*req.gen, false, /*was_probe=*/true);
     }
     obs::GetCounter("serve.deadline_exceeded").Add(1);
     result.status = Status::DeadlineExceeded(
@@ -382,10 +579,8 @@ ServeResult InferenceService::Process(Request& req) {
   // Rung 0: full temporal encoder at the exact request time, with
   // retries. Skipped when the breaker is open or the per-request scratch
   // allocation "fails".
-  bool attempted_rung0 = false;
   if (!req.skip_rung0 &&
       !fault::ShouldFail(fault::kAlloc, MixSeed(kAllocSalt, q.id))) {
-    attempted_rung0 = true;
     for (int a = 0; a <= config_.max_retries; ++a) {
       if (deadline_passed()) return deadline_result();
       result.attempts = a + 1;
@@ -393,10 +588,10 @@ ServeResult InferenceService::Process(Request& req) {
       const uint64_t attempt_key = MixSeed(q.id, static_cast<uint64_t>(a));
       if (!fault::ShouldFail(fault::kEncoderForward, attempt_key)) {
         auto embedding =
-            model->EncodeValueCancellable(q.path, q.depart_time_s, cancelled);
+            model.EncodeValueCancellable(q.path, q.depart_time_s, cancelled);
         if (!embedding.has_value()) return deadline_result();
         if (!req.breaker_predicted) {
-          BreakerRecord(true, req.breaker_probe);
+          BreakerRecord(*req.gen, true, req.breaker_probe);
         }
         result.status = Status::OK();
         result.rung = Rung::kFull;
@@ -414,10 +609,9 @@ ServeResult InferenceService::Process(Request& req) {
       }
     }
     if (!req.breaker_predicted) {
-      BreakerRecord(false, req.breaker_probe);
+      BreakerRecord(*req.gen, false, req.breaker_probe);
     }
   }
-  (void)attempted_rung0;
 
   // Rung 1: bucket-level cache. Values are computed at the bucket's
   // representative time, so every request mapping to the key sees the
@@ -427,7 +621,7 @@ ServeResult InferenceService::Process(Request& req) {
   if (deadline_passed()) return deadline_result();
   int64_t bucket = 0;
   const std::string key = CacheKey(q, &bucket);
-  if (auto hit = cache_.Get(key)) {
+  if (auto hit = cache.Get(key)) {
     obs::GetCounter("serve.cache_hits").Add(1);
     result.status = Status::OK();
     result.rung = Rung::kCached;
@@ -444,9 +638,9 @@ ServeResult InferenceService::Process(Request& req) {
   if (!fault::ShouldFail(fault::kEncoderForward, cache_fault_key)) {
     const int64_t bucket_time = bucket * config_.time_bucket_s;
     auto embedding =
-        model->EncodeValueCancellable(q.path, bucket_time, cancelled);
+        model.EncodeValueCancellable(q.path, bucket_time, cancelled);
     if (!embedding.has_value()) return deadline_result();
-    cache_.Put(key, *embedding);
+    cache.Put(key, *embedding);
     result.status = Status::OK();
     result.rung = Rung::kCached;
     result.embedding = *std::move(embedding);

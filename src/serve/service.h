@@ -18,14 +18,34 @@
 //   rung 2 (kFallback) node2vec mean-pool over the path's edge endpoint
 //                      embeddings, shaped to representation_dim
 //
-// Determinism contract (what the soak test asserts): with a fixed
+// Generations. The service holds up to TWO live model generations — the
+// incumbent and an optional canary — each with its own rung-1 cache,
+// circuit breaker, and metrics (their state describes one set of
+// parameters and never leaks across generations). Model swaps are
+// RCU-style: writers build a fresh immutable generation slot and swap
+// the shared pointer; every request *pins* its generation at admission,
+// so workers read the model without a lock and an in-flight request is
+// always served by exactly one generation even while swaps race past it.
+//
+// Canarying. While a canary is installed, a deterministic keyed
+// fraction of requests (hash of the request id — never wall clock or
+// thread identity) routes to it. The canary auto-resolves in admission
+// (ticket) order: `canary_promote_after` clean rung-0 requests promote
+// it to incumbent; a canary breaker trip or an injected
+// `canary-regression` fault rolls it back — incumbent traffic is never
+// disturbed either way. tpr::rollout drives this loop end to end
+// (validation gate, manifest lineage, quarantine).
+//
+// Determinism contract (what the soak tests assert): with a fixed
 // TPR_FAULT spec, seed, and single submitter, the (status, rung,
-// embedding bytes) outcome of every request is identical across runs and
-// worker counts. This falls out of three choices: fault verdicts are
+// generation, embedding bytes) outcome of every request — and every
+// canary promotion/rollback decision — is identical across runs and
+// worker counts. This falls out of four choices: fault verdicts are
 // keyed by request id (never by wall clock or thread), cache values are
 // pure functions of the cache key (so hit vs recompute is invisible),
-// and the circuit breaker folds keyed failure *predictions* in admission
-// order rather than observed completions in race order. Deadlines are
+// the circuit breaker folds keyed failure *predictions* in admission
+// order rather than observed completions in race order, and canary
+// routing/resolution are likewise folded at admission. Deadlines are
 // wall-clock dependent and therefore outside the contract.
 
 #include <chrono>
@@ -48,8 +68,9 @@
 namespace tpr::serve {
 
 /// One embedding request: a path and a departure time. `id` is the
-/// stable request identity — fault verdicts and backoff jitter key off
-/// it, so replaying the same ids reproduces the same outcomes.
+/// stable request identity — fault verdicts, backoff jitter, and canary
+/// routing key off it, so replaying the same ids reproduces the same
+/// outcomes.
 struct PathQuery {
   graph::Path path;
   int64_t depart_time_s = 0;
@@ -68,6 +89,30 @@ struct ServeResult {
   std::vector<float> embedding;   // representation_dim values when ok
   int attempts = 0;               // rung-0 encoder attempts made
   uint64_t ticket = 0;            // admission order, 0-based
+  uint64_t generation = 0;        // model generation that served it
+  bool canary = false;            // served by the canary generation
+};
+
+/// How a canary resolved.
+enum class CanaryVerdict { kPromoted, kRolledBack };
+
+const char* CanaryVerdictName(CanaryVerdict v);
+
+/// One resolved canary episode, consumed by the rollout controller.
+struct CanaryResolution {
+  uint64_t generation = 0;
+  CanaryVerdict verdict = CanaryVerdict::kPromoted;
+  std::string reason;   // "clean-requests", "breaker-trip", ...
+  uint64_t routed = 0;  // requests routed to the canary
+  uint64_t clean = 0;   // clean rung-0 outcomes folded
+};
+
+/// Snapshot of the in-flight canary (if any).
+struct CanaryStatus {
+  bool installed = false;
+  uint64_t generation = 0;
+  uint64_t routed = 0;
+  uint64_t clean = 0;
 };
 
 struct ServiceConfig {
@@ -90,6 +135,11 @@ struct ServiceConfig {
   int64_t time_bucket_s = 900;
   /// Drives backoff jitter (mixed with request id and attempt).
   uint64_t seed = 7;
+  /// Per-mille of requests routed to an installed canary, decided by a
+  /// pure hash of the request id.
+  int canary_permille = 200;
+  /// Clean rung-0 canary requests that promote the canary to incumbent.
+  int canary_promote_after = 64;
 };
 
 /// Multi-threaded inference service. Construction wires the pipeline but
@@ -110,24 +160,66 @@ class InferenceService {
   static Status SaveModel(const core::TemporalPathEncoder& encoder,
                           const std::string& dir, uint64_t generation);
 
+  /// A serve-model checkpoint payload decoded into a fresh encoder.
+  struct DecodedModel {
+    std::shared_ptr<const core::TemporalPathEncoder> encoder;
+    uint64_t generation = 0;
+  };
+
+  /// Decodes a SaveModel payload (already envelope-unwrapped) into a
+  /// fresh encoder built from `config`. FailedPrecondition on a foreign
+  /// tag, a representation-dim mismatch, or a parameter-shape mismatch.
+  static StatusOr<DecodedModel> DecodeModelPayload(
+      std::string_view payload,
+      std::shared_ptr<const core::FeatureSpace> features,
+      const core::EncoderConfig& config);
+
   /// Loads the newest valid model generation from `dir` into a fresh
   /// encoder built from the constructor's EncoderConfig. On any failure
   /// (injected ckpt-read fault, torn file, shape mismatch) the currently
   /// installed model — if any — keeps serving and the error is returned.
-  /// Loading a NEW generation resets the circuit breaker and clears the
-  /// rung-1 cache: their state described the old parameters.
+  /// Like InstallModel, a successful load starts the generation with a
+  /// fresh circuit breaker and an empty rung-1 cache: breaker state and
+  /// cached embeddings described the old parameters.
   Status LoadModel(const std::string& dir);
 
-  /// Installs an already-built encoder as model generation `generation`
-  /// (tests, or callers that keep the encoder in process).
+  /// Installs an already-built encoder as the incumbent model generation
+  /// `generation`. ALWAYS starts with a fresh circuit breaker and an
+  /// empty rung-1 cache — the same stale-state contract as LoadModel —
+  /// and rolls back any in-flight canary (the comparison baseline it was
+  /// canarying against is gone). In-flight requests pinned to the
+  /// previous generation complete against it.
   void InstallModel(std::shared_ptr<const core::TemporalPathEncoder> encoder,
                     uint64_t generation);
+
+  /// Installs `encoder` as the canary generation: a keyed fraction of
+  /// subsequent requests route to it (see ServiceConfig). The canary
+  /// auto-resolves — promote on canary_promote_after clean requests,
+  /// roll back on breaker trip or injected canary-regression fault —
+  /// and the resolution is queued for TakeCanaryResolution.
+  /// FailedPrecondition without an incumbent or with a canary already
+  /// in flight.
+  Status BeginCanary(std::shared_ptr<const core::TemporalPathEncoder> encoder,
+                     uint64_t generation);
+
+  /// Force-resolves the in-flight canary (observed-mode controllers,
+  /// tests). FailedPrecondition when no canary is installed.
+  Status PromoteCanary(const std::string& reason = "manual");
+  Status AbortCanary(const std::string& reason = "manual");
+
+  /// Oldest unconsumed canary resolution, or nullopt. The rollout
+  /// controller polls this to record lineage.
+  std::optional<CanaryResolution> TakeCanaryResolution();
+
+  CanaryStatus canary_status() const;
 
   /// Spawns the worker threads. FailedPrecondition without a model.
   Status Start();
 
   /// Stops admission, fails queued-but-unprocessed requests with
-  /// Unavailable, and joins the workers. Idempotent; the destructor
+  /// Unavailable, wakes submitters blocked on a full queue (they shed
+  /// with Unavailable instead of deadlocking), and joins the workers.
+  /// Idempotent and safe to race from several threads; the destructor
   /// calls it.
   void Shutdown();
 
@@ -143,23 +235,20 @@ class InferenceService {
   /// Submit + wait, folding admission errors into ServeResult::status.
   ServeResult SubmitAndWait(PathQuery query, double deadline_ms = 0);
 
-  /// Generation of the installed model (0 before any install).
+  /// Generation of the incumbent model (0 before any install).
   uint64_t model_generation() const;
+
+  /// The incumbent encoder (nullptr before any install). The rollout
+  /// controller probes it to score candidates against the live model.
+  std::shared_ptr<const core::TemporalPathEncoder> live_model() const;
 
   int representation_dim() const { return encoder_config_.d_hidden; }
 
- private:
-  struct Request {
-    PathQuery query;
-    uint64_t ticket = 0;
-    bool has_deadline = false;
-    std::chrono::steady_clock::time_point deadline{};
-    bool skip_rung0 = false;       // breaker-open: straight to rung 1
-    bool breaker_predicted = false;  // outcome already folded at admission
-    bool breaker_probe = false;      // observed-mode half-open probe
-    std::promise<ServeResult> promise;
-  };
+  /// Pure routing predicate: would request `id` route to a canary?
+  /// Exposed so tests and the rollout bench can predict traffic splits.
+  bool RoutesToCanary(uint64_t id) const;
 
+ private:
   // Breaker state machine. Guarded by mu_ (admission path) so the fold
   // order is exactly the ticket order.
   struct Breaker {
@@ -170,15 +259,57 @@ class InferenceService {
     bool probe_in_flight = false;  // observed mode only
   };
 
+  /// One serving generation: an immutable model plus the mutable
+  /// per-generation state (rung-1 cache, breaker, canary bookkeeping).
+  /// The model and cache pointers are immutable after construction and
+  /// read lock-free by pinned requests; breaker/routed/clean are
+  /// guarded by mu_.
+  struct GenState {
+    std::shared_ptr<const core::TemporalPathEncoder> model;
+    uint64_t generation = 0;
+    std::unique_ptr<EmbeddingLruCache> cache;
+    Breaker breaker;
+    uint64_t routed = 0;  // canary: requests routed here
+    uint64_t clean = 0;   // canary: clean rung-0 outcomes
+  };
+
+  struct Request {
+    PathQuery query;
+    uint64_t ticket = 0;
+    std::shared_ptr<GenState> gen;  // pinned at admission
+    bool canary = false;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    bool skip_rung0 = false;       // breaker-open: straight to rung 1
+    bool breaker_predicted = false;  // outcome already folded at admission
+    bool breaker_probe = false;      // observed-mode half-open probe
+    std::promise<ServeResult> promise;
+  };
+
+  /// Builds a fresh generation slot (fresh breaker, empty cache).
+  std::shared_ptr<GenState> MakeGenState(
+      std::shared_ptr<const core::TemporalPathEncoder> encoder,
+      uint64_t generation) const;
+
   /// Pure prediction: will every rung-0 attempt of this request fail
   /// under the active fault plan? (p-mode sites only; see fault.h.)
   bool PredictRung0Failure(const PathQuery& query) const;
 
-  /// Admission-time breaker fold; decides skip_rung0. Caller holds mu_.
-  void BreakerAdmit(Request& req);
+  /// Admission-time routing + breaker fold + canary resolution for the
+  /// pinned generation; decides skip_rung0. Caller holds mu_.
+  void AdmitToGeneration(Request& req);
+
+  /// Predictive breaker fold (active fault plan). Caller holds mu_.
+  /// Returns true when this admission tripped the breaker open.
+  bool BreakerAdmit(GenState& gen, Request& req);
 
   /// Observed-mode breaker update from a worker (no active fault plan).
-  void BreakerRecord(bool success, bool was_probe);
+  /// Also folds observed canary outcomes when `gen` is the canary.
+  void BreakerRecord(GenState& gen, bool success, bool was_probe);
+
+  /// Resolves the in-flight canary: promote swaps it into the incumbent
+  /// slot, rollback drops it. Queues the resolution. Caller holds mu_.
+  void ResolveCanaryLocked(CanaryVerdict verdict, const std::string& reason);
 
   void WorkerLoop();
   ServeResult Process(Request& req);
@@ -193,17 +324,13 @@ class InferenceService {
   const core::EncoderConfig encoder_config_;
   const ServiceConfig config_;
 
-  mutable std::mutex model_mu_;
-  std::shared_ptr<const core::TemporalPathEncoder> model_;
-  uint64_t generation_ = 0;
-
-  EmbeddingLruCache cache_;
-
-  mutable std::mutex mu_;  // queue + breaker + tickets
+  mutable std::mutex mu_;  // queue + tickets + generation slots/breakers
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Request> queue_;
-  Breaker breaker_;
+  std::shared_ptr<GenState> live_;    // incumbent; null before install
+  std::shared_ptr<GenState> canary_;  // in-flight canary; usually null
+  std::deque<CanaryResolution> resolutions_;
   uint64_t next_ticket_ = 0;
   bool started_ = false;
   bool stopping_ = false;

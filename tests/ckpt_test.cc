@@ -15,6 +15,8 @@
 #include "ckpt/checkpoint.h"
 #include "ckpt/serialize.h"
 #include "core/wsccl.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
 #include "nn/modules.h"
 #include "nn/optimizer.h"
 #include "par/thread_pool.h"
@@ -307,6 +309,51 @@ TEST(CheckpointDirTest, SkipsCorruptNewestGeneration) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->seq, 1u);
   EXPECT_EQ(loaded->payload, "good state");
+}
+
+TEST(CheckpointDirTest, LoadLatestQuarantinesCorruptGenerations) {
+  obs::SetMetricsEnabled(true);
+  obs::ResetAllMetrics();
+  const std::string dir = ScratchDir("dir_quarantine");
+  CheckpointDir cd(dir);
+  ASSERT_TRUE(cd.Save(1, "good state").ok());
+  std::FILE* f = std::fopen(cd.PathFor(2).c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  ASSERT_EQ(cd.ListSeqs(), (std::vector<uint64_t>{1, 2}));
+
+  // The corrupt newest generation is MOVED to quarantine/, not merely
+  // skipped: the next load must not re-read it.
+  auto loaded = cd.LoadLatest();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->seq, 1u);
+  EXPECT_EQ(obs::GetCounter("ckpt.load_fallbacks").value(), 1u);
+  EXPECT_EQ(obs::GetCounter("ckpt.quarantined").value(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(cd.PathFor(2)));
+  EXPECT_TRUE(std::filesystem::exists(
+      dir + "/quarantine/" +
+      std::filesystem::path(cd.PathFor(2)).filename().string()));
+  EXPECT_EQ(cd.ListSeqs(), (std::vector<uint64_t>{1}))
+      << "quarantined files must never be offered again";
+
+  auto again = cd.LoadLatest();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(obs::GetCounter("ckpt.load_fallbacks").value(), 1u)
+      << "second load re-scanned the quarantined file";
+
+  // Read errors are transient and must NOT quarantine: the file stays.
+  auto plan = fault::FaultPlan::Parse("ckpt-read:after=0");
+  ASSERT_TRUE(plan.ok());
+  fault::InstallPlan(*std::move(plan));
+  EXPECT_EQ(cd.LoadLatest().status().code(), StatusCode::kNotFound);
+  fault::ClearPlan();
+  EXPECT_TRUE(std::filesystem::exists(cd.PathFor(1)));
+  EXPECT_TRUE(cd.LoadLatest().ok());
+
+  // Quarantining a missing sequence is an error, not a crash.
+  EXPECT_FALSE(cd.Quarantine(99).ok());
+  obs::SetMetricsEnabled(false);
 }
 
 TEST(CheckpointDirTest, NoValidCheckpointIsNotFound) {

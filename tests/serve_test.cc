@@ -1,14 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <future>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "core/features.h"
 #include "fault/fault.h"
+#include "nn/autograd.h"
 #include "obs/metrics.h"
 #include "serve/lru_cache.h"
 #include "serve/service.h"
@@ -26,6 +30,21 @@ std::string ScratchDir(const std::string& name) {
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+/// Deterministically nudges every parameter so two encoders built from
+/// the same features/config stop being bitwise-identical.
+void PerturbParameters(core::TemporalPathEncoder& encoder, float scale,
+                       uint64_t seed) {
+  Rng rng(seed);
+  for (nn::Var p : encoder.Parameters()) {
+    if (!p.defined()) continue;
+    nn::Tensor& t = p.mutable_value();
+    float* d = t.data();
+    for (size_t i = 0; i < t.size(); ++i) {
+      d[i] += scale * (2.0f * static_cast<float>(rng.Uniform()) - 1.0f);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -449,6 +468,342 @@ TEST_F(ServeTest, BreakerTripsUnderOutageAndReclosesAfterRecovery) {
   ASSERT_TRUE(after.status.ok());
   EXPECT_EQ(after.rung, Rung::kFull);
   EXPECT_EQ(obs::GetCounter("serve.breaker_open_skips").value(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Install/swap contract: every install is a fresh generation slot.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, InstallModelAlwaysResetsTheRungOneCache) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(encoder, 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("alloc:p=1");  // every request lands on the cache rung
+
+  ASSERT_TRUE(svc.SubmitAndWait(Query(0, 100)).status.ok());  // miss
+  ASSERT_TRUE(svc.SubmitAndWait(Query(0, 101)).status.ok());  // hit
+  EXPECT_EQ(obs::GetCounter("serve.cache_hits").value(), 1u);
+  EXPECT_EQ(obs::GetCounter("serve.cache_misses").value(), 1u);
+
+  // Re-installing — even the SAME generation number — must start from an
+  // empty cache: the installed parameters may differ, and stale entries
+  // would serve the old model's embeddings.
+  svc.InstallModel(encoder, 1);
+  ServeResult r = svc.SubmitAndWait(Query(0, 102));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rung, Rung::kCached);
+  EXPECT_EQ(obs::GetCounter("serve.cache_hits").value(), 1u);
+  EXPECT_EQ(obs::GetCounter("serve.cache_misses").value(), 2u)
+      << "InstallModel served a stale cache entry";
+}
+
+TEST_F(ServeTest, InstallModelAlwaysResetsTheBreaker) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.max_retries = 0;
+  cfg.breaker_trip_threshold = 2;
+  cfg.breaker_open_requests = 8;
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(encoder, 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("encoder-forward:p=1");
+
+  for (uint64_t id = 1; id <= 2; ++id) {
+    EXPECT_EQ(svc.SubmitAndWait(Query(0, id)).attempts, 1);
+  }
+  EXPECT_EQ(obs::GetCounter("serve.breaker_trips").value(), 1u);
+  EXPECT_EQ(svc.SubmitAndWait(Query(0, 3)).attempts, 0) << "breaker not open";
+
+  // Same generation number again: the breaker must still reset — its
+  // failure history described the previous install.
+  svc.InstallModel(encoder, 1);
+  EXPECT_EQ(svc.SubmitAndWait(Query(0, 4)).attempts, 1)
+      << "InstallModel kept the tripped breaker";
+  EXPECT_EQ(obs::GetCounter("serve.breaker_open_skips").value(), 1u);
+}
+
+TEST_F(ServeTest, LoadModelUnderLiveTrafficServesExactlyOneGeneration) {
+  const std::string dir_a = ScratchDir("swap_a");
+  const std::string dir_b = ScratchDir("swap_b");
+  auto enc3 = std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  auto enc4 = std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  PerturbParameters(*enc4, 0.05f, 99);
+  ASSERT_TRUE(InferenceService::SaveModel(*enc3, dir_a, 3).ok());
+  ASSERT_TRUE(InferenceService::SaveModel(*enc4, dir_b, 4).ok());
+
+  const PathQuery base = Query(0, 0);
+  const std::vector<float> e3 = enc3->EncodeValue(base.path, base.depart_time_s);
+  const std::vector<float> e4 = enc4->EncodeValue(base.path, base.depart_time_s);
+  ASSERT_NE(e3, e4);
+
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  ASSERT_TRUE(svc.LoadModel(dir_a).ok());
+  ASSERT_TRUE(svc.Start().ok());
+
+  // Full-rate traffic on one thread while the model swaps under it: every
+  // result must be the exact embedding of the generation it reports —
+  // never a torn read or a mix of parameters.
+  std::atomic<bool> stop{false};
+  std::atomic<int> served[2] = {{0}, {0}};
+  std::thread traffic([&] {
+    uint64_t id = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      PathQuery q = base;
+      q.id = id++;
+      ServeResult r = svc.SubmitAndWait(q);
+      if (!r.status.ok()) continue;
+      EXPECT_EQ(r.rung, Rung::kFull);
+      if (r.generation == 3) {
+        EXPECT_EQ(r.embedding, e3);
+        served[0].fetch_add(1);
+      } else if (r.generation == 4) {
+        EXPECT_EQ(r.embedding, e4);
+        served[1].fetch_add(1);
+      } else {
+        ADD_FAILURE() << "request served by unknown generation "
+                      << r.generation;
+      }
+    }
+  });
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(svc.LoadModel((i % 2) != 0 ? dir_b : dir_a).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true);
+  traffic.join();
+  svc.Shutdown();
+  EXPECT_GT(served[0].load() + served[1].load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown under backpressure.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, ShutdownWakesAndShedsBlockedSubmitters) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.block_when_full = true;
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("slow-worker:delay_ms=500");
+
+  // One request occupies the worker, one fills the queue, and two
+  // submitter threads block on the full queue.
+  auto busy = svc.Submit(Query(0, 1));
+  ASSERT_TRUE(busy.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto queued = svc.Submit(Query(0, 2));
+  ASSERT_TRUE(queued.ok());
+
+  std::atomic<int> shed{0};
+  std::vector<std::thread> submitters;
+  for (int i = 0; i < 2; ++i) {
+    submitters.emplace_back([&svc, &shed, this, i] {
+      auto blocked = svc.Submit(Query(0, 10 + static_cast<uint64_t>(i)));
+      if (!blocked.ok()) {
+        EXPECT_EQ(blocked.status().code(), StatusCode::kUnavailable);
+        shed.fetch_add(1);
+      } else {
+        ServeResult r = blocked->get();
+        EXPECT_TRUE(r.status.ok() ||
+                    r.status.code() == StatusCode::kUnavailable);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Shutdown must wake both blocked submitters (they shed Unavailable
+  // instead of deadlocking on not_full_) and resolve the orphaned
+  // queued request.
+  svc.Shutdown();
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(shed.load(), 2);
+  EXPECT_TRUE(busy->get().status.ok());
+  EXPECT_EQ(queued->get().status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServeTest, ConcurrentShutdownJoinsWorkersExactlyOnce) {
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  for (uint64_t i = 0; i < 16; ++i) {
+    (void)svc.Submit(Query(static_cast<int>(i), i));
+  }
+  // Racing Shutdown calls (plus the destructor's) must each claim a
+  // disjoint set of worker threads — a double-join aborts the process.
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 3; ++i) {
+    stoppers.emplace_back([&svc] { svc.Shutdown(); });
+  }
+  for (auto& t : stoppers) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Canary lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, CanaryPromotesAfterCleanTraffic) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.canary_permille = 1000;  // route everything for the unit test
+  cfg.canary_promote_after = 5;
+  auto incumbent =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  auto candidate =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  PerturbParameters(*candidate, 0.05f, 7);
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(incumbent, 1);
+  ASSERT_TRUE(svc.Start().ok());
+  ASSERT_TRUE(svc.BeginCanary(candidate, 2).ok());
+  EXPECT_EQ(svc.BeginCanary(candidate, 3).code(),
+            StatusCode::kFailedPrecondition)
+      << "only one canary may be in flight";
+  EXPECT_EQ(svc.model_generation(), 1u);
+
+  for (uint64_t id = 1; id <= 5; ++id) {
+    const PathQuery q = Query(0, id);
+    ServeResult r = svc.SubmitAndWait(q);
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.generation, 2u);
+    EXPECT_TRUE(r.canary);
+    EXPECT_EQ(r.embedding, candidate->EncodeValue(q.path, q.depart_time_s));
+  }
+  EXPECT_EQ(svc.model_generation(), 2u) << "canary did not promote";
+  EXPECT_FALSE(svc.canary_status().installed);
+  auto res = svc.TakeCanaryResolution();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->verdict, CanaryVerdict::kPromoted);
+  EXPECT_EQ(res->generation, 2u);
+  EXPECT_EQ(res->routed, 5u);
+  EXPECT_EQ(res->clean, 5u);
+  EXPECT_EQ(res->reason, "clean-requests");
+  EXPECT_FALSE(svc.TakeCanaryResolution().has_value());
+
+  // Post-promotion traffic is incumbent traffic on the new generation.
+  ServeResult after = svc.SubmitAndWait(Query(0, 99));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.generation, 2u);
+  EXPECT_FALSE(after.canary);
+}
+
+TEST_F(ServeTest, CanaryRollsBackOnInjectedRegressionWithoutHurtingTraffic) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.canary_permille = 1000;
+  auto incumbent =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  auto candidate =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  PerturbParameters(*candidate, 0.05f, 11);
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(incumbent, 1);
+  ASSERT_TRUE(svc.Start().ok());
+  ASSERT_TRUE(svc.BeginCanary(candidate, 2).ok());
+  Install("canary-regression:p=1");
+
+  // The first routed request detects the regression at admission; it is
+  // re-pinned to the incumbent and gets a first-class answer.
+  const PathQuery q = Query(0, 1);
+  ServeResult r = svc.SubmitAndWait(q);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.generation, 1u);
+  EXPECT_FALSE(r.canary);
+  EXPECT_EQ(r.rung, Rung::kFull);
+  EXPECT_EQ(r.embedding, incumbent->EncodeValue(q.path, q.depart_time_s));
+
+  EXPECT_EQ(svc.model_generation(), 1u);
+  EXPECT_FALSE(svc.canary_status().installed);
+  auto res = svc.TakeCanaryResolution();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->verdict, CanaryVerdict::kRolledBack);
+  EXPECT_EQ(res->generation, 2u);
+  EXPECT_EQ(res->routed, 1u);
+  EXPECT_EQ(res->clean, 0u);
+  EXPECT_EQ(res->reason, "injected canary-regression");
+}
+
+TEST_F(ServeTest, CanaryRollsBackWhenItsBreakerTrips) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.max_retries = 0;
+  cfg.breaker_trip_threshold = 3;
+  cfg.canary_permille = 1000;
+  cfg.canary_promote_after = 100;
+  auto incumbent =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  auto candidate =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(incumbent, 1);
+  ASSERT_TRUE(svc.Start().ok());
+  ASSERT_TRUE(svc.BeginCanary(candidate, 2).ok());
+  Install("encoder-forward:p=1");
+
+  // Three predicted failures trip the canary's own breaker in admission
+  // order; the third resolves the rollback.
+  for (uint64_t id = 1; id <= 3; ++id) {
+    ServeResult r = svc.SubmitAndWait(Query(0, id));
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.generation, 2u);
+    EXPECT_TRUE(r.canary);
+    EXPECT_EQ(r.rung, Rung::kFallback);
+  }
+  auto res = svc.TakeCanaryResolution();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->verdict, CanaryVerdict::kRolledBack);
+  EXPECT_EQ(res->reason, "breaker-trip");
+  EXPECT_EQ(res->routed, 3u);
+  EXPECT_EQ(svc.model_generation(), 1u) << "incumbent must be untouched";
+  EXPECT_EQ(obs::GetCounter("serve.canary_rollbacks").value(), 1u);
+
+  // Later traffic routes back to the incumbent with its own breaker.
+  ServeResult after = svc.SubmitAndWait(Query(0, 4));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.generation, 1u);
+  EXPECT_FALSE(after.canary);
+}
+
+TEST_F(ServeTest, InstallModelAbortsAnInFlightCanary) {
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  EXPECT_EQ(svc.BeginCanary(encoder, 2).code(),
+            StatusCode::kFailedPrecondition)
+      << "a canary needs an incumbent";
+  svc.InstallModel(encoder, 1);
+  ASSERT_TRUE(svc.BeginCanary(encoder, 2).ok());
+  EXPECT_TRUE(svc.canary_status().installed);
+  svc.InstallModel(encoder, 3);
+  EXPECT_FALSE(svc.canary_status().installed);
+  EXPECT_EQ(svc.model_generation(), 3u);
+  auto res = svc.TakeCanaryResolution();
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->verdict, CanaryVerdict::kRolledBack);
+  EXPECT_EQ(res->reason, "superseded by InstallModel");
+}
+
+TEST_F(ServeTest, CanaryRoutingIsAKeyedFraction) {
+  ServiceConfig cfg = TinyService();
+  cfg.canary_permille = 200;
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  int routed = 0;
+  for (uint64_t id = 0; id < 10000; ++id) {
+    routed += svc.RoutesToCanary(id) ? 1 : 0;
+  }
+  // A pure hash of the id: close to the configured fraction, and
+  // trivially identical across runs and worker counts.
+  EXPECT_GT(routed, 1700);
+  EXPECT_LT(routed, 2300);
 }
 
 // ---------------------------------------------------------------------------
