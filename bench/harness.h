@@ -136,6 +136,23 @@ inline void WriteBenchJson(const char* path) {
                  obs::GetHistogram("ckpt.save_seconds").sum());
     std::fprintf(f, ",\n    \"ckpt.load_seconds\": %.17g",
                  obs::GetHistogram("ckpt.load_seconds").sum());
+    // Allocator health: alloc_bytes counts bytes fetched from the OS
+    // (arena misses), hits count freelist reuse. Steady-state training
+    // should be nearly all hits; a jump in alloc_bytes means the arena
+    // stopped recycling. These wobble slightly with thread scheduling
+    // (per-thread warmup), so the baseline gates them loosely.
+    std::fprintf(f, ",\n    \"nn.alloc_bytes\": %llu",
+                 static_cast<unsigned long long>(
+                     obs::GetCounter("nn.alloc_bytes").value()));
+    std::fprintf(f, ",\n    \"nn.arena_hits\": %llu",
+                 static_cast<unsigned long long>(
+                     obs::GetCounter("nn.arena_hits").value()));
+    std::fprintf(f, ",\n    \"nn.arena_misses\": %llu",
+                 static_cast<unsigned long long>(
+                     obs::GetCounter("nn.arena_misses").value()));
+    std::fprintf(f, ",\n    \"nn.fused_cell_ops\": %llu",
+                 static_cast<unsigned long long>(
+                     obs::GetCounter("nn.fused_cell_ops").value()));
   }
   std::fprintf(f, "\n  }\n}\n");
   std::fclose(f);

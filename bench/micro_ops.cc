@@ -4,10 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "gbdt/gradient_boosting.h"
+#include "kern/arena.h"
+#include "kern/kern.h"
 #include "nn/modules.h"
 #include "nn/optimizer.h"
 #include "node2vec/node2vec.h"
@@ -16,6 +19,141 @@
 
 namespace tpr {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Kernel-layer phases: scalar vs avx2 GFLOP/s on the raw GEMM entry
+// points at encoder-shaped operands, fused vs unfused recurrent cells,
+// and arena vs system allocation. Run with --benchmark_filter=Kern|Fused|
+// Arena to isolate them.
+// ---------------------------------------------------------------------------
+
+// Shapes the WSC-TPR encoder actually runs: (path_len x d_hidden) times
+// (d_hidden x 4*d_hidden) gate projections and the square attention
+// products. {m, k, n}.
+constexpr int kEncoderShapes[][3] = {
+    {20, 64, 256},   // LSTM gate projection, default d_hidden
+    {20, 128, 512},  // wide encoder variant
+    {64, 64, 64},    // attention score block
+};
+
+// True when the requested kernel can run here; skips the bench otherwise
+// so avx2 rows simply vanish on machines without it.
+bool PinKernelOrSkip(benchmark::State& state, kern::Kernel k) {
+  if (k == kern::Kernel::kAvx2 && !kern::CpuSupportsAvx2()) {
+    state.SkipWithError("AVX2 not supported on this CPU");
+    return false;
+  }
+  kern::SetKernel(k);
+  return true;
+}
+
+void ReportGemmRate(benchmark::State& state, int m, int k, int n) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * m * k * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+template <kern::Kernel K>
+void BM_KernGemmAcc(benchmark::State& state) {
+  if (!PinKernelOrSkip(state, K)) return;
+  const auto& s = kEncoderShapes[state.range(0)];
+  const int m = s[0], k = s[1], n = s[2];
+  Rng rng(21);
+  std::vector<float> a(static_cast<size_t>(m) * k), b(static_cast<size_t>(k) * n),
+      out(static_cast<size_t>(m) * n, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.Gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.Gaussian());
+  for (auto _ : state) {
+    kern::GemmAcc(a.data(), b.data(), out.data(), m, k, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  ReportGemmRate(state, m, k, n);
+  kern::SetKernel(kern::ResolveKernelSpec(std::getenv("TPR_KERNEL")));
+}
+BENCHMARK_TEMPLATE(BM_KernGemmAcc, kern::Kernel::kScalar)
+    ->Arg(0)->Arg(1)->Arg(2)->Name("BM_KernGemmAcc/scalar");
+BENCHMARK_TEMPLATE(BM_KernGemmAcc, kern::Kernel::kAvx2)
+    ->Arg(0)->Arg(1)->Arg(2)->Name("BM_KernGemmAcc/avx2");
+
+template <kern::Kernel K>
+void BM_KernGemmTransBAcc(benchmark::State& state) {
+  if (!PinKernelOrSkip(state, K)) return;
+  const auto& s = kEncoderShapes[state.range(0)];
+  const int m = s[0], k = s[1], n = s[2];
+  Rng rng(22);
+  std::vector<float> a(static_cast<size_t>(m) * k), b(static_cast<size_t>(n) * k),
+      out(static_cast<size_t>(m) * n, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.Gaussian());
+  for (auto& v : b) v = static_cast<float>(rng.Gaussian());
+  for (auto _ : state) {
+    kern::GemmTransBAcc(a.data(), b.data(), out.data(), m, k, n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  ReportGemmRate(state, m, k, n);
+  kern::SetKernel(kern::ResolveKernelSpec(std::getenv("TPR_KERNEL")));
+}
+BENCHMARK_TEMPLATE(BM_KernGemmTransBAcc, kern::Kernel::kScalar)
+    ->Arg(0)->Arg(1)->Arg(2)->Name("BM_KernGemmTransBAcc/scalar");
+BENCHMARK_TEMPLATE(BM_KernGemmTransBAcc, kern::Kernel::kAvx2)
+    ->Arg(0)->Arg(1)->Arg(2)->Name("BM_KernGemmTransBAcc/avx2");
+
+// Fused LstmCellOp against the composition it replaced: same math, one
+// graph node and no per-gate intermediates vs nine nodes.
+void LstmCellBench(benchmark::State& state, bool fused) {
+  const int m = 20, h = 64;
+  Rng rng(23);
+  nn::Var gates = nn::UniformParam(m, 4 * h, 0.1f, rng);
+  nn::Var c_prev = nn::UniformParam(m, h, 0.1f, rng);
+  for (auto _ : state) {
+    nn::Var out;
+    if (fused) {
+      out = nn::SliceCols(nn::LstmCellOp(gates, c_prev), 0, h);
+    } else {
+      nn::Var i = nn::Sigmoid(nn::SliceCols(gates, 0, h));
+      nn::Var f = nn::Sigmoid(nn::SliceCols(gates, h, h));
+      nn::Var g = nn::Tanh(nn::SliceCols(gates, 2 * h, h));
+      nn::Var o = nn::Sigmoid(nn::SliceCols(gates, 3 * h, h));
+      nn::Var c = nn::Add(nn::Mul(f, c_prev), nn::Mul(i, g));
+      out = nn::Mul(o, nn::Tanh(c));
+    }
+    nn::Var loss = nn::Sum(out);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+}
+void BM_LstmCellFused(benchmark::State& state) { LstmCellBench(state, true); }
+void BM_LstmCellUnfused(benchmark::State& state) {
+  LstmCellBench(state, false);
+}
+BENCHMARK(BM_LstmCellFused);
+BENCHMARK(BM_LstmCellUnfused);
+
+// Allocation cost at a graph-typical block size: warmed arena free-list
+// hit vs a fresh system malloc/free pair.
+void BM_ArenaAllocFree(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  kern::ArenaFree(kern::ArenaAlloc(bytes), bytes);  // warm the bucket
+  for (auto _ : state) {
+    void* p = kern::ArenaAlloc(bytes);
+    benchmark::DoNotOptimize(p);
+    kern::ArenaFree(p, bytes);
+  }
+}
+BENCHMARK(BM_ArenaAllocFree)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SystemAllocFree(benchmark::State& state) {
+  const size_t bytes = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = ::operator new(bytes);
+    // Touch one cache line per page so lazily-mapped fresh pages pay
+    // their fault here, as arena misses do.
+    auto* c = static_cast<char*>(p);
+    for (size_t off = 0; off < bytes; off += 4096) c[off] = 1;
+    benchmark::DoNotOptimize(p);
+    ::operator delete(p);
+  }
+}
+BENCHMARK(BM_SystemAllocFree)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
 void BM_MatMulForward(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

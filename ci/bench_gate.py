@@ -18,11 +18,22 @@ Subcommands:
       the baseline but missing from the merged record is also a
       failure: losing coverage silently would defeat the gate.
 
+  speedup <timing.json> [--min-speedup 1.3]
+      Gates the BENCH_parallel_training.json record written by
+      run_benches.sh full mode: identical_metrics must be true (the
+      bitwise-reproducibility contract across thread counts) and the
+      1-vs-N-thread wall-clock speedup must clear the floor. The floor
+      is core-count aware: on a runner with fewer cores than the
+      benchmarked thread count, real parallel speedup is physically
+      impossible, so the gate only requires that threading does not
+      grossly slow the run down (--min-speedup-degraded, default 0.45).
+
 Only the Python standard library is used.
 """
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -101,6 +112,49 @@ def cmd_check(args):
     return 0
 
 
+def cmd_speedup(args):
+    with open(args.timing) as f:
+        rec = json.load(f)
+
+    threads = int(rec.get("threads", 0))
+    speedup = float(rec.get("speedup", 0.0))
+    identical = rec.get("identical_metrics", False)
+    cores = os.cpu_count() or 1
+
+    failures = []
+    if identical is not True:
+        failures.append(
+            "identical_metrics is not true: thread count changed the "
+            "training result, breaking the bitwise-reproducibility contract"
+        )
+    if cores >= threads:
+        floor = args.min_speedup
+        mode = f"{cores} cores >= {threads} threads: full floor"
+    else:
+        floor = args.min_speedup_degraded
+        mode = (f"{cores} core(s) < {threads} threads: degraded floor "
+                "(no parallel speedup physically possible)")
+    if speedup < floor:
+        failures.append(
+            f"speedup {speedup:.3f} below required {floor:.2f} ({mode})"
+        )
+
+    print(f"bench_gate speedup: bench={rec.get('bench', '?')} "
+          f"threads={threads} cores={cores}")
+    print(f"  seconds threads=1: {rec.get('seconds_threads1', '?')}")
+    print(f"  seconds threads=N: {rec.get('seconds_threadsN', '?')}")
+    print(f"  speedup:           {speedup:.3f} (floor {floor:.2f}; {mode})")
+    print(f"  identical_metrics: {identical}")
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} failure(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("\nbench_gate: parallel-training gate passed")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -116,6 +170,17 @@ def main():
     p_check.add_argument("--tolerance", type=float, default=0.25,
                          help="default relative tolerance (default 0.25)")
     p_check.set_defaults(func=cmd_check)
+
+    p_speedup = sub.add_parser(
+        "speedup", help="gate the parallel-training timing record")
+    p_speedup.add_argument("timing", help="BENCH_parallel_training.json")
+    p_speedup.add_argument("--min-speedup", type=float, default=1.3,
+                           help="required 1-vs-N speedup when the runner "
+                                "has >= N cores (default 1.3)")
+    p_speedup.add_argument("--min-speedup-degraded", type=float, default=0.45,
+                           help="required speedup when the runner has fewer "
+                                "cores than threads (default 0.45)")
+    p_speedup.set_defaults(func=cmd_speedup)
 
     args = parser.parse_args()
     sys.exit(args.func(args))

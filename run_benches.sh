@@ -95,6 +95,12 @@ if [ -x "$timing_bench" ]; then
     printf "}\n"
   }' > "$timing_json"
   echo "[suite] wrote $timing_json" >> "$log"
+  # Gate the record right away: identical metrics across thread counts
+  # and a core-count-aware minimum speedup.
+  if ! python3 "$root/ci/bench_gate.py" speedup "$timing_json" >> "$log" 2>&1; then
+    echo "[suite] FAILED: parallel-training speedup gate (see $log)" >&2
+    exit 1
+  fi
 else
   echo "[suite] timing bench $timing_bench missing; skipped" >> "$log"
 fi

@@ -1,6 +1,7 @@
 #include "core/wsccl.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
@@ -8,7 +9,9 @@
 #include <utility>
 
 #include "ckpt/serialize.h"
+#include "kern/arena.h"
 #include "obs/metrics.h"
+#include "par/thread_pool.h"
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -304,6 +307,16 @@ StatusOr<std::unique_ptr<WsccalPipeline>> WsccalPipeline::Train(
   if (cdir != nullptr) {
     TPR_RETURN_IF_ERROR(
         cdir->Save(pipeline->global_epoch_, pipeline->BuildPayload()));
+  }
+  // Training is over: the per-worker arenas hold a full training step's
+  // worth of recycled graph buffers each. Hand that memory back so a
+  // long-lived process (serving, benches over many cities) does not pin
+  // peak-training RSS.
+  std::atomic<uint64_t> released{0};
+  par::DefaultPool().RunOnAllWorkers(
+      [&released](int) { released += kern::TrimThreadArena(); });
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("nn.arena_trimmed_bytes").Add(released.load());
   }
   return pipeline;
 }

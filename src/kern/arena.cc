@@ -1,0 +1,133 @@
+#include "kern/arena.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace tpr::kern {
+
+namespace {
+
+constexpr size_t kAlignment = 64;  // one cache line; covers AVX loads
+constexpr int kMinBucketLog2 = 6;  // 64 B — smallest recyclable block
+constexpr int kMaxBucketLog2 = 26; // 64 MiB — larger requests bypass caching
+constexpr int kNumBuckets = kMaxBucketLog2 + 1;
+
+int BucketLog2(size_t bytes) {
+  int b = kMinBucketLog2;
+  while ((size_t{1} << b) < bytes) ++b;
+  return b;
+}
+
+void* SystemAlloc(size_t bytes) {
+  void* p = ::operator new(bytes, std::align_val_t(kAlignment));
+  static obs::Counter& alloc_bytes = obs::GetCounter("nn.alloc_bytes");
+  static obs::Counter& misses = obs::GetCounter("nn.arena_misses");
+  alloc_bytes.Add(bytes);
+  misses.Add();
+  return p;
+}
+
+void SystemFree(void* p) noexcept {
+  ::operator delete(p, std::align_val_t(kAlignment));
+}
+
+struct Arena {
+  std::vector<void*> free_lists[kNumBuckets];
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t alloc_bytes = 0;
+  uint64_t cached_bytes = 0;
+
+  ~Arena() { ReleaseAll(); }
+
+  void ReleaseAll() {
+    for (auto& list : free_lists) {
+      for (void* p : list) SystemFree(p);
+      list.clear();
+      list.shrink_to_fit();
+    }
+    cached_bytes = 0;
+  }
+};
+
+// Frees can arrive after the thread's arena has been destroyed (objects
+// torn down by process-exit statics); the flag outlives the arena because
+// it is trivially destructible, and routes late traffic to the system
+// allocator. Function-local so the first use constructs in order.
+thread_local bool t_arena_dead = false;
+
+Arena* ThreadArena() {
+  if (t_arena_dead) return nullptr;
+  thread_local struct ArenaHolder {
+    Arena arena;
+    ~ArenaHolder() { t_arena_dead = true; }
+  } holder;
+  return &holder.arena;
+}
+
+}  // namespace
+
+size_t ArenaBucketBytes(size_t bytes) {
+  if (bytes == 0) return 0;
+  if (bytes > (size_t{1} << kMaxBucketLog2)) return bytes;
+  return size_t{1} << BucketLog2(bytes);
+}
+
+void* ArenaAlloc(size_t bytes) {
+  if (bytes == 0) return nullptr;
+  Arena* a = ThreadArena();
+  if (a == nullptr || bytes > (size_t{1} << kMaxBucketLog2)) {
+    return SystemAlloc(bytes);
+  }
+  const int b = BucketLog2(bytes);
+  auto& list = a->free_lists[b];
+  if (!list.empty()) {
+    void* p = list.back();
+    list.pop_back();
+    a->cached_bytes -= size_t{1} << b;
+    ++a->hits;
+    static obs::Counter& hits = obs::GetCounter("nn.arena_hits");
+    hits.Add();
+    return p;
+  }
+  ++a->misses;
+  a->alloc_bytes += size_t{1} << b;
+  return SystemAlloc(size_t{1} << b);
+}
+
+void ArenaFree(void* p, size_t bytes) noexcept {
+  if (p == nullptr) return;
+  Arena* a = ThreadArena();
+  if (a == nullptr || bytes > (size_t{1} << kMaxBucketLog2)) {
+    SystemFree(p);
+    return;
+  }
+  const int b = BucketLog2(bytes);
+  a->free_lists[b].push_back(p);
+  a->cached_bytes += size_t{1} << b;
+}
+
+ArenaStats ThreadArenaStats() {
+  ArenaStats s;
+  Arena* a = ThreadArena();
+  if (a == nullptr) return s;
+  s.hits = a->hits;
+  s.misses = a->misses;
+  s.alloc_bytes = a->alloc_bytes;
+  s.cached_bytes = a->cached_bytes;
+  for (const auto& list : a->free_lists) s.cached_blocks += list.size();
+  return s;
+}
+
+uint64_t TrimThreadArena() {
+  Arena* a = ThreadArena();
+  if (a == nullptr) return 0;
+  const uint64_t released = a->cached_bytes;
+  a->ReleaseAll();
+  return released;
+}
+
+}  // namespace tpr::kern

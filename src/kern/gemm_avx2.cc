@@ -1,0 +1,258 @@
+// AVX2/FMA GEMM microkernels. This is the only TU compiled with
+// -mavx2 -mfma; nothing here may run unless kern dispatch verified CPUID
+// support. All loops use a fixed summation order, so results are
+// deterministic for a pinned kernel — just not bitwise equal to scalar.
+//
+// Layout of the main kernels: 16-column panels of B (optionally packed
+// contiguously when the row count amortises the copy), register tiles of
+// up to 4 A-rows x 16 columns accumulated over the full K extent in ymm
+// registers, then added into C once per tile. The A element stride is
+// parameterised so the same microkernel serves both A and A^T operands.
+
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstring>
+
+#include "kern/arena.h"
+#include "kern/kern_internal.h"
+
+namespace tpr::kern::avx2 {
+
+namespace {
+
+constexpr int kPanel = 16;  // B panel width in floats (two ymm)
+
+// Packing pays once a panel is reused across several row tiles.
+constexpr int kPackMinRows = 8;
+
+inline float Hsum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  lo = _mm_add_ps(lo, hi);
+  lo = _mm_hadd_ps(lo, lo);
+  lo = _mm_hadd_ps(lo, lo);
+  return _mm_cvtss_f32(lo);
+}
+
+// Copies the k x 16 column panel of b (k x n, row-major) at column j0
+// into contiguous pb.
+inline void PackB16(const float* b, int k, int n, int j0, float* pb) {
+  for (int kk = 0; kk < k; ++kk) {
+    std::memcpy(pb + static_cast<size_t>(kk) * kPanel,
+                b + static_cast<size_t>(kk) * n + j0,
+                kPanel * sizeof(float));
+  }
+}
+
+// ROWS x 16 register tile: out[r, 0..16) += sum_kk A(r, kk) * B(kk, 0..16).
+// A element (r, kk) sits at abase[r * a_row_stride + kk * a_k_stride] so
+// the kernel serves both normal (stride k, 1) and transposed (stride 1,
+// m) A operands. bcol walks B's panel rows with stride bstride (16 when
+// packed, n otherwise).
+template <int ROWS>
+inline void Tile16(const float* abase, size_t a_row_stride,
+                   size_t a_k_stride, int k, const float* bcol,
+                   size_t bstride, float* out, int ldc) {
+  __m256 acc0[ROWS], acc1[ROWS];
+  for (int r = 0; r < ROWS; ++r) {
+    acc0[r] = _mm256_setzero_ps();
+    acc1[r] = _mm256_setzero_ps();
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(bcol + static_cast<size_t>(kk) * bstride);
+    const __m256 b1 =
+        _mm256_loadu_ps(bcol + static_cast<size_t>(kk) * bstride + 8);
+    for (int r = 0; r < ROWS; ++r) {
+      const __m256 av = _mm256_broadcast_ss(
+          abase + static_cast<size_t>(r) * a_row_stride +
+          static_cast<size_t>(kk) * a_k_stride);
+      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    float* o = out + static_cast<size_t>(r) * ldc;
+    _mm256_storeu_ps(o, _mm256_add_ps(_mm256_loadu_ps(o), acc0[r]));
+    _mm256_storeu_ps(o + 8, _mm256_add_ps(_mm256_loadu_ps(o + 8), acc1[r]));
+  }
+}
+
+// ROWS x 8 register tile for the 8..15-column tail.
+template <int ROWS>
+inline void Tile8(const float* abase, size_t a_row_stride, size_t a_k_stride,
+                  int k, const float* bcol, size_t bstride, float* out,
+                  int ldc) {
+  __m256 acc[ROWS];
+  for (int r = 0; r < ROWS; ++r) acc[r] = _mm256_setzero_ps();
+  for (int kk = 0; kk < k; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(bcol + static_cast<size_t>(kk) * bstride);
+    for (int r = 0; r < ROWS; ++r) {
+      const __m256 av = _mm256_broadcast_ss(
+          abase + static_cast<size_t>(r) * a_row_stride +
+          static_cast<size_t>(kk) * a_k_stride);
+      acc[r] = _mm256_fmadd_ps(av, b0, acc[r]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    float* o = out + static_cast<size_t>(r) * ldc;
+    _mm256_storeu_ps(o, _mm256_add_ps(_mm256_loadu_ps(o), acc[r]));
+  }
+}
+
+// Shared driver for out += op(A) * B with op(A) addressed through the
+// two strides (see Tile16).
+void GemmStridedA(const float* a, size_t a_row_stride, size_t a_k_stride,
+                  const float* b, float* out, int m, int k, int n) {
+  FloatBuffer pack;
+  const bool do_pack = m >= kPackMinRows && n >= kPanel;
+  if (do_pack) pack = FloatBuffer(static_cast<size_t>(k) * kPanel);
+
+  int j = 0;
+  for (; j + kPanel <= n; j += kPanel) {
+    const float* bcol = b + j;
+    size_t bstride = static_cast<size_t>(n);
+    if (do_pack) {
+      PackB16(b, k, n, j, pack.data());
+      bcol = pack.data();
+      bstride = kPanel;
+    }
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      Tile16<4>(a + static_cast<size_t>(i) * a_row_stride, a_row_stride,
+                a_k_stride, k, bcol, bstride,
+                out + static_cast<size_t>(i) * n + j, n);
+    }
+    for (; i < m; ++i) {
+      Tile16<1>(a + static_cast<size_t>(i) * a_row_stride, a_row_stride,
+                a_k_stride, k, bcol, bstride,
+                out + static_cast<size_t>(i) * n + j, n);
+    }
+  }
+  if (j + 8 <= n) {
+    int i = 0;
+    for (; i + 4 <= m; i += 4) {
+      Tile8<4>(a + static_cast<size_t>(i) * a_row_stride, a_row_stride,
+               a_k_stride, k, b + j, static_cast<size_t>(n),
+               out + static_cast<size_t>(i) * n + j, n);
+    }
+    for (; i < m; ++i) {
+      Tile8<1>(a + static_cast<size_t>(i) * a_row_stride, a_row_stride,
+               a_k_stride, k, b + j, static_cast<size_t>(n),
+               out + static_cast<size_t>(i) * n + j, n);
+    }
+    j += 8;
+  }
+  // Scalar column tail (< 8 columns): per-element dot over k, fixed order.
+  for (; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      const float* ar = a + static_cast<size_t>(i) * a_row_stride;
+      float s = 0.0f;
+      for (int kk = 0; kk < k; ++kk) {
+        s += ar[static_cast<size_t>(kk) * a_k_stride] *
+             b[static_cast<size_t>(kk) * n + j];
+      }
+      out[static_cast<size_t>(i) * n + j] += s;
+    }
+  }
+}
+
+}  // namespace
+
+void GemmAcc(const float* a, const float* b, float* out, int m, int k,
+             int n) {
+  GemmStridedA(a, static_cast<size_t>(k), 1, b, out, m, k, n);
+}
+
+void GemmTransAAcc(const float* a, const float* b, float* out, int k, int m,
+                   int n) {
+  // A is k x m; element (i, kk) of A^T sits at a[kk * m + i].
+  GemmStridedA(a, 1, static_cast<size_t>(m), b, out, m, k, n);
+}
+
+void GemmTransBAcc(const float* a, const float* b, float* out, int m, int k,
+                   int n) {
+  // out[i, j] = dot(a_row_i, b_row_j): both rows contiguous, so this is
+  // a vector dot with 4 B-rows sharing each A load.
+  for (int i = 0; i < m; ++i) {
+    const float* ar = a + static_cast<size_t>(i) * k;
+    float* out_row = out + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      __m256 acc2 = _mm256_setzero_ps();
+      __m256 acc3 = _mm256_setzero_ps();
+      const float* b0 = b + static_cast<size_t>(j) * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      int kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        const __m256 va = _mm256_loadu_ps(ar + kk);
+        acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0 + kk), acc0);
+        acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1 + kk), acc1);
+        acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2 + kk), acc2);
+        acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3 + kk), acc3);
+      }
+      float t0 = Hsum(acc0), t1 = Hsum(acc1), t2 = Hsum(acc2),
+            t3 = Hsum(acc3);
+      for (; kk < k; ++kk) {
+        const float av = ar[kk];
+        t0 += av * b0[kk];
+        t1 += av * b1[kk];
+        t2 += av * b2[kk];
+        t3 += av * b3[kk];
+      }
+      out_row[j] += t0;
+      out_row[j + 1] += t1;
+      out_row[j + 2] += t2;
+      out_row[j + 3] += t3;
+    }
+    for (; j < n; ++j) {
+      const float* br = b + static_cast<size_t>(j) * k;
+      __m256 acc = _mm256_setzero_ps();
+      int kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(ar + kk),
+                              _mm256_loadu_ps(br + kk), acc);
+      }
+      float s = Hsum(acc);
+      for (; kk < k; ++kk) s += ar[kk] * br[kk];
+      out_row[j] += s;
+    }
+  }
+}
+
+void HadamardAcc(const float* a, const float* b, float* out, int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i),
+                                       _mm256_loadu_ps(b + i),
+                                       _mm256_loadu_ps(out + i));
+    _mm256_storeu_ps(out + i, acc);
+  }
+  for (; i < n; ++i) out[i] += a[i] * b[i];
+}
+
+void AxpyAcc(float alpha, const float* x, float* y, int n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 acc =
+        _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, acc);
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void AddAcc(const float* x, float* y, int n) {
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+}  // namespace tpr::kern::avx2

@@ -1,0 +1,221 @@
+#include "kern/kern.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "kern/kern_internal.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace tpr::kern {
+
+namespace {
+
+// Cache-blocking tile for the scalar kernels (floats). 64x64 fp32 tiles
+// of a and b together fit comfortably in a 32 KiB L1. Each scalar kernel
+// keeps the per-output-element accumulation order of the original naive
+// loops in src/nn/tensor.cc, so scalar results are bit-identical to the
+// pre-kern library.
+constexpr int kTile = 64;
+
+namespace scalar {
+
+void GemmAcc(const float* a, const float* b, float* out, int m, int k,
+             int n) {
+  // Blocked i-k-j: for each (j, kk) tile, the touched rows of b stay hot
+  // in cache while every row of a streams through. kk remains increasing
+  // for each output element.
+  for (int j0 = 0; j0 < n; j0 += kTile) {
+    const int j1 = std::min(n, j0 + kTile);
+    for (int k0 = 0; k0 < k; k0 += kTile) {
+      const int k1 = std::min(k, k0 + kTile);
+      for (int i = 0; i < m; ++i) {
+        float* out_row = out + static_cast<size_t>(i) * n;
+        const float* a_row = a + static_cast<size_t>(i) * k;
+        for (int kk = k0; kk < k1; ++kk) {
+          const float av = a_row[kk];
+          if (av == 0.0f) continue;
+          const float* b_row = b + static_cast<size_t>(kk) * n;
+          for (int j = j0; j < j1; ++j) out_row[j] += av * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+void GemmTransAAcc(const float* a, const float* b, float* out, int k, int m,
+                   int n) {
+  // Blocked over (i, j) output tiles with the full kk sweep innermost-
+  // but-two, so each out tile stays resident while a and b stream.
+  for (int i0 = 0; i0 < m; i0 += kTile) {
+    const int i1 = std::min(m, i0 + kTile);
+    for (int j0 = 0; j0 < n; j0 += kTile) {
+      const int j1 = std::min(n, j0 + kTile);
+      for (int kk = 0; kk < k; ++kk) {
+        const float* a_row = a + static_cast<size_t>(kk) * m;
+        const float* b_row = b + static_cast<size_t>(kk) * n;
+        for (int i = i0; i < i1; ++i) {
+          const float av = a_row[i];
+          if (av == 0.0f) continue;
+          float* out_row = out + static_cast<size_t>(i) * n;
+          for (int j = j0; j < j1; ++j) out_row[j] += av * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+void GemmTransBAcc(const float* a, const float* b, float* out, int m, int k,
+                   int n) {
+  // Blocked over j: the tile's rows of b (kTile * k floats) are reused
+  // across every row of a. The full-k dot per output element keeps the
+  // naive summation order.
+  for (int j0 = 0; j0 < n; j0 += kTile) {
+    const int j1 = std::min(n, j0 + kTile);
+    for (int i = 0; i < m; ++i) {
+      const float* a_row = a + static_cast<size_t>(i) * k;
+      float* out_row = out + static_cast<size_t>(i) * n;
+      for (int j = j0; j < j1; ++j) {
+        const float* b_row = b + static_cast<size_t>(j) * k;
+        float s = 0.0f;
+        for (int kk = 0; kk < k; ++kk) s += a_row[kk] * b_row[kk];
+        out_row[j] += s;
+      }
+    }
+  }
+}
+
+}  // namespace scalar
+
+// -1 = unresolved; otherwise the int value of the Kernel enum.
+std::atomic<int> g_kernel{-1};
+
+}  // namespace
+
+bool CpuSupportsAvx2() {
+#if defined(TPR_NO_AVX2)
+  return false;
+#elif defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const char* KernelName(Kernel k) {
+  return k == Kernel::kAvx2 ? "avx2" : "scalar";
+}
+
+Kernel ResolveKernelSpec(const char* spec) {
+  const char* s = spec != nullptr ? spec : "auto";
+  if (std::strcmp(s, "scalar") == 0) return Kernel::kScalar;
+  if (std::strcmp(s, "avx2") == 0) {
+    TPR_CHECK(CpuSupportsAvx2())
+        << "TPR_KERNEL=avx2 requested but this CPU/build lacks AVX2+FMA; "
+           "a silent fallback would break run reproducibility";
+    return Kernel::kAvx2;
+  }
+  TPR_CHECK(std::strcmp(s, "auto") == 0 || *s == '\0')
+      << "TPR_KERNEL must be scalar, avx2, or auto (got '" << s << "')";
+  return CpuSupportsAvx2() ? Kernel::kAvx2 : Kernel::kScalar;
+}
+
+Kernel ActiveKernel() {
+  int k = g_kernel.load(std::memory_order_acquire);
+  if (k < 0) {
+    const Kernel resolved = ResolveKernelSpec(std::getenv("TPR_KERNEL"));
+    int expected = -1;
+    // First resolver wins; concurrent callers agree because the spec is
+    // process-wide.
+    g_kernel.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                     std::memory_order_acq_rel);
+    k = g_kernel.load(std::memory_order_acquire);
+    obs::GetGauge("kern.active").Set(static_cast<double>(k));
+  }
+  return static_cast<Kernel>(k);
+}
+
+void SetKernel(Kernel k) {
+  TPR_CHECK(k == Kernel::kScalar || CpuSupportsAvx2())
+      << "cannot select avx2 kernels: unsupported on this CPU/build";
+  g_kernel.store(static_cast<int>(k), std::memory_order_release);
+  obs::GetGauge("kern.active").Set(static_cast<double>(static_cast<int>(k)));
+}
+
+void GemmAcc(const float* a, const float* b, float* out, int m, int k,
+             int n) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+#if !defined(TPR_NO_AVX2)
+  if (ActiveKernel() == Kernel::kAvx2) {
+    avx2::GemmAcc(a, b, out, m, k, n);
+    return;
+  }
+#endif
+  scalar::GemmAcc(a, b, out, m, k, n);
+}
+
+void GemmTransAAcc(const float* a, const float* b, float* out, int k, int m,
+                   int n) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+#if !defined(TPR_NO_AVX2)
+  if (ActiveKernel() == Kernel::kAvx2) {
+    avx2::GemmTransAAcc(a, b, out, k, m, n);
+    return;
+  }
+#endif
+  scalar::GemmTransAAcc(a, b, out, k, m, n);
+}
+
+void GemmTransBAcc(const float* a, const float* b, float* out, int m, int k,
+                   int n) {
+  if (m <= 0 || n <= 0) return;
+#if !defined(TPR_NO_AVX2)
+  if (ActiveKernel() == Kernel::kAvx2) {
+    avx2::GemmTransBAcc(a, b, out, m, k, n);
+    return;
+  }
+#endif
+  scalar::GemmTransBAcc(a, b, out, m, k, n);
+}
+
+void AddSigmoid(const float* x, const float* b, float* y, int n) {
+  for (int i = 0; i < n; ++i) y[i] = SigmoidScalar(x[i] + b[i]);
+}
+
+void AddTanh(const float* x, const float* b, float* y, int n) {
+  for (int i = 0; i < n; ++i) y[i] = std::tanh(x[i] + b[i]);
+}
+
+void HadamardAcc(const float* a, const float* b, float* out, int n) {
+#if !defined(TPR_NO_AVX2)
+  if (n >= 16 && ActiveKernel() == Kernel::kAvx2) {
+    avx2::HadamardAcc(a, b, out, n);
+    return;
+  }
+#endif
+  for (int i = 0; i < n; ++i) out[i] += a[i] * b[i];
+}
+
+void AxpyAcc(float alpha, const float* x, float* y, int n) {
+#if !defined(TPR_NO_AVX2)
+  if (n >= 16 && ActiveKernel() == Kernel::kAvx2) {
+    avx2::AxpyAcc(alpha, x, y, n);
+    return;
+  }
+#endif
+  for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void AddAcc(const float* x, float* y, int n) {
+#if !defined(TPR_NO_AVX2)
+  if (n >= 16 && ActiveKernel() == Kernel::kAvx2) {
+    avx2::AddAcc(x, y, n);
+    return;
+  }
+#endif
+  for (int i = 0; i < n; ++i) y[i] += x[i];
+}
+
+}  // namespace tpr::kern

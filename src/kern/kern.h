@@ -1,0 +1,95 @@
+#ifndef TPR_KERN_KERN_H_
+#define TPR_KERN_KERN_H_
+
+// CPU kernel layer for the tensor/autograd hot path: the three GEMM
+// accumulate variants behind nn::MatMul*Accumulate, plus the fused
+// elementwise kernels used by the fused autograd ops.
+//
+// Every kernel exists in two implementations selected at runtime:
+//
+//   scalar — bit-compatible with the original blocked loops in
+//            src/nn/tensor.cc; the reproducibility anchor.
+//   avx2   — register-blocked, panel-packed AVX2/FMA microkernels.
+//            Deterministic (fixed summation order) but a different
+//            order than scalar, so results agree to ~1e-6 rel, not
+//            bitwise.
+//
+// Selection: the TPR_KERNEL environment variable (scalar | avx2 | auto,
+// default auto) resolved once on first use; `auto` picks avx2 iff the
+// CPU supports AVX2+FMA. Pinning TPR_KERNEL makes any run bitwise
+// reproducible on any machine. Requesting avx2 on hardware without it is
+// a hard error, never a silent fallback. Tests and benches may switch
+// kernels mid-process via SetKernel.
+
+#include <cmath>
+#include <cstddef>
+
+namespace tpr::kern {
+
+enum class Kernel { kScalar = 0, kAvx2 = 1 };
+
+/// True when this binary and CPU can run the avx2 kernels.
+bool CpuSupportsAvx2();
+
+/// The kernel every dispatching entry point currently routes to.
+/// Resolved from TPR_KERNEL on first call.
+Kernel ActiveKernel();
+
+/// Overrides the active kernel (tests, benches). Fatal if `k` is not
+/// supported on this CPU.
+void SetKernel(Kernel k);
+
+/// "scalar" or "avx2".
+const char* KernelName(Kernel k);
+
+/// Parses a TPR_KERNEL value ("scalar" | "avx2" | "auto" | ""). Fatal on
+/// unknown strings or when avx2 is requested but unsupported.
+Kernel ResolveKernelSpec(const char* spec);
+
+// ---------------------------------------------------------------------------
+// GEMM accumulate kernels (row-major, raw pointers). All tolerate m, n,
+// or k of zero.
+// ---------------------------------------------------------------------------
+
+/// out(m x n) += a(m x k) * b(k x n)
+void GemmAcc(const float* a, const float* b, float* out, int m, int k, int n);
+
+/// out(m x n) += a(k x m)^T * b(k x n)
+void GemmTransAAcc(const float* a, const float* b, float* out, int k, int m,
+                   int n);
+
+/// out(m x n) += a(m x k) * b(n x k)^T
+void GemmTransBAcc(const float* a, const float* b, float* out, int m, int k,
+                   int n);
+
+// ---------------------------------------------------------------------------
+// Fused elementwise kernels. The scalar forms match the composition of
+// the unfused autograd loops exactly; avx2 forms of the accumulators use
+// FMA (same values to within one ulp per element).
+// ---------------------------------------------------------------------------
+
+/// y[i] = sigmoid(x[i] + b[i])   (numerically-stable two-branch sigmoid)
+void AddSigmoid(const float* x, const float* b, float* y, int n);
+
+/// y[i] = tanh(x[i] + b[i])
+void AddTanh(const float* x, const float* b, float* y, int n);
+
+/// out[i] += a[i] * b[i]         (Hadamard-accumulate)
+void HadamardAcc(const float* a, const float* b, float* out, int n);
+
+/// y[i] += alpha * x[i]
+void AxpyAcc(float alpha, const float* x, float* y, int n);
+
+/// y[i] += x[i]
+void AddAcc(const float* x, float* y, int n);
+
+/// Stable logistic sigmoid of one value (shared by scalar kernels and
+/// the fused cell ops so every path computes the exact same bits).
+inline float SigmoidScalar(float x) {
+  return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
+                : std::exp(x) / (1.0f + std::exp(x));
+}
+
+}  // namespace tpr::kern
+
+#endif  // TPR_KERN_KERN_H_

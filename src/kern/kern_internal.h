@@ -1,0 +1,22 @@
+#ifndef TPR_KERN_KERN_INTERNAL_H_
+#define TPR_KERN_KERN_INTERNAL_H_
+
+// Implementation split between kern.cc (dispatch + scalar) and
+// gemm_avx2.cc (the only TU compiled with -mavx2 -mfma). When the
+// toolchain cannot target AVX2 the avx2 TU is dropped and TPR_NO_AVX2 is
+// defined; dispatch then never references these symbols.
+
+namespace tpr::kern::avx2 {
+
+void GemmAcc(const float* a, const float* b, float* out, int m, int k, int n);
+void GemmTransAAcc(const float* a, const float* b, float* out, int k, int m,
+                   int n);
+void GemmTransBAcc(const float* a, const float* b, float* out, int m, int k,
+                   int n);
+void HadamardAcc(const float* a, const float* b, float* out, int n);
+void AxpyAcc(float alpha, const float* x, float* y, int n);
+void AddAcc(const float* x, float* y, int n);
+
+}  // namespace tpr::kern::avx2
+
+#endif  // TPR_KERN_KERN_INTERNAL_H_

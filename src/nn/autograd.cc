@@ -1,9 +1,11 @@
 #include "nn/autograd.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <unordered_set>
+#include <cstring>
 
+#include "kern/kern.h"
 #include "obs/metrics.h"
 
 namespace tpr::nn {
@@ -23,48 +25,58 @@ NoGradGuard::~NoGradGuard() { --g_no_grad_depth; }
 
 bool GradEnabled() { return g_no_grad_depth == 0; }
 
-Var Var::Leaf(Tensor value, bool requires_grad) {
-  auto impl = std::make_shared<internal::VarImpl>();
-  impl->value = std::move(value);
-  impl->requires_grad = requires_grad;
-  return Var(std::move(impl));
+namespace internal {
+
+std::shared_ptr<VarImpl> NewVarImpl() {
+  return std::allocate_shared<VarImpl>(kern::ArenaStlAllocator<VarImpl>());
 }
 
-Var MakeOp(Tensor value, std::vector<Var> parents,
-           std::function<void(internal::VarImpl*)> backward_fn) {
-  auto impl = std::make_shared<internal::VarImpl>();
+Var WrapVar(std::shared_ptr<VarImpl> impl) { return Var(std::move(impl)); }
+
+}  // namespace internal
+
+Var Var::Leaf(Tensor value, bool requires_grad) {
+  auto impl = internal::NewVarImpl();
   impl->value = std::move(value);
-  bool needs_grad = false;
-  if (GradEnabled()) {
-    for (const auto& p : parents) needs_grad = needs_grad || p.requires_grad();
-  }
-  impl->requires_grad = needs_grad;
-  if (needs_grad) {
-    impl->parents.reserve(parents.size());
-    for (auto& p : parents) impl->parents.push_back(p.impl_ptr());
-    impl->backward_fn = std::move(backward_fn);
-  }
-  return Var(std::move(impl));
+  impl->requires_grad = requires_grad;
+  return internal::WrapVar(std::move(impl));
 }
+
+namespace {
+
+// Monotone traversal stamp shared by all Backward() calls. Each call
+// claims a fresh epoch and marks reached nodes with it, which replaces a
+// per-call unordered_set with one integer compare per edge. Concurrent
+// Backward() calls on *disjoint* graphs are fine (distinct epochs, each
+// node written by one thread); graphs are never shared across threads in
+// this codebase.
+std::atomic<uint64_t> g_backward_epoch{0};
+
+}  // namespace
 
 void Var::Backward() const {
   TPR_CHECK(defined());
   TPR_CHECK(rows() == 1 && cols() == 1) << "Backward() requires a scalar";
   if (!impl_->requires_grad) return;
 
-  // Iterative post-order topological sort over the parent DAG.
-  std::vector<internal::VarImpl*> order;
-  std::unordered_set<internal::VarImpl*> visited;
-  std::vector<std::pair<internal::VarImpl*, size_t>> stack;
+  const uint64_t epoch = g_backward_epoch.fetch_add(1) + 1;
+
+  // Iterative post-order topological sort over the parent DAG. The
+  // scratch vectors persist per thread so steady-state steps reuse their
+  // capacity instead of reallocating.
+  thread_local std::vector<internal::VarImpl*> order;
+  thread_local std::vector<std::pair<internal::VarImpl*, size_t>> stack;
+  order.clear();
+  stack.clear();
   stack.emplace_back(impl_.get(), 0);
-  visited.insert(impl_.get());
+  impl_->visit_epoch = epoch;
   while (!stack.empty()) {
     auto& [node, idx] = stack.back();
     if (idx < node->parents.size()) {
       internal::VarImpl* parent = node->parents[idx].get();
       ++idx;
-      if (parent->requires_grad && !visited.count(parent)) {
-        visited.insert(parent);
+      if (parent->requires_grad && parent->visit_epoch != epoch) {
+        parent->visit_epoch = epoch;
         stack.emplace_back(parent, 0);
       }
     } else {
@@ -89,32 +101,54 @@ void AccumulateGrad(internal::VarImpl* p, const Tensor& delta) {
   if (!p->requires_grad) return;
   p->EnsureGrad();
   TPR_CHECK(p->grad.SameShape(delta));
-  float* g = p->grad.data();
-  const float* d = delta.data();
-  for (size_t i = 0; i < delta.size(); ++i) g[i] += d[i];
+  kern::AddAcc(delta.data(), p->grad.data(),
+               static_cast<int>(delta.size()));
 }
 
 // Elementwise unary op helper: forward maps x->f(x); backward multiplies
-// incoming gradient by dfd(value_in, value_out).
+// incoming gradient by dfd(value_in, value_out). The backward closure
+// reads the forward output straight from the node (self->value), so no
+// copy of the output is captured.
 template <typename Fwd, typename Bwd>
 Var UnaryOp(const Var& a, Fwd fwd, Bwd dfd) {
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
   const Tensor& in = a.value();
   for (size_t i = 0; i < in.size(); ++i) out[i] = fwd(in[i]);
-  Tensor out_copy = out;  // captured for backward
-  auto a_impl = a.impl_ptr();
-  return MakeOp(std::move(out), {a},
-                [a_impl, out_copy, dfd](internal::VarImpl* self) {
-                  internal::VarImpl* p = a_impl.get();
-                  if (!p->requires_grad) return;
-                  p->EnsureGrad();
-                  const Tensor& in = p->value;
-                  float* g = p->grad.data();
-                  const float* go = self->grad.data();
-                  for (size_t i = 0; i < in.size(); ++i) {
-                    g[i] += go[i] * dfd(in[i], out_copy[i]);
-                  }
-                });
+  return MakeOp(std::move(out), {a}, [dfd](internal::VarImpl* self) {
+    internal::VarImpl* p = self->parents[0].get();
+    if (!p->requires_grad) return;
+    p->EnsureGrad();
+    const Tensor& in = p->value;
+    const Tensor& out = self->value;
+    float* g = p->grad.data();
+    const float* go = self->grad.data();
+    for (size_t i = 0; i < in.size(); ++i) {
+      g[i] += go[i] * dfd(in[i], out[i]);
+    }
+  });
+}
+
+// Copies the 1 x n bias row into every row of an uninitialised m x n
+// output (shared by the fused affine forwards).
+void BroadcastBiasRows(const Tensor& bias, Tensor& out) {
+  const int m = out.rows(), n = out.cols();
+  TPR_CHECK(bias.rows() == 1 && bias.cols() == n);
+  const float* b = bias.data();
+  for (int i = 0; i < m; ++i) {
+    std::memcpy(out.data() + static_cast<size_t>(i) * n, b,
+                static_cast<size_t>(n) * sizeof(float));
+  }
+}
+
+// dBias += column sums of dOut.
+void AccumulateBiasGrad(internal::VarImpl* bias, const Tensor& gout) {
+  if (!bias->requires_grad) return;
+  bias->EnsureGrad();
+  const int m = gout.rows(), n = gout.cols();
+  float* bg = bias->grad.data();
+  for (int i = 0; i < m; ++i) {
+    kern::AddAcc(gout.data() + static_cast<size_t>(i) * n, bg, n);
+  }
 }
 
 }  // namespace
@@ -126,22 +160,19 @@ Var MatMul(const Var& a, const Var& b) {
   flops.Add(2ull * a.rows() * a.cols() * b.cols());
   Tensor out(a.rows(), b.cols());
   MatMulAccumulate(a.value(), b.value(), out);
-  auto a_impl = a.impl_ptr();
-  auto b_impl = b.impl_ptr();
-  return MakeOp(std::move(out), {a, b},
-                [a_impl, b_impl](internal::VarImpl* self) {
-                  // dA = dOut * B^T ; dB = A^T * dOut
-                  if (a_impl->requires_grad) {
-                    a_impl->EnsureGrad();
-                    MatMulTransBAccumulate(self->grad, b_impl->value,
-                                           a_impl->grad);
-                  }
-                  if (b_impl->requires_grad) {
-                    b_impl->EnsureGrad();
-                    MatMulTransAAccumulate(a_impl->value, self->grad,
-                                           b_impl->grad);
-                  }
-                });
+  return MakeOp(std::move(out), {a, b}, [](internal::VarImpl* self) {
+    internal::VarImpl* a_impl = self->parents[0].get();
+    internal::VarImpl* b_impl = self->parents[1].get();
+    // dA = dOut * B^T ; dB = A^T * dOut
+    if (a_impl->requires_grad) {
+      a_impl->EnsureGrad();
+      MatMulTransBAccumulate(self->grad, b_impl->value, a_impl->grad);
+    }
+    if (b_impl->requires_grad) {
+      b_impl->EnsureGrad();
+      MatMulTransAAccumulate(a_impl->value, self->grad, b_impl->grad);
+    }
+  });
 }
 
 Var Add(const Var& a, const Var& b) {
@@ -149,13 +180,10 @@ Var Add(const Var& a, const Var& b) {
   Tensor out = a.value();
   const float* bd = b.value().data();
   for (size_t i = 0; i < out.size(); ++i) out[i] += bd[i];
-  auto a_impl = a.impl_ptr();
-  auto b_impl = b.impl_ptr();
-  return MakeOp(std::move(out), {a, b},
-                [a_impl, b_impl](internal::VarImpl* self) {
-                  AccumulateGrad(a_impl.get(), self->grad);
-                  AccumulateGrad(b_impl.get(), self->grad);
-                });
+  return MakeOp(std::move(out), {a, b}, [](internal::VarImpl* self) {
+    AccumulateGrad(self->parents[0].get(), self->grad);
+    AccumulateGrad(self->parents[1].get(), self->grad);
+  });
 }
 
 Var AddRow(const Var& m, const Var& row) {
@@ -166,22 +194,10 @@ Var AddRow(const Var& m, const Var& row) {
     float* o = out.data() + static_cast<size_t>(i) * out.cols();
     for (int j = 0; j < out.cols(); ++j) o[j] += r[j];
   }
-  auto m_impl = m.impl_ptr();
-  auto r_impl = row.impl_ptr();
-  return MakeOp(std::move(out), {m, row},
-                [m_impl, r_impl](internal::VarImpl* self) {
-                  AccumulateGrad(m_impl.get(), self->grad);
-                  if (r_impl->requires_grad) {
-                    r_impl->EnsureGrad();
-                    const Tensor& g = self->grad;
-                    float* rg = r_impl->grad.data();
-                    for (int i = 0; i < g.rows(); ++i) {
-                      const float* gr =
-                          g.data() + static_cast<size_t>(i) * g.cols();
-                      for (int j = 0; j < g.cols(); ++j) rg[j] += gr[j];
-                    }
-                  }
-                });
+  return MakeOp(std::move(out), {m, row}, [](internal::VarImpl* self) {
+    AccumulateGrad(self->parents[0].get(), self->grad);
+    AccumulateBiasGrad(self->parents[1].get(), self->grad);
+  });
 }
 
 Var Sub(const Var& a, const Var& b) {
@@ -189,19 +205,15 @@ Var Sub(const Var& a, const Var& b) {
   Tensor out = a.value();
   const float* bd = b.value().data();
   for (size_t i = 0; i < out.size(); ++i) out[i] -= bd[i];
-  auto a_impl = a.impl_ptr();
-  auto b_impl = b.impl_ptr();
-  return MakeOp(std::move(out), {a, b},
-                [a_impl, b_impl](internal::VarImpl* self) {
-                  AccumulateGrad(a_impl.get(), self->grad);
-                  if (b_impl->requires_grad) {
-                    b_impl->EnsureGrad();
-                    const float* go = self->grad.data();
-                    float* g = b_impl->grad.data();
-                    for (size_t i = 0; i < self->grad.size(); ++i)
-                      g[i] -= go[i];
-                  }
-                });
+  return MakeOp(std::move(out), {a, b}, [](internal::VarImpl* self) {
+    AccumulateGrad(self->parents[0].get(), self->grad);
+    internal::VarImpl* b_impl = self->parents[1].get();
+    if (b_impl->requires_grad) {
+      b_impl->EnsureGrad();
+      kern::AxpyAcc(-1.0f, self->grad.data(), b_impl->grad.data(),
+                    static_cast<int>(self->grad.size()));
+    }
+  });
 }
 
 Var Mul(const Var& a, const Var& b) {
@@ -209,26 +221,21 @@ Var Mul(const Var& a, const Var& b) {
   Tensor out = a.value();
   const float* bd = b.value().data();
   for (size_t i = 0; i < out.size(); ++i) out[i] *= bd[i];
-  auto a_impl = a.impl_ptr();
-  auto b_impl = b.impl_ptr();
-  return MakeOp(std::move(out), {a, b},
-                [a_impl, b_impl](internal::VarImpl* self) {
-                  const float* go = self->grad.data();
-                  if (a_impl->requires_grad) {
-                    a_impl->EnsureGrad();
-                    float* g = a_impl->grad.data();
-                    const float* bv = b_impl->value.data();
-                    for (size_t i = 0; i < self->grad.size(); ++i)
-                      g[i] += go[i] * bv[i];
-                  }
-                  if (b_impl->requires_grad) {
-                    b_impl->EnsureGrad();
-                    float* g = b_impl->grad.data();
-                    const float* av = a_impl->value.data();
-                    for (size_t i = 0; i < self->grad.size(); ++i)
-                      g[i] += go[i] * av[i];
-                  }
-                });
+  return MakeOp(std::move(out), {a, b}, [](internal::VarImpl* self) {
+    internal::VarImpl* a_impl = self->parents[0].get();
+    internal::VarImpl* b_impl = self->parents[1].get();
+    const int n = static_cast<int>(self->grad.size());
+    if (a_impl->requires_grad) {
+      a_impl->EnsureGrad();
+      kern::HadamardAcc(self->grad.data(), b_impl->value.data(),
+                        a_impl->grad.data(), n);
+    }
+    if (b_impl->requires_grad) {
+      b_impl->EnsureGrad();
+      kern::HadamardAcc(self->grad.data(), a_impl->value.data(),
+                        b_impl->grad.data(), n);
+    }
+  });
 }
 
 Var Div(const Var& a, const Var& b) {
@@ -236,26 +243,24 @@ Var Div(const Var& a, const Var& b) {
   Tensor out = a.value();
   const float* bd = b.value().data();
   for (size_t i = 0; i < out.size(); ++i) out[i] /= bd[i];
-  auto a_impl = a.impl_ptr();
-  auto b_impl = b.impl_ptr();
-  return MakeOp(std::move(out), {a, b},
-                [a_impl, b_impl](internal::VarImpl* self) {
-                  const float* go = self->grad.data();
-                  const float* av = a_impl->value.data();
-                  const float* bv = b_impl->value.data();
-                  if (a_impl->requires_grad) {
-                    a_impl->EnsureGrad();
-                    float* g = a_impl->grad.data();
-                    for (size_t i = 0; i < self->grad.size(); ++i)
-                      g[i] += go[i] / bv[i];
-                  }
-                  if (b_impl->requires_grad) {
-                    b_impl->EnsureGrad();
-                    float* g = b_impl->grad.data();
-                    for (size_t i = 0; i < self->grad.size(); ++i)
-                      g[i] -= go[i] * av[i] / (bv[i] * bv[i]);
-                  }
-                });
+  return MakeOp(std::move(out), {a, b}, [](internal::VarImpl* self) {
+    internal::VarImpl* a_impl = self->parents[0].get();
+    internal::VarImpl* b_impl = self->parents[1].get();
+    const float* go = self->grad.data();
+    const float* av = a_impl->value.data();
+    const float* bv = b_impl->value.data();
+    if (a_impl->requires_grad) {
+      a_impl->EnsureGrad();
+      float* g = a_impl->grad.data();
+      for (size_t i = 0; i < self->grad.size(); ++i) g[i] += go[i] / bv[i];
+    }
+    if (b_impl->requires_grad) {
+      b_impl->EnsureGrad();
+      float* g = b_impl->grad.data();
+      for (size_t i = 0; i < self->grad.size(); ++i)
+        g[i] -= go[i] * av[i] / (bv[i] * bv[i]);
+    }
+  });
 }
 
 Var Scale(const Var& a, float s) {
@@ -278,11 +283,7 @@ Var Tanh(const Var& a) {
 
 Var Sigmoid(const Var& a) {
   return UnaryOp(
-      a,
-      [](float x) {
-        return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
-                      : std::exp(x) / (1.0f + std::exp(x));
-      },
+      a, [](float x) { return kern::SigmoidScalar(x); },
       [](float, float y) { return y * (1.0f - y); });
 }
 
@@ -311,10 +312,7 @@ Var Softplus(const Var& a) {
         // log(1 + e^x) = max(x, 0) + log(1 + e^{-|x|})
         return std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
       },
-      [](float x, float) {
-        return x >= 0 ? 1.0f / (1.0f + std::exp(-x))
-                      : std::exp(x) / (1.0f + std::exp(x));
-      });
+      [](float x, float) { return kern::SigmoidScalar(x); });
 }
 
 Var Sqrt(const Var& a) {
@@ -326,8 +324,8 @@ Var Sqrt(const Var& a) {
 Var Sum(const Var& a) {
   Tensor out(1, 1);
   out.at(0, 0) = a.value().Sum();
-  auto a_impl = a.impl_ptr();
-  return MakeOp(std::move(out), {a}, [a_impl](internal::VarImpl* self) {
+  return MakeOp(std::move(out), {a}, [](internal::VarImpl* self) {
+    internal::VarImpl* a_impl = self->parents[0].get();
     if (!a_impl->requires_grad) return;
     a_impl->EnsureGrad();
     const float g = self->grad.at(0, 0);
@@ -347,29 +345,27 @@ Var RowMean(const Var& a) {
   Tensor out(1, n);
   for (int i = 0; i < m; ++i) {
     const float* row = a.value().data() + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) out[j] += row[j];
+    kern::AddAcc(row, out.data(), n);
   }
   const float inv = 1.0f / static_cast<float>(m);
   for (int j = 0; j < n; ++j) out[j] *= inv;
-  auto a_impl = a.impl_ptr();
-  return MakeOp(std::move(out), {a},
-                [a_impl, m, n, inv](internal::VarImpl* self) {
-                  if (!a_impl->requires_grad) return;
-                  a_impl->EnsureGrad();
-                  const float* go = self->grad.data();
-                  for (int i = 0; i < m; ++i) {
-                    float* g =
-                        a_impl->grad.data() + static_cast<size_t>(i) * n;
-                    for (int j = 0; j < n; ++j) g[j] += go[j] * inv;
-                  }
-                });
+  return MakeOp(std::move(out), {a}, [m, n, inv](internal::VarImpl* self) {
+    internal::VarImpl* a_impl = self->parents[0].get();
+    if (!a_impl->requires_grad) return;
+    a_impl->EnsureGrad();
+    const float* go = self->grad.data();
+    for (int i = 0; i < m; ++i) {
+      float* g = a_impl->grad.data() + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) g[j] += go[j] * inv;
+    }
+  });
 }
 
 Var RowMax(const Var& a) {
   const int m = a.rows(), n = a.cols();
   TPR_CHECK(m > 0);
   Tensor out(1, n);
-  std::vector<int> argmax(n, 0);
+  kern::ArenaVector<int> argmax(n, 0);
   for (int j = 0; j < n; ++j) {
     float best = a.value().at(0, j);
     for (int i = 1; i < m; ++i) {
@@ -380,9 +376,9 @@ Var RowMax(const Var& a) {
     }
     out[j] = best;
   }
-  auto a_impl = a.impl_ptr();
   return MakeOp(std::move(out), {a},
-                [a_impl, argmax, n](internal::VarImpl* self) {
+                [argmax = std::move(argmax), n](internal::VarImpl* self) {
+                  internal::VarImpl* a_impl = self->parents[0].get();
                   if (!a_impl->requires_grad) return;
                   a_impl->EnsureGrad();
                   const float* go = self->grad.data();
@@ -392,102 +388,112 @@ Var RowMax(const Var& a) {
                 });
 }
 
-Var ConcatCols(const std::vector<Var>& parts) {
+namespace {
+
+// Shared concat-columns implementation over any contiguous Var range.
+template <typename PartsVec>
+Var ConcatColsImpl(const PartsVec& parts) {
   static obs::Counter& ops = obs::GetCounter("nn.concat_ops");
   ops.Add();
-  TPR_CHECK(!parts.empty());
-  const int m = parts[0].rows();
+  TPR_CHECK(parts.size() > 0);
+  const int m = parts.begin()->rows();
   int total = 0;
-  for (const auto& p : parts) {
+  for (const Var& p : parts) {
     TPR_CHECK(p.rows() == m);
     total += p.cols();
   }
-  // Build the result with a single reserved append pass instead of
-  // zero-filling an (m x total) tensor and overwriting it.
-  std::vector<float> data;
-  data.reserve(static_cast<size_t>(m) * total);
+  Tensor out = Tensor::Uninitialized(m, total);
   for (int i = 0; i < m; ++i) {
-    for (const auto& p : parts) {
-      const float* src =
-          p.value().data() + static_cast<size_t>(i) * p.cols();
-      data.insert(data.end(), src, src + p.cols());
+    float* dst = out.data() + static_cast<size_t>(i) * total;
+    for (const Var& p : parts) {
+      const float* src = p.value().data() + static_cast<size_t>(i) * p.cols();
+      std::memcpy(dst, src, static_cast<size_t>(p.cols()) * sizeof(float));
+      dst += p.cols();
     }
   }
-  Tensor out = Tensor::FromValues(m, total, std::move(data));
-  std::vector<std::shared_ptr<internal::VarImpl>> impls;
-  impls.reserve(parts.size());
-  for (const auto& p : parts) impls.push_back(p.impl_ptr());
-  return MakeOp(std::move(out), parts,
-                [impls, m, total](internal::VarImpl* self) {
-                  int offset = 0;
-                  for (const auto& p : impls) {
-                    const int n = p->value.cols();
-                    if (p->requires_grad) {
-                      p->EnsureGrad();
-                      for (int i = 0; i < m; ++i) {
-                        const float* src = self->grad.data() +
-                                           static_cast<size_t>(i) * total +
-                                           offset;
-                        float* dst =
-                            p->grad.data() + static_cast<size_t>(i) * n;
-                        for (int j = 0; j < n; ++j) dst[j] += src[j];
-                      }
-                    }
-                    offset += n;
-                  }
-                });
+  return MakeOpRange(std::move(out), parts,
+                     [m, total](internal::VarImpl* self) {
+                       int offset = 0;
+                       for (const auto& p : self->parents) {
+                         const int n = p->value.cols();
+                         if (p->requires_grad) {
+                           p->EnsureGrad();
+                           for (int i = 0; i < m; ++i) {
+                             const float* src = self->grad.data() +
+                                                static_cast<size_t>(i) * total +
+                                                offset;
+                             float* dst =
+                                 p->grad.data() + static_cast<size_t>(i) * n;
+                             kern::AddAcc(src, dst, n);
+                           }
+                         }
+                         offset += n;
+                       }
+                     });
 }
 
-Var ConcatRows(const std::vector<Var>& parts) {
+// Shared concat-rows implementation: row stacking is a pure append in
+// row-major layout.
+template <typename PartsVec>
+Var ConcatRowsImpl(const PartsVec& parts) {
   static obs::Counter& ops = obs::GetCounter("nn.concat_ops");
   ops.Add();
-  TPR_CHECK(!parts.empty());
-  const int n = parts[0].cols();
+  TPR_CHECK(parts.size() > 0);
+  const int n = parts.begin()->cols();
   int total = 0;
-  for (const auto& p : parts) {
+  for (const Var& p : parts) {
     TPR_CHECK(p.cols() == n);
     total += p.rows();
   }
-  // Row stacking is a pure append in row-major layout; reserve once and
-  // skip the zero-fill of a fresh (total x n) tensor.
-  std::vector<float> data;
-  data.reserve(static_cast<size_t>(total) * n);
-  for (const auto& p : parts) {
-    data.insert(data.end(), p.value().data(),
-                p.value().data() + p.value().size());
+  Tensor out = Tensor::Uninitialized(total, n);
+  float* dst = out.data();
+  for (const Var& p : parts) {
+    std::memcpy(dst, p.value().data(), p.value().size() * sizeof(float));
+    dst += p.value().size();
   }
-  Tensor out = Tensor::FromValues(total, n, std::move(data));
-  std::vector<std::shared_ptr<internal::VarImpl>> impls;
-  impls.reserve(parts.size());
-  for (const auto& p : parts) impls.push_back(p.impl_ptr());
-  return MakeOp(std::move(out), parts, [impls, n](internal::VarImpl* self) {
-    int offset = 0;
-    for (const auto& p : impls) {
-      const int m = p->value.rows();
+  return MakeOpRange(std::move(out), parts, [n](internal::VarImpl* self) {
+    size_t offset = 0;
+    for (const auto& p : self->parents) {
+      const size_t sz = static_cast<size_t>(p->value.rows()) * n;
       if (p->requires_grad) {
         p->EnsureGrad();
-        const float* src =
-            self->grad.data() + static_cast<size_t>(offset) * n;
-        float* dst = p->grad.data();
-        for (size_t i = 0; i < static_cast<size_t>(m) * n; ++i)
-          dst[i] += src[i];
+        kern::AddAcc(self->grad.data() + offset, p->grad.data(),
+                     static_cast<int>(sz));
       }
-      offset += m;
+      offset += sz;
     }
   });
+}
+
+}  // namespace
+
+Var ConcatCols(const std::vector<Var>& parts) { return ConcatColsImpl(parts); }
+
+Var ConcatCols(std::initializer_list<Var> parts) {
+  return ConcatColsImpl(parts);
+}
+
+Var ConcatRows(const std::vector<Var>& parts) { return ConcatRowsImpl(parts); }
+
+Var ConcatRows(const kern::ArenaVector<Var>& parts) {
+  return ConcatRowsImpl(parts);
+}
+
+Var ConcatRows(std::initializer_list<Var> parts) {
+  return ConcatRowsImpl(parts);
 }
 
 Var SliceCols(const Var& a, int start, int len) {
   TPR_CHECK(start >= 0 && len > 0 && start + len <= a.cols());
   const int m = a.rows(), n = a.cols();
-  Tensor out(m, len);
+  Tensor out = Tensor::Uninitialized(m, len);
   for (int i = 0; i < m; ++i) {
     const float* src = a.value().data() + static_cast<size_t>(i) * n + start;
     std::copy(src, src + len, out.data() + static_cast<size_t>(i) * len);
   }
-  auto a_impl = a.impl_ptr();
   return MakeOp(std::move(out), {a},
-                [a_impl, start, len, m, n](internal::VarImpl* self) {
+                [start, len, m, n](internal::VarImpl* self) {
+                  internal::VarImpl* a_impl = self->parents[0].get();
                   if (!a_impl->requires_grad) return;
                   a_impl->EnsureGrad();
                   for (int i = 0; i < m; ++i) {
@@ -495,7 +501,7 @@ Var SliceCols(const Var& a, int start, int len) {
                         self->grad.data() + static_cast<size_t>(i) * len;
                     float* dst = a_impl->grad.data() +
                                  static_cast<size_t>(i) * n + start;
-                    for (int j = 0; j < len; ++j) dst[j] += src[j];
+                    kern::AddAcc(src, dst, len);
                   }
                 });
 }
@@ -503,38 +509,38 @@ Var SliceCols(const Var& a, int start, int len) {
 Var SliceRow(const Var& a, int r) {
   TPR_CHECK(r >= 0 && r < a.rows());
   const int n = a.cols();
-  Tensor out(1, n);
+  Tensor out = Tensor::Uninitialized(1, n);
   const float* src = a.value().data() + static_cast<size_t>(r) * n;
   std::copy(src, src + n, out.data());
-  auto a_impl = a.impl_ptr();
-  return MakeOp(std::move(out), {a}, [a_impl, r, n](internal::VarImpl* self) {
+  return MakeOp(std::move(out), {a}, [r, n](internal::VarImpl* self) {
+    internal::VarImpl* a_impl = self->parents[0].get();
     if (!a_impl->requires_grad) return;
     a_impl->EnsureGrad();
-    const float* src = self->grad.data();
-    float* dst = a_impl->grad.data() + static_cast<size_t>(r) * n;
-    for (int j = 0; j < n; ++j) dst[j] += src[j];
+    kern::AddAcc(self->grad.data(),
+                 a_impl->grad.data() + static_cast<size_t>(r) * n, n);
   });
 }
 
 Var Gather(const Var& table, const std::vector<int>& indices) {
   const int n = table.cols();
-  Tensor out(static_cast<int>(indices.size()), n);
+  Tensor out = Tensor::Uninitialized(static_cast<int>(indices.size()), n);
   for (size_t i = 0; i < indices.size(); ++i) {
     TPR_CHECK(indices[i] >= 0 && indices[i] < table.rows());
     const float* src =
         table.value().data() + static_cast<size_t>(indices[i]) * n;
     std::copy(src, src + n, out.data() + i * n);
   }
-  auto t_impl = table.impl_ptr();
+  kern::ArenaVector<int> idx(indices.begin(), indices.end());
   return MakeOp(std::move(out), {table},
-                [t_impl, indices, n](internal::VarImpl* self) {
+                [idx = std::move(idx), n](internal::VarImpl* self) {
+                  internal::VarImpl* t_impl = self->parents[0].get();
                   if (!t_impl->requires_grad) return;
                   t_impl->EnsureGrad();
-                  for (size_t i = 0; i < indices.size(); ++i) {
+                  for (size_t i = 0; i < idx.size(); ++i) {
                     const float* src = self->grad.data() + i * n;
                     float* dst = t_impl->grad.data() +
-                                 static_cast<size_t>(indices[i]) * n;
-                    for (int j = 0; j < n; ++j) dst[j] += src[j];
+                                 static_cast<size_t>(idx[i]) * n;
+                    kern::AddAcc(src, dst, n);
                   }
                 });
 }
@@ -555,29 +561,30 @@ Var CosineSim(const Var& a, const Var& b) {
   const float cos = static_cast<float>(dot) / (na * nb);
   Tensor out(1, 1);
   out.at(0, 0) = cos;
-  auto a_impl = a.impl_ptr();
-  auto b_impl = b.impl_ptr();
-  return MakeOp(
-      std::move(out), {a, b},
-      [a_impl, b_impl, na, nb, cos, n](internal::VarImpl* self) {
-        const float g = self->grad.at(0, 0);
-        const float* av = a_impl->value.data();
-        const float* bv = b_impl->value.data();
-        if (a_impl->requires_grad) {
-          a_impl->EnsureGrad();
-          float* ga = a_impl->grad.data();
-          for (int i = 0; i < n; ++i) {
-            ga[i] += g * (bv[i] / (na * nb) - cos * av[i] / (na * na));
-          }
-        }
-        if (b_impl->requires_grad) {
-          b_impl->EnsureGrad();
-          float* gb = b_impl->grad.data();
-          for (int i = 0; i < n; ++i) {
-            gb[i] += g * (av[i] / (na * nb) - cos * bv[i] / (nb * nb));
-          }
-        }
-      });
+  return MakeOp(std::move(out), {a, b},
+                [na, nb, cos, n](internal::VarImpl* self) {
+                  internal::VarImpl* a_impl = self->parents[0].get();
+                  internal::VarImpl* b_impl = self->parents[1].get();
+                  const float g = self->grad.at(0, 0);
+                  const float* av = a_impl->value.data();
+                  const float* bv = b_impl->value.data();
+                  if (a_impl->requires_grad) {
+                    a_impl->EnsureGrad();
+                    float* ga = a_impl->grad.data();
+                    for (int i = 0; i < n; ++i) {
+                      ga[i] +=
+                          g * (bv[i] / (na * nb) - cos * av[i] / (na * na));
+                    }
+                  }
+                  if (b_impl->requires_grad) {
+                    b_impl->EnsureGrad();
+                    float* gb = b_impl->grad.data();
+                    for (int i = 0; i < n; ++i) {
+                      gb[i] +=
+                          g * (av[i] / (na * nb) - cos * bv[i] / (nb * nb));
+                    }
+                  }
+                });
 }
 
 Var Dot(const Var& a, const Var& b) { return Sum(Mul(a, b)); }
@@ -592,8 +599,8 @@ Var LogSumExp(const Var& a) {
   Tensor out(1, 1);
   out.at(0, 0) = mx + static_cast<float>(std::log(s));
   const float lse = out.at(0, 0);
-  auto a_impl = a.impl_ptr();
-  return MakeOp(std::move(out), {a}, [a_impl, lse](internal::VarImpl* self) {
+  return MakeOp(std::move(out), {a}, [lse](internal::VarImpl* self) {
+    internal::VarImpl* a_impl = self->parents[0].get();
     if (!a_impl->requires_grad) return;
     a_impl->EnsureGrad();
     const float g = self->grad.at(0, 0);
@@ -607,7 +614,7 @@ Var LogSumExp(const Var& a) {
 
 Var SoftmaxRows(const Var& a) {
   const int m = a.rows(), n = a.cols();
-  Tensor out(m, n);
+  Tensor out = Tensor::Uninitialized(m, n);
   for (int i = 0; i < m; ++i) {
     const float* row = a.value().data() + static_cast<size_t>(i) * n;
     float* orow = out.data() + static_cast<size_t>(i) * n;
@@ -620,25 +627,19 @@ Var SoftmaxRows(const Var& a) {
     }
     for (int j = 0; j < n; ++j) orow[j] /= s;
   }
-  Tensor out_copy = out;
-  auto a_impl = a.impl_ptr();
-  return MakeOp(std::move(out), {a},
-                [a_impl, out_copy, m, n](internal::VarImpl* self) {
-                  if (!a_impl->requires_grad) return;
-                  a_impl->EnsureGrad();
-                  for (int i = 0; i < m; ++i) {
-                    const float* y =
-                        out_copy.data() + static_cast<size_t>(i) * n;
-                    const float* go =
-                        self->grad.data() + static_cast<size_t>(i) * n;
-                    float* g =
-                        a_impl->grad.data() + static_cast<size_t>(i) * n;
-                    float dotv = 0;
-                    for (int j = 0; j < n; ++j) dotv += go[j] * y[j];
-                    for (int j = 0; j < n; ++j)
-                      g[j] += y[j] * (go[j] - dotv);
-                  }
-                });
+  return MakeOp(std::move(out), {a}, [m, n](internal::VarImpl* self) {
+    internal::VarImpl* a_impl = self->parents[0].get();
+    if (!a_impl->requires_grad) return;
+    a_impl->EnsureGrad();
+    for (int i = 0; i < m; ++i) {
+      const float* y = self->value.data() + static_cast<size_t>(i) * n;
+      const float* go = self->grad.data() + static_cast<size_t>(i) * n;
+      float* g = a_impl->grad.data() + static_cast<size_t>(i) * n;
+      float dotv = 0;
+      for (int j = 0; j < n; ++j) dotv += go[j] * y[j];
+      for (int j = 0; j < n; ++j) g[j] += y[j] * (go[j] - dotv);
+    }
+  });
 }
 
 Var MseLoss(const Var& pred, const Tensor& target) {
@@ -652,6 +653,229 @@ Var BceWithLogits(const Var& logit, float target) {
   TPR_CHECK(logit.rows() == 1 && logit.cols() == 1);
   // loss = softplus(x) - target * x  (stable form of -[t log s + (1-t) log(1-s)])
   return Sub(Softplus(logit), Scale(logit, target));
+}
+
+// ---------------------------------------------------------------------------
+// Fused ops
+// ---------------------------------------------------------------------------
+
+Var Affine(const Var& x, const Var& w, const Var& bias) {
+  static obs::Counter& ops = obs::GetCounter("nn.matmul_ops");
+  static obs::Counter& flops = obs::GetCounter("nn.matmul_flops");
+  ops.Add();
+  flops.Add(2ull * x.rows() * x.cols() * w.cols());
+  TPR_CHECK(x.cols() == w.rows());
+  Tensor out = Tensor::Uninitialized(x.rows(), w.cols());
+  BroadcastBiasRows(bias.value(), out);
+  kern::GemmAcc(x.value().data(), w.value().data(), out.data(), x.rows(),
+                x.cols(), w.cols());
+  return MakeOp(std::move(out), {x, w, bias}, [](internal::VarImpl* self) {
+    internal::VarImpl* x_impl = self->parents[0].get();
+    internal::VarImpl* w_impl = self->parents[1].get();
+    if (x_impl->requires_grad) {
+      x_impl->EnsureGrad();
+      MatMulTransBAccumulate(self->grad, w_impl->value, x_impl->grad);
+    }
+    if (w_impl->requires_grad) {
+      w_impl->EnsureGrad();
+      MatMulTransAAccumulate(x_impl->value, self->grad, w_impl->grad);
+    }
+    AccumulateBiasGrad(self->parents[2].get(), self->grad);
+  });
+}
+
+Var AffineSum(const Var& x1, const Var& w1, const Var& x2, const Var& w2,
+              const Var& bias) {
+  static obs::Counter& ops = obs::GetCounter("nn.matmul_ops");
+  static obs::Counter& flops = obs::GetCounter("nn.matmul_flops");
+  ops.Add(2);
+  flops.Add(2ull * x1.rows() * x1.cols() * w1.cols() +
+            2ull * x2.rows() * x2.cols() * w2.cols());
+  TPR_CHECK(x1.cols() == w1.rows() && x2.cols() == w2.rows());
+  TPR_CHECK(x1.rows() == x2.rows() && w1.cols() == w2.cols());
+  Tensor out = Tensor::Uninitialized(x1.rows(), w1.cols());
+  BroadcastBiasRows(bias.value(), out);
+  kern::GemmAcc(x1.value().data(), w1.value().data(), out.data(), x1.rows(),
+                x1.cols(), w1.cols());
+  kern::GemmAcc(x2.value().data(), w2.value().data(), out.data(), x2.rows(),
+                x2.cols(), w2.cols());
+  return MakeOp(std::move(out), {x1, w1, x2, w2, bias},
+                [](internal::VarImpl* self) {
+                  for (int pair = 0; pair < 2; ++pair) {
+                    internal::VarImpl* x_impl = self->parents[2 * pair].get();
+                    internal::VarImpl* w_impl =
+                        self->parents[2 * pair + 1].get();
+                    if (x_impl->requires_grad) {
+                      x_impl->EnsureGrad();
+                      MatMulTransBAccumulate(self->grad, w_impl->value,
+                                             x_impl->grad);
+                    }
+                    if (w_impl->requires_grad) {
+                      w_impl->EnsureGrad();
+                      MatMulTransAAccumulate(x_impl->value, self->grad,
+                                             w_impl->grad);
+                    }
+                  }
+                  AccumulateBiasGrad(self->parents[4].get(), self->grad);
+                });
+}
+
+Var LstmCellOp(const Var& gates, const Var& c_prev) {
+  static obs::Counter& cells = obs::GetCounter("nn.fused_cell_ops");
+  cells.Add();
+  const int m = gates.rows();
+  const int h = c_prev.cols();
+  TPR_CHECK(gates.cols() == 4 * h && c_prev.rows() == m);
+  Tensor out = Tensor::Uninitialized(m, 2 * h);
+  // Saved activations for backward: [i f g o tanh(c)] per row.
+  Tensor act = Tensor::Uninitialized(m, 5 * h);
+  const float* gv = gates.value().data();
+  const float* cpv = c_prev.value().data();
+  for (int r = 0; r < m; ++r) {
+    const float* g = gv + static_cast<size_t>(r) * 4 * h;
+    const float* cp = cpv + static_cast<size_t>(r) * h;
+    float* a = act.data() + static_cast<size_t>(r) * 5 * h;
+    float* o = out.data() + static_cast<size_t>(r) * 2 * h;
+    for (int j = 0; j < h; ++j) {
+      const float ig = kern::SigmoidScalar(g[j]);
+      const float fg = kern::SigmoidScalar(g[h + j]);
+      const float gg = std::tanh(g[2 * h + j]);
+      const float og = kern::SigmoidScalar(g[3 * h + j]);
+      const float c = fg * cp[j] + ig * gg;
+      const float tc = std::tanh(c);
+      a[j] = ig;
+      a[h + j] = fg;
+      a[2 * h + j] = gg;
+      a[3 * h + j] = og;
+      a[4 * h + j] = tc;
+      o[j] = og * tc;
+      o[h + j] = c;
+    }
+  }
+  return MakeOp(
+      std::move(out), {gates, c_prev},
+      [act = std::move(act), m, h](internal::VarImpl* self) {
+        internal::VarImpl* g_impl = self->parents[0].get();
+        internal::VarImpl* c_impl = self->parents[1].get();
+        const bool need_g = g_impl->requires_grad;
+        const bool need_c = c_impl->requires_grad;
+        if (need_g) g_impl->EnsureGrad();
+        if (need_c) c_impl->EnsureGrad();
+        const float* cpv = c_impl->value.data();
+        for (int r = 0; r < m; ++r) {
+          const float* go = self->grad.data() + static_cast<size_t>(r) * 2 * h;
+          const float* a = act.data() + static_cast<size_t>(r) * 5 * h;
+          const float* cp = cpv + static_cast<size_t>(r) * h;
+          float* dg = need_g
+                          ? g_impl->grad.data() + static_cast<size_t>(r) * 4 * h
+                          : nullptr;
+          float* dcp = need_c
+                           ? c_impl->grad.data() + static_cast<size_t>(r) * h
+                           : nullptr;
+          for (int j = 0; j < h; ++j) {
+            const float ig = a[j];
+            const float fg = a[h + j];
+            const float gg = a[2 * h + j];
+            const float og = a[3 * h + j];
+            const float tc = a[4 * h + j];
+            const float dh = go[j];
+            const float dc_in = go[h + j];
+            const float dc = dc_in + dh * og * (1.0f - tc * tc);
+            if (need_g) {
+              dg[j] += dc * gg * ig * (1.0f - ig);
+              dg[h + j] += dc * cp[j] * fg * (1.0f - fg);
+              dg[2 * h + j] += dc * ig * (1.0f - gg * gg);
+              dg[3 * h + j] += dh * tc * og * (1.0f - og);
+            }
+            if (need_c) dcp[j] += dc * fg;
+          }
+        }
+      });
+}
+
+Var GruCellOp(const Var& gi, const Var& gh, const Var& h_prev) {
+  static obs::Counter& cells = obs::GetCounter("nn.fused_cell_ops");
+  cells.Add();
+  const int m = gi.rows();
+  const int h = h_prev.cols();
+  TPR_CHECK(gi.cols() == 3 * h && gh.cols() == 3 * h);
+  TPR_CHECK(gh.rows() == m && h_prev.rows() == m);
+  Tensor out = Tensor::Uninitialized(m, h);
+  // Saved activations for backward: [r z n] per row.
+  Tensor act = Tensor::Uninitialized(m, 3 * h);
+  const float* giv = gi.value().data();
+  const float* ghv = gh.value().data();
+  const float* hpv = h_prev.value().data();
+  for (int r = 0; r < m; ++r) {
+    const float* gir = giv + static_cast<size_t>(r) * 3 * h;
+    const float* ghr = ghv + static_cast<size_t>(r) * 3 * h;
+    const float* hp = hpv + static_cast<size_t>(r) * h;
+    float* a = act.data() + static_cast<size_t>(r) * 3 * h;
+    float* o = out.data() + static_cast<size_t>(r) * h;
+    for (int j = 0; j < h; ++j) {
+      const float rg = kern::SigmoidScalar(gir[j] + ghr[j]);
+      const float zg = kern::SigmoidScalar(gir[h + j] + ghr[h + j]);
+      const float ng = std::tanh(gir[2 * h + j] + rg * ghr[2 * h + j]);
+      a[j] = rg;
+      a[h + j] = zg;
+      a[2 * h + j] = ng;
+      // Matches the unfused composition (n - z*n) + z*h_prev exactly.
+      o[j] = (ng - zg * ng) + zg * hp[j];
+    }
+  }
+  return MakeOp(
+      std::move(out), {gi, gh, h_prev},
+      [act = std::move(act), m, h](internal::VarImpl* self) {
+        internal::VarImpl* gi_impl = self->parents[0].get();
+        internal::VarImpl* gh_impl = self->parents[1].get();
+        internal::VarImpl* hp_impl = self->parents[2].get();
+        const bool need_gi = gi_impl->requires_grad;
+        const bool need_gh = gh_impl->requires_grad;
+        const bool need_hp = hp_impl->requires_grad;
+        if (need_gi) gi_impl->EnsureGrad();
+        if (need_gh) gh_impl->EnsureGrad();
+        if (need_hp) hp_impl->EnsureGrad();
+        const float* ghv = gh_impl->value.data();
+        const float* hpv = hp_impl->value.data();
+        for (int r = 0; r < m; ++r) {
+          const float* go = self->grad.data() + static_cast<size_t>(r) * h;
+          const float* a = act.data() + static_cast<size_t>(r) * 3 * h;
+          const float* ghr = ghv + static_cast<size_t>(r) * 3 * h;
+          const float* hp = hpv + static_cast<size_t>(r) * h;
+          float* dgi =
+              need_gi ? gi_impl->grad.data() + static_cast<size_t>(r) * 3 * h
+                      : nullptr;
+          float* dgh =
+              need_gh ? gh_impl->grad.data() + static_cast<size_t>(r) * 3 * h
+                      : nullptr;
+          float* dhp = need_hp
+                           ? hp_impl->grad.data() + static_cast<size_t>(r) * h
+                           : nullptr;
+          for (int j = 0; j < h; ++j) {
+            const float rg = a[j];
+            const float zg = a[h + j];
+            const float ng = a[2 * h + j];
+            const float dh = go[j];
+            const float dz = dh * (hp[j] - ng);
+            const float dn = dh * (1.0f - zg);
+            const float dn_pre = dn * (1.0f - ng * ng);
+            const float dr = dn_pre * ghr[2 * h + j];
+            const float dr_pre = dr * rg * (1.0f - rg);
+            const float dz_pre = dz * zg * (1.0f - zg);
+            if (need_gi) {
+              dgi[j] += dr_pre;
+              dgi[h + j] += dz_pre;
+              dgi[2 * h + j] += dn_pre;
+            }
+            if (need_gh) {
+              dgh[j] += dr_pre;
+              dgh[h + j] += dz_pre;
+              dgh[2 * h + j] += dn_pre * rg;
+            }
+            if (need_hp) dhp[j] += dh * zg;
+          }
+        }
+      });
 }
 
 }  // namespace tpr::nn

@@ -1,10 +1,12 @@
 #ifndef TPR_NN_AUTOGRAD_H_
 #define TPR_NN_AUTOGRAD_H_
 
-#include <functional>
+#include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "kern/arena.h"
 #include "nn/tensor.h"
 
 namespace tpr::nn {
@@ -13,6 +15,16 @@ class Var;
 
 namespace internal {
 
+struct VarImpl;
+
+/// Parent edges and backward closures of the tape live in the
+/// thread-local arena, like tensor storage, so a steady-state training
+/// step allocates nothing fresh.
+using ParentVec =
+    std::vector<std::shared_ptr<VarImpl>,
+                kern::ArenaStlAllocator<std::shared_ptr<VarImpl>>>;
+using BackwardFn = kern::ArenaFn<void(VarImpl*)>;
+
 /// Node of the dynamic computation graph. Holds the forward value, the
 /// accumulated gradient, and a closure that pushes this node's gradient to
 /// its parents. Not used directly by clients; see Var.
@@ -20,8 +32,9 @@ struct VarImpl {
   Tensor value;
   Tensor grad;  // allocated lazily, same shape as value
   bool requires_grad = false;
-  std::vector<std::shared_ptr<VarImpl>> parents;
-  std::function<void(VarImpl*)> backward_fn;
+  uint64_t visit_epoch = 0;  // Backward() traversal mark; see autograd.cc
+  ParentVec parents;
+  BackwardFn backward_fn;
 
   /// Allocates (zeroed) the gradient tensor if absent.
   void EnsureGrad() {
@@ -30,6 +43,14 @@ struct VarImpl {
     }
   }
 };
+
+/// Allocates a graph node in the thread arena (via allocate_shared, so
+/// the control block recycles too).
+std::shared_ptr<VarImpl> NewVarImpl();
+
+/// Wraps a node handle as a Var (private-constructor access point for
+/// the MakeOp templates).
+Var WrapVar(std::shared_ptr<VarImpl> impl);
 
 }  // namespace internal
 
@@ -89,14 +110,39 @@ class Var {
 
   std::shared_ptr<internal::VarImpl> impl_;
 
-  friend Var MakeOp(Tensor value, std::vector<Var> parents,
-                    std::function<void(internal::VarImpl*)> backward_fn);
+  friend Var internal::WrapVar(std::shared_ptr<internal::VarImpl> impl);
 };
 
-/// Creates an interior graph node. Exposed for clients that add custom
-/// fused ops; library ops below cover the common cases.
-Var MakeOp(Tensor value, std::vector<Var> parents,
-           std::function<void(internal::VarImpl*)> backward_fn);
+/// Creates an interior graph node from a parent range. The backward
+/// closure is stored in the arena-backed BackwardFn (no std::function, no
+/// per-op heap allocation). Exposed for clients that add custom fused
+/// ops; library ops below cover the common cases.
+template <typename ParentRange, typename F>
+Var MakeOpRange(Tensor value, const ParentRange& parents, F&& backward_fn) {
+  auto impl = internal::NewVarImpl();
+  impl->value = std::move(value);
+  bool needs_grad = false;
+  if (GradEnabled()) {
+    for (const Var& p : parents) needs_grad = needs_grad || p.requires_grad();
+  }
+  impl->requires_grad = needs_grad;
+  if (needs_grad) {
+    impl->parents.reserve(parents.size());
+    for (const Var& p : parents) impl->parents.push_back(p.impl_ptr());
+    impl->backward_fn = std::forward<F>(backward_fn);
+  }
+  return internal::WrapVar(std::move(impl));
+}
+
+template <typename F>
+Var MakeOp(Tensor value, std::initializer_list<Var> parents, F&& backward_fn) {
+  return MakeOpRange(std::move(value), parents, std::forward<F>(backward_fn));
+}
+
+template <typename F>
+Var MakeOp(Tensor value, const std::vector<Var>& parents, F&& backward_fn) {
+  return MakeOpRange(std::move(value), parents, std::forward<F>(backward_fn));
+}
 
 // ---------------------------------------------------------------------------
 // Core ops. All return fresh graph nodes.
@@ -162,9 +208,12 @@ Var RowMax(const Var& a);
 
 /// Horizontal concatenation of row-compatible tensors.
 Var ConcatCols(const std::vector<Var>& parts);
+Var ConcatCols(std::initializer_list<Var> parts);
 
 /// Vertical stacking of column-compatible tensors.
 Var ConcatRows(const std::vector<Var>& parts);
+Var ConcatRows(const kern::ArenaVector<Var>& parts);
+Var ConcatRows(std::initializer_list<Var> parts);
 
 /// Column slice [start, start + len).
 Var SliceCols(const Var& a, int start, int len);
@@ -194,6 +243,34 @@ Var MseLoss(const Var& pred, const Tensor& target);
 
 /// Binary cross-entropy with logits against a constant target in [0,1].
 Var BceWithLogits(const Var& logit, float target);
+
+// ---------------------------------------------------------------------------
+// Fused ops. One graph node and one output tensor where the naive
+// composition would record several of each; the recurrent cells stop
+// materialising per-gate intermediates entirely.
+// ---------------------------------------------------------------------------
+
+/// Fused affine map: x (m x k) * w (k x n) + bias (1 x n, row-broadcast).
+/// Equivalent to AddRow(MatMul(x, w), bias) with one node and no
+/// intermediate.
+Var Affine(const Var& x, const Var& w, const Var& bias);
+
+/// Fused gate preactivation x1*w1 + x2*w2 + bias (row-broadcast): the
+/// recurrent-cell input path, replacing two MatMuls, an Add, and an
+/// AddRow.
+Var AffineSum(const Var& x1, const Var& w1, const Var& x2, const Var& w2,
+              const Var& bias);
+
+/// Fused LSTM cell. gates: (m x 4h) preactivations in order [i f g o];
+/// c_prev: (m x h). Returns (m x 2h) = [h_t | c_t], where
+/// c_t = sigmoid(f)*c_prev + sigmoid(i)*tanh(g), h_t = sigmoid(o)*tanh(c_t).
+Var LstmCellOp(const Var& gates, const Var& c_prev);
+
+/// Fused GRU cell. gi, gh: (m x 3h) preactivations in order [r z n];
+/// h_prev: (m x h). Returns h_t = (1-z)*n + z*h_prev with
+/// r = sigmoid(gi_r + gh_r), z = sigmoid(gi_z + gh_z),
+/// n = tanh(gi_n + r*gh_n).
+Var GruCellOp(const Var& gi, const Var& gh, const Var& h_prev);
 
 }  // namespace tpr::nn
 

@@ -45,9 +45,8 @@ Linear::Linear(int in_features, int out_features, Rng& rng, bool bias)
 }
 
 Var Linear::Forward(const Var& x) const {
-  Var y = MatMul(x, weight_);
-  if (bias_.defined()) y = AddRow(y, bias_);
-  return y;
+  if (bias_.defined()) return Affine(x, weight_, bias_);
+  return MatMul(x, weight_);
 }
 
 std::vector<Var> Linear::Parameters() const {
@@ -93,17 +92,15 @@ Var LstmLayer::Forward(const Var& sequence) const {
   const int h = hidden_size_;
   Var h_prev = Var::Leaf(Tensor(1, h));
   Var c_prev = Var::Leaf(Tensor(1, h));
-  std::vector<Var> outputs;
+  kern::ArenaVector<Var> outputs;
   outputs.reserve(steps);
   for (int t = 0; t < steps; ++t) {
     Var row_t = SliceRow(sequence, t);
-    Var gates = AddRow(Add(MatMul(row_t, w_ih_), MatMul(h_prev, w_hh_)), bias_);
-    Var i_g = Sigmoid(SliceCols(gates, 0, h));
-    Var f_g = Sigmoid(SliceCols(gates, h, h));
-    Var g_g = Tanh(SliceCols(gates, 2 * h, h));
-    Var o_g = Sigmoid(SliceCols(gates, 3 * h, h));
-    Var c_t = Add(Mul(f_g, c_prev), Mul(i_g, g_g));
-    Var h_t = Mul(o_g, Tanh(c_t));
+    Var gates = AffineSum(row_t, w_ih_, h_prev, w_hh_, bias_);
+    // Fused cell: [h_t | c_t] in one node instead of ten.
+    Var hc = LstmCellOp(gates, c_prev);
+    Var h_t = SliceCols(hc, 0, h);
+    Var c_t = SliceCols(hc, h, h);
     outputs.push_back(h_t);
     h_prev = h_t;
     c_prev = c_t;
@@ -155,18 +152,15 @@ Var GruLayer::Forward(const Var& sequence) const {
   const int steps = sequence.rows();
   const int h = hidden_size_;
   Var h_prev = Var::Leaf(Tensor(1, h));
-  std::vector<Var> outputs;
+  kern::ArenaVector<Var> outputs;
   outputs.reserve(steps);
   for (int t = 0; t < steps; ++t) {
     Var row_t = SliceRow(sequence, t);
-    Var gi = AddRow(MatMul(row_t, w_ih_), b_ih_);
-    Var gh = AddRow(MatMul(h_prev, w_hh_), b_hh_);
-    Var r = Sigmoid(Add(SliceCols(gi, 0, h), SliceCols(gh, 0, h)));
-    Var z = Sigmoid(Add(SliceCols(gi, h, h), SliceCols(gh, h, h)));
-    Var n = Tanh(Add(SliceCols(gi, 2 * h, h),
-                     Mul(r, SliceCols(gh, 2 * h, h))));
-    // h_t = (1 - z) * n + z * h_prev
-    Var h_t = Add(Sub(n, Mul(z, n)), Mul(z, h_prev));
+    Var gi = Affine(row_t, w_ih_, b_ih_);
+    Var gh = Affine(h_prev, w_hh_, b_hh_);
+    // Fused cell: h_t = (1 - z) * n + z * h_prev with r/z/n computed
+    // in one pass over the gate preactivations.
+    Var h_t = GruCellOp(gi, gh, h_prev);
     outputs.push_back(h_t);
     h_prev = h_t;
   }

@@ -2,120 +2,72 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "kern/kern.h"
 
 namespace tpr::nn {
 
-Tensor Tensor::RowVector(std::vector<float> values) {
-  Tensor t;
-  t.rows_ = 1;
-  t.cols_ = static_cast<int>(values.size());
-  t.data_ = std::move(values);
-  return t;
-}
-
-Tensor Tensor::FromValues(int rows, int cols, std::vector<float> values) {
-  TPR_CHECK(static_cast<size_t>(rows) * cols == values.size());
+Tensor Tensor::Uninitialized(int rows, int cols) {
+  TPR_CHECK(rows >= 0 && cols >= 0);
   Tensor t;
   t.rows_ = rows;
   t.cols_ = cols;
-  t.data_ = std::move(values);
+  t.data_ = kern::FloatBuffer(static_cast<size_t>(rows) * cols);
   return t;
 }
 
-void Tensor::Fill(float v) {
-  for (auto& x : data_) x = v;
+Tensor Tensor::RowVector(const std::vector<float>& values) {
+  return FromValues(1, static_cast<int>(values.size()), values);
 }
+
+Tensor Tensor::FromValues(int rows, int cols,
+                          const std::vector<float>& values) {
+  TPR_CHECK(static_cast<size_t>(rows) * cols == values.size());
+  Tensor t = Uninitialized(rows, cols);
+  if (!values.empty()) {
+    std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  }
+  return t;
+}
+
+void Tensor::Fill(float v) { data_.Fill(v); }
 
 float Tensor::Sum() const {
   float s = 0.0f;
-  for (float x : data_) s += x;
+  const float* d = data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) s += d[i];
   return s;
 }
 
 float Tensor::Norm() const {
   double s = 0.0;
-  for (float x : data_) s += static_cast<double>(x) * x;
+  const float* d = data_.data();
+  for (size_t i = 0; i < data_.size(); ++i) {
+    s += static_cast<double>(d[i]) * d[i];
+  }
   return static_cast<float>(std::sqrt(s));
 }
-
-namespace {
-
-// Cache-blocking tile (floats). 64x64 fp32 tiles of a and b together fit
-// comfortably in a 32 KiB L1. Each kernel keeps the per-output-element
-// accumulation order of the naive loop, so results are bit-identical.
-constexpr int kTile = 64;
-
-}  // namespace
 
 void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   TPR_CHECK(a.cols() == b.rows());
   TPR_CHECK(out.rows() == a.rows() && out.cols() == b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  // Blocked i-k-j: for each (j, kk) tile, the touched rows of b stay hot
-  // in cache while every row of a streams through. kk remains increasing
-  // for each output element.
-  for (int j0 = 0; j0 < n; j0 += kTile) {
-    const int j1 = std::min(n, j0 + kTile);
-    for (int k0 = 0; k0 < k; k0 += kTile) {
-      const int k1 = std::min(k, k0 + kTile);
-      for (int i = 0; i < m; ++i) {
-        float* out_row = out.data() + static_cast<size_t>(i) * n;
-        const float* a_row = a.data() + static_cast<size_t>(i) * k;
-        for (int kk = k0; kk < k1; ++kk) {
-          const float av = a_row[kk];
-          if (av == 0.0f) continue;
-          const float* b_row = b.data() + static_cast<size_t>(kk) * n;
-          for (int j = j0; j < j1; ++j) out_row[j] += av * b_row[j];
-        }
-      }
-    }
-  }
+  kern::GemmAcc(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                b.cols());
 }
 
 void MatMulTransAAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   TPR_CHECK(a.rows() == b.rows());
   TPR_CHECK(out.rows() == a.cols() && out.cols() == b.cols());
-  const int k = a.rows(), m = a.cols(), n = b.cols();
-  // Blocked over (i, j) output tiles with the full kk sweep innermost-
-  // but-two, so each out tile stays resident while a and b stream.
-  for (int i0 = 0; i0 < m; i0 += kTile) {
-    const int i1 = std::min(m, i0 + kTile);
-    for (int j0 = 0; j0 < n; j0 += kTile) {
-      const int j1 = std::min(n, j0 + kTile);
-      for (int kk = 0; kk < k; ++kk) {
-        const float* a_row = a.data() + static_cast<size_t>(kk) * m;
-        const float* b_row = b.data() + static_cast<size_t>(kk) * n;
-        for (int i = i0; i < i1; ++i) {
-          const float av = a_row[i];
-          if (av == 0.0f) continue;
-          float* out_row = out.data() + static_cast<size_t>(i) * n;
-          for (int j = j0; j < j1; ++j) out_row[j] += av * b_row[j];
-        }
-      }
-    }
-  }
+  kern::GemmTransAAcc(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                      b.cols());
 }
 
 void MatMulTransBAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   TPR_CHECK(a.cols() == b.cols());
   TPR_CHECK(out.rows() == a.rows() && out.cols() == b.rows());
-  const int m = a.rows(), k = a.cols(), n = b.rows();
-  // Blocked over j: the tile's rows of b (kTile * k floats) are reused
-  // across every row of a. The full-k dot per output element keeps the
-  // naive summation order.
-  for (int j0 = 0; j0 < n; j0 += kTile) {
-    const int j1 = std::min(n, j0 + kTile);
-    for (int i = 0; i < m; ++i) {
-      const float* a_row = a.data() + static_cast<size_t>(i) * k;
-      float* out_row = out.data() + static_cast<size_t>(i) * n;
-      for (int j = j0; j < j1; ++j) {
-        const float* b_row = b.data() + static_cast<size_t>(j) * k;
-        float s = 0.0f;
-        for (int kk = 0; kk < k; ++kk) s += a_row[kk] * b_row[kk];
-        out_row[j] += s;
-      }
-    }
-  }
+  kern::GemmTransBAcc(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                      b.rows());
 }
 
 }  // namespace tpr::nn

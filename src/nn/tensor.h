@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "kern/arena.h"
 #include "util/logging.h"
 
 namespace tpr::nn {
@@ -11,20 +12,28 @@ namespace tpr::nn {
 /// A dense, row-major, 2-D float tensor (rows x cols). Rank-1 data is
 /// represented as a 1 x n row vector. This is the storage type underlying
 /// the autograd engine; it is a plain value type with copy semantics.
+/// Storage comes from the thread-local caching arena (kern/arena.h), so
+/// steady-state training recycles buffers instead of touching the heap.
 class Tensor {
  public:
   Tensor() : rows_(0), cols_(0) {}
   Tensor(int rows, int cols, float fill = 0.0f)
       : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * cols, fill) {
+        data_(static_cast<size_t>(rows) * cols) {
     TPR_CHECK(rows >= 0 && cols >= 0);
+    data_.Fill(fill);
   }
 
+  /// Builds a rows x cols tensor without initialising its elements.
+  /// Only for callers that overwrite every element before reading.
+  static Tensor Uninitialized(int rows, int cols);
+
   /// Builds a 1 x n row vector from the given values.
-  static Tensor RowVector(std::vector<float> values);
+  static Tensor RowVector(const std::vector<float>& values);
 
   /// Builds a rows x cols tensor from row-major values.
-  static Tensor FromValues(int rows, int cols, std::vector<float> values);
+  static Tensor FromValues(int rows, int cols,
+                           const std::vector<float>& values);
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
@@ -60,10 +69,11 @@ class Tensor {
  private:
   int rows_;
   int cols_;
-  std::vector<float> data_;
+  kern::FloatBuffer data_;
 };
 
 /// out += a * b (matrix product). Shapes: (m x k) * (k x n) -> (m x n).
+/// Dispatches to the active kern GEMM kernel (see kern/kern.h).
 void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
 
 /// out += a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).

@@ -37,6 +37,24 @@ inline bool MetricsEnabled() {
 /// where — or whether — the exit snapshot is written.
 void SetMetricsEnabled(bool enabled);
 
+/// Enables recording for a scope and restores the previous state on
+/// exit. The flag is process-global, so scopes on concurrent threads
+/// still interleave — this only makes the common test/bench pattern
+/// (enable, measure, restore) exception-safe.
+class ScopedMetricsEnabled {
+ public:
+  explicit ScopedMetricsEnabled(bool enabled = true)
+      : previous_(MetricsEnabled()) {
+    SetMetricsEnabled(enabled);
+  }
+  ~ScopedMetricsEnabled() { SetMetricsEnabled(previous_); }
+  ScopedMetricsEnabled(const ScopedMetricsEnabled&) = delete;
+  ScopedMetricsEnabled& operator=(const ScopedMetricsEnabled&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Monotonically increasing event count.
 class Counter {
  public:

@@ -180,6 +180,50 @@ void ThreadPool::RunForChunk(const std::shared_ptr<ForState>& state) {
   }
 }
 
+void ThreadPool::RunOnAllWorkers(const std::function<void(int)>& fn) {
+  if (InsidePool() || num_threads_ == 1) {
+    fn(WorkerIndex());
+    return;
+  }
+  // Each worker claims one slot, then waits until every worker has one:
+  // the rendezvous guarantees no worker runs fn twice even though the
+  // queue does not address threads directly.
+  struct Rendezvous {
+    std::mutex m;
+    std::condition_variable cv;
+    int arrived = 0;
+    int expected = 0;
+  };
+  auto rv = std::make_shared<Rendezvous>();
+  rv->expected = num_threads_ - 1;
+  // Workers hold their own copy of fn so a caller-side exception can
+  // never leave them with a dangling reference.
+  auto shared_fn = std::make_shared<const std::function<void(int)>>(fn);
+  std::vector<std::future<void>> futs;
+  futs.reserve(rv->expected);
+  for (int w = 0; w < rv->expected; ++w) {
+    futs.push_back(Submit([rv, shared_fn] {
+      {
+        std::unique_lock<std::mutex> lock(rv->m);
+        if (++rv->arrived == rv->expected) {
+          rv->cv.notify_all();
+        } else {
+          rv->cv.wait(lock, [&] { return rv->arrived == rv->expected; });
+        }
+      }
+      (*shared_fn)(WorkerIndex());
+    }));
+  }
+  std::exception_ptr caller_error;
+  try {
+    fn(0);  // the caller participates as slot 0
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  for (auto& f : futs) f.get();
+  if (caller_error) std::rethrow_exception(caller_error);
+}
+
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
   if (InsidePool() || num_threads_ == 1 || n == 1) {

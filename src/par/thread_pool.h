@@ -48,6 +48,16 @@ class ThreadPool {
   /// inline on the current thread.
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
+  /// Runs fn(worker_index) exactly once on EVERY thread of the pool —
+  /// each background worker plus the calling thread — and blocks until
+  /// all have finished. Unlike ParallelFor, placement is by thread, not
+  /// by dynamic index claim, so this is the tool for maintaining
+  /// per-thread state (trimming thread-local arenas, flushing caches).
+  /// The workers rendezvous inside the call, so it must not run
+  /// concurrently with other pool work. Called from inside a pool task
+  /// it degrades to fn(WorkerIndex()) on the current thread only.
+  void RunOnAllWorkers(const std::function<void(int)>& fn);
+
   /// Enqueues a task and returns its future. When called from inside a
   /// pool worker the task runs inline (nested-submit safety) and the
   /// returned future is already ready.

@@ -1,0 +1,619 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "gradcheck.h"
+#include "kern/arena.h"
+#include "kern/kern.h"
+#include "nn/autograd.h"
+#include "nn/modules.h"
+#include "nn/tensor.h"
+#include "par/thread_pool.h"
+#include "util/rng.h"
+
+namespace tpr::kern {
+namespace {
+
+// Pins the active kernel for one test and restores the previous one on
+// exit, so test order never leaks a kernel choice.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(Kernel k) : previous_(ActiveKernel()) { SetKernel(k); }
+  ~ScopedKernel() { SetKernel(previous_); }
+
+ private:
+  Kernel previous_;
+};
+
+std::vector<float> RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.Gaussian());
+  return v;
+}
+
+void ExpectNearRel(const std::vector<float>& a, const std::vector<float>& b,
+                   float rel_tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const float scale = std::max(1.0f, std::fabs(b[i]));
+    EXPECT_NEAR(a[i], b[i], rel_tol * scale) << "at flat index " << i;
+  }
+}
+
+using GemmFn = void (*)(const float*, const float*, float*, int, int, int);
+
+// Runs one GEMM variant under `k` and returns the accumulated output
+// (seeded with a nonzero pattern so += semantics are exercised).
+std::vector<float> RunGemm(GemmFn fn, Kernel k, const std::vector<float>& a,
+                           const std::vector<float>& b, int d0, int d1,
+                           int d2, size_t out_n) {
+  ScopedKernel pin(k);
+  std::vector<float> out(out_n);
+  for (size_t i = 0; i < out_n; ++i) out[i] = 0.25f * static_cast<float>(i % 7);
+  fn(a.data(), b.data(), out.data(), d0, d1, d2);
+  return out;
+}
+
+// Shapes chosen to hit every code path of the avx2 microkernels: full
+// 16-column panels, the 8-column tail, the scalar column tail, 4-row
+// tiles, 1-3 row tails, packed (m >= 8, n >= 16) and unpacked panels,
+// and empty extents.
+struct GemmShape {
+  int m, k, n;
+};
+const GemmShape kShapes[] = {
+    {1, 1, 1},   {1, 7, 1},   {3, 5, 7},    {4, 16, 16}, {5, 17, 23},
+    {8, 32, 16}, {9, 33, 17}, {16, 64, 48}, {1, 64, 9},  {2, 3, 31},
+    {7, 8, 8},   {12, 1, 40}, {4, 0, 8},    {0, 5, 8},   {6, 5, 0},
+};
+
+TEST(GemmParityTest, GemmAccAvx2MatchesScalar) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  for (const auto& s : kShapes) {
+    const auto a = RandomVec(static_cast<size_t>(s.m) * s.k, 11);
+    const auto b = RandomVec(static_cast<size_t>(s.k) * s.n, 22);
+    const size_t on = static_cast<size_t>(s.m) * s.n;
+    const auto sc = RunGemm(&GemmAcc, Kernel::kScalar, a, b, s.m, s.k, s.n, on);
+    const auto vx = RunGemm(&GemmAcc, Kernel::kAvx2, a, b, s.m, s.k, s.n, on);
+    SCOPED_TRACE(::testing::Message()
+                 << "m=" << s.m << " k=" << s.k << " n=" << s.n);
+    ExpectNearRel(vx, sc, 1e-5f);
+  }
+}
+
+TEST(GemmParityTest, GemmTransAAccAvx2MatchesScalar) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  for (const auto& s : kShapes) {
+    // a is k x m here (transposed operand).
+    const auto a = RandomVec(static_cast<size_t>(s.k) * s.m, 33);
+    const auto b = RandomVec(static_cast<size_t>(s.k) * s.n, 44);
+    const size_t on = static_cast<size_t>(s.m) * s.n;
+    const auto sc =
+        RunGemm(&GemmTransAAcc, Kernel::kScalar, a, b, s.k, s.m, s.n, on);
+    const auto vx =
+        RunGemm(&GemmTransAAcc, Kernel::kAvx2, a, b, s.k, s.m, s.n, on);
+    SCOPED_TRACE(::testing::Message()
+                 << "m=" << s.m << " k=" << s.k << " n=" << s.n);
+    ExpectNearRel(vx, sc, 1e-5f);
+  }
+}
+
+TEST(GemmParityTest, GemmTransBAccAvx2MatchesScalar) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  for (const auto& s : kShapes) {
+    const auto a = RandomVec(static_cast<size_t>(s.m) * s.k, 55);
+    // b is n x k here (transposed operand).
+    const auto b = RandomVec(static_cast<size_t>(s.n) * s.k, 66);
+    const size_t on = static_cast<size_t>(s.m) * s.n;
+    const auto sc =
+        RunGemm(&GemmTransBAcc, Kernel::kScalar, a, b, s.m, s.k, s.n, on);
+    const auto vx =
+        RunGemm(&GemmTransBAcc, Kernel::kAvx2, a, b, s.m, s.k, s.n, on);
+    SCOPED_TRACE(::testing::Message()
+                 << "m=" << s.m << " k=" << s.k << " n=" << s.n);
+    ExpectNearRel(vx, sc, 1e-5f);
+  }
+}
+
+TEST(GemmParityTest, GemmAccMatchesNaiveReference) {
+  // The scalar kernel is the reproducibility anchor, so pin it against a
+  // textbook triple loop at one awkward shape.
+  const int m = 5, k = 13, n = 19;
+  const auto a = RandomVec(static_cast<size_t>(m) * k, 77);
+  const auto b = RandomVec(static_cast<size_t>(k) * n, 88);
+  std::vector<float> ref(static_cast<size_t>(m) * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (int kk = 0; kk < k; ++kk) {
+        s += a[static_cast<size_t>(i) * k + kk] *
+             b[static_cast<size_t>(kk) * n + j];
+      }
+      ref[static_cast<size_t>(i) * n + j] = s;
+    }
+  }
+  ScopedKernel pin(Kernel::kScalar);
+  std::vector<float> out(static_cast<size_t>(m) * n, 0.0f);
+  GemmAcc(a.data(), b.data(), out.data(), m, k, n);
+  ExpectNearRel(out, ref, 1e-5f);
+}
+
+TEST(GemmParityTest, EachKernelIsBitwiseDeterministic) {
+  const int m = 9, k = 33, n = 17;
+  const auto a = RandomVec(static_cast<size_t>(m) * k, 99);
+  const auto b = RandomVec(static_cast<size_t>(k) * n, 111);
+  const size_t on = static_cast<size_t>(m) * n;
+  for (Kernel kr : {Kernel::kScalar, Kernel::kAvx2}) {
+    if (kr == Kernel::kAvx2 && !CpuSupportsAvx2()) continue;
+    const auto r1 = RunGemm(&GemmAcc, kr, a, b, m, k, n, on);
+    const auto r2 = RunGemm(&GemmAcc, kr, a, b, m, k, n, on);
+    EXPECT_EQ(0, std::memcmp(r1.data(), r2.data(), on * sizeof(float)))
+        << KernelName(kr) << " is not run-to-run bitwise stable";
+  }
+}
+
+TEST(ElementwiseParityTest, FusedActivationsMatchScalar) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  for (int n : {1, 7, 15, 16, 17, 64, 100}) {
+    const auto x = RandomVec(n, 7);
+    const auto b = RandomVec(n, 8);
+    std::vector<float> sig_sc(n), sig_vx(n), tanh_sc(n), tanh_vx(n);
+    {
+      ScopedKernel pin(Kernel::kScalar);
+      AddSigmoid(x.data(), b.data(), sig_sc.data(), n);
+      AddTanh(x.data(), b.data(), tanh_sc.data(), n);
+    }
+    {
+      ScopedKernel pin(Kernel::kAvx2);
+      AddSigmoid(x.data(), b.data(), sig_vx.data(), n);
+      AddTanh(x.data(), b.data(), tanh_vx.data(), n);
+    }
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    ExpectNearRel(sig_vx, sig_sc, 1e-6f);
+    ExpectNearRel(tanh_vx, tanh_sc, 1e-6f);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(sig_sc[i], SigmoidScalar(x[i] + b[i]), 1e-7f);
+      EXPECT_NEAR(tanh_sc[i], std::tanh(x[i] + b[i]), 1e-6f);
+    }
+  }
+}
+
+TEST(ElementwiseParityTest, AccumulatorsMatchScalar) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this CPU";
+  for (int n : {1, 9, 16, 31, 200}) {
+    const auto a = RandomVec(n, 3);
+    const auto b = RandomVec(n, 4);
+    const auto seed = RandomVec(n, 5);
+    std::vector<float> had_sc = seed, had_vx = seed;
+    std::vector<float> axpy_sc = seed, axpy_vx = seed;
+    std::vector<float> add_sc = seed, add_vx = seed;
+    {
+      ScopedKernel pin(Kernel::kScalar);
+      HadamardAcc(a.data(), b.data(), had_sc.data(), n);
+      AxpyAcc(-1.5f, a.data(), axpy_sc.data(), n);
+      AddAcc(a.data(), add_sc.data(), n);
+    }
+    {
+      ScopedKernel pin(Kernel::kAvx2);
+      HadamardAcc(a.data(), b.data(), had_vx.data(), n);
+      AxpyAcc(-1.5f, a.data(), axpy_vx.data(), n);
+      AddAcc(a.data(), add_vx.data(), n);
+    }
+    SCOPED_TRACE(::testing::Message() << "n=" << n);
+    ExpectNearRel(had_vx, had_sc, 1e-6f);
+    ExpectNearRel(axpy_vx, axpy_sc, 1e-6f);
+    ExpectNearRel(add_vx, add_sc, 1e-6f);
+  }
+}
+
+TEST(DispatchTest, ResolveKernelSpec) {
+  EXPECT_EQ(ResolveKernelSpec("scalar"), Kernel::kScalar);
+  const Kernel auto_kernel =
+      CpuSupportsAvx2() ? Kernel::kAvx2 : Kernel::kScalar;
+  EXPECT_EQ(ResolveKernelSpec("auto"), auto_kernel);
+  EXPECT_EQ(ResolveKernelSpec(""), auto_kernel);
+  EXPECT_EQ(ResolveKernelSpec(nullptr), auto_kernel);
+  if (CpuSupportsAvx2()) {
+    EXPECT_EQ(ResolveKernelSpec("avx2"), Kernel::kAvx2);
+  }
+}
+
+TEST(DispatchTest, KernelNames) {
+  EXPECT_STREQ(KernelName(Kernel::kScalar), "scalar");
+  EXPECT_STREQ(KernelName(Kernel::kAvx2), "avx2");
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(DispatchDeathTest, UnknownSpecIsFatal) {
+  EXPECT_DEATH(ResolveKernelSpec("sse9"), "TPR_KERNEL");
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Fused autograd ops: forward equivalence against the unfused
+// composition, and numeric gradient checks, both under each kernel.
+// ---------------------------------------------------------------------------
+
+void CheckGradient(nn::Var param, const std::function<nn::Var()>& loss_fn,
+                   float tolerance = 2e-2f) {
+  nn::Var loss = loss_fn();
+  param.ZeroGrad();
+  loss.Backward();
+  nn::Tensor analytic = param.grad();
+  ASSERT_FALSE(analytic.empty());
+
+  const float eps = 1e-3f;
+  nn::Tensor& value = param.mutable_value();
+  for (size_t i = 0; i < value.size(); ++i) {
+    const float original = value[i];
+    value[i] = original + eps;
+    const float up = loss_fn().scalar();
+    value[i] = original - eps;
+    const float down = loss_fn().scalar();
+    value[i] = original;
+    const float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tolerance * std::max(1.0f, std::fabs(numeric)))
+        << "at element " << i;
+  }
+}
+
+nn::Var RandomLeaf(int rows, int cols, uint64_t seed) {
+  auto v = RandomVec(static_cast<size_t>(rows) * cols, seed);
+  return nn::Var::Leaf(nn::Tensor::FromValues(rows, cols, std::move(v)),
+                       /*requires_grad=*/true);
+}
+
+std::vector<Kernel> KernelsUnderTest() {
+  std::vector<Kernel> ks = {Kernel::kScalar};
+  if (CpuSupportsAvx2()) ks.push_back(Kernel::kAvx2);
+  return ks;
+}
+
+TEST(FusedOpTest, AffineMatchesUnfusedComposition) {
+  for (Kernel k : KernelsUnderTest()) {
+    ScopedKernel pin(k);
+    nn::Var x = RandomLeaf(3, 5, 1);
+    nn::Var w = RandomLeaf(5, 7, 2);
+    nn::Var b = RandomLeaf(1, 7, 3);
+    const nn::Tensor fused = nn::Affine(x, w, b).value();
+    const nn::Tensor unfused = nn::AddRow(nn::MatMul(x, w), b).value();
+    ASSERT_EQ(fused.size(), unfused.size());
+    for (size_t i = 0; i < fused.size(); ++i) {
+      EXPECT_NEAR(fused[i], unfused[i],
+                  1e-5f * std::max(1.0f, std::fabs(unfused[i])))
+          << KernelName(k) << " element " << i;
+    }
+  }
+}
+
+TEST(FusedOpTest, AffineSumMatchesUnfusedComposition) {
+  for (Kernel k : KernelsUnderTest()) {
+    ScopedKernel pin(k);
+    nn::Var x1 = RandomLeaf(4, 6, 4);
+    nn::Var w1 = RandomLeaf(6, 9, 5);
+    nn::Var x2 = RandomLeaf(4, 3, 6);
+    nn::Var w2 = RandomLeaf(3, 9, 7);
+    nn::Var b = RandomLeaf(1, 9, 8);
+    const nn::Tensor fused = nn::AffineSum(x1, w1, x2, w2, b).value();
+    const nn::Tensor unfused =
+        nn::AddRow(nn::Add(nn::MatMul(x1, w1), nn::MatMul(x2, w2)), b).value();
+    ASSERT_EQ(fused.size(), unfused.size());
+    for (size_t i = 0; i < fused.size(); ++i) {
+      EXPECT_NEAR(fused[i], unfused[i],
+                  1e-5f * std::max(1.0f, std::fabs(unfused[i])))
+          << KernelName(k) << " element " << i;
+    }
+  }
+}
+
+TEST(FusedOpTest, LstmCellMatchesUnfusedComposition) {
+  const int m = 3, h = 4;
+  for (Kernel k : KernelsUnderTest()) {
+    ScopedKernel pin(k);
+    nn::Var gates = RandomLeaf(m, 4 * h, 9);
+    nn::Var c_prev = RandomLeaf(m, h, 10);
+    const nn::Tensor fused = nn::LstmCellOp(gates, c_prev).value();
+    nn::Var i = nn::Sigmoid(nn::SliceCols(gates, 0, h));
+    nn::Var f = nn::Sigmoid(nn::SliceCols(gates, h, h));
+    nn::Var g = nn::Tanh(nn::SliceCols(gates, 2 * h, h));
+    nn::Var o = nn::Sigmoid(nn::SliceCols(gates, 3 * h, h));
+    nn::Var c = nn::Add(nn::Mul(f, c_prev), nn::Mul(i, g));
+    nn::Var ht = nn::Mul(o, nn::Tanh(c));
+    ASSERT_EQ(fused.rows(), m);
+    ASSERT_EQ(fused.cols(), 2 * h);
+    for (int r = 0; r < m; ++r) {
+      for (int cidx = 0; cidx < h; ++cidx) {
+        EXPECT_NEAR(fused.at(r, cidx), ht.value().at(r, cidx), 1e-5f)
+            << KernelName(k) << " h at " << r << "," << cidx;
+        EXPECT_NEAR(fused.at(r, h + cidx), c.value().at(r, cidx), 1e-5f)
+            << KernelName(k) << " c at " << r << "," << cidx;
+      }
+    }
+  }
+}
+
+TEST(FusedOpTest, GruCellMatchesUnfusedComposition) {
+  const int m = 3, h = 4;
+  for (Kernel k : KernelsUnderTest()) {
+    ScopedKernel pin(k);
+    nn::Var gi = RandomLeaf(m, 3 * h, 11);
+    nn::Var gh = RandomLeaf(m, 3 * h, 12);
+    nn::Var h_prev = RandomLeaf(m, h, 13);
+    const nn::Tensor fused = nn::GruCellOp(gi, gh, h_prev).value();
+    nn::Var r = nn::Sigmoid(
+        nn::Add(nn::SliceCols(gi, 0, h), nn::SliceCols(gh, 0, h)));
+    nn::Var z = nn::Sigmoid(
+        nn::Add(nn::SliceCols(gi, h, h), nn::SliceCols(gh, h, h)));
+    nn::Var n = nn::Tanh(nn::Add(nn::SliceCols(gi, 2 * h, h),
+                                 nn::Mul(r, nn::SliceCols(gh, 2 * h, h))));
+    nn::Var ht = nn::Add(nn::Sub(n, nn::Mul(z, n)), nn::Mul(z, h_prev));
+    ASSERT_EQ(fused.size(), ht.value().size());
+    for (size_t idx = 0; idx < fused.size(); ++idx) {
+      EXPECT_NEAR(fused[idx], ht.value()[idx], 1e-5f)
+          << KernelName(k) << " element " << idx;
+    }
+  }
+}
+
+TEST(FusedOpTest, AffineGradcheck) {
+  for (Kernel k : KernelsUnderTest()) {
+    ScopedKernel pin(k);
+    nn::Var x = RandomLeaf(3, 4, 14);
+    nn::Var w = RandomLeaf(4, 5, 15);
+    nn::Var b = RandomLeaf(1, 5, 16);
+    auto loss = [&] { return nn::Sum(nn::Tanh(nn::Affine(x, w, b))); };
+    CheckGradient(x, loss);
+    CheckGradient(w, loss);
+    CheckGradient(b, loss);
+  }
+}
+
+TEST(FusedOpTest, AffineSumGradcheck) {
+  for (Kernel k : KernelsUnderTest()) {
+    ScopedKernel pin(k);
+    nn::Var x1 = RandomLeaf(2, 3, 17);
+    nn::Var w1 = RandomLeaf(3, 4, 18);
+    nn::Var x2 = RandomLeaf(2, 5, 19);
+    nn::Var w2 = RandomLeaf(5, 4, 20);
+    nn::Var b = RandomLeaf(1, 4, 21);
+    auto loss = [&] {
+      return nn::Sum(nn::Sigmoid(nn::AffineSum(x1, w1, x2, w2, b)));
+    };
+    CheckGradient(x1, loss);
+    CheckGradient(w1, loss);
+    CheckGradient(x2, loss);
+    CheckGradient(w2, loss);
+    CheckGradient(b, loss);
+  }
+}
+
+TEST(FusedOpTest, LstmCellGradcheck) {
+  const int m = 2, h = 3;
+  for (Kernel k : KernelsUnderTest()) {
+    ScopedKernel pin(k);
+    nn::Var gates = RandomLeaf(m, 4 * h, 22);
+    nn::Var c_prev = RandomLeaf(m, h, 23);
+    auto loss = [&] { return nn::Sum(nn::LstmCellOp(gates, c_prev)); };
+    CheckGradient(gates, loss);
+    CheckGradient(c_prev, loss);
+  }
+}
+
+TEST(FusedOpTest, GruCellGradcheck) {
+  const int m = 2, h = 3;
+  for (Kernel k : KernelsUnderTest()) {
+    ScopedKernel pin(k);
+    nn::Var gi = RandomLeaf(m, 3 * h, 24);
+    nn::Var gh = RandomLeaf(m, 3 * h, 25);
+    nn::Var h_prev = RandomLeaf(m, h, 26);
+    auto loss = [&] { return nn::Sum(nn::GruCellOp(gi, gh, h_prev)); };
+    CheckGradient(gi, loss);
+    CheckGradient(gh, loss);
+    CheckGradient(h_prev, loss);
+  }
+}
+
+// The shared gradcheck.h sweep over whole modules, repeated under each
+// kernel: the fused cell ops inside LstmLayer/GruLayer and the Affine
+// inside Linear must keep their gradients correct on both code paths.
+TEST(FusedOpTest, ModuleGradcheckSweepUnderEachKernel) {
+  for (Kernel kr : KernelsUnderTest()) {
+    ScopedKernel pin(kr);
+    SCOPED_TRACE(KernelName(kr));
+    Rng rng(40);
+    {
+      nn::Lstm lstm(6, 5, 2, rng);
+      nn::Var x = RandomLeaf(4, 6, 41);
+      testing::ExpectGradientsMatch(
+          [&] { return nn::Sum(lstm.Forward(x)); }, lstm.Parameters());
+    }
+    {
+      nn::GruLayer gru(6, 5, rng);
+      nn::Var x = RandomLeaf(4, 6, 42);
+      testing::ExpectGradientsMatch(
+          [&] { return nn::Sum(gru.Forward(x)); }, gru.Parameters());
+    }
+    {
+      nn::Linear linear(6, 3, rng);
+      nn::Var x = RandomLeaf(4, 6, 43);
+      testing::ExpectGradientsMatch(
+          [&] { return nn::Sum(nn::Tanh(linear.Forward(x))); },
+          linear.Parameters());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena allocator.
+// ---------------------------------------------------------------------------
+
+TEST(ArenaTest, BucketRounding) {
+  EXPECT_EQ(ArenaBucketBytes(1), 64u);
+  EXPECT_EQ(ArenaBucketBytes(64), 64u);
+  EXPECT_EQ(ArenaBucketBytes(65), 128u);
+  EXPECT_EQ(ArenaBucketBytes(1000), 1024u);
+  EXPECT_EQ(ArenaBucketBytes(1024), 1024u);
+  EXPECT_EQ(ArenaBucketBytes(1025), 2048u);
+}
+
+TEST(ArenaTest, FreeListReuseSameBlock) {
+  constexpr size_t kBytes = 4096;
+  void* p1 = ArenaAlloc(kBytes);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p1) % 64, 0u) << "not 64-byte aligned";
+  ArenaFree(p1, kBytes);
+  const ArenaStats before = ThreadArenaStats();
+  void* p2 = ArenaAlloc(kBytes);
+  EXPECT_EQ(p2, p1) << "freed block was not recycled";
+  const ArenaStats after = ThreadArenaStats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.alloc_bytes, before.alloc_bytes)
+      << "recycled alloc fetched fresh system bytes";
+  ArenaFree(p2, kBytes);
+}
+
+TEST(ArenaTest, ZeroByteAllocIsNull) {
+  EXPECT_EQ(ArenaAlloc(0), nullptr);
+  ArenaFree(nullptr, 0);  // must be a no-op
+}
+
+TEST(ArenaTest, TrimReleasesCachedBlocks) {
+  // Park a distinctive block, then trim: the cached bytes must drop and
+  // the next allocation of that size must miss again.
+  constexpr size_t kBytes = 1u << 20;
+  ArenaFree(ArenaAlloc(kBytes), kBytes);
+  const ArenaStats cached = ThreadArenaStats();
+  EXPECT_GE(cached.cached_bytes, kBytes);
+  const uint64_t released = TrimThreadArena();
+  EXPECT_GE(released, kBytes);
+  const ArenaStats after = ThreadArenaStats();
+  EXPECT_EQ(after.cached_bytes, 0u);
+  EXPECT_EQ(after.cached_blocks, 0u);
+  const uint64_t misses_before = after.misses;
+  ArenaFree(ArenaAlloc(kBytes), kBytes);
+  EXPECT_EQ(ThreadArenaStats().misses, misses_before + 1);
+}
+
+TEST(ArenaTest, ManyCyclesStayInFreeList) {
+  TrimThreadArena();
+  const ArenaStats start = ThreadArenaStats();
+  for (int i = 0; i < 1000; ++i) {
+    void* p = ArenaAlloc(512);
+    ArenaFree(p, 512);
+  }
+  const ArenaStats end = ThreadArenaStats();
+  // First cycle misses, the other 999 hit the free list.
+  EXPECT_EQ(end.misses, start.misses + 1);
+  EXPECT_EQ(end.hits, start.hits + 999);
+}
+
+TEST(ArenaTest, PerThreadIsolationUnderPool) {
+  // Each pool thread allocates from its own arena: the total hit+miss
+  // delta across threads must equal the per-thread work, with no
+  // cross-thread double counting.
+  par::ThreadPool pool(3);
+  constexpr size_t kBytes = 3u << 16;
+  std::atomic<uint64_t> events{0};
+  pool.RunOnAllWorkers([&](int) {
+    const ArenaStats before = ThreadArenaStats();
+    void* p = ArenaAlloc(kBytes);
+    ASSERT_NE(p, nullptr);
+    ArenaFree(p, kBytes);
+    const ArenaStats after = ThreadArenaStats();
+    EXPECT_GE(after.cached_bytes, ArenaBucketBytes(kBytes));
+    events += (after.hits + after.misses) - (before.hits + before.misses);
+  });
+  EXPECT_EQ(events.load(), 3u);
+}
+
+TEST(ArenaTest, CrossThreadFreeTransfersOwnership) {
+  par::ThreadPool pool(2);
+  constexpr size_t kBytes = 5u << 16;  // rounds to a 512 KiB bucket
+  void* p = ArenaAlloc(kBytes);
+  ASSERT_NE(p, nullptr);
+  // The background worker frees a block allocated here; ownership must
+  // land on ITS free lists, not this thread's.
+  uint64_t worker_cached_delta = 0;
+  pool.Submit([&] {
+      const uint64_t before = ThreadArenaStats().cached_bytes;
+      ArenaFree(p, kBytes);
+      worker_cached_delta = ThreadArenaStats().cached_bytes - before;
+    }).get();
+  EXPECT_GE(worker_cached_delta, ArenaBucketBytes(kBytes));
+}
+
+TEST(ArenaTest, SteadyStateTrainingStepAllocatesNothing) {
+  // The tentpole claim: after warmup, a fixed-shape forward/backward
+  // step is served entirely from the free lists — zero fresh bytes from
+  // the system allocator. Single-threaded so ThreadArenaStats covers the
+  // whole graph.
+  nn::Var w1 = RandomLeaf(16, 32, 30);
+  nn::Var b1 = RandomLeaf(1, 32, 31);
+  nn::Var w2 = RandomLeaf(32, 8, 32);
+  nn::Var b2 = RandomLeaf(1, 8, 33);
+  nn::Var x = RandomLeaf(4, 16, 34);
+  auto step = [&] {
+    nn::Var h = nn::Tanh(nn::Affine(x, w1, b1));
+    nn::Var loss = nn::Sum(nn::Sigmoid(nn::Affine(h, w2, b2)));
+    w1.ZeroGrad();
+    b1.ZeroGrad();
+    w2.ZeroGrad();
+    b2.ZeroGrad();
+    loss.Backward();
+  };
+  for (int i = 0; i < 5; ++i) step();  // warm the free lists
+  const uint64_t alloc_before = ThreadArenaStats().alloc_bytes;
+  const uint64_t hits_before = ThreadArenaStats().hits;
+  for (int i = 0; i < 20; ++i) step();
+  const ArenaStats after = ThreadArenaStats();
+  EXPECT_EQ(after.alloc_bytes, alloc_before)
+      << "steady-state step fetched fresh bytes from the system";
+  EXPECT_GT(after.hits, hits_before) << "steady-state step bypassed the arena";
+}
+
+TEST(ArenaTest, FloatBufferValueSemantics) {
+  FloatBuffer a(8);
+  for (size_t i = 0; i < 8; ++i) a[i] = static_cast<float>(i);
+  FloatBuffer b = a;  // deep copy
+  b[0] = 42.0f;
+  EXPECT_FLOAT_EQ(a[0], 0.0f);
+  FloatBuffer c = std::move(a);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): testing move
+  EXPECT_EQ(c.size(), 8u);
+  EXPECT_FLOAT_EQ(c[7], 7.0f);
+  FloatBuffer empty;
+  empty.Fill(1.0f);  // no-op on empty, must not crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ArenaTest, ArenaFnInlineAndHeapCaptures) {
+  // Small capture: stored inline.
+  int small = 7;
+  ArenaFn<int()> f1 = [small] { return small + 1; };
+  EXPECT_TRUE(static_cast<bool>(f1));
+  EXPECT_EQ(f1(), 8);
+
+  // Oversized capture: spills to the arena and still survives moves.
+  struct Big {
+    float payload[128];
+  } big{};
+  big.payload[0] = 2.5f;
+  big.payload[127] = 4.5f;
+  ArenaFn<float()> f2 = [big] { return big.payload[0] + big.payload[127]; };
+  ArenaFn<float()> f3 = std::move(f2);
+  EXPECT_FALSE(static_cast<bool>(f2));  // NOLINT(bugprone-use-after-move)
+  EXPECT_FLOAT_EQ(f3(), 7.0f);
+
+  ArenaFn<int()> moved = std::move(f1);
+  EXPECT_EQ(moved(), 8);
+}
+
+}  // namespace
+}  // namespace tpr::kern
