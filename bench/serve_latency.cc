@@ -13,6 +13,24 @@
 //   recovery — plan cleared; the breaker drains its open window, probes,
 //              and re-closes, ending with full-rung service restored.
 //
+// Then three phases on fresh service instances comparing the legacy
+// per-request pipeline against the micro-batched one (tpr::batch) under
+// a saturating closed-loop load:
+//
+//   single          — batch_max=0 (per-request encodes), the throughput
+//                     baseline.
+//   batched         — batch_max from TPR_BATCH_MAX (default 32): padded
+//                     batch forwards plus duplicate-key coalescing. The
+//                     derived serve.batched.speedup_vs_single and
+//                     serve.batched.p99_gain ratios feed the
+//                     `bench_gate.py throughput` floor gate (they are
+//                     higher-is-better, so they stay OUT of the
+//                     lower-is-better baseline check).
+//   batched_faulted — the batched pipeline under the faulted-phase plan
+//                     plus batch-flush drops; its per-request rung
+//                     counters are deterministic (group-keyed verdicts)
+//                     and baseline-gated like the unbatched ones.
+//
 // The faulted-phase outcome counters are bitwise-deterministic (single
 // submitter, keyed fault verdicts, admission-order breaker fold — see
 // src/serve/service.h), so ci/bench_gate.py gates them exactly; wall
@@ -78,6 +96,18 @@ void Classify(const serve::ServeResult& result, PhaseStats* stats) {
   }
 }
 
+// Workload mix: hot_per_10 of every 10 requests re-request one of
+// hot_pool popular (path, departure) keys round-robin — the duplicate
+// traffic a production path service sees on commute corridors, and
+// exactly the shape the batch former's coalescing is built for. The
+// rest walk the sample set with a rotating departure jitter, so their
+// (path, bucket) keys practically never repeat inside a batch window.
+// The default (0) sends every request down the unique stream.
+struct TraceMix {
+  int hot_per_10 = 0;
+  int hot_pool = 0;
+};
+
 // Closed-loop submitter: keeps a small in-flight window so the workers
 // stay busy while per-request sojourn latency is still well defined.
 // Request ids are the loop index — replaying the phase replays the keyed
@@ -87,7 +117,8 @@ void Classify(const serve::ServeResult& result, PhaseStats* stats) {
 PhaseStats RunPhase(serve::InferenceService& service,
                     const std::vector<synth::TemporalPathSample>& samples,
                     const std::string& model_dir, int num_requests,
-                    int reload_every, size_t window = 8) {
+                    int reload_every, size_t window = 8,
+                    TraceMix mix = {}) {
   using Clock = std::chrono::steady_clock;
   struct Pending {
     Clock::time_point submitted;
@@ -111,15 +142,28 @@ PhaseStats RunPhase(serve::InferenceService& service,
   };
 
   Stopwatch sw;
+  int hot_seq = 0;
+  int uniq_seq = 0;
   for (int i = 0; i < num_requests; ++i) {
     if (reload_every > 0 && i > 0 && i % reload_every == 0) {
       (void)service.LoadModel(model_dir);  // failure keeps the old model
     }
-    const auto& sample = samples[static_cast<size_t>(i) % samples.size()];
     serve::PathQuery query;
-    query.path = sample.path;
-    // Walk across cache time buckets so rung 1 sees hits and misses.
-    query.depart_time_s = sample.depart_time_s + (i % 7) * 450;
+    if (mix.hot_per_10 > 0 && (i % 10) < mix.hot_per_10) {
+      const auto& sample =
+          samples[static_cast<size_t>(hot_seq++ % mix.hot_pool) %
+                  samples.size()];
+      query.path = sample.path;
+      // Fixed departure: every repeat shares the hot key's time bucket.
+      query.depart_time_s = sample.depart_time_s;
+    } else {
+      const auto& sample =
+          samples[static_cast<size_t>(uniq_seq) % samples.size()];
+      query.path = sample.path;
+      // Walk across cache time buckets so rung 1 sees hits and misses.
+      query.depart_time_s = sample.depart_time_s + (uniq_seq % 7) * 450;
+      ++uniq_seq;
+    }
     query.id = static_cast<uint64_t>(i + 1);
     auto submitted = service.Submit(std::move(query));
     if (!submitted.ok()) {
@@ -272,6 +316,100 @@ int main(int argc, char** argv) {
   TPR_CHECK(recovery.ok_full > 0);  // the breaker re-closed
 
   service.Shutdown();
+
+  // ---- Micro-batched pipeline: throughput comparison ----
+  // Fresh service per leg (their breaker/cache state must not leak), a
+  // deep queue, and a wide in-flight window so the submitter saturates
+  // the workers: the comparison measures encode throughput, not the
+  // submitter's round-trips.
+  fault::ClearPlan();
+  serve::ServiceConfig tput_config = config;
+  tput_config.queue_capacity = 512;
+  const int compare_requests = Smoke() ? 6400 : 20000;
+  const size_t tput_window = 256;
+  // Both legs replay the same duplicate-heavy trace: 9 of every 10
+  // requests cycle 8 hot (path, departure) keys. The single pipeline
+  // encodes every request regardless; the batched pipeline coalesces
+  // the repeats — that asymmetry is the feature under test.
+  const TraceMix tput_mix{/*hot_per_10=*/9, /*hot_pool=*/8};
+
+  std::fprintf(stderr, "[bench] single-pipeline throughput: %d requests...\n",
+               compare_requests);
+  PhaseStats single;
+  {
+    serve::InferenceService svc(city.features, encoder_config, tput_config);
+    TPR_CHECK(svc.LoadModel(model_dir).ok());
+    TPR_CHECK(svc.Start().ok());
+    single = RunPhase(svc, city.data->unlabeled, model_dir, compare_requests,
+                      /*reload_every=*/0, tput_window, tput_mix);
+    svc.Shutdown();
+  }
+  TPR_CHECK(single.ok() == single.requests);
+
+  serve::ServiceConfig batched_config = tput_config;
+  {
+    const batch::BatchConfig bc = batch::FromEnv();
+    batched_config.batch_max = bc.max_batch;
+    batched_config.batch_ticks = bc.max_ticks;
+  }
+  std::fprintf(stderr,
+               "[bench] batched throughput: %d requests (batch_max=%d)...\n",
+               compare_requests, batched_config.batch_max);
+  PhaseStats batched;
+  uint64_t batches = 0;
+  uint64_t coalesced = 0;
+  {
+    const uint64_t batches0 = obs::GetCounter("serve.batches").value();
+    const uint64_t coalesced0 =
+        obs::GetCounter("serve.batch_coalesced").value();
+    serve::InferenceService svc(city.features, encoder_config, batched_config);
+    TPR_CHECK(svc.LoadModel(model_dir).ok());
+    TPR_CHECK(svc.Start().ok());
+    batched = RunPhase(svc, city.data->unlabeled, model_dir, compare_requests,
+                       /*reload_every=*/0, tput_window, tput_mix);
+    svc.Shutdown();
+    batches = obs::GetCounter("serve.batches").value() - batches0;
+    coalesced = obs::GetCounter("serve.batch_coalesced").value() - coalesced0;
+  }
+  TPR_CHECK(batched.ok() == batched.requests);
+
+  const double single_rps =
+      single.seconds > 0 ? single.requests / single.seconds : 0.0;
+  const double batched_rps =
+      batched.seconds > 0 ? batched.requests / batched.seconds : 0.0;
+  const double speedup = single_rps > 0 ? batched_rps / single_rps : 0.0;
+  const double single_p99 = Percentile(single.latencies_ms, 0.99);
+  const double batched_p99 = Percentile(batched.latencies_ms, 0.99);
+  const double p99_gain = batched_p99 > 0 ? single_p99 / batched_p99 : 0.0;
+
+  // ---- Batched pipeline under faults ----
+  // The faulted-phase plan plus injected batch-flush drops. Batch
+  // COMPOSITION is wall-clock dependent (idle flushes), but every
+  // verdict is keyed by the request or its group hash, so the
+  // per-request rung counters below are deterministic and gated.
+  const std::string batched_spec =
+      env_spec != nullptr ? spec : spec + ";batch-flush:p=0.05";
+  std::fprintf(stderr,
+               "[bench] batched faulted phase: %d requests, plan \"%s\"...\n",
+               faulted_requests, batched_spec.c_str());
+  PhaseStats batched_faulted;
+  {
+    serve::InferenceService svc(city.features, encoder_config, batched_config);
+    TPR_CHECK(svc.LoadModel(model_dir).ok());
+    TPR_CHECK(svc.Start().ok());
+    auto bplan = fault::FaultPlan::Parse(batched_spec);
+    TPR_CHECK(bplan.ok()) << bplan.status().ToString();
+    fault::InstallPlan(std::move(*bplan));
+    batched_faulted =
+        RunPhase(svc, city.data->unlabeled, model_dir, faulted_requests,
+                 /*reload_every=*/faulted_requests / 4, tput_window, tput_mix);
+    fault::ClearPlan();
+    svc.Shutdown();
+  }
+  TPR_CHECK(batched_faulted.other_errors == 0);
+  TPR_CHECK(batched_faulted.ok() + batched_faulted.shed ==
+            batched_faulted.requests);
+
   std::filesystem::remove_all(model_dir);
 
   RecordPhase("serve.clean", clean);
@@ -289,6 +427,18 @@ int main(int argc, char** argv) {
   Record("serve.breaker_open_skips",
          static_cast<double>(
              obs::GetCounter("serve.breaker_open_skips").value() - skips0));
+  RecordPhase("serve.single", single);
+  RecordPhase("serve.batched", batched);
+  RecordPhase("serve.batched_faulted", batched_faulted);
+  // Higher-is-better ratios for the `bench_gate.py throughput` floor
+  // gate — deliberately NOT in bench_baseline.json, whose check is
+  // lower-is-better.
+  Record("serve.batched.speedup_vs_single", speedup);
+  Record("serve.batched.p99_gain", p99_gain);
+  // Informational (batch composition is wall-clock dependent): how much
+  // the former actually batched and coalesced.
+  Record("serve.batched.batches", static_cast<double>(batches));
+  Record("serve.batched.coalesced_requests", static_cast<double>(coalesced));
 
   std::printf("Inference service latency under deterministic faults\n");
   std::printf("fault plan: %s\n\n", spec.c_str());
@@ -298,6 +448,14 @@ int main(int argc, char** argv) {
   table.AddRow(PhaseRow("faulted", faulted));
   table.AddRow(PhaseRow("outage", outage));
   table.AddRow(PhaseRow("recovery", recovery));
+  table.AddRow(PhaseRow("single", single));
+  table.AddRow(PhaseRow("batched", batched));
+  table.AddRow(PhaseRow("batched_faulted", batched_faulted));
   std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "batched vs single: %.2fx req/s, p99 gain %.2fx "
+      "(%llu batches, %llu coalesced)\n",
+      speedup, p99_gain, static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(coalesced));
   return 0;
 }

@@ -18,6 +18,16 @@ Subcommands:
       the baseline but missing from the merged record is also a
       failure: losing coverage silently would defeat the gate.
 
+  throughput <merged.json> --bench <name> --gate METRIC:MIN[:DEGRADED] ...
+      Floor-gates higher-is-better ratio metrics (batched-serving
+      speedup, p99 gain) from one record of the merged smoke document.
+      These metrics are deliberately NOT in bench_baseline.json — the
+      check subcommand is lower-is-better-only. Each --gate names a
+      metric and its required floor, with an optional degraded floor
+      used when the runner has fewer cores than --threads (a saturated
+      single pipeline and a batched pipeline then contend for the same
+      core, compressing the measurable gap).
+
   speedup <timing.json> [--min-speedup 1.3]
       Gates the BENCH_parallel_training.json record written by
       run_benches.sh full mode: identical_metrics must be true (the
@@ -91,10 +101,17 @@ def cmd_check(args):
             ok = value <= limit
             rows.append((bench, metric, base, value, tol, ok))
             if not ok:
-                failures.append(
-                    f"{bench}/{metric}: {value:.6g} exceeds baseline "
-                    f"{base:.6g} by more than {tol:.0%}"
-                )
+                if base != 0:
+                    delta = value / base - 1.0
+                    failures.append(
+                        f"{bench}/{metric}: {value:.6g} vs baseline "
+                        f"{base:.6g} ({delta:+.1%} > allowed +{tol:.0%})"
+                    )
+                else:
+                    failures.append(
+                        f"{bench}/{metric}: {value:.6g} vs baseline 0 "
+                        f"(any increase regresses)"
+                    )
 
     width = max((len(f"{b}/{m}") for b, m, *_ in rows), default=20)
     print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  "
@@ -109,6 +126,63 @@ def cmd_check(args):
             print(f"  {f_}", file=sys.stderr)
         return 1
     print(f"\nbench_gate: all {len(rows)} gated metrics within tolerance")
+    return 0
+
+
+def parse_gate(spec):
+    """METRIC:MIN[:DEGRADED] -> (metric, min_floor, degraded_floor)."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"bad --gate {spec!r}: expected METRIC:MIN[:DEGRADED]")
+    try:
+        floor = float(parts[1])
+        degraded = float(parts[2]) if len(parts) == 3 else floor
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(f"bad --gate {spec!r}: {e}")
+    return parts[0], floor, degraded
+
+
+def cmd_throughput(args):
+    current = load_records(args.merged)
+    rec = current.get(args.bench)
+    if rec is None:
+        print(f"bench_gate: bench {args.bench!r} missing from {args.merged}",
+              file=sys.stderr)
+        return 1
+
+    cores = os.cpu_count() or 1
+    degraded_runner = cores < args.threads
+    if degraded_runner:
+        mode = (f"{cores} core(s) < {args.threads} workers: degraded floors "
+                "(pipelines contend for the same cores)")
+    else:
+        mode = f"{cores} cores >= {args.threads} workers: full floors"
+    print(f"bench_gate throughput: bench={args.bench} cores={cores} ({mode})")
+
+    failures = []
+    for metric, floor, degraded in args.gate:
+        required = degraded if degraded_runner else floor
+        raw = rec.get("metrics", {}).get(metric)
+        if raw is None:
+            failures.append(f"{metric}: missing from {args.bench} record")
+            print(f"  {metric:<32} MISSING (floor {required:.2f})")
+            continue
+        value = float(raw)
+        ok = value >= required
+        print(f"  {metric:<32} {value:>8.3f}  floor {required:.2f}  "
+              f"{'ok' if ok else 'BELOW FLOOR'}")
+        if not ok:
+            failures.append(
+                f"{metric}: {value:.3f} below required {required:.2f} ({mode})"
+            )
+
+    if failures:
+        print(f"\nbench_gate: {len(failures)} failure(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nbench_gate: all {len(args.gate)} throughput floor(s) cleared")
     return 0
 
 
@@ -170,6 +244,19 @@ def main():
     p_check.add_argument("--tolerance", type=float, default=0.25,
                          help="default relative tolerance (default 0.25)")
     p_check.set_defaults(func=cmd_check)
+
+    p_tput = sub.add_parser(
+        "throughput", help="floor-gate higher-is-better ratio metrics")
+    p_tput.add_argument("merged", help="merged smoke document")
+    p_tput.add_argument("--bench", required=True,
+                        help="record name, e.g. bench_serve_latency")
+    p_tput.add_argument("--gate", action="append", required=True,
+                        type=parse_gate, metavar="METRIC:MIN[:DEGRADED]",
+                        help="metric floor; repeatable. DEGRADED applies "
+                             "when the runner has fewer cores than --threads")
+    p_tput.add_argument("--threads", type=int, default=4,
+                        help="worker threads the bench saturates (default 4)")
+    p_tput.set_defaults(func=cmd_throughput)
 
     p_speedup = sub.add_parser(
         "speedup", help="gate the parallel-training timing record")

@@ -41,6 +41,17 @@ if [ "$smoke" = true ]; then
   python3 "$root/ci/bench_gate.py" merge "$outdir" \
     -o "$root/bench_smoke_metrics.json" || fail=1
   echo "[suite] wrote $root/bench_smoke_metrics.json" >&2
+  # Floor-gate the batched-serving ratios (higher-is-better, so they
+  # live outside bench_baseline.json). Degraded floors cover runners
+  # with fewer cores than the bench's 4 workers.
+  if ! python3 "$root/ci/bench_gate.py" throughput \
+      "$root/bench_smoke_metrics.json" --bench bench_serve_latency \
+      --threads 4 \
+      --gate serve.batched.speedup_vs_single:5.0:3.5 \
+      --gate serve.batched.p99_gain:1.0:1.0; then
+    echo "[suite] FAILED: batched-serving throughput gate" >&2
+    fail=1
+  fi
   exit $fail
 fi
 

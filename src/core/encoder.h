@@ -50,6 +50,13 @@ struct EncoderConfig {
   uint64_t seed = 31;
 };
 
+/// One (path, departure time) item of a batched encode. The path is
+/// borrowed — the caller keeps it alive for the duration of the call.
+struct PathTimeItem {
+  const graph::Path* path = nullptr;
+  int64_t depart_time_s = 0;
+};
+
 /// Output of encoding one temporal path.
 struct EncodedPath {
   nn::Var tpr;        // 1 x d_h temporal path representation (Eq. 8)
@@ -88,6 +95,21 @@ class TemporalPathEncoder : public nn::Module {
       const graph::Path& path, int64_t depart_time_s,
       const std::function<bool()>& cancelled) const;
 
+  /// Batched EncodeValue: encodes N (path, time) items through ONE
+  /// padded forward pass (one gate GEMM per LSTM step for the whole
+  /// batch) and returns one TPR per item, in order. Under the scalar
+  /// kernel each returned embedding is bitwise identical to the
+  /// corresponding single EncodeValue (see nn/padded_batch.h); the
+  /// batched serve pipeline and batch_test rely on this.
+  std::vector<std::vector<float>> EncodeValueBatch(
+      const std::vector<PathTimeItem>& items) const;
+
+  /// Cancellable batched variant; `cancelled` (may be empty) is polled
+  /// between pipeline stages, like EncodeValueCancellable.
+  std::optional<std::vector<std::vector<float>>> EncodeValueBatchCancellable(
+      const std::vector<PathTimeItem>& items,
+      const std::function<bool()>& cancelled) const;
+
   std::vector<nn::Var> Parameters() const override;
 
   const EncoderConfig& config() const { return config_; }
@@ -108,6 +130,14 @@ class TemporalPathEncoder : public nn::Module {
   /// minus the trainable categorical part, see Encode()).
   nn::Var BuildStaticFeatures(const graph::Path& path,
                               int64_t depart_time_s) const;
+
+  /// Batched pipeline behind EncodeValueBatch*: assembles one padded
+  /// time-major feature batch, runs the batched sequence model, and
+  /// applies the masked aggregation. Returns the (batch x d_hidden) TPR
+  /// matrix, or nullopt on cancellation.
+  std::optional<nn::Var> EncodeBatchImpl(
+      const std::vector<PathTimeItem>& items,
+      const std::function<bool()>* cancelled) const;
 
   std::shared_ptr<const FeatureSpace> features_;
   EncoderConfig config_;

@@ -45,38 +45,84 @@ inline void PackB16(const float* b, int k, int n, int j0, float* pb) {
   }
 }
 
-// ROWS x 16 register tile: out[r, 0..16) += sum_kk A(r, kk) * B(kk, 0..16).
+// ROWS x 16 register tiles: out[r, 0..16) += sum_kk A(r, kk) * B(kk, 0..16).
 // A element (r, kk) sits at abase[r * a_row_stride + kk * a_k_stride] so
 // the kernel serves both normal (stride k, 1) and transposed (stride 1,
 // m) A operands. bcol walks B's panel rows with stride bstride (16 when
 // packed, n otherwise).
-template <int ROWS>
-inline void Tile16(const float* abase, size_t a_row_stride,
-                   size_t a_k_stride, int k, const float* bcol,
-                   size_t bstride, float* out, int ldc) {
-  __m256 acc0[ROWS], acc1[ROWS];
-  for (int r = 0; r < ROWS; ++r) {
-    acc0[r] = _mm256_setzero_ps();
-    acc1[r] = _mm256_setzero_ps();
-  }
+//
+// The accumulators are individually named locals, NOT arrays: GCC at -O2
+// does not promote indexed __m256 arrays to registers here, and the
+// resulting stack spills in the kk loop cost ~3x throughput. Each output
+// element still accumulates sequentially over kk in a single register,
+// so tile row count never changes results.
+#define TPR_TILE16_ROW_INIT(R)            \
+  __m256 c##R##0 = _mm256_setzero_ps();   \
+  __m256 c##R##1 = _mm256_setzero_ps();   \
+  const float* a##R = abase + (R) * a_row_stride;
+#define TPR_TILE16_ROW_FMA(R)                            \
+  av = _mm256_broadcast_ss(a##R + ko);                   \
+  c##R##0 = _mm256_fmadd_ps(av, b0, c##R##0);            \
+  c##R##1 = _mm256_fmadd_ps(av, b1, c##R##1);
+#define TPR_TILE16_ROW_STORE(R)                                            \
+  o = out + (R) * static_cast<size_t>(ldc);                                \
+  _mm256_storeu_ps(o, _mm256_add_ps(_mm256_loadu_ps(o), c##R##0));         \
+  _mm256_storeu_ps(o + 8, _mm256_add_ps(_mm256_loadu_ps(o + 8), c##R##1));
+
+inline void Tile16R6(const float* abase, size_t a_row_stride,
+                     size_t a_k_stride, int k, const float* bcol,
+                     size_t bstride, float* out, int ldc) {
+  TPR_TILE16_ROW_INIT(0) TPR_TILE16_ROW_INIT(1) TPR_TILE16_ROW_INIT(2)
+  TPR_TILE16_ROW_INIT(3) TPR_TILE16_ROW_INIT(4) TPR_TILE16_ROW_INIT(5)
   for (int kk = 0; kk < k; ++kk) {
+    const size_t ko = static_cast<size_t>(kk) * a_k_stride;
     const __m256 b0 = _mm256_loadu_ps(bcol + static_cast<size_t>(kk) * bstride);
     const __m256 b1 =
         _mm256_loadu_ps(bcol + static_cast<size_t>(kk) * bstride + 8);
-    for (int r = 0; r < ROWS; ++r) {
-      const __m256 av = _mm256_broadcast_ss(
-          abase + static_cast<size_t>(r) * a_row_stride +
-          static_cast<size_t>(kk) * a_k_stride);
-      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
-      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
-    }
+    __m256 av;
+    TPR_TILE16_ROW_FMA(0) TPR_TILE16_ROW_FMA(1) TPR_TILE16_ROW_FMA(2)
+    TPR_TILE16_ROW_FMA(3) TPR_TILE16_ROW_FMA(4) TPR_TILE16_ROW_FMA(5)
   }
-  for (int r = 0; r < ROWS; ++r) {
-    float* o = out + static_cast<size_t>(r) * ldc;
-    _mm256_storeu_ps(o, _mm256_add_ps(_mm256_loadu_ps(o), acc0[r]));
-    _mm256_storeu_ps(o + 8, _mm256_add_ps(_mm256_loadu_ps(o + 8), acc1[r]));
-  }
+  float* o;
+  TPR_TILE16_ROW_STORE(0) TPR_TILE16_ROW_STORE(1) TPR_TILE16_ROW_STORE(2)
+  TPR_TILE16_ROW_STORE(3) TPR_TILE16_ROW_STORE(4) TPR_TILE16_ROW_STORE(5)
 }
+
+inline void Tile16R2(const float* abase, size_t a_row_stride,
+                     size_t a_k_stride, int k, const float* bcol,
+                     size_t bstride, float* out, int ldc) {
+  TPR_TILE16_ROW_INIT(0) TPR_TILE16_ROW_INIT(1)
+  for (int kk = 0; kk < k; ++kk) {
+    const size_t ko = static_cast<size_t>(kk) * a_k_stride;
+    const __m256 b0 = _mm256_loadu_ps(bcol + static_cast<size_t>(kk) * bstride);
+    const __m256 b1 =
+        _mm256_loadu_ps(bcol + static_cast<size_t>(kk) * bstride + 8);
+    __m256 av;
+    TPR_TILE16_ROW_FMA(0) TPR_TILE16_ROW_FMA(1)
+  }
+  float* o;
+  TPR_TILE16_ROW_STORE(0) TPR_TILE16_ROW_STORE(1)
+}
+
+inline void Tile16R1(const float* abase, size_t a_row_stride,
+                     size_t a_k_stride, int k, const float* bcol,
+                     size_t bstride, float* out, int ldc) {
+  TPR_TILE16_ROW_INIT(0)
+  for (int kk = 0; kk < k; ++kk) {
+    const size_t ko = static_cast<size_t>(kk) * a_k_stride;
+    const __m256 b0 = _mm256_loadu_ps(bcol + static_cast<size_t>(kk) * bstride);
+    const __m256 b1 =
+        _mm256_loadu_ps(bcol + static_cast<size_t>(kk) * bstride + 8);
+    __m256 av;
+    TPR_TILE16_ROW_FMA(0)
+  }
+  float* o;
+  TPR_TILE16_ROW_STORE(0)
+}
+
+#undef TPR_TILE16_ROW_INIT
+#undef TPR_TILE16_ROW_FMA
+#undef TPR_TILE16_ROW_STORE
 
 // ROWS x 8 register tile for the 8..15-column tail.
 template <int ROWS>
@@ -118,15 +164,20 @@ void GemmStridedA(const float* a, size_t a_row_stride, size_t a_k_stride,
       bstride = kPanel;
     }
     int i = 0;
-    for (; i + 4 <= m; i += 4) {
-      Tile16<4>(a + static_cast<size_t>(i) * a_row_stride, a_row_stride,
-                a_k_stride, k, bcol, bstride,
-                out + static_cast<size_t>(i) * n + j, n);
+    for (; i + 6 <= m; i += 6) {
+      Tile16R6(a + static_cast<size_t>(i) * a_row_stride, a_row_stride,
+               a_k_stride, k, bcol, bstride,
+               out + static_cast<size_t>(i) * n + j, n);
+    }
+    for (; i + 2 <= m; i += 2) {
+      Tile16R2(a + static_cast<size_t>(i) * a_row_stride, a_row_stride,
+               a_k_stride, k, bcol, bstride,
+               out + static_cast<size_t>(i) * n + j, n);
     }
     for (; i < m; ++i) {
-      Tile16<1>(a + static_cast<size_t>(i) * a_row_stride, a_row_stride,
-                a_k_stride, k, bcol, bstride,
-                out + static_cast<size_t>(i) * n + j, n);
+      Tile16R1(a + static_cast<size_t>(i) * a_row_stride, a_row_stride,
+               a_k_stride, k, bcol, bstride,
+               out + static_cast<size_t>(i) * n + j, n);
     }
   }
   if (j + 8 <= n) {
@@ -253,6 +304,181 @@ void AddAcc(const float* x, float* y, int n) {
         y + i, _mm256_add_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
   }
   for (; i < n; ++i) y[i] += x[i];
+}
+
+// ---------------------------------------------------------------------------
+// Vector transcendentals + fused recurrent cell rows.
+//
+// Exp8 is the classic Cephes polynomial (range-reduce by powers of two,
+// degree-5 minimax on the residual), accurate to ~2 ulp over the clamped
+// range. Sigmoid/tanh derive from it with one division each. These do
+// NOT produce the same bits as std::exp-based scalar math — which is
+// fine: the avx2 kernel is already a distinct deterministic numeric
+// domain (see kern.h). What matters for the batched-inference contract
+// is that every row of a batch goes through the exact same lane-uniform
+// code below, so batched rows stay bitwise equal to single-row calls
+// under either kernel.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+inline __m256 Exp8(__m256 x) {
+  const __m256 kHi = _mm256_set1_ps(88.3762626647950f);
+  const __m256 kLo = _mm256_set1_ps(-88.3762626647949f);
+  const __m256 kLog2e = _mm256_set1_ps(1.44269504088896341f);
+  const __m256 kHalf = _mm256_set1_ps(0.5f);
+  const __m256 kOne = _mm256_set1_ps(1.0f);
+  const __m256 kC1 = _mm256_set1_ps(0.693359375f);
+  const __m256 kC2 = _mm256_set1_ps(-2.12194440e-4f);
+
+  x = _mm256_min_ps(_mm256_max_ps(x, kLo), kHi);
+  __m256 fx = _mm256_fmadd_ps(x, kLog2e, kHalf);
+  fx = _mm256_floor_ps(fx);
+  // Extended-precision x -= fx * ln2.
+  x = _mm256_fnmadd_ps(fx, kC1, x);
+  x = _mm256_fnmadd_ps(fx, kC2, x);
+
+  const __m256 z = _mm256_mul_ps(x, x);
+  __m256 y = _mm256_set1_ps(1.9875691500e-4f);
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.3981999507e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(8.3334519073e-3f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(4.1665795894e-2f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(1.6666665459e-1f));
+  y = _mm256_fmadd_ps(y, x, _mm256_set1_ps(5.0000001201e-1f));
+  y = _mm256_fmadd_ps(y, z, _mm256_add_ps(x, kOne));
+
+  // Scale by 2^fx through the exponent bits.
+  const __m256i imm =
+      _mm256_slli_epi32(_mm256_add_epi32(_mm256_cvttps_epi32(fx),
+                                         _mm256_set1_epi32(0x7f)),
+                        23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(imm));
+}
+
+inline __m256 Sigmoid8(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = Exp8(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+inline __m256 Tanh8(__m256 x) {
+  // tanh(x) = 1 - 2 / (exp(2x) + 1); saturates cleanly at both clamps.
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 two = _mm256_set1_ps(2.0f);
+  const __m256 e = Exp8(_mm256_mul_ps(two, x));
+  return _mm256_sub_ps(one, _mm256_div_ps(two, _mm256_add_ps(e, one)));
+}
+
+// One 8-lane column chunk of the LSTM cell. Sources may be staged
+// (tail) or direct; the math is identical either way.
+inline void LstmCell8(__m256 gi, __m256 gf, __m256 gg8, __m256 go,
+                      __m256 cp, float* ai, float* af, float* ag, float* ao,
+                      float* atc, float* oh, float* oc) {
+  const __m256 ig = Sigmoid8(gi);
+  const __m256 fg = Sigmoid8(gf);
+  const __m256 gg = Tanh8(gg8);
+  const __m256 og = Sigmoid8(go);
+  const __m256 c = _mm256_fmadd_ps(fg, cp, _mm256_mul_ps(ig, gg));
+  const __m256 tc = Tanh8(c);
+  _mm256_storeu_ps(ai, ig);
+  _mm256_storeu_ps(af, fg);
+  _mm256_storeu_ps(ag, gg);
+  _mm256_storeu_ps(ao, og);
+  _mm256_storeu_ps(atc, tc);
+  _mm256_storeu_ps(oh, _mm256_mul_ps(og, tc));
+  _mm256_storeu_ps(oc, c);
+}
+
+inline void GruCell8(__m256 gir, __m256 giz, __m256 gin, __m256 ghr,
+                     __m256 ghz, __m256 ghn, __m256 hp, float* ar, float* az,
+                     float* an, float* oh) {
+  const __m256 rg = Sigmoid8(_mm256_add_ps(gir, ghr));
+  const __m256 zg = Sigmoid8(_mm256_add_ps(giz, ghz));
+  const __m256 ng = Tanh8(_mm256_fmadd_ps(rg, ghn, gin));
+  _mm256_storeu_ps(ar, rg);
+  _mm256_storeu_ps(az, zg);
+  _mm256_storeu_ps(an, ng);
+  // Matches the unfused composition (n - z*n) + z*h_prev.
+  const __m256 h =
+      _mm256_fmadd_ps(zg, hp, _mm256_sub_ps(ng, _mm256_mul_ps(zg, ng)));
+  _mm256_storeu_ps(oh, h);
+}
+
+}  // namespace
+
+void LstmCellRow(const float* g, const float* c_prev, float* act, float* out,
+                 int h) {
+  int j = 0;
+  for (; j + 8 <= h; j += 8) {
+    LstmCell8(_mm256_loadu_ps(g + j), _mm256_loadu_ps(g + h + j),
+              _mm256_loadu_ps(g + 2 * h + j), _mm256_loadu_ps(g + 3 * h + j),
+              _mm256_loadu_ps(c_prev + j), act + j, act + h + j,
+              act + 2 * h + j, act + 3 * h + j, act + 4 * h + j, out + j,
+              out + h + j);
+  }
+  if (j < h) {
+    // Stage the ragged tail through zero-padded buffers so every element
+    // runs the same vector math regardless of h alignment.
+    const int rem = h - j;
+    alignas(32) float in[5][8] = {};
+    alignas(32) float stage[7][8];
+    for (int t = 0; t < rem; ++t) {
+      in[0][t] = g[j + t];
+      in[1][t] = g[h + j + t];
+      in[2][t] = g[2 * h + j + t];
+      in[3][t] = g[3 * h + j + t];
+      in[4][t] = c_prev[j + t];
+    }
+    LstmCell8(_mm256_load_ps(in[0]), _mm256_load_ps(in[1]),
+              _mm256_load_ps(in[2]), _mm256_load_ps(in[3]),
+              _mm256_load_ps(in[4]), stage[0], stage[1], stage[2], stage[3],
+              stage[4], stage[5], stage[6]);
+    for (int t = 0; t < rem; ++t) {
+      act[j + t] = stage[0][t];
+      act[h + j + t] = stage[1][t];
+      act[2 * h + j + t] = stage[2][t];
+      act[3 * h + j + t] = stage[3][t];
+      act[4 * h + j + t] = stage[4][t];
+      out[j + t] = stage[5][t];
+      out[h + j + t] = stage[6][t];
+    }
+  }
+}
+
+void GruCellRow(const float* gi, const float* gh, const float* h_prev,
+                float* act, float* out, int h) {
+  int j = 0;
+  for (; j + 8 <= h; j += 8) {
+    GruCell8(_mm256_loadu_ps(gi + j), _mm256_loadu_ps(gi + h + j),
+             _mm256_loadu_ps(gi + 2 * h + j), _mm256_loadu_ps(gh + j),
+             _mm256_loadu_ps(gh + h + j), _mm256_loadu_ps(gh + 2 * h + j),
+             _mm256_loadu_ps(h_prev + j), act + j, act + h + j,
+             act + 2 * h + j, out + j);
+  }
+  if (j < h) {
+    const int rem = h - j;
+    alignas(32) float in[7][8] = {};
+    alignas(32) float stage[4][8];
+    for (int t = 0; t < rem; ++t) {
+      in[0][t] = gi[j + t];
+      in[1][t] = gi[h + j + t];
+      in[2][t] = gi[2 * h + j + t];
+      in[3][t] = gh[j + t];
+      in[4][t] = gh[h + j + t];
+      in[5][t] = gh[2 * h + j + t];
+      in[6][t] = h_prev[j + t];
+    }
+    GruCell8(_mm256_load_ps(in[0]), _mm256_load_ps(in[1]),
+             _mm256_load_ps(in[2]), _mm256_load_ps(in[3]),
+             _mm256_load_ps(in[4]), _mm256_load_ps(in[5]),
+             _mm256_load_ps(in[6]), stage[0], stage[1], stage[2], stage[3]);
+    for (int t = 0; t < rem; ++t) {
+      act[j + t] = stage[0][t];
+      act[h + j + t] = stage[1][t];
+      act[2 * h + j + t] = stage[2][t];
+      out[j + t] = stage[3][t];
+    }
+  }
 }
 
 }  // namespace tpr::kern::avx2

@@ -218,4 +218,49 @@ void AddAcc(const float* x, float* y, int n) {
   for (int i = 0; i < n; ++i) y[i] += x[i];
 }
 
+void LstmCellRow(const float* g, const float* c_prev, float* act, float* out,
+                 int h) {
+#if !defined(TPR_NO_AVX2)
+  if (h >= 8 && ActiveKernel() == Kernel::kAvx2) {
+    avx2::LstmCellRow(g, c_prev, act, out, h);
+    return;
+  }
+#endif
+  for (int j = 0; j < h; ++j) {
+    const float ig = SigmoidScalar(g[j]);
+    const float fg = SigmoidScalar(g[h + j]);
+    const float gg = std::tanh(g[2 * h + j]);
+    const float og = SigmoidScalar(g[3 * h + j]);
+    const float c = fg * c_prev[j] + ig * gg;
+    const float tc = std::tanh(c);
+    act[j] = ig;
+    act[h + j] = fg;
+    act[2 * h + j] = gg;
+    act[3 * h + j] = og;
+    act[4 * h + j] = tc;
+    out[j] = og * tc;
+    out[h + j] = c;
+  }
+}
+
+void GruCellRow(const float* gi, const float* gh, const float* h_prev,
+                float* act, float* out, int h) {
+#if !defined(TPR_NO_AVX2)
+  if (h >= 8 && ActiveKernel() == Kernel::kAvx2) {
+    avx2::GruCellRow(gi, gh, h_prev, act, out, h);
+    return;
+  }
+#endif
+  for (int j = 0; j < h; ++j) {
+    const float rg = SigmoidScalar(gi[j] + gh[j]);
+    const float zg = SigmoidScalar(gi[h + j] + gh[h + j]);
+    const float ng = std::tanh(gi[2 * h + j] + rg * gh[2 * h + j]);
+    act[j] = rg;
+    act[h + j] = zg;
+    act[2 * h + j] = ng;
+    // Matches the unfused composition (n - z*n) + z*h_prev exactly.
+    out[j] = (ng - zg * ng) + zg * h_prev[j];
+  }
+}
+
 }  // namespace tpr::kern

@@ -83,6 +83,22 @@ void AxpyAcc(float alpha, const float* x, float* y, int n);
 /// y[i] += x[i]
 void AddAcc(const float* x, float* y, int n);
 
+/// Fused LSTM cell forward over one row. Reads the gate preactivations
+/// g = [i | f | g | o] (4h) and the previous cell row c_prev (h); writes
+/// the saved activations act = [i f g o tanh(c)] (5h) and the output row
+/// out = [h_t | c_t] (2h). The scalar form is the reproducibility
+/// anchor (std::exp-based); the avx2 form uses polynomial vector
+/// transcendentals — deterministic, lane-uniform, and identical for a
+/// row whether it is encoded alone or inside a padded batch.
+void LstmCellRow(const float* g, const float* c_prev, float* act, float* out,
+                 int h);
+
+/// Fused GRU cell forward over one row: gi/gh = [r | z | n] input and
+/// hidden gate preactivations (3h each), h_prev (h); writes act =
+/// [r z n] (3h) and the new hidden row out (h).
+void GruCellRow(const float* gi, const float* gh, const float* h_prev,
+                float* act, float* out, int h);
+
 /// Stable logistic sigmoid of one value (shared by scalar kernels and
 /// the fused cell ops so every path computes the exact same bits).
 inline float SigmoidScalar(float x) {

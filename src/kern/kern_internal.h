@@ -16,6 +16,10 @@ void GemmTransBAcc(const float* a, const float* b, float* out, int m, int k,
 void HadamardAcc(const float* a, const float* b, float* out, int n);
 void AxpyAcc(float alpha, const float* x, float* y, int n);
 void AddAcc(const float* x, float* y, int n);
+void LstmCellRow(const float* g, const float* c_prev, float* act, float* out,
+                 int h);
+void GruCellRow(const float* gi, const float* gh, const float* h_prev,
+                float* act, float* out, int h);
 
 }  // namespace tpr::kern::avx2
 

@@ -1,0 +1,38 @@
+#include "nn/padded_batch.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace tpr::nn {
+
+PaddedBatch PackSequences(const std::vector<Tensor>& sequences) {
+  TPR_CHECK(!sequences.empty());
+  const int batch = static_cast<int>(sequences.size());
+  const int dim = sequences[0].cols();
+  int max_len = 0;
+  std::vector<int> lengths(sequences.size());
+  for (int b = 0; b < batch; ++b) {
+    TPR_CHECK(sequences[b].rows() >= 1 && sequences[b].cols() == dim);
+    lengths[b] = sequences[b].rows();
+    max_len = std::max(max_len, lengths[b]);
+  }
+  // Zero-initialised: padding rows stay zero.
+  Tensor data(max_len * batch, dim);
+  for (int b = 0; b < batch; ++b) {
+    for (int t = 0; t < lengths[b]; ++t) {
+      const float* src =
+          sequences[b].data() + static_cast<size_t>(t) * dim;
+      float* dst = data.data() +
+                   (static_cast<size_t>(t) * batch + b) * dim;
+      std::memcpy(dst, src, static_cast<size_t>(dim) * sizeof(float));
+    }
+  }
+  PaddedBatch out;
+  out.data = Var::Leaf(std::move(data));
+  out.lengths = std::move(lengths);
+  out.batch = batch;
+  out.max_len = max_len;
+  return out;
+}
+
+}  // namespace tpr::nn

@@ -1,0 +1,52 @@
+#ifndef TPR_NN_PADDED_BATCH_H_
+#define TPR_NN_PADDED_BATCH_H_
+
+// Variable-length sequence batches for the recurrent and attention
+// modules.
+//
+// A PaddedBatch packs B sequences of lengths len_0..len_{B-1} into one
+// dense tensor in TIME-MAJOR layout: row t*batch + b holds timestep t of
+// sequence b, for t in [0, max_len). Timestep t of the whole batch is
+// therefore the contiguous row slice [t*batch, (t+1)*batch), which is
+// exactly what a step-wise recurrent cell wants: one (batch x input)
+// GEMM per gate instead of batch small ones.
+//
+// Padding rows (t >= lengths[b]) carry zeros on entry. The recurrent
+// forwards do NOT mask the recurrence: the output at a valid step t <
+// lengths[b] depends only on states from earlier valid steps of the same
+// sequence, so padded-step pollution only ever reaches padded-step
+// outputs — which the masked aggregations (SequenceMeanBatch,
+// SequenceMaxBatch, last-state gather) and the masked attention softmax
+// never read. Padded states stay finite because the cells are
+// sigmoid/tanh-bounded and padded inputs are zeros.
+//
+// Bitwise contract: for every op in this pipeline, output row t*batch+b
+// with t < lengths[b] is bitwise identical to row t of the same module's
+// single-sequence Forward on sequence b alone, for any kernel whose GEMM
+// is row-independent (the scalar kernel always; see DESIGN.md §13).
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace tpr::nn {
+
+struct PaddedBatch {
+  Var data;                  // (max_len * batch) x dim, row t*batch + b
+  std::vector<int> lengths;  // per-sequence true lengths, each in [1, max_len]
+  int batch = 0;
+  int max_len = 0;
+
+  int rows() const { return batch * max_len; }
+  int row(int t, int b) const { return t * batch + b; }
+};
+
+/// Packs B single sequences (each rows x dim, rows >= 1) into a padded
+/// time-major batch. Padding rows are zero. This is the leaf-building
+/// path used by tests and by callers that already hold per-sequence
+/// tensors; the encoder assembles its batch directly from feature ids.
+PaddedBatch PackSequences(const std::vector<Tensor>& sequences);
+
+}  // namespace tpr::nn
+
+#endif  // TPR_NN_PADDED_BATCH_H_

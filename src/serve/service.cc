@@ -82,6 +82,14 @@ InferenceService::InferenceService(
   TPR_CHECK(config_.time_bucket_s > 0);
   TPR_CHECK(config_.canary_permille >= 0 && config_.canary_permille <= 1000);
   TPR_CHECK(config_.canary_promote_after > 0);
+  if (config_.batch_max > 0) {
+    batch::BatchConfig bc;
+    bc.max_batch = config_.batch_max;
+    bc.max_ticks = config_.batch_ticks;
+    bc.coalesce = config_.batch_coalesce;
+    bc.time_bucket_s = config_.time_bucket_s;
+    former_ = std::make_unique<batch::BatchFormer>(bc);
+  }
 }
 
 InferenceService::~InferenceService() { Shutdown(); }
@@ -279,13 +287,18 @@ Status InferenceService::Start() {
   stopping_ = false;
   workers_.reserve(static_cast<size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    if (former_ != nullptr) {
+      workers_.emplace_back([this] { BatchedWorkerLoop(); });
+    } else {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
   }
   return Status::OK();
 }
 
 void InferenceService::Shutdown() {
   std::deque<Request> orphaned;
+  std::unordered_map<uint64_t, Request> orphaned_waiting;
   std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -294,31 +307,53 @@ void InferenceService::Shutdown() {
     // Shutdown calls (or Shutdown vs destructor) each join a disjoint —
     // possibly empty — set of threads instead of double-joining.
     orphaned.swap(queue_);
+    // Batched mode: every unprocessed request — pending in the former or
+    // sitting in a formed-but-unpopped batch — is still parked in
+    // waiting_ (workers extract members atomically with the pop), so
+    // failing waiting_ covers ready_'s batches too.
+    orphaned_waiting.swap(waiting_);
+    ready_.clear();
     workers.swap(workers_);
   }
   not_empty_.notify_all();
   not_full_.notify_all();
-  for (auto& req : orphaned) {
+  const auto fail_unavailable = [](Request& req) {
     ServeResult result;
     result.status = Status::Unavailable("service shutting down");
     result.ticket = req.ticket;
     if (req.gen != nullptr) result.generation = req.gen->generation;
     result.canary = req.canary;
     req.promise.set_value(std::move(result));
-  }
+  };
+  for (auto& req : orphaned) fail_unavailable(req);
+  for (auto& entry : orphaned_waiting) fail_unavailable(entry.second);
   for (auto& t : workers) t.join();
   if (!workers.empty()) obs::GetGauge("serve.queue_depth").Set(0);
 }
 
-bool InferenceService::PredictRung0Failure(const PathQuery& query) const {
-  if (fault::WouldFail(fault::kAlloc, MixSeed(kAllocSalt, query.id))) {
+bool InferenceService::PredictRung0Skip(const Request& req) const {
+  if (fault::WouldFail(fault::kAlloc, MixSeed(kAllocSalt, req.query.id))) {
+    return true;
+  }
+  // Batched mode: an injected batch-flush drop degrades the request's
+  // whole group before any encode — like alloc, no rung-0 attempt.
+  return former_ != nullptr &&
+         fault::WouldFail(fault::kBatchFlush, req.group_key);
+}
+
+bool InferenceService::PredictRung0Failure(const Request& req) const {
+  if (PredictRung0Skip(req)) {
     // The worker will degrade without attempting rung 0 — neither a
     // success nor a failure signal for the breaker.
     return false;
   }
+  // Batched mode keys the attempt verdicts by the group hash: every
+  // member of a group shares the batched encode, so they must share its
+  // failure pattern no matter which batch the group rides in.
+  const uint64_t base = former_ != nullptr ? req.group_key : req.query.id;
   for (int a = 0; a <= config_.max_retries; ++a) {
     if (!fault::WouldFail(fault::kEncoderForward,
-                          MixSeed(query.id, static_cast<uint64_t>(a)))) {
+                          MixSeed(base, static_cast<uint64_t>(a)))) {
       return false;
     }
   }
@@ -328,13 +363,12 @@ bool InferenceService::PredictRung0Failure(const PathQuery& query) const {
 bool InferenceService::BreakerAdmit(GenState& gen, Request& req) {
   Breaker& b = gen.breaker;
   req.breaker_predicted = true;
-  const bool alloc_fail =
-      fault::WouldFail(fault::kAlloc, MixSeed(kAllocSalt, req.query.id));
-  const bool predicted_fail = PredictRung0Failure(req.query);
+  const bool no_attempt = PredictRung0Skip(req);
+  const bool predicted_fail = PredictRung0Failure(req);
   bool tripped = false;
   switch (b.state) {
     case Breaker::State::kClosed:
-      if (alloc_fail) break;  // no rung-0 attempt, no signal
+      if (no_attempt) break;  // no rung-0 attempt, no signal
       if (predicted_fail) {
         if (++b.consecutive_failures >= config_.breaker_trip_threshold) {
           b.state = Breaker::State::kOpen;
@@ -356,7 +390,7 @@ bool InferenceService::BreakerAdmit(GenState& gen, Request& req) {
     case Breaker::State::kHalfOpen:
       // This request is the probe: it goes to rung 0 and its predicted
       // outcome resolves the breaker immediately, in admission order.
-      if (alloc_fail || predicted_fail) {
+      if (no_attempt || predicted_fail) {
         b.state = Breaker::State::kOpen;
         b.open_skips_remaining = config_.breaker_open_requests;
         if (predicted_fail) {
@@ -422,6 +456,18 @@ void InferenceService::AdmitToGeneration(Request& req) {
       req.canary = true;
     }
   }
+  if (former_ != nullptr) {
+    // Batch-group identity. The pinned generation rides in the hash salt
+    // so a coalesced group is generation-homogeneous — exactly one model
+    // serves it — plus the ticket when coalescing is off (every request
+    // is its own group). Must mirror the salt Submit hands
+    // BatchFormer::Arrive.
+    const uint64_t salt = config_.batch_coalesce
+                              ? req.gen->generation
+                              : MixSeed(req.gen->generation, req.ticket);
+    req.group_key = batch::BatchFormer::GroupHash(
+        req.query.path, former_->EncodeTime(req.query.depart_time_s), salt);
+  }
   GenState& gen = *req.gen;
   if (fault::PlanActive()) {
     const bool tripped = BreakerAdmit(gen, req);
@@ -430,10 +476,8 @@ void InferenceService::AdmitToGeneration(Request& req) {
         // The request stays pinned to the now-detached canary state and
         // serves degraded; every later request routes to the incumbent.
         ResolveCanaryLocked(CanaryVerdict::kRolledBack, "breaker-trip");
-      } else if (!req.skip_rung0 &&
-                 !fault::WouldFail(fault::kAlloc,
-                                   MixSeed(kAllocSalt, req.query.id)) &&
-                 !PredictRung0Failure(req.query)) {
+      } else if (!req.skip_rung0 && !PredictRung0Skip(req) &&
+                 !PredictRung0Failure(req)) {
         if (++gen.clean >=
             static_cast<uint64_t>(config_.canary_promote_after)) {
           ResolveCanaryLocked(CanaryVerdict::kPromoted, "clean-requests");
@@ -478,6 +522,7 @@ StatusOr<std::future<ServeResult>> InferenceService::Submit(
                               deadline_ms));
   }
   std::future<ServeResult> future = req.promise.get_future();
+  bool notify = true;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!started_ || stopping_) {
@@ -490,26 +535,64 @@ StatusOr<std::future<ServeResult>> InferenceService::Submit(
       obs::GetCounter("serve.shed").Add(1);
       return Status::ResourceExhausted("queue full (injected)");
     }
-    if (queue_.size() >= static_cast<size_t>(config_.queue_capacity)) {
-      if (!config_.block_when_full) {
-        obs::GetCounter("serve.shed").Add(1);
-        return Status::ResourceExhausted(
-            "queue full (" + std::to_string(queue_.size()) + ")");
+    if (former_ != nullptr) {
+      // Batched admission: the capacity bound covers every unprocessed
+      // request — pending in the former or waiting on a formed batch.
+      if (waiting_.size() >= static_cast<size_t>(config_.queue_capacity)) {
+        if (!config_.block_when_full) {
+          obs::GetCounter("serve.shed").Add(1);
+          return Status::ResourceExhausted(
+              "queue full (" + std::to_string(waiting_.size()) + ")");
+        }
+        not_full_.wait(lock, [this] {
+          return stopping_ || waiting_.size() <
+                                  static_cast<size_t>(config_.queue_capacity);
+        });
+        if (stopping_) {
+          return Status::Unavailable("service shutting down");
+        }
       }
-      not_full_.wait(lock, [this] {
-        return stopping_ ||
-               queue_.size() < static_cast<size_t>(config_.queue_capacity);
-      });
-      if (stopping_) {
-        return Status::Unavailable("service shutting down");
+      AdmitToGeneration(req);
+      const uint64_t ticket = req.ticket;
+      auto flushed =
+          former_->Arrive(ticket, req.query.path, req.query.depart_time_s,
+                          req.gen->generation);
+      waiting_.emplace(ticket, std::move(req));
+      // One logical tick per admission; ages partial batches out. An
+      // arrival can fill a batch OR age one out, never both (a size
+      // flush empties the former).
+      if (auto aged = former_->Tick()) {
+        TPR_CHECK(!flushed.has_value());
+        flushed = std::move(aged);
       }
+      obs::GetGauge("serve.queue_depth")
+          .Set(static_cast<double>(waiting_.size()));
+      // Wake a worker only when a batch actually flushed — idle workers
+      // otherwise drain partial batches prematurely.
+      notify = flushed.has_value();
+      if (flushed.has_value()) ready_.push_back(std::move(*flushed));
+    } else {
+      if (queue_.size() >= static_cast<size_t>(config_.queue_capacity)) {
+        if (!config_.block_when_full) {
+          obs::GetCounter("serve.shed").Add(1);
+          return Status::ResourceExhausted(
+              "queue full (" + std::to_string(queue_.size()) + ")");
+        }
+        not_full_.wait(lock, [this] {
+          return stopping_ ||
+                 queue_.size() < static_cast<size_t>(config_.queue_capacity);
+        });
+        if (stopping_) {
+          return Status::Unavailable("service shutting down");
+        }
+      }
+      AdmitToGeneration(req);
+      queue_.push_back(std::move(req));
+      obs::GetGauge("serve.queue_depth")
+          .Set(static_cast<double>(queue_.size()));
     }
-    AdmitToGeneration(req);
-    queue_.push_back(std::move(req));
-    obs::GetGauge("serve.queue_depth")
-        .Set(static_cast<double>(queue_.size()));
   }
-  not_empty_.notify_one();
+  if (notify) not_empty_.notify_one();
   return future;
 }
 
@@ -542,6 +625,285 @@ void InferenceService::WorkerLoop() {
   }
 }
 
+void InferenceService::BatchedWorkerLoop() {
+  for (;;) {
+    batch::FormedBatch batch;
+    std::vector<std::vector<Request>> members;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (ready_.empty()) {
+        if (stopping_) return;  // ready_ cleared by Shutdown
+        // Submit only signals when a batch flushes; wake periodically so
+        // a partial batch with no follow-up admissions to age it out is
+        // drained instead of stranded (idle flush).
+        const bool signalled = not_empty_.wait_for(
+            lock, std::chrono::milliseconds(1),
+            [this] { return stopping_ || !ready_.empty(); });
+        if (!signalled && ready_.empty() && former_->has_pending()) {
+          if (auto flushed = former_->FlushAll()) {
+            ready_.push_back(std::move(*flushed));
+          }
+        }
+      }
+      batch = std::move(ready_.front());
+      ready_.pop_front();
+      // Extract the members atomically with the pop: a request is either
+      // in waiting_ (and fails Unavailable at Shutdown) or owned by
+      // exactly one worker — never both.
+      members.reserve(batch.groups.size());
+      for (const auto& group : batch.groups) {
+        std::vector<Request> reqs;
+        reqs.reserve(group.tickets.size());
+        for (uint64_t ticket : group.tickets) {
+          auto it = waiting_.find(ticket);
+          TPR_CHECK(it != waiting_.end());
+          reqs.push_back(std::move(it->second));
+          waiting_.erase(it);
+        }
+        members.push_back(std::move(reqs));
+      }
+      obs::GetGauge("serve.queue_depth")
+          .Set(static_cast<double>(waiting_.size()));
+    }
+    not_full_.notify_all();
+    ProcessBatch(batch, members);
+  }
+}
+
+void InferenceService::ProcessBatch(batch::FormedBatch& batch,
+                                    std::vector<std::vector<Request>>& members) {
+  Stopwatch sw;
+  const size_t n_groups = batch.groups.size();
+  size_t total = 0;
+  for (const auto& m : members) total += m.size();
+  obs::GetCounter("serve.batches").Add(1);
+  obs::GetCounter("serve.batched_requests").Add(total);
+  obs::GetCounter("serve.batch_coalesced").Add(total - n_groups);
+
+  const auto base_result = [](const Request& req) {
+    ServeResult r;
+    r.ticket = req.ticket;
+    r.generation = req.gen->generation;
+    r.canary = req.canary;
+    return r;
+  };
+  const auto past_deadline = [](const Request& r) {
+    return r.has_deadline && std::chrono::steady_clock::now() >= r.deadline;
+  };
+
+  // Injected worker slowness, once per batch. Latency only — deadlines
+  // are outside the determinism contract in both pipelines.
+  SleepMs(fault::DelayMs(fault::kSlowWorker, batch.seq));
+
+  // Resolve the fates decided before any encode: breaker-open skips,
+  // injected scratch-alloc failures, and injected batch-flush drops (the
+  // whole group degrades with no rung-0 attempt — like alloc, not a
+  // breaker signal). Everyone else queues for the batched rung-0 ladder.
+  std::vector<std::vector<Request*>> pending(n_groups);
+  for (size_t gi = 0; gi < n_groups; ++gi) {
+    const bool flush_drop =
+        fault::ShouldFail(fault::kBatchFlush, batch.groups[gi].key_hash);
+    for (Request& req : members[gi]) {
+      if (req.skip_rung0 || flush_drop ||
+          fault::ShouldFail(fault::kAlloc,
+                            MixSeed(kAllocSalt, req.query.id))) {
+        req.promise.set_value(DegradedLadder(req, base_result(req), sw));
+      } else {
+        pending[gi].push_back(&req);
+      }
+    }
+  }
+  std::vector<size_t> live;
+  live.reserve(n_groups);
+  for (size_t gi = 0; gi < n_groups; ++gi) {
+    if (!pending[gi].empty()) live.push_back(gi);
+  }
+
+  // Rung 0, batched: the whole round's surviving groups go through ONE
+  // padded forward per model generation. The retry ladder matches the
+  // per-request pipeline, but verdicts and backoff jitter are keyed by
+  // the group hash — a pure function of the request, so its outcome is
+  // identical whichever batch it rode in.
+  for (int a = 0; a <= config_.max_retries && !live.empty(); ++a) {
+    // Members out of time resolve before the attempt, mirroring the
+    // per-request ladder's top-of-attempt deadline check.
+    for (size_t gi : live) {
+      auto& mem = pending[gi];
+      mem.erase(std::remove_if(mem.begin(), mem.end(),
+                               [&](Request* r) {
+                                 if (!past_deadline(*r)) return false;
+                                 ServeResult res = DeadlineResult(*r);
+                                 res.attempts = a;
+                                 r->promise.set_value(std::move(res));
+                                 return true;
+                               }),
+                mem.end());
+    }
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](size_t gi) { return pending[gi].empty(); }),
+               live.end());
+    if (live.empty()) break;
+
+    std::vector<size_t> ready;
+    std::vector<size_t> failed;
+    for (size_t gi : live) {
+      if (a > 0) obs::GetCounter("serve.retries").Add(1);
+      const uint64_t attempt_key =
+          MixSeed(batch.groups[gi].key_hash, static_cast<uint64_t>(a));
+      if (fault::ShouldFail(fault::kEncoderForward, attempt_key)) {
+        failed.push_back(gi);
+      } else {
+        ready.push_back(gi);
+      }
+    }
+
+    if (!ready.empty()) {
+      // A batch may mix groups pinned to different generations
+      // (incumbent + canary — each group is generation-homogeneous by
+      // construction of its hash salt): one padded forward per model.
+      std::vector<std::pair<GenState*, std::vector<size_t>>> parts;
+      for (size_t gi : ready) {
+        GenState* gen = pending[gi].front()->gen.get();
+        bool found = false;
+        for (auto& p : parts) {
+          if (p.first == gen) {
+            p.second.push_back(gi);
+            found = true;
+            break;
+          }
+        }
+        if (!found) parts.emplace_back(gen, std::vector<size_t>{gi});
+      }
+      const auto encode_span = [&](GenState* gen, const size_t* gis,
+                                   size_t count) {
+        std::vector<core::PathTimeItem> items;
+        items.reserve(count);
+        bool all_deadlined = true;
+        for (size_t i = 0; i < count; ++i) {
+          const size_t gi = gis[i];
+          items.push_back(core::PathTimeItem{&batch.groups[gi].path,
+                                             batch.groups[gi].encode_time_s});
+          for (Request* r : pending[gi]) all_deadlined &= r->has_deadline;
+        }
+        // Cancel the shared forward only when EVERY waiting member is
+        // out of time; one expired member must not cancel the others.
+        std::function<bool()> cancelled;
+        if (all_deadlined) {
+          cancelled = [gis, count, &pending] {
+            const auto now = std::chrono::steady_clock::now();
+            for (size_t i = 0; i < count; ++i) {
+              for (Request* r : pending[gis[i]]) {
+                if (now < r->deadline) return false;
+              }
+            }
+            return true;
+          };
+        } else {
+          cancelled = [] { return false; };
+        }
+        auto encoded =
+            gen->model->EncodeValueBatchCancellable(items, cancelled);
+        if (!encoded.has_value()) {
+          for (size_t i = 0; i < count; ++i) {
+            const size_t gi = gis[i];
+            for (Request* r : pending[gi]) {
+              ServeResult res = DeadlineResult(*r);
+              res.attempts = a + 1;
+              r->promise.set_value(std::move(res));
+            }
+            pending[gi].clear();
+          }
+          return;
+        }
+        for (size_t i = 0; i < count; ++i) {
+          const size_t gi = gis[i];
+          for (Request* r : pending[gi]) {
+            if (past_deadline(*r)) {
+              ServeResult res = DeadlineResult(*r);
+              res.attempts = a + 1;
+              r->promise.set_value(std::move(res));
+              continue;
+            }
+            if (!r->breaker_predicted) {
+              BreakerRecord(*r->gen, true, r->breaker_probe);
+            }
+            ServeResult res = base_result(*r);
+            res.status = Status::OK();
+            res.rung = Rung::kFull;
+            res.attempts = a + 1;
+            res.embedding = (*encoded)[i];
+            ObserveRungLatency(Rung::kFull, sw.ElapsedSeconds());
+            r->promise.set_value(std::move(res));
+          }
+          pending[gi].clear();
+        }
+      };
+      for (auto& part : parts) {
+        std::vector<size_t>& gis = part.second;
+        // Length-sorted sub-batching: a padded forward costs
+        // max_len * count rows, so one long path in a batch of short
+        // ones multiplies the whole batch's work. Sorting by length
+        // (stable — deterministic for a fixed batch) and splitting
+        // greedily whenever padding the next group would push the
+        // padded/true row ratio past 5/4 keeps the waste bounded while
+        // leaving the per-group results bitwise untouched (every batch
+        // row is independent of its neighbours).
+        std::stable_sort(gis.begin(), gis.end(), [&](size_t x, size_t y) {
+          return batch.groups[x].path.size() > batch.groups[y].path.size();
+        });
+        constexpr size_t kMinSubBatch = 8;
+        size_t start = 0;
+        while (start < gis.size()) {
+          const size_t max_len = batch.groups[gis[start]].path.size();
+          size_t true_rows = max_len;
+          size_t end = start + 1;
+          while (end < gis.size()) {
+            const size_t next = batch.groups[gis[end]].path.size();
+            if (end - start >= kMinSubBatch &&
+                4 * max_len * (end - start + 1) > 5 * (true_rows + next)) {
+              break;
+            }
+            true_rows += next;
+            ++end;
+          }
+          encode_span(part.first, gis.data() + start, end - start);
+          start = end;
+        }
+      }
+    }
+
+    live = std::move(failed);
+    // Deterministic jittered backoff before the retry round: the failed
+    // groups retry together, so sleep once for the slowest group.
+    if (!live.empty() && a < config_.max_retries) {
+      const double base = std::min(
+          config_.backoff_max_ms,
+          config_.backoff_base_ms * static_cast<double>(1ULL << a));
+      double delay = 0.0;
+      for (size_t gi : live) {
+        const uint64_t attempt_key =
+            MixSeed(batch.groups[gi].key_hash, static_cast<uint64_t>(a));
+        Rng jitter(MixSeed(config_.seed, attempt_key));
+        delay = std::max(delay, base * (0.5 + 0.5 * jitter.Uniform()));
+      }
+      SleepMs(delay);
+    }
+  }
+
+  // Exhausted groups: every remaining member degrades, reporting the
+  // rung-0 failure to its generation's breaker in observed mode.
+  for (size_t gi : live) {
+    for (Request* r : pending[gi]) {
+      if (!r->breaker_predicted) {
+        BreakerRecord(*r->gen, false, r->breaker_probe);
+      }
+      ServeResult res = base_result(*r);
+      res.attempts = config_.max_retries + 1;
+      r->promise.set_value(DegradedLadder(*r, std::move(res), sw));
+    }
+  }
+}
+
 ServeResult InferenceService::Process(Request& req) {
   Stopwatch sw;
   ServeResult result;
@@ -554,7 +916,6 @@ ServeResult InferenceService::Process(Request& req) {
   // lock-free (both pointers are immutable after the slot is built), and
   // a LoadModel/promotion racing past cannot tear this request.
   const core::TemporalPathEncoder& model = *req.gen->model;
-  EmbeddingLruCache& cache = *req.gen->cache;
 
   const auto deadline_passed = [&req] {
     return req.has_deadline &&
@@ -613,11 +974,54 @@ ServeResult InferenceService::Process(Request& req) {
     }
   }
 
+  return DegradedLadder(req, std::move(result), sw);
+}
+
+ServeResult InferenceService::DeadlineResult(Request& req) {
+  // A probe that times out reports failure so the breaker never waits
+  // on a probe that will not come back.
+  if (!req.breaker_predicted && req.breaker_probe) {
+    BreakerRecord(*req.gen, false, /*was_probe=*/true);
+  }
+  obs::GetCounter("serve.deadline_exceeded").Add(1);
+  ServeResult result;
+  result.ticket = req.ticket;
+  result.generation = req.gen->generation;
+  result.canary = req.canary;
+  result.status = Status::DeadlineExceeded(
+      "deadline elapsed (ticket " + std::to_string(req.ticket) + ")");
+  return result;
+}
+
+ServeResult InferenceService::DegradedLadder(Request& req, ServeResult result,
+                                             const Stopwatch& sw) {
+  const PathQuery& q = req.query;
+  const core::TemporalPathEncoder& model = *req.gen->model;
+  EmbeddingLruCache& cache = *req.gen->cache;
+
+  const auto deadline_passed = [&req] {
+    return req.has_deadline &&
+           std::chrono::steady_clock::now() >= req.deadline;
+  };
+  const std::function<bool()> cancelled = deadline_passed;
+  const auto deadline_result = [&] {
+    if (!req.breaker_predicted && req.breaker_probe) {
+      BreakerRecord(*req.gen, false, /*was_probe=*/true);
+    }
+    obs::GetCounter("serve.deadline_exceeded").Add(1);
+    result.status = Status::DeadlineExceeded(
+        "deadline elapsed (ticket " + std::to_string(req.ticket) + ")");
+    return result;
+  };
+
   // Rung 1: bucket-level cache. Values are computed at the bucket's
   // representative time, so every request mapping to the key sees the
   // same bytes whether it hits or recomputes. Rung-0 successes never
   // populate this cache: they are exact-time embeddings and would make
-  // the cached bytes depend on which request got there first.
+  // the cached bytes depend on which request got there first. (Batched
+  // rung-0 successes don't populate it either: a coalesced group encodes
+  // at the bucket-representative time, but routing them through the same
+  // no-Put rule keeps the cache's provenance single-sourced.)
   if (deadline_passed()) return deadline_result();
   int64_t bucket = 0;
   const std::string key = CacheKey(q, &bucket);

@@ -18,6 +18,15 @@
 //   rung 2 (kFallback) node2vec mean-pool over the path's edge endpoint
 //                      embeddings, shaped to representation_dim
 //
+// Micro-batching. With ServiceConfig::batch_max > 0 the pipeline runs
+// batched: admissions feed a deterministic tpr::batch::BatchFormer
+// (flush by size or logical-ticks age, duplicate (path, time-bucket,
+// generation) keys coalesced into one encode) and workers run each
+// flushed batch through ONE padded rung-0 forward per model generation.
+// Every request keeps its own deadline, retry accounting, breaker fold,
+// and canary routing; rung-0 fault verdicts are keyed by the batch-group
+// hash so a request's outcome never depends on which batch it rode in.
+//
 // Generations. The service holds up to TWO live model generations — the
 // incumbent and an optional canary — each with its own rung-1 cache,
 // circuit breaker, and metrics (their state describes one set of
@@ -58,12 +67,15 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "batch/batch.h"
 #include "core/encoder.h"
 #include "core/features.h"
 #include "serve/lru_cache.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace tpr::serve {
 
@@ -140,6 +152,20 @@ struct ServiceConfig {
   int canary_permille = 200;
   /// Clean rung-0 canary requests that promote the canary to incumbent.
   int canary_promote_after = 64;
+  /// Micro-batching. >0 switches the pipeline to batched mode: Submit
+  /// feeds a deterministic BatchFormer (tpr::batch) instead of the
+  /// per-request queue, and workers run whole batches through ONE padded
+  /// encoder forward. 0 (default) keeps the legacy per-request pipeline.
+  /// Deadline/retry/breaker/canary semantics are preserved per request
+  /// either way; in batched mode the rung-0 fault verdicts are keyed by
+  /// the request's batch-group hash, so outcomes stay independent of
+  /// batch composition (see tpr::batch).
+  int batch_max = 0;
+  /// Age-flush threshold in logical ticks (one tick per admission).
+  int batch_ticks = 128;
+  /// Coalesce duplicate (path, time-bucket, generation) requests into one
+  /// encode whose result fans out to all waiters.
+  bool batch_coalesce = true;
 };
 
 /// Multi-threaded inference service. Construction wires the pipeline but
@@ -283,6 +309,10 @@ class InferenceService {
     bool skip_rung0 = false;       // breaker-open: straight to rung 1
     bool breaker_predicted = false;  // outcome already folded at admission
     bool breaker_probe = false;      // observed-mode half-open probe
+    // Batched mode: the request's batch-group hash, computed at admission
+    // from (path, encode time, pinned generation). Keys the batched fault
+    // verdicts so outcomes are independent of batch composition.
+    uint64_t group_key = 0;
     std::promise<ServeResult> promise;
   };
 
@@ -291,9 +321,15 @@ class InferenceService {
       std::shared_ptr<const core::TemporalPathEncoder> encoder,
       uint64_t generation) const;
 
+  /// Pure prediction: will this request degrade WITHOUT a rung-0 attempt
+  /// (injected scratch-alloc failure, or — batched mode — an injected
+  /// batch-flush drop of its group)? Neither counts as a breaker signal.
+  bool PredictRung0Skip(const Request& req) const;
+
   /// Pure prediction: will every rung-0 attempt of this request fail
   /// under the active fault plan? (p-mode sites only; see fault.h.)
-  bool PredictRung0Failure(const PathQuery& query) const;
+  /// Batched mode keys the attempts by the request's group hash.
+  bool PredictRung0Failure(const Request& req) const;
 
   /// Admission-time routing + breaker fold + canary resolution for the
   /// pinned generation; decides skip_rung0. Caller holds mu_.
@@ -314,6 +350,26 @@ class InferenceService {
   void WorkerLoop();
   ServeResult Process(Request& req);
 
+  /// Batched pipeline (batch_max > 0). Workers pop formed batches,
+  /// extract their member requests from waiting_, and run each batch
+  /// through ONE padded encoder forward per model generation. A worker
+  /// that finds nothing ready for ~1ms drains the former's partial batch
+  /// (idle flush) — a wall-clock race that changes which batch a request
+  /// rides in but never its outcome (verdicts are group-keyed).
+  void BatchedWorkerLoop();
+  void ProcessBatch(batch::FormedBatch& batch,
+                    std::vector<std::vector<Request>>& members);
+
+  /// DeadlineExceeded outcome for `req` (reports a timed-out half-open
+  /// probe as failure so the breaker never waits on it).
+  ServeResult DeadlineResult(Request& req);
+
+  /// Rungs 1+2 of the ladder, shared by the per-request and batched
+  /// pipelines. `result` carries the identity fields and the rung-0
+  /// attempt count already made.
+  ServeResult DegradedLadder(Request& req, ServeResult result,
+                             const Stopwatch& sw);
+
   /// Rung 2: mean-pooled node2vec endpoint embeddings, zero-padded or
   /// truncated to representation_dim. Pure; cannot fail.
   std::vector<float> FallbackEmbedding(const PathQuery& query) const;
@@ -328,6 +384,12 @@ class InferenceService {
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Request> queue_;
+  // Batched mode (batch_max > 0): the former collects admissions into
+  // groups, waiting_ parks the admitted requests by ticket until their
+  // batch flushes into ready_. All guarded by mu_.
+  std::unique_ptr<batch::BatchFormer> former_;
+  std::unordered_map<uint64_t, Request> waiting_;
+  std::deque<batch::FormedBatch> ready_;
   std::shared_ptr<GenState> live_;    // incumbent; null before install
   std::shared_ptr<GenState> canary_;  // in-flight canary; usually null
   std::deque<CanaryResolution> resolutions_;

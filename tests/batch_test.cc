@@ -1,0 +1,720 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "batch/batch.h"
+#include "core/encoder.h"
+#include "core/features.h"
+#include "fault/fault.h"
+#include "gradcheck.h"
+#include "kern/kern.h"
+#include "nn/autograd.h"
+#include "nn/modules.h"
+#include "nn/padded_batch.h"
+#include "nn/transformer.h"
+#include "obs/metrics.h"
+#include "serve/service.h"
+#include "synth/presets.h"
+#include "util/rng.h"
+
+namespace tpr {
+namespace {
+
+using core::FeatureSpace;
+using core::TemporalPathEncoder;
+
+/// Pins the compute kernel for one scope. The scalar kernel is the
+/// reproducibility anchor: under it, padded-batch forwards are bitwise
+/// identical to single-sequence forwards (padded_batch.h), which is what
+/// most of these tests assert.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(kern::Kernel k) : prev_(kern::ActiveKernel()) {
+    kern::SetKernel(k);
+  }
+  ~ScopedKernel() { kern::SetKernel(prev_); }
+  ScopedKernel(const ScopedKernel&) = delete;
+  ScopedKernel& operator=(const ScopedKernel&) = delete;
+
+ private:
+  kern::Kernel prev_;
+};
+
+nn::Tensor RandomTensor(int rows, int cols, Rng& rng) {
+  nn::Tensor t(rows, cols);
+  float* d = t.data();
+  for (int i = 0; i < rows * cols; ++i) {
+    d[i] = 2.0f * static_cast<float>(rng.Uniform()) - 1.0f;
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// BatchFormer: deterministic formation, flushing, coalescing.
+// ---------------------------------------------------------------------------
+
+TEST(BatchFormerTest, GroupHashIsPureAndSensitiveToEveryComponent) {
+  const graph::Path p{1, 2, 3};
+  const uint64_t h = batch::BatchFormer::GroupHash(p, 900, 7);
+  EXPECT_EQ(h, batch::BatchFormer::GroupHash(p, 900, 7));
+  EXPECT_NE(h, batch::BatchFormer::GroupHash(p, 1800, 7));
+  EXPECT_NE(h, batch::BatchFormer::GroupHash(p, 900, 8));
+  EXPECT_NE(h, batch::BatchFormer::GroupHash({1, 2}, 900, 7));
+  // The fold offsets edge ids, so a trailing edge 0 is not a no-op.
+  EXPECT_NE(h, batch::BatchFormer::GroupHash({1, 2, 3, 0}, 900, 7));
+}
+
+TEST(BatchFormerTest, SizeFlushAtMaxBatchDistinctGroups) {
+  batch::BatchConfig cfg;
+  cfg.max_batch = 3;
+  cfg.max_ticks = 1000;
+  batch::BatchFormer former(cfg);
+  EXPECT_FALSE(former.Arrive(1, {1}, 0, 0).has_value());
+  EXPECT_FALSE(former.Arrive(2, {2}, 0, 0).has_value());
+  auto flushed = former.Arrive(3, {3}, 0, 0);
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(flushed->seq, 0u);
+  ASSERT_EQ(flushed->groups.size(), 3u);
+  // Group-arrival order is preserved.
+  EXPECT_EQ(flushed->groups[0].path, graph::Path{1});
+  EXPECT_EQ(flushed->groups[2].path, graph::Path{3});
+  EXPECT_FALSE(former.has_pending());
+
+  // The next size flush gets the next sequence number.
+  (void)former.Arrive(4, {1}, 0, 0);
+  (void)former.Arrive(5, {2}, 0, 0);
+  auto second = former.Arrive(6, {3}, 0, 0);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->seq, 1u);
+}
+
+TEST(BatchFormerTest, AgeFlushAfterMaxTicksOfLogicalTime) {
+  batch::BatchConfig cfg;
+  cfg.max_batch = 100;
+  cfg.max_ticks = 4;
+  batch::BatchFormer former(cfg);
+  EXPECT_FALSE(former.Tick().has_value()) << "nothing pending, nothing ages";
+  EXPECT_FALSE(former.Arrive(1, {1}, 0, 0).has_value());
+  EXPECT_FALSE(former.Tick().has_value());
+  EXPECT_FALSE(former.Arrive(2, {2}, 0, 0).has_value());
+  EXPECT_FALSE(former.Tick().has_value());
+  EXPECT_FALSE(former.Tick().has_value());
+  auto flushed = former.Tick();  // the OLDEST arrival is now 4 ticks old
+  ASSERT_TRUE(flushed.has_value());
+  EXPECT_EQ(flushed->groups.size(), 2u)
+      << "arrivals during the window ride the aged batch";
+  EXPECT_FALSE(former.has_pending());
+}
+
+TEST(BatchFormerTest, CoalesceJoinsDuplicatesWithinATimeBucket) {
+  batch::BatchConfig cfg;
+  cfg.max_batch = 100;
+  cfg.time_bucket_s = 900;
+  batch::BatchFormer former(cfg);
+  const graph::Path p{4, 5};
+  EXPECT_EQ(former.EncodeTime(100), 0);
+  EXPECT_EQ(former.EncodeTime(850), 0);
+  EXPECT_EQ(former.EncodeTime(950), 900);
+  (void)former.Arrive(1, p, 100, 7);
+  (void)former.Arrive(2, p, 850, 7);  // same bucket: joins ticket 1's group
+  (void)former.Arrive(3, p, 950, 7);  // next bucket: its own group
+  EXPECT_EQ(former.pending_groups(), 2);
+  auto flushed = former.FlushAll();
+  ASSERT_TRUE(flushed.has_value());
+  ASSERT_EQ(flushed->groups.size(), 2u);
+  EXPECT_EQ(flushed->groups[0].tickets, (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(flushed->groups[0].encode_time_s, 0)
+      << "a coalesced group encodes at the bucket-representative time";
+  EXPECT_EQ(flushed->groups[1].tickets, (std::vector<uint64_t>{3}));
+  EXPECT_EQ(flushed->groups[1].encode_time_s, 900);
+  EXPECT_EQ(flushed->total_requests(), 3u);
+
+  // A different salt (another model generation) never coalesces.
+  (void)former.Arrive(4, p, 100, 7);
+  (void)former.Arrive(5, p, 100, 8);
+  EXPECT_EQ(former.pending_groups(), 2);
+}
+
+TEST(BatchFormerTest, CoalesceOffKeysEveryRequestByItsTicket) {
+  batch::BatchConfig cfg;
+  cfg.max_batch = 100;
+  cfg.coalesce = false;
+  batch::BatchFormer former(cfg);
+  const graph::Path p{4, 5};
+  EXPECT_EQ(former.EncodeTime(850), 850) << "no bucketing without coalescing";
+  (void)former.Arrive(1, p, 850, 7);
+  (void)former.Arrive(2, p, 850, 7);
+  auto flushed = former.FlushAll();
+  ASSERT_TRUE(flushed.has_value());
+  ASSERT_EQ(flushed->groups.size(), 2u);
+  EXPECT_NE(flushed->groups[0].key_hash, flushed->groups[1].key_hash);
+  EXPECT_EQ(flushed->groups[0].encode_time_s, 850);
+}
+
+TEST(BatchFormerTest, FormationIsAPureFunctionOfTheArrivalTrace) {
+  // One flattened signature of every flush decision the former makes
+  // over a mixed trace (duplicates, bucket edges, size and age flushes).
+  const auto run = [] {
+    batch::BatchConfig cfg;
+    cfg.max_batch = 5;
+    cfg.max_ticks = 7;
+    batch::BatchFormer former(cfg);
+    std::vector<uint64_t> signature;
+    const auto fold = [&signature](std::optional<batch::FormedBatch> b) {
+      if (!b.has_value()) return;
+      signature.push_back(b->seq);
+      for (const auto& g : b->groups) {
+        signature.push_back(g.key_hash);
+        signature.push_back(static_cast<uint64_t>(g.encode_time_s));
+        for (uint64_t t : g.tickets) signature.push_back(t);
+      }
+    };
+    Rng rng(3);
+    for (uint64_t ticket = 0; ticket < 400; ++ticket) {
+      const graph::Path path{static_cast<int>(rng.Uniform() * 6),
+                             static_cast<int>(rng.Uniform() * 6)};
+      const int64_t depart = static_cast<int64_t>(rng.Uniform() * 4000);
+      fold(former.Arrive(ticket, path, depart, /*salt=*/1));
+      fold(former.Tick());  // mirrors the service: one tick per admission
+    }
+    fold(former.FlushAll());
+    return signature;
+  };
+  const std::vector<uint64_t> a = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, run()) << "same trace must reproduce the same batches";
+}
+
+TEST(BatchFormerTest, FromEnvReadsOverridesAndIgnoresGarbage) {
+  ::setenv("TPR_BATCH_MAX", "7", 1);
+  ::setenv("TPR_BATCH_TICKS", "9", 1);
+  batch::BatchConfig cfg = batch::FromEnv();
+  EXPECT_EQ(cfg.max_batch, 7);
+  EXPECT_EQ(cfg.max_ticks, 9);
+  ::setenv("TPR_BATCH_MAX", "not-a-number", 1);
+  ::unsetenv("TPR_BATCH_TICKS");
+  batch::BatchConfig dflt;
+  cfg = batch::FromEnv();
+  EXPECT_EQ(cfg.max_batch, dflt.max_batch);
+  EXPECT_EQ(cfg.max_ticks, dflt.max_ticks);
+  ::unsetenv("TPR_BATCH_MAX");
+}
+
+// ---------------------------------------------------------------------------
+// Padded-batch forwards: valid rows bitwise equal to single forwards
+// under the scalar kernel (the contract of padded_batch.h).
+// ---------------------------------------------------------------------------
+
+template <typename Module>
+void ExpectBatchRowsMatchSingle(const Module& module,
+                                const std::vector<nn::Tensor>& seqs) {
+  nn::NoGradGuard guard;
+  const nn::PaddedBatch in = nn::PackSequences(seqs);
+  const nn::PaddedBatch out = module.ForwardBatch(in);
+  ASSERT_EQ(out.batch, in.batch);
+  ASSERT_EQ(out.max_len, in.max_len);
+  const int dim = out.data.cols();
+  for (int b = 0; b < in.batch; ++b) {
+    const nn::Var single = module.Forward(nn::Var::Leaf(seqs[b]));
+    ASSERT_EQ(single.cols(), dim);
+    for (int t = 0; t < in.lengths[b]; ++t) {
+      for (int j = 0; j < dim; ++j) {
+        ASSERT_EQ(out.data.value().at(out.row(t, b), j),
+                  single.value().at(t, j))
+            << "sequence " << b << " step " << t << " dim " << j;
+      }
+    }
+  }
+}
+
+TEST(PaddedBatchTest, LstmForwardBatchRowsAreBitwiseEqualToSingle) {
+  ScopedKernel scalar(kern::Kernel::kScalar);
+  Rng rng(11);
+  nn::Lstm lstm(6, 8, /*num_layers=*/2, rng);
+  std::vector<nn::Tensor> seqs;
+  for (int len : {5, 1, 3, 7, 2}) seqs.push_back(RandomTensor(len, 6, rng));
+  ExpectBatchRowsMatchSingle(lstm, seqs);
+}
+
+TEST(PaddedBatchTest, GruForwardBatchRowsAreBitwiseEqualToSingle) {
+  ScopedKernel scalar(kern::Kernel::kScalar);
+  Rng rng(12);
+  nn::GruLayer gru(6, 8, rng);
+  std::vector<nn::Tensor> seqs;
+  for (int len : {4, 1, 6, 2}) seqs.push_back(RandomTensor(len, 6, rng));
+  ExpectBatchRowsMatchSingle(gru, seqs);
+}
+
+TEST(PaddedBatchTest, TransformerForwardBatchRowsAreBitwiseEqualToSingle) {
+  ScopedKernel scalar(kern::Kernel::kScalar);
+  Rng rng(13);
+  nn::TransformerEncoder transformer(6, 8, /*num_layers=*/2, rng);
+  std::vector<nn::Tensor> seqs;
+  for (int len : {5, 2, 4, 1}) seqs.push_back(RandomTensor(len, 6, rng));
+  ExpectBatchRowsMatchSingle(transformer, seqs);
+}
+
+// ---------------------------------------------------------------------------
+// Gradients through the masked ops.
+// ---------------------------------------------------------------------------
+
+TEST(MaskedOpsTest, MaskedAggregationsGradcheck) {
+  Rng rng(21);
+  const std::vector<int> lengths = {4, 2, 3};
+  nn::Var data = nn::XavierParam(4 * 3, 5, rng);  // max_len=4, batch=3
+  testing::ExpectGradientsMatch(
+      [&] {
+        return nn::Add(nn::Sum(nn::SequenceMeanBatch(data, lengths)),
+                       nn::Sum(nn::SequenceMaxBatch(data, lengths)));
+      },
+      {data});
+}
+
+TEST(MaskedOpsTest, MaskedAttentionGradcheck) {
+  Rng rng(22);
+  nn::Var scores = nn::XavierParam(3, 6, rng);
+  nn::Var values = nn::XavierParam(6, 4, rng);
+  testing::ExpectGradientsMatch(
+      [&] {
+        return nn::Sum(nn::MatMulValidCols(
+            nn::SoftmaxRowsMasked(scores, /*valid=*/4), values, /*valid=*/4));
+      },
+      {scores, values});
+}
+
+TEST(MaskedOpsTest, LstmForwardBatchGradcheck) {
+  Rng rng(23);
+  nn::LstmLayer lstm(3, 4, rng);
+  nn::PaddedBatch in;
+  in.batch = 3;
+  in.max_len = 4;
+  in.lengths = {4, 2, 3};
+  // Non-zero padding rows on purpose: the masked aggregation must not
+  // read them, so their analytic AND numeric gradients are both zero.
+  in.data = nn::XavierParam(in.rows(), 3, rng);
+  std::vector<nn::Var> params = lstm.Parameters();
+  params.push_back(in.data);
+  testing::ExpectGradientsMatch(
+      [&] {
+        return nn::Sum(
+            nn::SequenceMeanBatch(lstm.ForwardBatch(in).data, in.lengths));
+      },
+      params);
+}
+
+// ---------------------------------------------------------------------------
+// Encoder-level bitwise equivalence on a tiny city.
+// ---------------------------------------------------------------------------
+
+class BatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto preset = synth::AalborgPreset();
+    synth::ScaleDataset(preset, 0.1);
+    auto ds = synth::BuildPresetDataset(preset);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    data_ = new std::shared_ptr<synth::CityDataset>(
+        std::make_shared<synth::CityDataset>(std::move(*ds)));
+    core::FeatureConfig fc;
+    fc.temporal_graph.slots_per_day = 48;
+    fc.node2vec.walks_per_node = 2;
+    fc.node2vec.epochs = 1;
+    auto fs = core::BuildFeatureSpace(*data_, fc);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    features_ = new std::shared_ptr<const FeatureSpace>(
+        std::make_shared<const FeatureSpace>(std::move(*fs)));
+  }
+
+  // Freed so the suite is LeakSanitizer-clean (CI runs it under ASan).
+  static void TearDownTestSuite() {
+    delete features_;
+    features_ = nullptr;
+    delete data_;
+    data_ = nullptr;
+  }
+
+  void SetUp() override {
+    fault::ClearPlan();
+    obs::SetMetricsEnabled(true);
+    obs::ResetAllMetrics();
+  }
+  void TearDown() override {
+    fault::ClearPlan();
+    obs::SetMetricsEnabled(false);
+  }
+
+  static core::EncoderConfig TinyEncoder() {
+    core::EncoderConfig cfg;
+    cfg.d_hidden = 16;
+    cfg.projection_dim = 8;
+    return cfg;
+  }
+
+  static serve::ServiceConfig BatchedService() {
+    serve::ServiceConfig cfg;
+    cfg.num_workers = 2;
+    cfg.queue_capacity = 64;
+    cfg.block_when_full = true;
+    cfg.max_retries = 2;
+    cfg.backoff_base_ms = 0.01;
+    cfg.backoff_max_ms = 0.05;
+    cfg.breaker_trip_threshold = 5;
+    cfg.breaker_open_requests = 4;
+    cfg.cache_capacity = 256;
+    cfg.time_bucket_s = 600;
+    cfg.batch_max = 8;
+    cfg.batch_ticks = 4;
+    return cfg;
+  }
+
+  static void Install(const std::string& spec) {
+    auto plan = fault::FaultPlan::Parse(spec);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    fault::InstallPlan(*std::move(plan));
+  }
+
+  serve::PathQuery Query(int sample, uint64_t id, int64_t time_shift = 0) {
+    const auto& s =
+        (*data_)->unlabeled[static_cast<size_t>(sample) %
+                            (*data_)->unlabeled.size()];
+    serve::PathQuery q;
+    q.path = s.path;
+    q.depart_time_s = s.depart_time_s + time_shift;
+    q.id = id;
+    return q;
+  }
+
+  /// N (path, time) items with varying path lengths and times.
+  std::vector<core::PathTimeItem> Items(int n) const {
+    std::vector<core::PathTimeItem> items;
+    items.reserve(static_cast<size_t>(n));
+    const auto& samples = (*data_)->unlabeled;
+    for (int i = 0; i < n; ++i) {
+      const auto& s = samples[static_cast<size_t>(i) % samples.size()];
+      items.push_back(
+          core::PathTimeItem{&s.path, s.depart_time_s + (i % 3) * 700});
+    }
+    return items;
+  }
+
+  std::shared_ptr<const FeatureSpace> features() { return *features_; }
+
+  static std::shared_ptr<synth::CityDataset>* data_;
+  static std::shared_ptr<const FeatureSpace>* features_;
+};
+
+std::shared_ptr<synth::CityDataset>* BatchTest::data_ = nullptr;
+std::shared_ptr<const FeatureSpace>* BatchTest::features_ = nullptr;
+
+TEST_F(BatchTest, EncodeValueBatchIsBitwiseEqualToSingleEncodes) {
+  // The acceptance assertion: one padded batched forward returns, for
+  // every item, exactly the bytes of an independent single encode —
+  // across both sequence models and all three aggregations.
+  ScopedKernel scalar(kern::Kernel::kScalar);
+  for (core::SequenceModel model :
+       {core::SequenceModel::kLstm, core::SequenceModel::kTransformer}) {
+    for (core::Aggregation agg :
+         {core::Aggregation::kMean, core::Aggregation::kMax,
+          core::Aggregation::kLast}) {
+      core::EncoderConfig cfg = TinyEncoder();
+      cfg.sequence_model = model;
+      cfg.aggregation = agg;
+      TemporalPathEncoder encoder(features(), cfg);
+      const std::vector<core::PathTimeItem> items = Items(6);
+      const auto batch = encoder.EncodeValueBatch(items);
+      ASSERT_EQ(batch.size(), items.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        EXPECT_EQ(batch[i], encoder.EncodeValue(*items[i].path,
+                                                items[i].depart_time_s))
+            << "item " << i << " model " << static_cast<int>(model)
+            << " aggregation " << static_cast<int>(agg);
+      }
+    }
+  }
+}
+
+TEST_F(BatchTest, EncodeValueBatchIsInvariantToBatchComposition) {
+  // Under the ACTIVE kernel (scalar or avx2), an item's embedding must
+  // not depend on what else rode in its batch: every padded row runs
+  // lane-uniform, row-independent math. The batched service relies on
+  // this — idle flushes change batch composition, never outcomes.
+  TemporalPathEncoder encoder(features(), TinyEncoder());
+  const std::vector<core::PathTimeItem> items = Items(6);
+  const auto together = encoder.EncodeValueBatch(items);
+  ASSERT_EQ(together.size(), items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const auto alone = encoder.EncodeValueBatch({items[i]});
+    ASSERT_EQ(alone.size(), 1u);
+    EXPECT_EQ(together[i], alone[0]) << "item " << i;
+  }
+}
+
+TEST_F(BatchTest, EncodeValueBatchCancellableHonoursCancellation) {
+  TemporalPathEncoder encoder(features(), TinyEncoder());
+  const std::vector<core::PathTimeItem> items = Items(3);
+  auto full = encoder.EncodeValueBatchCancellable(items, [] { return false; });
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(*full, encoder.EncodeValueBatch(items));
+  EXPECT_FALSE(encoder.EncodeValueBatchCancellable(items, [] { return true; })
+                   .has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Batched service: per-request semantics and determinism.
+// ---------------------------------------------------------------------------
+
+TEST_F(BatchTest, BatchedServiceServesTheBucketRepresentativeEncode) {
+  ScopedKernel scalar(kern::Kernel::kScalar);
+  serve::ServiceConfig cfg = BatchedService();
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  serve::InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(encoder, 1);
+  ASSERT_TRUE(svc.Start().ok());
+
+  // Two queries in the same time bucket: each encodes at the
+  // bucket-representative time whether or not they coalesced, so their
+  // embeddings are identical bytes — and exactly the direct encode at
+  // the bucket floor.
+  serve::PathQuery q1 = Query(0, 1);
+  q1.depart_time_s = (q1.depart_time_s / cfg.time_bucket_s) * cfg.time_bucket_s;
+  serve::PathQuery q2 = q1;
+  q2.id = 2;
+  q2.depart_time_s += cfg.time_bucket_s / 2;  // same bucket, later instant
+
+  serve::ServeResult r1 = svc.SubmitAndWait(q1);
+  serve::ServeResult r2 = svc.SubmitAndWait(q2);
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  ASSERT_TRUE(r2.status.ok()) << r2.status.ToString();
+  EXPECT_EQ(r1.rung, serve::Rung::kFull);
+  EXPECT_EQ(r2.rung, serve::Rung::kFull);
+  const std::vector<float> direct =
+      encoder->EncodeValue(q1.path, q1.depart_time_s);
+  EXPECT_EQ(r1.embedding, direct);
+  EXPECT_EQ(r2.embedding, direct);
+  EXPECT_GE(obs::GetCounter("serve.batches").value(), 1u);
+  svc.Shutdown();
+}
+
+TEST_F(BatchTest, InjectedBatchFlushDropDegradesTheWholeGroup) {
+  serve::ServiceConfig cfg = BatchedService();
+  cfg.num_workers = 1;
+  serve::InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("batch-flush:p=1");
+
+  // Every flush drops: no rung-0 attempt is ever made (like alloc, and
+  // no breaker signal), and the ladder serves the cache rung.
+  serve::ServeResult first = svc.SubmitAndWait(Query(0, 100));
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.rung, serve::Rung::kCached);
+  EXPECT_EQ(first.attempts, 0);
+  serve::ServeResult second = svc.SubmitAndWait(Query(0, 101));
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.rung, serve::Rung::kCached);
+  EXPECT_EQ(second.embedding, first.embedding);
+  EXPECT_EQ(obs::GetCounter("serve.breaker_trips").value(), 0u);
+  svc.Shutdown();
+}
+
+TEST_F(BatchTest, BatchedTotalOutageRetriesThenFallsBack) {
+  serve::ServiceConfig cfg = BatchedService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;  // keep rung 0 reachable
+  serve::InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("encoder-forward:p=1");
+
+  serve::ServeResult r = svc.SubmitAndWait(Query(1, 200));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rung, serve::Rung::kFallback);
+  EXPECT_EQ(r.attempts, 1 + cfg.max_retries);
+  EXPECT_GE(obs::GetCounter("serve.retries").value(),
+            static_cast<uint64_t>(cfg.max_retries));
+  svc.Shutdown();
+}
+
+TEST_F(BatchTest, BatchedRetryRecoversFromATransientGroupFault) {
+  serve::ServiceConfig cfg = BatchedService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;
+  serve::InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("encoder-forward:p=0.5,seed=9");
+
+  // Batched verdicts are keyed by the GROUP hash, not the request id:
+  // find a query whose group fails attempt 0 and recovers on attempt 1.
+  // The group key mirrors AdmitToGeneration: bucket-representative time,
+  // salt = pinned generation (coalescing on).
+  bool found = false;
+  serve::PathQuery q;
+  for (int sample = 0; sample < 64 && !found; ++sample) {
+    q = Query(sample, 1000 + static_cast<uint64_t>(sample));
+    const int64_t bucket =
+        (q.depart_time_s / cfg.time_bucket_s) * cfg.time_bucket_s;
+    const uint64_t key =
+        batch::BatchFormer::GroupHash(q.path, bucket, /*salt=*/1);
+    if (fault::WouldFail(fault::kEncoderForward, MixSeed(key, 0)) &&
+        !fault::WouldFail(fault::kEncoderForward, MixSeed(key, 1))) {
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  serve::ServeResult r = svc.SubmitAndWait(q);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rung, serve::Rung::kFull);
+  EXPECT_EQ(r.attempts, 2);
+  svc.Shutdown();
+}
+
+TEST_F(BatchTest, ShutdownResolvesEveryWaitingBatchedRequest) {
+  serve::ServiceConfig cfg = BatchedService();
+  cfg.num_workers = 1;
+  serve::InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("slow-worker:delay_ms=20");
+
+  std::vector<std::future<serve::ServeResult>> futures;
+  for (uint64_t i = 0; i < 12; ++i) {
+    auto submitted = svc.Submit(Query(static_cast<int>(i), i));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(*submitted));
+  }
+  svc.Shutdown();
+  int unavailable = 0;
+  for (auto& f : futures) {
+    serve::ServeResult r = f.get();  // promises parked in waiting_ too
+    EXPECT_TRUE(r.status.ok() ||
+                r.status.code() == StatusCode::kUnavailable)
+        << r.status.ToString();
+    unavailable += r.status.code() == StatusCode::kUnavailable ? 1 : 0;
+  }
+  EXPECT_GT(unavailable, 0) << "shutdown drained nothing";
+}
+
+// ---------------------------------------------------------------------------
+// The batched determinism soak: same trace + plan => identical
+// per-request outcomes across runs and worker counts — batch
+// boundaries, coalescing, and grouped rung-retry ladders included.
+// ---------------------------------------------------------------------------
+
+struct Outcome {
+  int code = 0;
+  int rung = -1;
+  int attempts = 0;
+  std::vector<float> embedding;
+  bool operator==(const Outcome& o) const {
+    return code == o.code && rung == o.rung && attempts == o.attempts &&
+           embedding == o.embedding;
+  }
+};
+
+class BatchSoakTest : public BatchTest {
+ protected:
+  // encoder-forward exercises the group-keyed retry ladder, alloc and
+  // batch-flush the pre-encode degrades, queue-full the admission sheds.
+  static constexpr char kSpec[] =
+      "encoder-forward:p=0.1;alloc:p=0.02;queue-full:p=0.01;"
+      "batch-flush:p=0.05";
+
+  std::vector<Outcome> RunSoak(int num_workers, int n) {
+    Install(kSpec);
+    serve::ServiceConfig cfg = BatchedService();
+    cfg.num_workers = num_workers;
+    cfg.queue_capacity = 128;
+    serve::InferenceService svc(features(), TinyEncoder(), cfg);
+    svc.InstallModel(
+        std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+    EXPECT_TRUE(svc.Start().ok());
+
+    // Single submitter, ids == tickets, duplicate-heavy trace: arrivals
+    // come in runs of 8 identical (path, bucket) keys, so duplicates
+    // land inside the same batch window and coalescing is exercised.
+    std::vector<Outcome> outcomes(static_cast<size_t>(n));
+    std::vector<std::pair<size_t, std::future<serve::ServeResult>>> pending;
+    pending.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto submitted = svc.Submit(
+          Query((i / 8) % 7, static_cast<uint64_t>(i), ((i / 8) % 3) * 500));
+      if (!submitted.ok()) {
+        outcomes[static_cast<size_t>(i)].code =
+            static_cast<int>(submitted.status().code());
+        continue;
+      }
+      pending.emplace_back(static_cast<size_t>(i), std::move(*submitted));
+    }
+    for (auto& [idx, future] : pending) {
+      serve::ServeResult r = future.get();
+      Outcome& o = outcomes[idx];
+      o.code = static_cast<int>(r.status.code());
+      if (r.status.ok()) {
+        o.rung = static_cast<int>(r.rung);
+        o.attempts = r.attempts;
+        o.embedding = std::move(r.embedding);
+      }
+    }
+    svc.Shutdown();
+    fault::ClearPlan();
+    return outcomes;
+  }
+};
+
+TEST_F(BatchSoakTest, OutcomesAreIdenticalAcrossRunsAndWorkerCounts) {
+  const int n = 3000;
+  std::vector<Outcome> run_a = RunSoak(/*num_workers=*/4, n);
+
+  int ok = 0, shed = 0;
+  int rung_count[3] = {0, 0, 0};
+  for (const Outcome& o : run_a) {
+    if (o.code == static_cast<int>(StatusCode::kOk)) {
+      ++ok;
+      ASSERT_GE(o.rung, 0);
+      rung_count[o.rung] += 1;
+      EXPECT_EQ(o.embedding.size(), 16u);
+    } else {
+      EXPECT_EQ(o.code, static_cast<int>(StatusCode::kResourceExhausted));
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, n);
+  EXPECT_GT(ok, n / 2);
+  EXPECT_GT(rung_count[0], 0) << "full rung never reached";
+  EXPECT_GT(rung_count[1], 0) << "cached rung never reached";
+  EXPECT_GT(obs::GetCounter("serve.batch_coalesced").value(), 0u)
+      << "the duplicate-heavy trace never coalesced anything";
+
+  // Same trace, same plan, same worker count: bitwise identical
+  // per-request outcomes even though batch COMPOSITION (idle flushes)
+  // is wall-clock dependent.
+  std::vector<Outcome> run_b = RunSoak(/*num_workers=*/4, n);
+  ASSERT_EQ(run_a.size(), run_b.size());
+  for (size_t i = 0; i < run_a.size(); ++i) {
+    ASSERT_TRUE(run_a[i] == run_b[i]) << "outcome diverged at request " << i;
+  }
+
+  // And a different worker count reproduces the same prefix: outcomes
+  // are a pure function of the request, never of batch membership.
+  const int m = 1000;
+  std::vector<Outcome> run_c = RunSoak(/*num_workers=*/1, m);
+  for (size_t i = 0; i < run_c.size(); ++i) {
+    ASSERT_TRUE(run_a[i] == run_c[i])
+        << "outcome diverged from single-worker run at request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tpr
