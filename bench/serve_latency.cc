@@ -4,14 +4,29 @@
 //   clean    — no fault plan; measures baseline sojourn latency
 //              (admission -> result) under a closed-loop submitter.
 //   faulted  — a deterministic tpr::fault plan injects encoder-forward
-//              failures, ckpt-read failures, scratch-alloc failures,
-//              queue-full sheds, and worker latency; measures degraded
-//              latency plus the shed / retry / degradation-rung counters.
-//   outage   — encoder-forward:p=1 (total rung-0 outage): every request
-//              lands on the fallback rung and the circuit breaker trips,
-//              yielding exact trip/open-skip counts.
+//              failures, ckpt-read failures, quant-encode failures,
+//              scratch-alloc failures, queue-full sheds, and worker
+//              latency; measures degraded latency plus the shed / retry /
+//              degradation-rung counters across all four rungs.
+//   outage   — encoder-forward:p=1 plus quant-encode:p=1 (rungs 0 and 1
+//              both dead, and the bucket-cache compute shares the
+//              encoder-forward site): every request lands on the
+//              fallback rung and the circuit breaker trips, yielding
+//              exact trip/open-skip counts.
 //   recovery — plan cleared; the breaker drains its open window, probes,
 //              and re-closes, ending with full-rung service restored.
+//
+// The model directory carries the int8 twin artifact (quant-1.q8), so
+// every LoadModel below installs the quantized rung alongside the fp32
+// encoder. A dedicated phase measures it:
+//
+//   quantized — encoder-forward:p=1 with a healthy twin: every cache-miss
+//               request is answered by the int8 rung. The sequential
+//               fp32-vs-int8 EncodeValue timing ratio is recorded as
+//               serve.quantized.encode_speedup_vs_full (floor-gated by
+//               `bench_gate.py throughput`), and the probe-MAE ratio of
+//               the twin vs the fp32 encoder as
+//               serve.quantized.probe_mae_ratio (baseline-gated).
 //
 // Then three phases on fresh service instances comparing the legacy
 // per-request pipeline against the micro-batched one (tpr::batch) under
@@ -48,8 +63,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/probe.h"
 #include "fault/fault.h"
 #include "harness.h"
+#include "quant/quant.h"
 #include "serve/service.h"
 
 namespace tpr::bench {
@@ -58,13 +75,17 @@ namespace {
 // Built-in faulted-phase plan: the ISSUE's headline outage (10% of
 // encoder forwards, 10% of checkpoint reads) plus a trickle of admission
 // sheds and injected worker latency so every resilience path runs.
+// The quant-encode:p=0.5 leg splits retry-exhausted traffic between the
+// int8 rung and the bucket cache, so both degraded rungs stay exercised
+// and gated.
 constexpr const char* kDefaultFaultSpec =
-    "encoder-forward:p=0.1;ckpt-read:p=0.1;alloc:p=0.02;"
-    "queue-full:p=0.01;slow-worker:p=0.05,delay_ms=0.2";
+    "encoder-forward:p=0.1;ckpt-read:p=0.1;quant-encode:p=0.5,seed=7;"
+    "alloc:p=0.02;queue-full:p=0.01;slow-worker:p=0.05,delay_ms=0.2";
 
 struct PhaseStats {
   int requests = 0;
   int ok_full = 0;
+  int ok_quantized = 0;
   int ok_cached = 0;
   int ok_fallback = 0;
   int shed = 0;
@@ -72,7 +93,7 @@ struct PhaseStats {
   double seconds = 0.0;
   std::vector<double> latencies_ms;
 
-  int ok() const { return ok_full + ok_cached + ok_fallback; }
+  int ok() const { return ok_full + ok_quantized + ok_cached + ok_fallback; }
 };
 
 double Percentile(std::vector<double> values, double q) {
@@ -86,6 +107,7 @@ void Classify(const serve::ServeResult& result, PhaseStats* stats) {
   if (result.status.ok()) {
     switch (result.rung) {
       case serve::Rung::kFull: ++stats->ok_full; break;
+      case serve::Rung::kQuantized: ++stats->ok_quantized; break;
       case serve::Rung::kCached: ++stats->ok_cached; break;
       case serve::Rung::kFallback: ++stats->ok_fallback; break;
     }
@@ -182,6 +204,7 @@ PhaseStats RunPhase(serve::InferenceService& service,
 
 void RecordPhase(const std::string& prefix, const PhaseStats& stats) {
   Record(prefix + ".ok_full", stats.ok_full);
+  Record(prefix + ".ok_quantized", stats.ok_quantized);
   Record(prefix + ".ok_cached", stats.ok_cached);
   Record(prefix + ".ok_fallback", stats.ok_fallback);
   Record(prefix + ".shed", stats.shed);
@@ -196,6 +219,7 @@ std::vector<std::string> PhaseRow(const std::string& name,
           std::to_string(s.requests),
           std::to_string(s.ok()),
           std::to_string(s.ok_full),
+          std::to_string(s.ok_quantized),
           std::to_string(s.ok_cached),
           std::to_string(s.ok_fallback),
           std::to_string(s.shed),
@@ -241,15 +265,31 @@ int main(int argc, char** argv) {
 
   serve::InferenceService service(city.features, encoder_config, config);
 
-  // Stage a model checkpoint and install it through the load path, all
-  // before any fault plan exists.
+  // Stage a model checkpoint plus its int8 twin artifact and install
+  // both through the load path, all before any fault plan exists. The
+  // encoder and twin stay alive for the sequential encode timing below.
   fault::ClearPlan();
   const std::string model_dir =
       std::filesystem::temp_directory_path().string() + "/tpr-serve-bench-" +
       std::to_string(::getpid());
+  core::TemporalPathEncoder encoder(city.features, encoder_config);
+  TPR_CHECK(serve::InferenceService::SaveModel(encoder, model_dir, 1).ok());
+  std::shared_ptr<const quant::QuantizedEncoder> twin;
   {
-    core::TemporalPathEncoder encoder(city.features, encoder_config);
-    TPR_CHECK(serve::InferenceService::SaveModel(encoder, model_dir, 1).ok());
+    std::vector<core::PathTimeItem> calibration;
+    const size_t calib_n =
+        std::min<size_t>(32, city.data->unlabeled.size());
+    calibration.reserve(calib_n);
+    for (size_t i = 0; i < calib_n; ++i) {
+      const auto& s = city.data->unlabeled[i];
+      calibration.push_back({&s.path, s.depart_time_s});
+    }
+    auto qmodel = quant::QuantizeEncoder(encoder, calibration);
+    TPR_CHECK(qmodel.ok()) << qmodel.status().ToString();
+    qmodel->generation = 1;
+    TPR_CHECK(quant::SaveQuantizedModel(model_dir, *qmodel, 1).ok());
+    twin = std::make_shared<const quant::QuantizedEncoder>(
+        city.features, *std::move(qmodel));
   }
   TPR_CHECK(service.LoadModel(model_dir).ok());
   TPR_CHECK(service.Start().ok());
@@ -288,13 +328,15 @@ int main(int argc, char** argv) {
   const double faulted_load_failures = static_cast<double>(
       obs::GetCounter("serve.model_load_failures").value() - load_fail0);
 
-  // Total rung-0 outage: the breaker must trip (the admission-order fold
-  // makes trip/skip counts exact), and every request must still resolve
-  // on the fallback rung.
+  // Total outage of rungs 0-2 (the bucket-cache compute shares the
+  // encoder-forward site): the breaker must trip (the admission-order
+  // fold makes trip/skip counts exact), and every request must still
+  // resolve on the fallback rung.
   const int outage_requests = 120;
   std::fprintf(stderr, "[bench] outage phase: %d requests...\n",
                outage_requests);
-  auto outage_plan = fault::FaultPlan::Parse("encoder-forward:p=1");
+  auto outage_plan =
+      fault::FaultPlan::Parse("encoder-forward:p=1;quant-encode:p=1");
   TPR_CHECK(outage_plan.ok());
   fault::InstallPlan(std::move(*outage_plan));
   const PhaseStats outage = RunPhase(service, city.data->unlabeled, model_dir,
@@ -316,6 +358,115 @@ int main(int argc, char** argv) {
   TPR_CHECK(recovery.ok_full > 0);  // the breaker re-closed
 
   service.Shutdown();
+
+  // ---- Quantized rung under a total fp32 outage ----
+  // Fresh service (breaker/cache state must not leak), healthy twin:
+  // every cache-miss request is answered by the int8 rung.
+  const int quantized_requests = Smoke() ? 600 : 5000;
+  std::fprintf(stderr, "[bench] quantized phase: %d requests...\n",
+               quantized_requests);
+  PhaseStats quantized;
+  {
+    serve::InferenceService svc(city.features, encoder_config, config);
+    TPR_CHECK(svc.LoadModel(model_dir).ok());
+    TPR_CHECK(svc.Start().ok());
+    auto qplan = fault::FaultPlan::Parse("encoder-forward:p=1");
+    TPR_CHECK(qplan.ok());
+    fault::InstallPlan(std::move(*qplan));
+    quantized = RunPhase(svc, city.data->unlabeled, model_dir,
+                         quantized_requests, /*reload_every=*/0);
+    fault::ClearPlan();
+    svc.Shutdown();
+  }
+  TPR_CHECK(quantized.ok() == quantized.requests);
+  TPR_CHECK(quantized.ok_quantized == quantized.requests)
+      << "a healthy twin must answer every request of the outage";
+
+  // ---- Sequential fp32 vs int8 encode timing + probe quality ----
+  // One thread, same items, no service in the way: the raw EncodeValue
+  // rate ratio the ~4x-smaller rung weights buy. Always measured at the
+  // production encoder shape — the smoke phases shrink d_hidden to keep
+  // the service phases fast, but at that size feature assembly dominates
+  // and the GEMM speedup under test would be invisible.
+  const core::EncoderConfig timing_config;  // production defaults
+  core::TemporalPathEncoder timing_encoder(city.features, timing_config);
+  std::shared_ptr<const quant::QuantizedEncoder> timing_twin;
+  {
+    std::vector<core::PathTimeItem> calibration;
+    const size_t calib_n = std::min<size_t>(32, city.data->unlabeled.size());
+    calibration.reserve(calib_n);
+    for (size_t i = 0; i < calib_n; ++i) {
+      const auto& s = city.data->unlabeled[i];
+      calibration.push_back({&s.path, s.depart_time_s});
+    }
+    auto qmodel = quant::QuantizeEncoder(timing_encoder, calibration);
+    TPR_CHECK(qmodel.ok()) << qmodel.status().ToString();
+    timing_twin = std::make_shared<const quant::QuantizedEncoder>(
+        city.features, *std::move(qmodel));
+  }
+  const int encode_items = Smoke() ? 200 : 1000;
+  double fp32_seconds = 0.0, int8_seconds = 0.0;
+  double fp32_batch_seconds = 0.0, int8_batch_seconds = 0.0;
+  {
+    std::vector<core::PathTimeItem> items;
+    items.reserve(static_cast<size_t>(encode_items));
+    for (int i = 0; i < encode_items; ++i) {
+      const auto& s =
+          city.data->unlabeled[static_cast<size_t>(i) %
+                               city.data->unlabeled.size()];
+      items.push_back({&s.path, s.depart_time_s + (i % 7) * 450});
+    }
+    Stopwatch sw_fp32;
+    for (const auto& it : items) {
+      auto v = timing_encoder.EncodeValue(*it.path, it.depart_time_s);
+      TPR_CHECK(!v.empty());
+    }
+    fp32_seconds = sw_fp32.ElapsedSeconds();
+    Stopwatch sw_int8;
+    for (const auto& it : items) {
+      auto v = timing_twin->EncodeValue(*it.path, it.depart_time_s);
+      TPR_CHECK(!v.empty());
+    }
+    int8_seconds = sw_int8.ElapsedSeconds();
+
+    // Batched legs: the shape the rung actually runs at — group-level
+    // cache misses arrive as EncodeValueBatch calls. Same items, cut
+    // into the service's typical flush size.
+    constexpr size_t kTimingBatch = 32;
+    Stopwatch sw_fp32_batch;
+    for (size_t i = 0; i < items.size(); i += kTimingBatch) {
+      const size_t n = std::min(kTimingBatch, items.size() - i);
+      const std::vector<core::PathTimeItem> chunk(items.begin() + i,
+                                                  items.begin() + i + n);
+      auto rows = timing_encoder.EncodeValueBatch(chunk);
+      TPR_CHECK(rows.size() == n);
+    }
+    fp32_batch_seconds = sw_fp32_batch.ElapsedSeconds();
+    Stopwatch sw_int8_batch;
+    for (size_t i = 0; i < items.size(); i += kTimingBatch) {
+      const size_t n = std::min(kTimingBatch, items.size() - i);
+      const std::vector<core::PathTimeItem> chunk(items.begin() + i,
+                                                  items.begin() + i + n);
+      auto rows = timing_twin->EncodeValueBatch(chunk);
+      TPR_CHECK(rows.size() == n);
+    }
+    int8_batch_seconds = sw_int8_batch.ElapsedSeconds();
+  }
+  const double encode_speedup =
+      int8_seconds > 0 ? fp32_seconds / int8_seconds : 0.0;
+  const double batched_encode_speedup =
+      int8_batch_seconds > 0 ? fp32_batch_seconds / int8_batch_seconds : 0.0;
+
+  const core::ProbeSet probe = core::BuildProbeSet(*city.data, 48, 5);
+  const auto fp32_mae = core::ProbeTravelTimeMae(timing_encoder, probe);
+  TPR_CHECK(fp32_mae.ok()) << fp32_mae.status().ToString();
+  const auto quant_mae = core::ProbeTravelTimeMaeWith(
+      [&](const graph::Path& path, int64_t depart_time_s) {
+        return timing_twin->EncodeValue(path, depart_time_s);
+      },
+      timing_twin->representation_dim(), probe);
+  TPR_CHECK(quant_mae.ok()) << quant_mae.status().ToString();
+  const double probe_mae_ratio = *fp32_mae > 0 ? *quant_mae / *fp32_mae : 0.0;
 
   // ---- Micro-batched pipeline: throughput comparison ----
   // Fresh service per leg (their breaker/cache state must not leak), a
@@ -427,6 +578,20 @@ int main(int argc, char** argv) {
   Record("serve.breaker_open_skips",
          static_cast<double>(
              obs::GetCounter("serve.breaker_open_skips").value() - skips0));
+  RecordPhase("serve.quantized", quantized);
+  // Higher-is-better: floor-gated by `bench_gate.py throughput`. The
+  // timing is sequential and single-threaded, so the floor holds on
+  // core-starved runners too.
+  Record("serve.quantized.encode_speedup_vs_full", encode_speedup);
+  // Same ratio at the rung's actual call shape (EncodeValueBatch of 32).
+  // The fp32 batched path already amortizes per-item overhead, so this
+  // floor is tighter than the sequential one — see DESIGN.md section 14
+  // for the Amdahl breakdown.
+  Record("serve.quantized.batched_encode_speedup_vs_full",
+         batched_encode_speedup);
+  // Lower-is-better: the twin's probe MAE relative to the fp32 encoder,
+  // baseline-gated like every other quality metric.
+  Record("serve.quantized.probe_mae_ratio", probe_mae_ratio);
   RecordPhase("serve.single", single);
   RecordPhase("serve.batched", batched);
   RecordPhase("serve.batched_faulted", batched_faulted);
@@ -442,12 +607,14 @@ int main(int argc, char** argv) {
 
   std::printf("Inference service latency under deterministic faults\n");
   std::printf("fault plan: %s\n\n", spec.c_str());
-  TablePrinter table({"Phase", "Req", "OK", "Full", "Cached", "Fallback",
-                      "Shed", "p50 ms", "p95 ms", "p99 ms", "req/s"});
+  TablePrinter table({"Phase", "Req", "OK", "Full", "Quant", "Cached",
+                      "Fallback", "Shed", "p50 ms", "p95 ms", "p99 ms",
+                      "req/s"});
   table.AddRow(PhaseRow("clean", clean));
   table.AddRow(PhaseRow("faulted", faulted));
   table.AddRow(PhaseRow("outage", outage));
   table.AddRow(PhaseRow("recovery", recovery));
+  table.AddRow(PhaseRow("quantized", quantized));
   table.AddRow(PhaseRow("single", single));
   table.AddRow(PhaseRow("batched", batched));
   table.AddRow(PhaseRow("batched_faulted", batched_faulted));
@@ -457,5 +624,9 @@ int main(int argc, char** argv) {
       "(%llu batches, %llu coalesced)\n",
       speedup, p99_gain, static_cast<unsigned long long>(batches),
       static_cast<unsigned long long>(coalesced));
+  std::printf(
+      "int8 vs fp32 encode: %.2fx sequential rate, probe MAE ratio %.4f "
+      "(fp32 %.3f, int8 %.3f)\n",
+      encode_speedup, probe_mae_ratio, *fp32_mae, *quant_mae);
   return 0;
 }

@@ -96,7 +96,14 @@ def cmd_check(args):
             if metric not in cur.get("metrics", {}):
                 failures.append(f"{bench}/{metric}: missing from merged results")
                 continue
-            value = float(cur["metrics"][metric])
+            try:
+                value = float(cur["metrics"][metric])
+            except (TypeError, ValueError):
+                failures.append(
+                    f"{bench}/{metric}: non-numeric value "
+                    f"{cur['metrics'][metric]!r} in merged results"
+                )
+                continue
             limit = base * (1.0 + tol)
             ok = value <= limit
             rows.append((bench, metric, base, value, tol, ok))
@@ -168,7 +175,13 @@ def cmd_throughput(args):
             failures.append(f"{metric}: missing from {args.bench} record")
             print(f"  {metric:<32} MISSING (floor {required:.2f})")
             continue
-        value = float(raw)
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            failures.append(f"{metric}: non-numeric value {raw!r} in "
+                            f"{args.bench} record")
+            print(f"  {metric:<32} NON-NUMERIC (floor {required:.2f})")
+            continue
         ok = value >= required
         print(f"  {metric:<32} {value:>8.3f}  floor {required:.2f}  "
               f"{'ok' if ok else 'BELOW FLOOR'}")

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Regression tests for ci/bench_gate.py (stdlib only).
+
+These lock the gate's failure contract: a metric that is missing,
+non-numeric, or below its floor must FAIL the gate with a readable
+message — never pass silently and never die with a traceback. Run with
+
+    python3 ci/bench_gate_test.py
+"""
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+import unittest.mock
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_gate  # noqa: E402
+
+
+def write_json(path, doc):
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def merged_doc(metrics, bench="bench_serve_latency"):
+    return {"records": [{"bench": bench, "metrics": metrics}]}
+
+
+@contextlib.contextmanager
+def captured():
+    out, err = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        yield out, err
+
+
+class ThroughputGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.merged = os.path.join(self.tmp.name, "merged.json")
+
+    def run_gate(self, metrics, gates, threads=1, bench="bench_serve_latency"):
+        write_json(self.merged, merged_doc(metrics))
+        args = argparse.Namespace(
+            merged=self.merged, bench=bench, threads=threads,
+            gate=[bench_gate.parse_gate(g) for g in gates])
+        with captured() as (out, err):
+            rc = bench_gate.cmd_throughput(args)
+        return rc, out.getvalue(), err.getvalue()
+
+    def test_clears_floor(self):
+        rc, _, _ = self.run_gate({"speedup": 3.0}, ["speedup:2.0"])
+        self.assertEqual(rc, 0)
+
+    def test_below_floor_fails(self):
+        rc, _, err = self.run_gate({"speedup": 1.5}, ["speedup:2.0"])
+        self.assertEqual(rc, 1)
+        self.assertIn("below required", err)
+
+    def test_missing_metric_fails_not_passes(self):
+        rc, out, err = self.run_gate({"other": 9.0}, ["speedup:2.0"])
+        self.assertEqual(rc, 1)
+        self.assertIn("missing from bench_serve_latency record", err)
+        self.assertIn("MISSING", out)
+
+    def test_missing_bench_record_fails(self):
+        write_json(self.merged, merged_doc({"speedup": 3.0}, bench="other"))
+        args = argparse.Namespace(
+            merged=self.merged, bench="bench_serve_latency", threads=1,
+            gate=[bench_gate.parse_gate("speedup:2.0")])
+        with captured() as (_, err):
+            rc = bench_gate.cmd_throughput(args)
+        self.assertEqual(rc, 1)
+        self.assertIn("missing from", err.getvalue())
+
+    def test_non_numeric_metric_fails_without_traceback(self):
+        rc, _, err = self.run_gate({"speedup": "fast"}, ["speedup:2.0"])
+        self.assertEqual(rc, 1)
+        self.assertIn("non-numeric", err)
+
+    def test_degraded_floor_applies_when_runner_has_fewer_cores(self):
+        with unittest.mock.patch.object(bench_gate.os, "cpu_count",
+                                        return_value=1):
+            rc, _, _ = self.run_gate({"speedup": 1.2}, ["speedup:2.0:1.0"],
+                                     threads=4)
+        self.assertEqual(rc, 0)
+        with unittest.mock.patch.object(bench_gate.os, "cpu_count",
+                                        return_value=8):
+            rc, _, _ = self.run_gate({"speedup": 1.2}, ["speedup:2.0:1.0"],
+                                     threads=4)
+        self.assertEqual(rc, 1)
+
+    def test_parse_gate_rejects_malformed_specs(self):
+        for bad in ("speedup", "speedup:", "speedup:x", "a:1:2:3"):
+            with self.assertRaises(argparse.ArgumentTypeError):
+                bench_gate.parse_gate(bad)
+        self.assertEqual(bench_gate.parse_gate("m:2.0"), ("m", 2.0, 2.0))
+        self.assertEqual(bench_gate.parse_gate("m:2.0:1.5"), ("m", 2.0, 1.5))
+
+
+class CheckGateTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.merged = os.path.join(self.tmp.name, "merged.json")
+        self.baseline = os.path.join(self.tmp.name, "baseline.json")
+
+    def run_check(self, current_metrics, baseline_metrics, tolerance=0.25):
+        write_json(self.merged, merged_doc(current_metrics, bench="b"))
+        write_json(self.baseline,
+                   {"records": [{"bench": "b", "metrics": baseline_metrics}]})
+        args = argparse.Namespace(merged=self.merged, baseline=self.baseline,
+                                  tolerance=tolerance)
+        with captured() as (out, err):
+            rc = bench_gate.cmd_check(args)
+        return rc, out.getvalue(), err.getvalue()
+
+    def test_within_tolerance_passes(self):
+        rc, _, _ = self.run_check({"ms": 1.2}, {"ms": 1.0})
+        self.assertEqual(rc, 0)
+
+    def test_regression_fails(self):
+        rc, _, err = self.run_check({"ms": 1.6}, {"ms": 1.0})
+        self.assertEqual(rc, 1)
+        self.assertIn("vs baseline", err)
+
+    def test_baseline_metric_missing_from_merged_fails(self):
+        rc, _, err = self.run_check({"other": 1.0}, {"ms": 1.0})
+        self.assertEqual(rc, 1)
+        self.assertIn("missing from merged results", err)
+
+    def test_non_numeric_current_value_fails_without_traceback(self):
+        rc, _, err = self.run_check({"ms": None}, {"ms": 1.0})
+        self.assertEqual(rc, 1)
+        self.assertIn("non-numeric", err)
+
+    def test_per_metric_tolerance_object(self):
+        rc, _, _ = self.run_check({"ms": 1.9}, {"ms": {"value": 1.0,
+                                                       "tolerance": 1.0}})
+        self.assertEqual(rc, 0)
+        rc, _, _ = self.run_check({"ms": 2.1}, {"ms": {"value": 1.0,
+                                                       "tolerance": 1.0}})
+        self.assertEqual(rc, 1)
+
+
+class MergeTest(unittest.TestCase):
+    def test_merge_sorts_and_rejects_unreadable_records(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            write_json(os.path.join(tmp, "b.json"), {"bench": "zeta"})
+            write_json(os.path.join(tmp, "a.json"), {"bench": "alpha"})
+            out_path = os.path.join(tmp, "merged.json")
+            args = argparse.Namespace(dir=tmp, output=out_path)
+            with captured():
+                self.assertEqual(bench_gate.cmd_merge(args), 0)
+            with open(out_path) as f:
+                doc = json.load(f)
+            self.assertEqual([r["bench"] for r in doc["records"]],
+                             ["alpha", "zeta"])
+
+            with open(os.path.join(tmp, "broken.json"), "w") as f:
+                f.write("{not json")
+            with captured():
+                self.assertEqual(bench_gate.cmd_merge(args), 1)
+
+
+class SpeedupGateTest(unittest.TestCase):
+    def run_speedup(self, rec, min_speedup=1.3, degraded=0.45):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "timing.json")
+            write_json(path, rec)
+            args = argparse.Namespace(timing=path, min_speedup=min_speedup,
+                                      min_speedup_degraded=degraded)
+            with captured() as (_, err):
+                rc = bench_gate.cmd_speedup(args)
+            return rc, err.getvalue()
+
+    def test_divergent_metrics_fail_even_with_good_speedup(self):
+        rc, err = self.run_speedup({"bench": "b", "threads": 1,
+                                    "speedup": 9.0,
+                                    "identical_metrics": False})
+        self.assertEqual(rc, 1)
+        self.assertIn("identical_metrics", err)
+
+    def test_identical_metrics_and_speedup_pass(self):
+        rc, _ = self.run_speedup({"bench": "b", "threads": 1, "speedup": 2.0,
+                                  "identical_metrics": True})
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -115,6 +115,12 @@ class TemporalPathEncoder : public nn::Module {
   const EncoderConfig& config() const { return config_; }
   int representation_dim() const { return config_.d_hidden; }
 
+  /// The frozen feature space this encoder reads from. tpr::quant shares
+  /// it with the quantized twin so both see identical inputs.
+  const std::shared_ptr<const FeatureSpace>& features() const {
+    return features_;
+  }
+
   /// Input dimensionality fed to the LSTM (spatial [+ temporal]).
   int input_dim() const;
 

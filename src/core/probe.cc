@@ -78,16 +78,27 @@ bool AllParametersFinite(const TemporalPathEncoder& encoder) {
 
 StatusOr<double> ProbeTravelTimeMae(const TemporalPathEncoder& encoder,
                                     const ProbeSet& probe) {
+  return ProbeTravelTimeMaeWith(
+      [&encoder](const graph::Path& path, int64_t depart_time_s) {
+        return encoder.EncodeValue(path, depart_time_s);
+      },
+      encoder.representation_dim(), probe);
+}
+
+StatusOr<double> ProbeTravelTimeMaeWith(
+    const std::function<std::vector<float>(const graph::Path&, int64_t)>&
+        embed,
+    int representation_dim, const ProbeSet& probe) {
   const size_t n = probe.queries.size();
   if (n == 0) return Status::InvalidArgument("empty probe set");
-  const size_t d = static_cast<size_t>(encoder.representation_dim()) + 1;
+  const size_t d = static_cast<size_t>(representation_dim) + 1;
 
   // Embed every probe query once (bias feature appended).
   std::vector<double> x(n * d, 1.0);
   std::vector<double> y(n);
   for (size_t i = 0; i < n; ++i) {
     const ProbeQuery& q = probe.queries[i];
-    const std::vector<float> e = encoder.EncodeValue(q.path, q.depart_time_s);
+    const std::vector<float> e = embed(q.path, q.depart_time_s);
     for (size_t j = 0; j + 1 < d; ++j) x[i * d + j] = e[j];
     y[i] = q.travel_time_s;
   }

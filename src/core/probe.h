@@ -13,6 +13,7 @@
 // is quarantined without serving a single request.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -55,6 +56,16 @@ bool AllParametersFinite(const TemporalPathEncoder& encoder);
 /// probe set, Internal if the solve fails (non-finite embeddings).
 StatusOr<double> ProbeTravelTimeMae(const TemporalPathEncoder& encoder,
                                     const ProbeSet& probe);
+
+/// Same read-out as ProbeTravelTimeMae over an arbitrary embedding
+/// function — used to score the int8-quantized twin of a candidate on
+/// the identical probe set, making fp32 and quantized MAE directly
+/// comparable. `embed` must return `representation_dim` floats for every
+/// probe query.
+StatusOr<double> ProbeTravelTimeMaeWith(
+    const std::function<std::vector<float>(const graph::Path&, int64_t)>&
+        embed,
+    int representation_dim, const ProbeSet& probe);
 
 }  // namespace tpr::core
 

@@ -58,6 +58,7 @@ inline constexpr char kNanLoss[] = "nan-loss";               // trainer watchdog
 inline constexpr char kRolloutPublish[] = "rollout-publish"; // rollout manifest publish
 inline constexpr char kCanaryRegression[] = "canary-regression";  // serve canary quality drills
 inline constexpr char kBatchFlush[] = "batch-flush";         // serve batched rung-0 encode
+inline constexpr char kQuantEncode[] = "quant-encode";       // serve int8 rung encode
 
 /// Failure rule for one site. A rule may combine modes; the site fails
 /// when ANY active mode fires.

@@ -11,8 +11,10 @@
 
 #include <immintrin.h>
 
+#include <cmath>
 #include <cstddef>
 #include <cstring>
+#include <vector>
 
 #include "kern/arena.h"
 #include "kern/kern_internal.h"
@@ -272,6 +274,333 @@ void GemmTransBAcc(const float* a, const float* b, float* out, int m, int k,
       for (; kk < k; ++kk) s += ar[kk] * br[kk];
       out_row[j] += s;
     }
+  }
+}
+
+namespace {
+
+inline int32_t HsumI32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+// Sum of products of 16 int8 pairs: widen both sides to int16 and use
+// madd_epi16 (each int32 lane gets one pair-sum; |p| <= 2 * 127^2 so no
+// int16 stage can overflow). Integer adds are exact, so any summation
+// order gives the same bits as the scalar kernel.
+inline __m256i Dot16I8(const int8_t* a, const int8_t* b, __m256i acc) {
+  const __m256i va =
+      _mm256_cvtepi8_epi16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(a)));
+  const __m256i vb =
+      _mm256_cvtepi8_epi16(_mm_loadu_si128(reinterpret_cast<const __m128i*>(b)));
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+}
+
+}  // namespace
+
+void GemmInt8(const int8_t* a, const int8_t* bt, int32_t* out, int m, int k,
+              int n) {
+  // out[i, j] = dot(a_row_i, bt_row_j): the same contiguous-dot shape as
+  // GemmTransBAcc, 16 bytes per step, 4 bt rows sharing each A load.
+  for (int i = 0; i < m; ++i) {
+    const int8_t* ar = a + static_cast<size_t>(i) * k;
+    int32_t* out_row = out + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      const int8_t* b0 = bt + static_cast<size_t>(j) * k;
+      const int8_t* b1 = b0 + k;
+      const int8_t* b2 = b1 + k;
+      const int8_t* b3 = b2 + k;
+      int kk = 0;
+      for (; kk + 16 <= k; kk += 16) {
+        acc0 = Dot16I8(ar + kk, b0 + kk, acc0);
+        acc1 = Dot16I8(ar + kk, b1 + kk, acc1);
+        acc2 = Dot16I8(ar + kk, b2 + kk, acc2);
+        acc3 = Dot16I8(ar + kk, b3 + kk, acc3);
+      }
+      int32_t t0 = HsumI32(acc0), t1 = HsumI32(acc1), t2 = HsumI32(acc2),
+              t3 = HsumI32(acc3);
+      for (; kk < k; ++kk) {
+        const int32_t av = ar[kk];
+        t0 += av * b0[kk];
+        t1 += av * b1[kk];
+        t2 += av * b2[kk];
+        t3 += av * b3[kk];
+      }
+      out_row[j] = t0;
+      out_row[j + 1] = t1;
+      out_row[j + 2] = t2;
+      out_row[j + 3] = t3;
+    }
+    for (; j < n; ++j) {
+      const int8_t* br = bt + static_cast<size_t>(j) * k;
+      __m256i acc = _mm256_setzero_si256();
+      int kk = 0;
+      for (; kk + 16 <= k; kk += 16) acc = Dot16I8(ar + kk, br + kk, acc);
+      int32_t s = HsumI32(acc);
+      for (; kk < k; ++kk) {
+        s += static_cast<int32_t>(ar[kk]) * static_cast<int32_t>(br[kk]);
+      }
+      out_row[j] = s;
+    }
+  }
+}
+
+namespace {
+
+// 16 int16 pairs per step, both operands already widened: one madd and
+// one add per 16 MACs, with no per-iteration sign extension.
+inline __m256i Dot16I16(const int16_t* a, const int16_t* b, __m256i acc) {
+  const __m256i va =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  const __m256i vb =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+}
+
+}  // namespace
+
+void GemmInt8Wide(const int8_t* a, const int16_t* bt, int32_t* out, int m,
+                  int k, int n) {
+  // The weight panel is pre-widened by the caller. Up to kRowTile
+  // activation rows are widened once into an L1-resident int16 tile and
+  // the column loop runs OUTSIDE the row loop within each tile, so a
+  // 4-channel weight block is pulled from L2 once per tile and then
+  // served from L1 for every row — with a row-outer order the panel is
+  // re-streamed per row and batched (m > 1) calls gain nothing over
+  // m = 1. Each out[i, j] is still an independent exact dot product, so
+  // results are identical for any m and to the scalar kernel.
+  constexpr int kRowTile = 32;
+  static thread_local std::vector<int16_t> a16_scratch;
+  a16_scratch.resize(static_cast<size_t>(kRowTile) * k);
+  int16_t* a16 = a16_scratch.data();
+  for (int i0 = 0; i0 < m; i0 += kRowTile) {
+    const int mt = m - i0 < kRowTile ? m - i0 : kRowTile;
+    for (int i = 0; i < mt; ++i) {
+      const int8_t* ar = a + static_cast<size_t>(i0 + i) * k;
+      int16_t* dst = a16 + static_cast<size_t>(i) * k;
+      int kk = 0;
+      for (; kk + 16 <= k; kk += 16) {
+        const __m256i wide = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(ar + kk)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + kk), wide);
+      }
+      for (; kk < k; ++kk) dst[kk] = ar[kk];
+    }
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const int16_t* b0 = bt + static_cast<size_t>(j) * k;
+      const int16_t* b1 = b0 + k;
+      const int16_t* b2 = b1 + k;
+      const int16_t* b3 = b2 + k;
+      // 2-row x 4-channel register block: the four weight loads of each
+      // k-step are shared by two activation rows (6 loads per 8 madds
+      // instead of 10), which matters because the kernel is load-port
+      // bound, not multiply bound. 8 accumulators + 4 weight + 2
+      // activation registers fit the 16 ymm budget.
+      int i = 0;
+      for (; i + 2 <= mt; i += 2) {
+        const int16_t* arow0 = a16 + static_cast<size_t>(i) * k;
+        const int16_t* arow1 = arow0 + k;
+        int32_t* out_row0 = out + static_cast<size_t>(i0 + i) * n;
+        int32_t* out_row1 = out_row0 + n;
+        __m256i acc00 = _mm256_setzero_si256();
+        __m256i acc01 = _mm256_setzero_si256();
+        __m256i acc02 = _mm256_setzero_si256();
+        __m256i acc03 = _mm256_setzero_si256();
+        __m256i acc10 = _mm256_setzero_si256();
+        __m256i acc11 = _mm256_setzero_si256();
+        __m256i acc12 = _mm256_setzero_si256();
+        __m256i acc13 = _mm256_setzero_si256();
+        int kk = 0;
+        for (; kk + 16 <= k; kk += 16) {
+          const __m256i vb0 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(b0 + kk));
+          const __m256i vb1 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(b1 + kk));
+          const __m256i vb2 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(b2 + kk));
+          const __m256i vb3 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(b3 + kk));
+          const __m256i va0 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(arow0 + kk));
+          const __m256i va1 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(arow1 + kk));
+          acc00 = _mm256_add_epi32(acc00, _mm256_madd_epi16(va0, vb0));
+          acc01 = _mm256_add_epi32(acc01, _mm256_madd_epi16(va0, vb1));
+          acc02 = _mm256_add_epi32(acc02, _mm256_madd_epi16(va0, vb2));
+          acc03 = _mm256_add_epi32(acc03, _mm256_madd_epi16(va0, vb3));
+          acc10 = _mm256_add_epi32(acc10, _mm256_madd_epi16(va1, vb0));
+          acc11 = _mm256_add_epi32(acc11, _mm256_madd_epi16(va1, vb1));
+          acc12 = _mm256_add_epi32(acc12, _mm256_madd_epi16(va1, vb2));
+          acc13 = _mm256_add_epi32(acc13, _mm256_madd_epi16(va1, vb3));
+        }
+        int32_t t00 = HsumI32(acc00), t01 = HsumI32(acc01),
+                t02 = HsumI32(acc02), t03 = HsumI32(acc03);
+        int32_t t10 = HsumI32(acc10), t11 = HsumI32(acc11),
+                t12 = HsumI32(acc12), t13 = HsumI32(acc13);
+        for (; kk < k; ++kk) {
+          const int32_t a0 = arow0[kk], a1 = arow1[kk];
+          t00 += a0 * b0[kk];
+          t01 += a0 * b1[kk];
+          t02 += a0 * b2[kk];
+          t03 += a0 * b3[kk];
+          t10 += a1 * b0[kk];
+          t11 += a1 * b1[kk];
+          t12 += a1 * b2[kk];
+          t13 += a1 * b3[kk];
+        }
+        out_row0[j] = t00;
+        out_row0[j + 1] = t01;
+        out_row0[j + 2] = t02;
+        out_row0[j + 3] = t03;
+        out_row1[j] = t10;
+        out_row1[j + 1] = t11;
+        out_row1[j + 2] = t12;
+        out_row1[j + 3] = t13;
+      }
+      for (; i < mt; ++i) {
+        const int16_t* arow = a16 + static_cast<size_t>(i) * k;
+        int32_t* out_row = out + static_cast<size_t>(i0 + i) * n;
+        __m256i acc0 = _mm256_setzero_si256();
+        __m256i acc1 = _mm256_setzero_si256();
+        __m256i acc2 = _mm256_setzero_si256();
+        __m256i acc3 = _mm256_setzero_si256();
+        int kk = 0;
+        for (; kk + 16 <= k; kk += 16) {
+          acc0 = Dot16I16(arow + kk, b0 + kk, acc0);
+          acc1 = Dot16I16(arow + kk, b1 + kk, acc1);
+          acc2 = Dot16I16(arow + kk, b2 + kk, acc2);
+          acc3 = Dot16I16(arow + kk, b3 + kk, acc3);
+        }
+        int32_t t0 = HsumI32(acc0), t1 = HsumI32(acc1), t2 = HsumI32(acc2),
+                t3 = HsumI32(acc3);
+        for (; kk < k; ++kk) {
+          const int32_t av = arow[kk];
+          t0 += av * b0[kk];
+          t1 += av * b1[kk];
+          t2 += av * b2[kk];
+          t3 += av * b3[kk];
+        }
+        out_row[j] = t0;
+        out_row[j + 1] = t1;
+        out_row[j + 2] = t2;
+        out_row[j + 3] = t3;
+      }
+    }
+    for (; j < n; ++j) {
+      const int16_t* br = bt + static_cast<size_t>(j) * k;
+      for (int i = 0; i < mt; ++i) {
+        const int16_t* arow = a16 + static_cast<size_t>(i) * k;
+        __m256i acc = _mm256_setzero_si256();
+        int kk = 0;
+        for (; kk + 16 <= k; kk += 16) acc = Dot16I16(arow + kk, br + kk, acc);
+        int32_t s = HsumI32(acc);
+        for (; kk < k; ++kk) {
+          s += static_cast<int32_t>(arow[kk]) * static_cast<int32_t>(br[kk]);
+        }
+        out[static_cast<size_t>(i0 + i) * n + j] = s;
+      }
+    }
+  }
+}
+
+namespace {
+
+// This TU is compiled with -mfma and the default -ffp-contract=fast, so
+// GCC will happily fuse a mul_ps feeding an add_ps into one vfmadd —
+// which rounds once where the scalar epilogue rounds twice and would
+// break bitwise kernel-independence of the dequant path. The empty asm
+// pins the product in a register, making the mul observable and
+// therefore uncontractable. Costs nothing at runtime.
+inline __m256 BlockFmaContraction(__m256 v) {
+  asm("" : "+x"(v));
+  return v;
+}
+
+}  // namespace
+
+void DequantBias(const int32_t* acc, float a_scale, const float* b_scales,
+                 const float* bias, float* y, int m, int n) {
+  // Lane-wise the same op sequence as the scalar epilogue — convert,
+  // multiply by (a_scale * b_scales[j]), add bias — with no FMA, so the
+  // result is bitwise identical to the scalar kernel's.
+  const __m256 va = _mm256_set1_ps(a_scale);
+  for (int i = 0; i < m; ++i) {
+    const int32_t* acc_row = acc + static_cast<size_t>(i) * n;
+    float* y_row = y + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 s = _mm256_mul_ps(va, _mm256_loadu_ps(b_scales + j));
+      const __m256 v = BlockFmaContraction(_mm256_mul_ps(
+          _mm256_cvtepi32_ps(_mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(acc_row + j))),
+          s));
+      _mm256_storeu_ps(
+          y_row + j,
+          bias != nullptr ? _mm256_add_ps(v, _mm256_loadu_ps(bias + j)) : v);
+    }
+    for (; j < n; ++j) {
+      const float v = static_cast<float>(acc_row[j]) * (a_scale * b_scales[j]);
+      y_row[j] = bias != nullptr ? v + bias[j] : v;
+    }
+  }
+}
+
+void DequantAcc(const int32_t* acc, float a_scale, const float* b_scales,
+                float* y, int m, int n) {
+  const __m256 va = _mm256_set1_ps(a_scale);
+  for (int i = 0; i < m; ++i) {
+    const int32_t* acc_row = acc + static_cast<size_t>(i) * n;
+    float* y_row = y + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 s = _mm256_mul_ps(va, _mm256_loadu_ps(b_scales + j));
+      const __m256 v = BlockFmaContraction(_mm256_mul_ps(
+          _mm256_cvtepi32_ps(_mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(acc_row + j))),
+          s));
+      _mm256_storeu_ps(y_row + j, _mm256_add_ps(_mm256_loadu_ps(y_row + j), v));
+    }
+    for (; j < n; ++j) {
+      y_row[j] += static_cast<float>(acc_row[j]) * (a_scale * b_scales[j]);
+    }
+  }
+}
+
+void QuantizeRow(const float* x, float inv_scale, int8_t* q, int n) {
+  // Round-to-nearest-even via _mm256_round_ps matches nearbyintf under
+  // the default rounding mode; the clamp happens before conversion so
+  // the int32 -> int8 packing never saturates differently from the
+  // scalar path.
+  const __m256 vs = _mm256_set1_ps(inv_scale);
+  const __m256 vmax = _mm256_set1_ps(127.0f);
+  const __m256 vmin = _mm256_set1_ps(-127.0f);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 r = _mm256_round_ps(_mm256_mul_ps(_mm256_loadu_ps(x + i), vs),
+                               _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    r = _mm256_min_ps(r, vmax);
+    r = _mm256_max_ps(r, vmin);
+    const __m256i vi = _mm256_cvtps_epi32(r);
+    const __m128i v16 = _mm_packs_epi32(_mm256_castsi256_si128(vi),
+                                        _mm256_extracti128_si256(vi, 1));
+    const __m128i v8 = _mm_packs_epi16(v16, _mm_setzero_si128());
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(q + i), v8);
+  }
+  for (; i < n; ++i) {
+    float r = nearbyintf(x[i] * inv_scale);
+    if (r > 127.0f) r = 127.0f;
+    if (r < -127.0f) r = -127.0f;
+    q[i] = static_cast<int8_t>(r);
   }
 }
 

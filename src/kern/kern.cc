@@ -87,6 +87,51 @@ void GemmTransBAcc(const float* a, const float* b, float* out, int m, int k,
   }
 }
 
+void GemmInt8(const int8_t* a, const int8_t* bt, int32_t* out, int m, int k,
+              int n) {
+  // Same j-blocked shape as GemmTransBAcc: a tile of bt rows is reused
+  // across every row of a. Summation order is irrelevant here — the
+  // int32 accumulation is exact — but the blocking keeps the packed
+  // weight panel hot.
+  for (int j0 = 0; j0 < n; j0 += kTile) {
+    const int j1 = std::min(n, j0 + kTile);
+    for (int i = 0; i < m; ++i) {
+      const int8_t* a_row = a + static_cast<size_t>(i) * k;
+      int32_t* out_row = out + static_cast<size_t>(i) * n;
+      for (int j = j0; j < j1; ++j) {
+        const int8_t* b_row = bt + static_cast<size_t>(j) * k;
+        int32_t s = 0;
+        for (int kk = 0; kk < k; ++kk) {
+          s += static_cast<int32_t>(a_row[kk]) *
+               static_cast<int32_t>(b_row[kk]);
+        }
+        out_row[j] = s;
+      }
+    }
+  }
+}
+
+void GemmInt8Wide(const int8_t* a, const int16_t* bt, int32_t* out, int m,
+                  int k, int n) {
+  // Identical math to GemmInt8; the weights are merely stored widened.
+  for (int j0 = 0; j0 < n; j0 += kTile) {
+    const int j1 = std::min(n, j0 + kTile);
+    for (int i = 0; i < m; ++i) {
+      const int8_t* a_row = a + static_cast<size_t>(i) * k;
+      int32_t* out_row = out + static_cast<size_t>(i) * n;
+      for (int j = j0; j < j1; ++j) {
+        const int16_t* b_row = bt + static_cast<size_t>(j) * k;
+        int32_t s = 0;
+        for (int kk = 0; kk < k; ++kk) {
+          s += static_cast<int32_t>(a_row[kk]) *
+               static_cast<int32_t>(b_row[kk]);
+        }
+        out_row[j] = s;
+      }
+    }
+  }
+}
+
 }  // namespace scalar
 
 // -1 = unresolved; otherwise the int value of the Kernel enum.
@@ -178,6 +223,93 @@ void GemmTransBAcc(const float* a, const float* b, float* out, int m, int k,
   }
 #endif
   scalar::GemmTransBAcc(a, b, out, m, k, n);
+}
+
+void GemmInt8(const int8_t* a, const int8_t* bt, int32_t* out, int m, int k,
+              int n) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    std::memset(out, 0, static_cast<size_t>(m) * n * sizeof(int32_t));
+    return;
+  }
+#if !defined(TPR_NO_AVX2)
+  if (ActiveKernel() == Kernel::kAvx2) {
+    avx2::GemmInt8(a, bt, out, m, k, n);
+    return;
+  }
+#endif
+  scalar::GemmInt8(a, bt, out, m, k, n);
+}
+
+void GemmInt8Wide(const int8_t* a, const int16_t* btw, int32_t* out, int m,
+                  int k, int n) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    std::memset(out, 0, static_cast<size_t>(m) * n * sizeof(int32_t));
+    return;
+  }
+#if !defined(TPR_NO_AVX2)
+  if (ActiveKernel() == Kernel::kAvx2) {
+    avx2::GemmInt8Wide(a, btw, out, m, k, n);
+    return;
+  }
+#endif
+  scalar::GemmInt8Wide(a, btw, out, m, k, n);
+}
+
+void DequantBias(const int32_t* acc, float a_scale, const float* b_scales,
+                 const float* bias, float* y, int m, int n) {
+  // The avx2 epilogue applies the identical lane-wise op sequence (one
+  // mul + one mul + one add, no FMA), so the quantized forward stays
+  // bitwise kernel-independent up to the fused cell.
+#if !defined(TPR_NO_AVX2)
+  if (n >= 8 && ActiveKernel() == Kernel::kAvx2) {
+    avx2::DequantBias(acc, a_scale, b_scales, bias, y, m, n);
+    return;
+  }
+#endif
+  for (int i = 0; i < m; ++i) {
+    const int32_t* acc_row = acc + static_cast<size_t>(i) * n;
+    float* y_row = y + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float v = static_cast<float>(acc_row[j]) * (a_scale * b_scales[j]);
+      y_row[j] = bias != nullptr ? v + bias[j] : v;
+    }
+  }
+}
+
+void DequantAcc(const int32_t* acc, float a_scale, const float* b_scales,
+                float* y, int m, int n) {
+#if !defined(TPR_NO_AVX2)
+  if (n >= 8 && ActiveKernel() == Kernel::kAvx2) {
+    avx2::DequantAcc(acc, a_scale, b_scales, y, m, n);
+    return;
+  }
+#endif
+  for (int i = 0; i < m; ++i) {
+    const int32_t* acc_row = acc + static_cast<size_t>(i) * n;
+    float* y_row = y + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      y_row[j] += static_cast<float>(acc_row[j]) * (a_scale * b_scales[j]);
+    }
+  }
+}
+
+void QuantizeRow(const float* x, float inv_scale, int8_t* q, int n) {
+#if !defined(TPR_NO_AVX2)
+  if (n >= 8 && ActiveKernel() == Kernel::kAvx2) {
+    avx2::QuantizeRow(x, inv_scale, q, n);
+    return;
+  }
+#endif
+  for (int i = 0; i < n; ++i) {
+    // nearbyintf under the default rounding mode is round-to-nearest-
+    // even, matching the offline weight quantizer.
+    float r = std::nearbyintf(x[i] * inv_scale);
+    if (r > 127.0f) r = 127.0f;
+    if (r < -127.0f) r = -127.0f;
+    q[i] = static_cast<int8_t>(r);
+  }
 }
 
 void AddSigmoid(const float* x, const float* b, float* y, int n) {

@@ -23,6 +23,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 namespace tpr::kern {
 
@@ -82,6 +83,49 @@ void AxpyAcc(float alpha, const float* x, float* y, int n);
 
 /// y[i] += x[i]
 void AddAcc(const float* x, float* y, int n);
+
+// ---------------------------------------------------------------------------
+// Int8 inference kernels (tpr::quant). Integer accumulation is exact, so
+// — unlike the fp32 GEMMs above — the scalar and avx2 GemmInt8 produce
+// bitwise-identical int32 results; the avx2 form only reorders an
+// associative integer sum. The dequant epilogues are scalar-only (plain
+// mul + add, no FMA) so the quantized forward is identical under either
+// kernel up to the fused cell, which dispatches like the fp32 path.
+// ---------------------------------------------------------------------------
+
+/// out(m x n) = a(m x k, int8) * bt(n x k, int8)^T, int32 accumulation
+/// (overwrite, not accumulate). bt holds the weight matrix pre-packed
+/// with each output channel's k inputs contiguous, so every output
+/// element is one contiguous int8 dot. 127 * 127 * k fits int32 for any
+/// k < 2^16, far above every model shape here.
+void GemmInt8(const int8_t* a, const int8_t* bt, int32_t* out, int m, int k,
+              int n);
+
+/// Same contract and bit-identical results as GemmInt8, but the packed
+/// weight panel arrives pre-widened to int16 (btw[i] == int16(bt[i])).
+/// The serving twin keeps this widened copy in memory beside the int8
+/// artifact: the avx2 inner loop then loads 16 weight lanes per step
+/// with no per-iteration sign extension, which is where the quantized
+/// rung's encode-rate headroom over fp32 comes from. Integer math is
+/// exact, so scalar, avx2, and GemmInt8 all agree bitwise.
+void GemmInt8Wide(const int8_t* a, const int16_t* btw, int32_t* out, int m,
+                  int k, int n);
+
+/// y[i, j] = float(acc[i, j]) * (a_scale * b_scales[j]) + bias[j].
+/// The per-channel dequant epilogue fused with the bias add. `bias` may
+/// be null (treated as zero). Scalar on both kernels.
+void DequantBias(const int32_t* acc, float a_scale, const float* b_scales,
+                 const float* bias, float* y, int m, int n);
+
+/// y[i, j] += float(acc[i, j]) * (a_scale * b_scales[j]). Accumulating
+/// form for the second (recurrent) GEMM of a fused gate row.
+void DequantAcc(const int32_t* acc, float a_scale, const float* b_scales,
+                float* y, int m, int n);
+
+/// q[i] = clamp(round-to-nearest-even(x[i] * inv_scale), -127, 127).
+/// Symmetric int8 activation quantization; `inv_scale` is the
+/// precomputed reciprocal so every caller rounds the same product.
+void QuantizeRow(const float* x, float inv_scale, int8_t* q, int n);
 
 /// Fused LSTM cell forward over one row. Reads the gate preactivations
 /// g = [i | f | g | o] (4h) and the previous cell row c_prev (h); writes

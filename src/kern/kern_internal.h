@@ -6,9 +6,20 @@
 // toolchain cannot target AVX2 the avx2 TU is dropped and TPR_NO_AVX2 is
 // defined; dispatch then never references these symbols.
 
+#include <cstdint>
+
 namespace tpr::kern::avx2 {
 
 void GemmAcc(const float* a, const float* b, float* out, int m, int k, int n);
+void GemmInt8(const int8_t* a, const int8_t* bt, int32_t* out, int m, int k,
+              int n);
+void GemmInt8Wide(const int8_t* a, const int16_t* btw, int32_t* out, int m,
+                  int k, int n);
+void DequantBias(const int32_t* acc, float a_scale, const float* b_scales,
+                 const float* bias, float* y, int m, int n);
+void DequantAcc(const int32_t* acc, float a_scale, const float* b_scales,
+                float* y, int m, int n);
+void QuantizeRow(const float* x, float inv_scale, int8_t* q, int n);
 void GemmTransAAcc(const float* a, const float* b, float* out, int k, int m,
                    int n);
 void GemmTransBAcc(const float* a, const float* b, float* out, int m, int k,

@@ -5,6 +5,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "obs/metrics.h"
+#include "quant/quant.h"
 #include "util/logging.h"
 
 namespace tpr::rollout {
@@ -172,10 +173,97 @@ Status RolloutController::ScanForCandidate(TickReport* report,
       continue;
     }
 
-    if (service_->live_model() == nullptr) {
+    const bool bootstrap = service_->live_model() == nullptr;
+    if (!bootstrap) {
+      if (incumbent_mae_ < 0) {
+        // The live model was installed outside the controller (e.g. a
+        // direct LoadModel); score it once so the gate has a baseline.
+        auto inc = core::ProbeTravelTimeMae(*service_->live_model(), probe_);
+        if (inc.ok()) incumbent_mae_ = *inc;
+      }
+      obs::GetGauge("rollout.canary_probe_delta")
+          .Set(incumbent_mae_ >= 0 ? *cand_mae - incumbent_mae_ : 0.0);
+      if (incumbent_mae_ >= 0 &&
+          *cand_mae > incumbent_mae_ * (1.0 + config_.quality_budget)) {
+        QuarantineGeneration(seq, *cand_mae,
+                             "quality regression: probe mae " +
+                                 FormatMae(*cand_mae) + " vs incumbent " +
+                                 FormatMae(incumbent_mae_) + " (budget " +
+                                 std::to_string(config_.quality_budget) + ")",
+                             report);
+        continue;
+      }
+    }
+
+    // Gate 5: the int8-quantized twin. Most expensive gate, so it runs
+    // last; the golden-probe queries double as the calibration set, so
+    // twin and candidate are calibrated and scored on identical inputs.
+    std::shared_ptr<const quant::QuantizedEncoder> twin;
+    if (config_.quantize_twins && quant::QuantEnabledFromEnv() &&
+        encoder_config_.sequence_model == core::SequenceModel::kLstm) {
+      std::vector<core::PathTimeItem> calibration;
+      calibration.reserve(probe_.queries.size());
+      for (const auto& q : probe_.queries) {
+        calibration.push_back({&q.path, q.depart_time_s});
+      }
+      auto qmodel = quant::QuantizeEncoder(*decoded->encoder, calibration);
+      if (!qmodel.ok()) {
+        QuarantineGeneration(
+            seq, *cand_mae,
+            "quantized twin build: " + qmodel.status().message(), report);
+        continue;
+      }
+      qmodel->generation = seq;
+      auto built = std::make_shared<const quant::QuantizedEncoder>(
+          features_, *std::move(qmodel));
+      auto twin_mae = core::ProbeTravelTimeMaeWith(
+          [&built](const graph::Path& path, int64_t depart_time_s) {
+            return built->EncodeValue(path, depart_time_s);
+          },
+          built->representation_dim(), probe_);
+      if (!twin_mae.ok()) {
+        QuarantineGeneration(
+            seq, *cand_mae,
+            "quantized twin probe: " + twin_mae.status().message(), report);
+        continue;
+      }
+      obs::GetGauge("rollout.quant_probe_delta").Set(*twin_mae - *cand_mae);
+      if (*twin_mae > *cand_mae * (1.0 + config_.quant_mae_delta)) {
+        // The twin fails -> the candidate it shadows goes with it: a
+        // generation is only servable as the fp32 + int8 pair.
+        QuarantineGeneration(seq, *cand_mae,
+                             "quantized twin mae " + FormatMae(*twin_mae) +
+                                 " vs fp32 candidate " + FormatMae(*cand_mae) +
+                                 " (delta budget " +
+                                 std::to_string(config_.quant_mae_delta) + ")",
+                             report);
+        continue;
+      }
+      Status saved = quant::SaveQuantizedModel(config_.model_dir,
+                                               built->model(), seq);
+      if (!saved.ok()) {
+        // The in-memory twin still serves this process; only a restarted
+        // service loses the quantized rung for this generation.
+        obs::GetCounter("rollout.quant_artifact_failures").Add(1);
+        report->events.push_back("gen " + std::to_string(seq) +
+                                 " quant artifact save failed: " +
+                                 saved.message());
+      }
+      obs::GetCounter("rollout.quant_twins").Add(1);
+      report->events.push_back("gen " + std::to_string(seq) +
+                               " quantized twin passed (mae " +
+                               FormatMae(*twin_mae) + " vs fp32 " +
+                               FormatMae(*cand_mae) + ")");
+      twin = std::move(built);
+    } else {
+      report->events.push_back("gen " + std::to_string(seq) +
+                               " quantized twin skipped");
+    }
+
+    if (bootstrap) {
       // Bootstrap: the first valid generation goes straight to live —
       // there is no incumbent to canary against.
-      service_->InstallModel(decoded->encoder, seq);
+      service_->InstallModel(decoded->encoder, seq, twin);
       incumbent_mae_ = *cand_mae;
       ModelRecord rec;
       rec.generation = seq;
@@ -193,26 +281,7 @@ Status RolloutController::ScanForCandidate(TickReport* report,
       return Status::OK();
     }
 
-    if (incumbent_mae_ < 0) {
-      // The live model was installed outside the controller (e.g. a
-      // direct LoadModel); score it once so the gate has a baseline.
-      auto inc = core::ProbeTravelTimeMae(*service_->live_model(), probe_);
-      if (inc.ok()) incumbent_mae_ = *inc;
-    }
-    obs::GetGauge("rollout.canary_probe_delta")
-        .Set(incumbent_mae_ >= 0 ? *cand_mae - incumbent_mae_ : 0.0);
-    if (incumbent_mae_ >= 0 &&
-        *cand_mae > incumbent_mae_ * (1.0 + config_.quality_budget)) {
-      QuarantineGeneration(seq, *cand_mae,
-                           "quality regression: probe mae " +
-                               FormatMae(*cand_mae) + " vs incumbent " +
-                               FormatMae(incumbent_mae_) + " (budget " +
-                               std::to_string(config_.quality_budget) + ")",
-                           report);
-      continue;
-    }
-
-    TPR_RETURN_IF_ERROR(service_->BeginCanary(decoded->encoder, seq));
+    TPR_RETURN_IF_ERROR(service_->BeginCanary(decoded->encoder, seq, twin));
     ModelRecord rec;
     rec.generation = seq;
     rec.state = ModelState::kCanary;
@@ -239,8 +308,10 @@ void RolloutController::QuarantineGeneration(uint64_t generation,
                                              TickReport* report) {
   // Best effort on disk: the file may already be gone (pruned) or the
   // quarantine may race a prune; the manifest record is what guarantees
-  // the generation is never offered again.
+  // the generation is never offered again. The quantized twin artifact
+  // never outlives its fp32 generation.
   (void)ckpt::CheckpointDir(config_.model_dir).Quarantine(generation);
+  quant::RemoveQuantArtifact(config_.model_dir, generation);
   ModelRecord rec;
   rec.generation = generation;
   rec.state = ModelState::kQuarantined;

@@ -19,6 +19,12 @@
 //   3. finiteness    every parameter value must be finite
 //   4. quality       golden-probe travel-time MAE must stay within
 //                    `quality_budget` (relative) of the incumbent's
+//   5. quant twin    the candidate's int8-quantized twin (tpr::quant)
+//                    must hold probe MAE within `quant_mae_delta`
+//                    (relative) of the fp32 candidate's; a passing twin
+//                    is published beside the ckpt as quant-<seq>.q8 and
+//                    installed with the candidate, a failing twin
+//                    quarantines the candidate with it
 //
 // A gate failure quarantines the generation — on disk AND in the
 // manifest — so it is never offered again, including across controller
@@ -53,6 +59,13 @@ struct RolloutConfig {
   /// Relative probe-MAE regression budget: a candidate passes the
   /// quality gate when probe_mae <= incumbent_mae * (1 + budget).
   double quality_budget = 0.10;
+  /// Quantized-twin budget: the int8 twin passes gate 5 when
+  /// twin_mae <= candidate_mae * (1 + quant_mae_delta). A negative
+  /// delta fails every twin deterministically — a quarantine drill.
+  double quant_mae_delta = 0.25;
+  /// Build, gate, and publish an int8 twin with every candidate.
+  /// TPR_QUANT=0/off also disables twins process-wide.
+  bool quantize_twins = true;
 };
 
 /// What one Tick() did, for logging and assertions. Events are ordered,

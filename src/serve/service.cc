@@ -9,6 +9,7 @@
 #include "ckpt/serialize.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "quant/quant.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -17,7 +18,7 @@ namespace tpr::serve {
 namespace {
 
 // Salts decorrelating the keyed fault verdicts of the different sites a
-// single request touches (rung-0 attempts vs alloc vs rung-1 compute),
+// single request touches (rung-0 attempts vs alloc vs rung-2 compute),
 // and the canary routing hash from all of them.
 constexpr uint64_t kAllocSalt = 0xA110C5EEDULL;
 constexpr uint64_t kCacheSalt = 0xCAC4E5EEDULL;
@@ -33,6 +34,9 @@ void ObserveRungLatency(Rung rung, double seconds) {
   switch (rung) {
     case Rung::kFull:
       obs::GetHistogram("serve.rung_full_seconds").Observe(seconds);
+      break;
+    case Rung::kQuantized:
+      obs::GetHistogram("serve.rung_quantized_seconds").Observe(seconds);
       break;
     case Rung::kCached:
       obs::GetHistogram("serve.rung_cached_seconds").Observe(seconds);
@@ -51,6 +55,8 @@ const char* RungName(Rung r) {
   switch (r) {
     case Rung::kFull:
       return "full";
+    case Rung::kQuantized:
+      return "quantized";
     case Rung::kCached:
       return "cached";
     case Rung::kFallback:
@@ -74,7 +80,7 @@ InferenceService::InferenceService(
     const core::EncoderConfig& encoder_config, const ServiceConfig& config)
     : features_(std::move(features)),
       encoder_config_(encoder_config),
-      config_(config) {
+      config_(ApplyQuantEnv(config)) {
   TPR_CHECK(features_ != nullptr);
   TPR_CHECK(config_.num_workers > 0);
   TPR_CHECK(config_.queue_capacity > 0);
@@ -90,6 +96,11 @@ InferenceService::InferenceService(
     bc.time_bucket_s = config_.time_bucket_s;
     former_ = std::make_unique<batch::BatchFormer>(bc);
   }
+}
+
+ServiceConfig InferenceService::ApplyQuantEnv(ServiceConfig config) {
+  if (!quant::QuantEnabledFromEnv()) config.quantized_rung = false;
+  return config;
 }
 
 InferenceService::~InferenceService() { Shutdown(); }
@@ -144,15 +155,31 @@ Status InferenceService::LoadModel(const std::string& dir) {
     obs::GetCounter("serve.model_load_failures").Add(1);
     return decoded.status();
   }
-  InstallModel(std::move(decoded->encoder), decoded->generation);
+  // The int8 twin is optional sidecar state: published beside the
+  // checkpoint by tpr::rollout. Absent or unreadable, the generation
+  // serves with the quantized rung dark — never a load failure.
+  std::shared_ptr<const quant::QuantizedEncoder> twin;
+  if (config_.quantized_rung) {
+    auto model = quant::LoadQuantizedModel(dir, loaded->seq);
+    if (model.ok() && model->generation == decoded->generation) {
+      twin = std::make_shared<const quant::QuantizedEncoder>(
+          features_, std::move(model).value());
+    } else if (model.status().code() != StatusCode::kNotFound) {
+      obs::GetCounter("serve.quant_twin_load_failures").Add(1);
+    }
+  }
+  InstallModel(std::move(decoded->encoder), decoded->generation,
+               std::move(twin));
   return Status::OK();
 }
 
 std::shared_ptr<InferenceService::GenState> InferenceService::MakeGenState(
     std::shared_ptr<const core::TemporalPathEncoder> encoder,
-    uint64_t generation) const {
+    uint64_t generation,
+    std::shared_ptr<const quant::QuantizedEncoder> quant) const {
   auto gen = std::make_shared<GenState>();
   gen->model = std::move(encoder);
+  gen->quant = config_.quantized_rung ? std::move(quant) : nullptr;
   gen->generation = generation;
   gen->cache = std::make_unique<EmbeddingLruCache>(config_.cache_capacity);
   return gen;
@@ -160,9 +187,10 @@ std::shared_ptr<InferenceService::GenState> InferenceService::MakeGenState(
 
 void InferenceService::InstallModel(
     std::shared_ptr<const core::TemporalPathEncoder> encoder,
-    uint64_t generation) {
+    uint64_t generation,
+    std::shared_ptr<const quant::QuantizedEncoder> quant) {
   TPR_CHECK(encoder != nullptr);
-  auto gen = MakeGenState(std::move(encoder), generation);
+  auto gen = MakeGenState(std::move(encoder), generation, std::move(quant));
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (canary_ != nullptr) {
@@ -179,11 +207,12 @@ void InferenceService::InstallModel(
 
 Status InferenceService::BeginCanary(
     std::shared_ptr<const core::TemporalPathEncoder> encoder,
-    uint64_t generation) {
+    uint64_t generation,
+    std::shared_ptr<const quant::QuantizedEncoder> quant) {
   if (encoder == nullptr) {
     return Status::InvalidArgument("null canary encoder");
   }
-  auto gen = MakeGenState(std::move(encoder), generation);
+  auto gen = MakeGenState(std::move(encoder), generation, std::move(quant));
   std::lock_guard<std::mutex> lock(mu_);
   if (live_ == nullptr) {
     return Status::FailedPrecondition("no incumbent model to canary against");
@@ -891,12 +920,48 @@ void InferenceService::ProcessBatch(batch::FormedBatch& batch,
   }
 
   // Exhausted groups: every remaining member degrades, reporting the
-  // rung-0 failure to its generation's breaker in observed mode.
+  // rung-0 failure to its generation's breaker in observed mode. The
+  // first step down is the GROUP-LEVEL quantized rung: one int8
+  // EncodeValueBatch per group at the group encode time, verdict keyed
+  // by the group hash — the whole group serves quantized or the whole
+  // group falls through together (retry/breaker/deadline semantics
+  // untouched, and never a breaker signal).
   for (size_t gi : live) {
     for (Request* r : pending[gi]) {
       if (!r->breaker_predicted) {
         BreakerRecord(*r->gen, false, r->breaker_probe);
       }
+    }
+    GenState* gen = pending[gi].front()->gen.get();
+    if (config_.quantized_rung && gen->quant != nullptr &&
+        !fault::ShouldFail(fault::kQuantEncode, batch.groups[gi].key_hash)) {
+      const std::vector<core::PathTimeItem> items{
+          {&batch.groups[gi].path, batch.groups[gi].encode_time_s}};
+      const std::vector<std::vector<float>> encoded =
+          gen->quant->EncodeValueBatch(items);
+      for (Request* r : pending[gi]) {
+        if (past_deadline(*r)) {
+          ServeResult res = DeadlineResult(*r);
+          res.attempts = config_.max_retries + 1;
+          r->promise.set_value(std::move(res));
+          continue;
+        }
+        obs::GetCounter("serve.quant_hits").Add(1);
+        ServeResult res = base_result(*r);
+        res.status = Status::OK();
+        res.rung = Rung::kQuantized;
+        res.attempts = config_.max_retries + 1;
+        res.embedding = encoded[0];
+        ObserveRungLatency(Rung::kQuantized, sw.ElapsedSeconds());
+        r->promise.set_value(std::move(res));
+      }
+      continue;
+    }
+    for (Request* r : pending[gi]) {
+      // The group-level quantized attempt is settled (twin absent or
+      // quant-encode verdict failed) — the per-request ladder must not
+      // re-try the rung.
+      r->quant_decided = true;
       ServeResult res = base_result(*r);
       res.attempts = config_.max_retries + 1;
       r->promise.set_value(DegradedLadder(*r, std::move(res), sw));
@@ -1014,7 +1079,27 @@ ServeResult InferenceService::DegradedLadder(Request& req, ServeResult result,
     return result;
   };
 
-  // Rung 1: bucket-level cache. Values are computed at the bucket's
+  // Rung 1: int8-quantized twin at the EXACT request time — the cheap
+  // path that still honours the paper's departure-time conditioning.
+  // Fault verdicts key by the group hash in batched mode (the group
+  // shares one encode, so it must share one verdict) and by the request
+  // id otherwise. Never a breaker signal: the breaker describes the
+  // fp32 model's health.
+  if (config_.quantized_rung && req.gen->quant != nullptr &&
+      !req.quant_decided) {
+    if (deadline_passed()) return deadline_result();
+    const uint64_t quant_key = former_ != nullptr ? req.group_key : q.id;
+    if (!fault::ShouldFail(fault::kQuantEncode, quant_key)) {
+      obs::GetCounter("serve.quant_hits").Add(1);
+      result.status = Status::OK();
+      result.rung = Rung::kQuantized;
+      result.embedding = req.gen->quant->EncodeValue(q.path, q.depart_time_s);
+      ObserveRungLatency(result.rung, sw.ElapsedSeconds());
+      return result;
+    }
+  }
+
+  // Rung 2: bucket-level cache. Values are computed at the bucket's
   // representative time, so every request mapping to the key sees the
   // same bytes whether it hits or recomputes. Rung-0 successes never
   // populate this cache: they are exact-time embeddings and would make
@@ -1052,7 +1137,7 @@ ServeResult InferenceService::DegradedLadder(Request& req, ServeResult result,
     return result;
   }
 
-  // Rung 2: frozen node2vec mean-pool. Pure arithmetic — always succeeds.
+  // Rung 3: frozen node2vec mean-pool. Pure arithmetic — always succeeds.
   if (deadline_passed()) return deadline_result();
   result.status = Status::OK();
   result.rung = Rung::kFallback;

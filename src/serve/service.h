@@ -7,16 +7,31 @@
 // Requests enter a bounded queue guarded by admission control (shed or
 // block when full), are processed by dedicated worker threads, and carry
 // an optional deadline that is propagated into the encoder forward pass
-// as cooperative cancellation. Transient rung-1 failures are retried
+// as cooperative cancellation. Transient rung-0 failures are retried
 // with deterministic jittered exponential backoff; sustained failure
 // trips a per-model-generation circuit breaker. Every request that is
 // admitted resolves — in the worst case via the degradation ladder:
 //
-//   rung 0 (kFull)     full temporal encoder at the exact request time
-//   rung 1 (kCached)   LRU-cached embedding keyed by (path, time bucket),
-//                      computed at the bucket-representative time
-//   rung 2 (kFallback) node2vec mean-pool over the path's edge endpoint
-//                      embeddings, shaped to representation_dim
+//   rung 0 (kFull)      full temporal encoder at the exact request time
+//   rung 1 (kQuantized) int8 post-training-quantized twin of the pinned
+//                       generation at the exact request time (per-request
+//                       path) or the group encode time (batched path) —
+//                       keeps the temporal signal at ~4x smaller weights
+//   rung 2 (kCached)    LRU-cached embedding keyed by (path, time bucket),
+//                       computed at the bucket-representative time
+//   rung 3 (kFallback)  node2vec mean-pool over the path's edge endpoint
+//                       embeddings, shaped to representation_dim
+//
+// The quantized rung serves only when the generation carries an int8
+// twin (published by tpr::rollout, or loaded from the quant-<seq>.q8
+// artifact beside the checkpoint) and ServiceConfig::quantized_rung is
+// on (TPR_QUANT=0/off force-disables it). Its fault site is
+// "quant-encode", keyed per request by id and per batch group by the
+// group hash, so outage plans can fail rung 0 (encoder-forward) while
+// the int8 rung keeps answering — and a quant-encode fault degrades a
+// whole batched group at once, like batch-flush does for rung 0.
+// Quantized failures are NEVER breaker signals: the breaker describes
+// the fp32 model's health only.
 //
 // Micro-batching. With ServiceConfig::batch_max > 0 the pipeline runs
 // batched: admissions feed a deterministic tpr::batch::BatchFormer
@@ -28,7 +43,7 @@
 // hash so a request's outcome never depends on which batch it rode in.
 //
 // Generations. The service holds up to TWO live model generations — the
-// incumbent and an optional canary — each with its own rung-1 cache,
+// incumbent and an optional canary — each with its own rung-2 cache,
 // circuit breaker, and metrics (their state describes one set of
 // parameters and never leaks across generations). Model swaps are
 // RCU-style: writers build a fresh immutable generation slot and swap
@@ -73,6 +88,7 @@
 #include "batch/batch.h"
 #include "core/encoder.h"
 #include "core/features.h"
+#include "quant/quant.h"
 #include "serve/lru_cache.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
@@ -90,7 +106,7 @@ struct PathQuery {
 };
 
 /// Which rung of the degradation ladder produced the embedding.
-enum class Rung { kFull = 0, kCached = 1, kFallback = 2 };
+enum class Rung { kFull = 0, kQuantized = 1, kCached = 2, kFallback = 3 };
 
 const char* RungName(Rung r);
 
@@ -143,7 +159,7 @@ struct ServiceConfig {
   /// probe is allowed back into rung 0.
   int breaker_open_requests = 16;
   size_t cache_capacity = 1024;
-  /// Width of the rung-1 cache's time buckets.
+  /// Width of the rung-2 cache's time buckets.
   int64_t time_bucket_s = 900;
   /// Drives backoff jitter (mixed with request id and attempt).
   uint64_t seed = 7;
@@ -166,6 +182,10 @@ struct ServiceConfig {
   /// Coalesce duplicate (path, time-bucket, generation) requests into one
   /// encode whose result fans out to all waiters.
   bool batch_coalesce = true;
+  /// Serve the int8 rung when the pinned generation carries a quantized
+  /// twin. Force-disabled process-wide by TPR_QUANT=0/off (checked once
+  /// at service construction).
+  bool quantized_rung = true;
 };
 
 /// Multi-threaded inference service. Construction wires the pipeline but
@@ -205,18 +225,22 @@ class InferenceService {
   /// (injected ckpt-read fault, torn file, shape mismatch) the currently
   /// installed model — if any — keeps serving and the error is returned.
   /// Like InstallModel, a successful load starts the generation with a
-  /// fresh circuit breaker and an empty rung-1 cache: breaker state and
+  /// fresh circuit breaker and an empty rung-2 cache: breaker state and
   /// cached embeddings described the old parameters.
   Status LoadModel(const std::string& dir);
 
   /// Installs an already-built encoder as the incumbent model generation
   /// `generation`. ALWAYS starts with a fresh circuit breaker and an
-  /// empty rung-1 cache — the same stale-state contract as LoadModel —
+  /// empty rung-2 cache — the same stale-state contract as LoadModel —
   /// and rolls back any in-flight canary (the comparison baseline it was
   /// canarying against is gone). In-flight requests pinned to the
   /// previous generation complete against it.
+  /// `quant` (optional) is the generation's int8 twin; it shares the
+  /// generation number and serves the quantized rung.
   void InstallModel(std::shared_ptr<const core::TemporalPathEncoder> encoder,
-                    uint64_t generation);
+                    uint64_t generation,
+                    std::shared_ptr<const quant::QuantizedEncoder> quant =
+                        nullptr);
 
   /// Installs `encoder` as the canary generation: a keyed fraction of
   /// subsequent requests route to it (see ServiceConfig). The canary
@@ -226,7 +250,9 @@ class InferenceService {
   /// FailedPrecondition without an incumbent or with a canary already
   /// in flight.
   Status BeginCanary(std::shared_ptr<const core::TemporalPathEncoder> encoder,
-                     uint64_t generation);
+                     uint64_t generation,
+                     std::shared_ptr<const quant::QuantizedEncoder> quant =
+                         nullptr);
 
   /// Force-resolves the in-flight canary (observed-mode controllers,
   /// tests). FailedPrecondition when no canary is installed.
@@ -286,12 +312,16 @@ class InferenceService {
   };
 
   /// One serving generation: an immutable model plus the mutable
-  /// per-generation state (rung-1 cache, breaker, canary bookkeeping).
+  /// per-generation state (rung-2 cache, breaker, canary bookkeeping).
   /// The model and cache pointers are immutable after construction and
   /// read lock-free by pinned requests; breaker/routed/clean are
   /// guarded by mu_.
   struct GenState {
     std::shared_ptr<const core::TemporalPathEncoder> model;
+    /// Int8 twin serving the quantized rung; null when the generation
+    /// was published without one (gate failure, TPR_QUANT off, no
+    /// artifact on disk).
+    std::shared_ptr<const quant::QuantizedEncoder> quant;
     uint64_t generation = 0;
     std::unique_ptr<EmbeddingLruCache> cache;
     Breaker breaker;
@@ -313,13 +343,18 @@ class InferenceService {
     // from (path, encode time, pinned generation). Keys the batched fault
     // verdicts so outcomes are independent of batch composition.
     uint64_t group_key = 0;
+    // Batched mode: the group-level quantized attempt already ran (and
+    // failed) for this request's group, so DegradedLadder must not try
+    // the rung again per-request.
+    bool quant_decided = false;
     std::promise<ServeResult> promise;
   };
 
   /// Builds a fresh generation slot (fresh breaker, empty cache).
   std::shared_ptr<GenState> MakeGenState(
       std::shared_ptr<const core::TemporalPathEncoder> encoder,
-      uint64_t generation) const;
+      uint64_t generation,
+      std::shared_ptr<const quant::QuantizedEncoder> quant) const;
 
   /// Pure prediction: will this request degrade WITHOUT a rung-0 attempt
   /// (injected scratch-alloc failure, or — batched mode — an injected
@@ -364,11 +399,14 @@ class InferenceService {
   /// probe as failure so the breaker never waits on it).
   ServeResult DeadlineResult(Request& req);
 
-  /// Rungs 1+2 of the ladder, shared by the per-request and batched
-  /// pipelines. `result` carries the identity fields and the rung-0
-  /// attempt count already made.
+  /// Rungs 1-3 of the ladder (quantized -> cache -> fallback), shared by
+  /// the per-request and batched pipelines. `result` carries the
+  /// identity fields and the rung-0 attempt count already made.
   ServeResult DegradedLadder(Request& req, ServeResult result,
                              const Stopwatch& sw);
+
+  /// Resolves TPR_QUANT against the configured quantized_rung flag.
+  static ServiceConfig ApplyQuantEnv(ServiceConfig config);
 
   /// Rung 2: mean-pooled node2vec endpoint embeddings, zero-padded or
   /// truncated to representation_dim. Pure; cannot fail.

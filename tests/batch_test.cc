@@ -18,6 +18,7 @@
 #include "nn/padded_batch.h"
 #include "nn/transformer.h"
 #include "obs/metrics.h"
+#include "quant/quant.h"
 #include "serve/service.h"
 #include "synth/presets.h"
 #include "util/rng.h"
@@ -404,6 +405,23 @@ class BatchTest : public ::testing::Test {
 
   std::shared_ptr<const FeatureSpace> features() { return *features_; }
 
+  /// Int8 twin of `encoder` for the quantized rung, calibrated over a
+  /// few dataset paths.
+  std::shared_ptr<const quant::QuantizedEncoder> MakeTwin(
+      const TemporalPathEncoder& encoder, uint64_t generation) {
+    std::vector<core::PathTimeItem> calibration;
+    const auto& samples = (*data_)->unlabeled;
+    for (size_t i = 0; i < 8 && i < samples.size(); ++i) {
+      calibration.push_back({&samples[i].path, samples[i].depart_time_s});
+    }
+    auto model = quant::QuantizeEncoder(encoder, calibration);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    if (!model.ok()) return nullptr;
+    model->generation = generation;
+    return std::make_shared<const quant::QuantizedEncoder>(
+        features(), *std::move(model));
+  }
+
   static std::shared_ptr<synth::CityDataset>* data_;
   static std::shared_ptr<const FeatureSpace>* features_;
 };
@@ -543,6 +561,102 @@ TEST_F(BatchTest, BatchedTotalOutageRetriesThenFallsBack) {
   svc.Shutdown();
 }
 
+TEST_F(BatchTest, QuantRungServesTheWholeGroupAtTheGroupEncodeTime) {
+  serve::ServiceConfig cfg = BatchedService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  auto twin = MakeTwin(*encoder, 1);
+  ASSERT_NE(twin, nullptr);
+  serve::InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(encoder, 1, twin);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("encoder-forward:p=1");
+
+  // Two queries in one (path, bucket) group: the fp32 batched ladder
+  // exhausts, then ONE quantized group encode at the group's
+  // bucket-representative time serves both members identical bytes.
+  serve::PathQuery q1 = Query(0, 400);
+  q1.depart_time_s =
+      (q1.depart_time_s / cfg.time_bucket_s) * cfg.time_bucket_s;
+  serve::PathQuery q2 = q1;
+  q2.id = 401;
+  q2.depart_time_s += cfg.time_bucket_s / 3;
+
+  auto f1 = svc.Submit(q1);
+  auto f2 = svc.Submit(q2);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  serve::ServeResult r1 = f1->get();
+  serve::ServeResult r2 = f2->get();
+  ASSERT_TRUE(r1.status.ok()) << r1.status.ToString();
+  ASSERT_TRUE(r2.status.ok()) << r2.status.ToString();
+  EXPECT_EQ(r1.rung, serve::Rung::kQuantized);
+  EXPECT_EQ(r2.rung, serve::Rung::kQuantized);
+  EXPECT_EQ(r1.attempts, 1 + cfg.max_retries);
+  const std::vector<float> expected =
+      twin->EncodeValue(q1.path, q1.depart_time_s);
+  EXPECT_EQ(r1.embedding, expected);
+  EXPECT_EQ(r2.embedding, expected)
+      << "group members must share the bucket-representative quant encode";
+  EXPECT_GE(obs::GetCounter("serve.quant_hits").value(), 2u);
+  svc.Shutdown();
+}
+
+TEST_F(BatchTest, QuantEncodeFaultDegradesTheWholeGroupTogether) {
+  serve::ServiceConfig cfg = BatchedService();
+  cfg.num_workers = 1;
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  auto twin = MakeTwin(*encoder, 1);
+  ASSERT_NE(twin, nullptr);
+  serve::InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(encoder, 1, twin);
+  ASSERT_TRUE(svc.Start().ok());
+  // batch-flush drops the whole batch pre-encode; quant-encode (keyed by
+  // the GROUP hash) then fails the twin for every member at once.
+  Install("batch-flush:p=1;quant-encode:p=1");
+
+  serve::PathQuery q1 = Query(0, 410);
+  serve::PathQuery q2 = q1;
+  q2.id = 411;
+  auto f1 = svc.Submit(q1);
+  auto f2 = svc.Submit(q2);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  serve::ServeResult r1 = f1->get();
+  serve::ServeResult r2 = f2->get();
+  ASSERT_TRUE(r1.status.ok());
+  ASSERT_TRUE(r2.status.ok());
+  EXPECT_EQ(r1.rung, serve::Rung::kCached);
+  EXPECT_EQ(r2.rung, serve::Rung::kCached);
+  EXPECT_EQ(r1.embedding, r2.embedding);
+  EXPECT_EQ(obs::GetCounter("serve.quant_hits").value(), 0u);
+  EXPECT_EQ(obs::GetCounter("serve.breaker_trips").value(), 0u)
+      << "quantized failures must never feed the breaker";
+  svc.Shutdown();
+}
+
+TEST_F(BatchTest, BatchFlushDropLandsOnTheQuantRungWhenTheTwinIsHealthy) {
+  serve::ServiceConfig cfg = BatchedService();
+  cfg.num_workers = 1;
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  auto twin = MakeTwin(*encoder, 1);
+  ASSERT_NE(twin, nullptr);
+  serve::InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(encoder, 1, twin);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("batch-flush:p=1");
+
+  serve::ServeResult r = svc.SubmitAndWait(Query(0, 420));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rung, serve::Rung::kQuantized);
+  EXPECT_EQ(r.attempts, 0) << "batch-flush makes no rung-0 attempt";
+  svc.Shutdown();
+}
+
 TEST_F(BatchTest, BatchedRetryRecoversFromATransientGroupFault) {
   serve::ServiceConfig cfg = BatchedService();
   cfg.num_workers = 1;
@@ -625,20 +739,24 @@ struct Outcome {
 
 class BatchSoakTest : public BatchTest {
  protected:
-  // encoder-forward exercises the group-keyed retry ladder, alloc and
-  // batch-flush the pre-encode degrades, queue-full the admission sheds.
+  // encoder-forward exercises the group-keyed retry ladder, quant-encode
+  // the group-level int8 rung, alloc and batch-flush the pre-encode
+  // degrades, queue-full the admission sheds.
   static constexpr char kSpec[] =
-      "encoder-forward:p=0.1;alloc:p=0.02;queue-full:p=0.01;"
-      "batch-flush:p=0.05";
+      "encoder-forward:p=0.1;quant-encode:p=0.5,seed=7;alloc:p=0.02;"
+      "queue-full:p=0.01;batch-flush:p=0.05";
 
   std::vector<Outcome> RunSoak(int num_workers, int n) {
     Install(kSpec);
     serve::ServiceConfig cfg = BatchedService();
     cfg.num_workers = num_workers;
     cfg.queue_capacity = 128;
+    auto encoder =
+        std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+    auto twin = MakeTwin(*encoder, 1);
+    EXPECT_NE(twin, nullptr);
     serve::InferenceService svc(features(), TinyEncoder(), cfg);
-    svc.InstallModel(
-        std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+    svc.InstallModel(encoder, 1, twin);
     EXPECT_TRUE(svc.Start().ok());
 
     // Single submitter, ids == tickets, duplicate-heavy trace: arrivals
@@ -678,7 +796,7 @@ TEST_F(BatchSoakTest, OutcomesAreIdenticalAcrossRunsAndWorkerCounts) {
   std::vector<Outcome> run_a = RunSoak(/*num_workers=*/4, n);
 
   int ok = 0, shed = 0;
-  int rung_count[3] = {0, 0, 0};
+  int rung_count[4] = {0, 0, 0, 0};
   for (const Outcome& o : run_a) {
     if (o.code == static_cast<int>(StatusCode::kOk)) {
       ++ok;
@@ -693,7 +811,8 @@ TEST_F(BatchSoakTest, OutcomesAreIdenticalAcrossRunsAndWorkerCounts) {
   EXPECT_EQ(ok + shed, n);
   EXPECT_GT(ok, n / 2);
   EXPECT_GT(rung_count[0], 0) << "full rung never reached";
-  EXPECT_GT(rung_count[1], 0) << "cached rung never reached";
+  EXPECT_GT(rung_count[1], 0) << "quantized rung never reached";
+  EXPECT_GT(rung_count[2], 0) << "cached rung never reached";
   EXPECT_GT(obs::GetCounter("serve.batch_coalesced").value(), 0u)
       << "the duplicate-heavy trace never coalesced anything";
 

@@ -14,6 +14,7 @@
 #include "fault/fault.h"
 #include "nn/autograd.h"
 #include "obs/metrics.h"
+#include "quant/quant.h"
 #include "rollout/controller.h"
 #include "rollout/manifest.h"
 #include "serve/service.h"
@@ -428,6 +429,121 @@ TEST_F(RolloutTest, ControllerQuarantinesQualityRegressionsAndRemembersAcrossRes
   const ModelRecord* reloaded = again.manifest().Find(2);
   ASSERT_NE(reloaded, nullptr);
   EXPECT_EQ(reloaded->state, ModelState::kQuarantined);
+}
+
+// ---------------------------------------------------------------------------
+// Gate 5: the quantized twin.
+// ---------------------------------------------------------------------------
+
+TEST_F(RolloutTest, ControllerPublishesQuantizedTwinsThroughTheMaeGate) {
+  const std::string dir = ScratchDir("twin");
+  auto enc = MakeEncoder();
+  ASSERT_TRUE(InferenceService::SaveModel(*enc, dir, 1).ok());
+
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  RolloutConfig rcfg;
+  rcfg.model_dir = dir;
+  RolloutController ctl(&svc, features(), TinyEncoder(), Probe(), rcfg);
+  ASSERT_TRUE(ctl.Init().ok());
+  auto report = ctl.Tick();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->published);
+
+  // The bootstrap published its int8 twin beside the checkpoint.
+  auto artifact = quant::LoadQuantizedModel(dir, 1);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_EQ(artifact->generation, 1u);
+  EXPECT_EQ(obs::GetCounter("rollout.quant_twins").value(), 1u);
+  auto has_event = [&](const TickReport& r, const std::string& needle) {
+    for (const std::string& e : r.events) {
+      if (e.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_event(*report, "quantized twin passed"));
+
+  // Under a total fp32 encoder outage the installed twin answers traffic
+  // from the quantized rung, at the live generation.
+  ASSERT_TRUE(svc.Start().ok());
+  Install("encoder-forward:p=1");
+  auto submitted = svc.Submit(Query(0, 900));
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  ServeResult r = submitted->get();
+  fault::ClearPlan();
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rung, serve::Rung::kQuantized);
+  EXPECT_EQ(r.generation, 1u);
+  svc.Shutdown();
+
+  // A canary candidate carries its own twin: gen 2 publishes quant-2.q8
+  // before the canary begins.
+  auto good = MakeEncoder();
+  PerturbParameters(*good, 0.02f, 2);
+  ASSERT_TRUE(InferenceService::SaveModel(*good, dir, 2).ok());
+  auto canary_report = ctl.Tick();
+  ASSERT_TRUE(canary_report.ok()) << canary_report.status().ToString();
+  EXPECT_TRUE(svc.canary_status().installed);
+  EXPECT_TRUE(has_event(*canary_report, "quantized twin passed"));
+  EXPECT_TRUE(quant::LoadQuantizedModel(dir, 2).ok());
+  EXPECT_EQ(obs::GetCounter("rollout.quant_twins").value(), 2u);
+}
+
+TEST_F(RolloutTest, NegativeTwinDeltaDrillQuarantinesTheCandidateAndItsArtifact) {
+  const std::string dir = ScratchDir("twin_drill");
+  auto enc = MakeEncoder();
+  ASSERT_TRUE(InferenceService::SaveModel(*enc, dir, 1).ok());
+
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  RolloutConfig rcfg;
+  rcfg.model_dir = dir;
+  // A negative delta budget fails every twin deterministically: the
+  // quarantine drill. The fp32 candidate is perfectly healthy, yet it
+  // must not go live without its twin.
+  rcfg.quant_mae_delta = -1.0;
+  RolloutController ctl(&svc, features(), TinyEncoder(), Probe(), rcfg);
+  ASSERT_TRUE(ctl.Init().ok());
+  auto report = ctl.Tick();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->published && svc.live_model() != nullptr)
+      << "drill candidate went live";
+
+  EXPECT_EQ(svc.live_model(), nullptr);
+  EXPECT_EQ(obs::GetCounter("rollout.quarantined").value(), 1u);
+  EXPECT_EQ(obs::GetCounter("rollout.quant_twins").value(), 0u);
+  const ModelRecord* rec = ctl.manifest().Find(1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, ModelState::kQuarantined);
+  EXPECT_NE(rec->reason.find("quantized twin"), std::string::npos)
+      << rec->reason;
+  // No orphaned artifact survives the quarantine.
+  EXPECT_EQ(quant::LoadQuantizedModel(dir, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RolloutTest, DisablingTwinsSkipsGateFiveAndPublishesNoArtifact) {
+  const std::string dir = ScratchDir("twin_off");
+  auto enc = MakeEncoder();
+  ASSERT_TRUE(InferenceService::SaveModel(*enc, dir, 1).ok());
+
+  InferenceService svc(features(), TinyEncoder(), TinyService());
+  RolloutConfig rcfg;
+  rcfg.model_dir = dir;
+  rcfg.quantize_twins = false;
+  RolloutController ctl(&svc, features(), TinyEncoder(), Probe(), rcfg);
+  ASSERT_TRUE(ctl.Init().ok());
+  auto report = ctl.Tick();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->published);
+  EXPECT_EQ(svc.model_generation(), 1u);
+
+  bool skipped = false;
+  for (const std::string& e : report->events) {
+    skipped = skipped || e.find("quantized twin skipped") != std::string::npos;
+  }
+  EXPECT_TRUE(skipped);
+  EXPECT_EQ(obs::GetCounter("rollout.quant_twins").value(), 0u);
+  EXPECT_EQ(quant::LoadQuantizedModel(dir, 1).status().code(),
+            StatusCode::kNotFound);
 }
 
 // ---------------------------------------------------------------------------

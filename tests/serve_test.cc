@@ -14,6 +14,7 @@
 #include "fault/fault.h"
 #include "nn/autograd.h"
 #include "obs/metrics.h"
+#include "quant/quant.h"
 #include "serve/lru_cache.h"
 #include "serve/service.h"
 #include "synth/presets.h"
@@ -154,6 +155,23 @@ class ServeTest : public ::testing::Test {
   }
 
   std::shared_ptr<const FeatureSpace> features() { return *features_; }
+
+  /// Int8 twin of `encoder`, calibrated over a few dataset paths — the
+  /// same artifact tpr::rollout publishes beside a candidate.
+  std::shared_ptr<const quant::QuantizedEncoder> MakeTwin(
+      const TemporalPathEncoder& encoder, uint64_t generation) {
+    std::vector<core::PathTimeItem> calibration;
+    const auto& samples = (*data_)->unlabeled;
+    for (size_t i = 0; i < 8 && i < samples.size(); ++i) {
+      calibration.push_back({&samples[i].path, samples[i].depart_time_s});
+    }
+    auto model = quant::QuantizeEncoder(encoder, calibration);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    if (!model.ok()) return nullptr;
+    model->generation = generation;
+    return std::make_shared<const quant::QuantizedEncoder>(
+        features(), *std::move(model));
+  }
 
   static std::shared_ptr<synth::CityDataset>* data_;
   static std::shared_ptr<const FeatureSpace>* features_;
@@ -344,7 +362,7 @@ TEST_F(ServeTest, EveryRungIsReachableUnderAProbabilisticOutage) {
   ASSERT_TRUE(svc.Start().ok());
   Install("encoder-forward:p=0.6,seed=5");
 
-  int rung_count[3] = {0, 0, 0};
+  int rung_count[4] = {0, 0, 0, 0};
   for (int i = 0; i < 200; ++i) {
     ServeResult r = svc.SubmitAndWait(
         Query(i % 17, 1000 + static_cast<uint64_t>(i), (i % 5) * 700));
@@ -352,9 +370,129 @@ TEST_F(ServeTest, EveryRungIsReachableUnderAProbabilisticOutage) {
     rung_count[static_cast<int>(r.rung)] += 1;
   }
   EXPECT_GT(rung_count[0], 0) << "full rung never reached";
-  EXPECT_GT(rung_count[1], 0) << "cached rung never reached";
-  EXPECT_GT(rung_count[2], 0) << "fallback rung never reached";
+  EXPECT_EQ(rung_count[1], 0) << "no twin installed, yet the quant rung hit";
+  EXPECT_GT(rung_count[2], 0) << "cached rung never reached";
+  EXPECT_GT(rung_count[3], 0) << "fallback rung never reached";
   EXPECT_GT(obs::GetCounter("serve.retries").value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized rung (rung 1).
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, QuantRungServesUnderAFullEncoderOutage) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  auto twin = MakeTwin(*encoder, 1);
+  ASSERT_NE(twin, nullptr);
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(encoder, 1, twin);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("encoder-forward:p=1");
+
+  // The fp32 rung exhausts its retries, then the int8 twin answers at
+  // the EXACT request time — not the cache's bucket-representative time.
+  const PathQuery q = Query(0, 300, /*time_shift=*/7);
+  ServeResult r = svc.SubmitAndWait(q);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.rung, Rung::kQuantized);
+  EXPECT_EQ(r.attempts, 1 + cfg.max_retries);
+  EXPECT_EQ(r.generation, 1u);
+  EXPECT_EQ(r.embedding, twin->EncodeValue(q.path, q.depart_time_s));
+  EXPECT_EQ(static_cast<int>(r.embedding.size()), svc.representation_dim());
+  EXPECT_EQ(obs::GetCounter("serve.quant_hits").value(), 1u);
+}
+
+TEST_F(ServeTest, QuantEncodeFaultDegradesPastTheQuantRung) {
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  auto twin = MakeTwin(*encoder, 1);
+  ASSERT_NE(twin, nullptr);
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  svc.InstallModel(encoder, 1, twin);
+  ASSERT_TRUE(svc.Start().ok());
+  // alloc skips rung 0 entirely (the cache rung stays computable); the
+  // injected quant-encode fault must push the ladder past the twin.
+  Install("alloc:p=1;quant-encode:p=1");
+
+  ServeResult r = svc.SubmitAndWait(Query(0, 301));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rung, Rung::kCached);
+  EXPECT_EQ(obs::GetCounter("serve.quant_hits").value(), 0u);
+  // Quantized failures are never breaker signals.
+  EXPECT_EQ(obs::GetCounter("serve.breaker_trips").value(), 0u);
+}
+
+TEST_F(ServeTest, TprQuantEnvDisablesTheQuantRung) {
+  ::setenv("TPR_QUANT", "0", 1);
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;
+  auto encoder =
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+  auto twin = MakeTwin(*encoder, 1);
+  ASSERT_NE(twin, nullptr);
+  // The ctor snapshots TPR_QUANT; even an explicitly installed twin must
+  // not serve.
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  ::unsetenv("TPR_QUANT");
+  svc.InstallModel(encoder, 1, twin);
+  ASSERT_TRUE(svc.Start().ok());
+  Install("alloc:p=1");
+
+  ServeResult r = svc.SubmitAndWait(Query(0, 302));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rung, Rung::kCached);
+  EXPECT_EQ(obs::GetCounter("serve.quant_hits").value(), 0u);
+}
+
+TEST_F(ServeTest, LoadModelAutoLoadsTheQuantTwinArtifact) {
+  const std::string dir = ScratchDir("quant_twin");
+  TemporalPathEncoder encoder(features(), TinyEncoder());
+  ASSERT_TRUE(InferenceService::SaveModel(encoder, dir, 5).ok());
+  auto twin = MakeTwin(encoder, 5);
+  ASSERT_NE(twin, nullptr);
+  ASSERT_TRUE(quant::SaveQuantizedModel(dir, twin->model(), 5).ok());
+
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  ASSERT_TRUE(svc.LoadModel(dir).ok());
+  ASSERT_TRUE(svc.Start().ok());
+  Install("encoder-forward:p=1");
+
+  const PathQuery q = Query(0, 303);
+  ServeResult r = svc.SubmitAndWait(q);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rung, Rung::kQuantized);
+  EXPECT_EQ(r.generation, 5u);
+  EXPECT_EQ(r.embedding, twin->EncodeValue(q.path, q.depart_time_s));
+}
+
+TEST_F(ServeTest, LoadModelWithoutAnArtifactKeepsTheOldLadder) {
+  const std::string dir = ScratchDir("no_twin");
+  TemporalPathEncoder encoder(features(), TinyEncoder());
+  ASSERT_TRUE(InferenceService::SaveModel(encoder, dir, 6).ok());
+
+  ServiceConfig cfg = TinyService();
+  cfg.num_workers = 1;
+  cfg.breaker_trip_threshold = 1000;
+  InferenceService svc(features(), TinyEncoder(), cfg);
+  ASSERT_TRUE(svc.LoadModel(dir).ok());  // a missing twin is not an error
+  ASSERT_TRUE(svc.Start().ok());
+  Install("alloc:p=1");
+
+  ServeResult r = svc.SubmitAndWait(Query(0, 304));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.rung, Rung::kCached);
+  EXPECT_EQ(obs::GetCounter("serve.quant_twin_load_failures").value(), 0u);
 }
 
 TEST_F(ServeTest, InjectedQueueFullShedsAtAdmission) {
@@ -816,10 +954,11 @@ struct Outcome {
   int code = 0;
   int rung = -1;
   int attempts = 0;
+  uint64_t generation = 0;
   std::vector<float> embedding;
   bool operator==(const Outcome& o) const {
     return code == o.code && rung == o.rung && attempts == o.attempts &&
-           embedding == o.embedding;
+           generation == o.generation && embedding == o.embedding;
   }
 };
 
@@ -861,6 +1000,7 @@ class SoakTest : public ServeTest {
       if (r.status.ok()) {
         o.rung = static_cast<int>(r.rung);
         o.attempts = r.attempts;
+        o.generation = r.generation;
         o.embedding = std::move(r.embedding);
       }
     }
@@ -875,8 +1015,9 @@ TEST_F(SoakTest, TenThousandRequestsAreBitwiseReproducible) {
   std::vector<Outcome> run_a = RunSoak(/*num_workers=*/4, n);
 
   // Every request resolved: success on some rung, or an explicit shed.
+  // No twin is installed, so the quant rung (1) must never serve.
   int ok = 0, shed = 0;
-  int rung_count[3] = {0, 0, 0};
+  int rung_count[4] = {0, 0, 0, 0};
   for (const Outcome& o : run_a) {
     if (o.code == static_cast<int>(StatusCode::kOk)) {
       ++ok;
@@ -892,8 +1033,9 @@ TEST_F(SoakTest, TenThousandRequestsAreBitwiseReproducible) {
   EXPECT_GT(ok, n / 2);
   EXPECT_GT(shed, 0);
   EXPECT_GT(rung_count[0], 0);
-  EXPECT_GT(rung_count[1], 0);
+  EXPECT_EQ(rung_count[1], 0);
   EXPECT_GT(rung_count[2], 0);
+  EXPECT_GT(rung_count[3], 0);
 
   // Same spec + seed + thread count: bitwise identical per-request
   // outcomes, including which rung served each request.
@@ -906,6 +1048,106 @@ TEST_F(SoakTest, TenThousandRequestsAreBitwiseReproducible) {
   // Outcomes are a pure function of the request id, so a different
   // worker count reproduces the same prefix too.
   const int m = 1500;
+  std::vector<Outcome> run_c = RunSoak(/*num_workers=*/1, m);
+  for (size_t i = 0; i < run_c.size(); ++i) {
+    ASSERT_TRUE(run_a[i] == run_c[i])
+        << "outcome diverged from single-worker run at request " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The full-ladder soak: with an int8 twin installed every rung — full,
+// quantized, cached, fallback — takes traffic under a probabilistic
+// outage, and the per-request outcomes stay bitwise identical across
+// runs and worker counts.
+// ---------------------------------------------------------------------------
+
+class QuantLadderSoakTest : public ServeTest {
+ protected:
+  // encoder-forward starves rung 0, quant-encode fails half the twin
+  // encodes, cache-compute failures (encoder-forward under the cache
+  // salt) push the rest down to the fallback.
+  static constexpr char kSpec[] =
+      "encoder-forward:p=0.6,seed=5;quant-encode:p=0.5,seed=7;"
+      "alloc:p=0.02;queue-full:p=0.01";
+
+  std::vector<Outcome> RunSoak(int num_workers, int n) {
+    Install(kSpec);
+    ServiceConfig cfg = TinyService();
+    cfg.num_workers = num_workers;
+    cfg.queue_capacity = 128;
+    cfg.block_when_full = true;
+    cfg.breaker_trip_threshold = 1000;  // keep rung 0 reachable
+    cfg.cache_capacity = 4;             // force cache recomputes
+    auto encoder =
+        std::make_shared<TemporalPathEncoder>(features(), TinyEncoder());
+    auto twin = MakeTwin(*encoder, 1);
+    EXPECT_NE(twin, nullptr);
+    InferenceService svc(features(), TinyEncoder(), cfg);
+    svc.InstallModel(encoder, 1, twin);
+    EXPECT_TRUE(svc.Start().ok());
+
+    std::vector<Outcome> outcomes(static_cast<size_t>(n));
+    std::vector<std::pair<size_t, std::future<ServeResult>>> pending;
+    pending.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      auto submitted = svc.Submit(
+          Query(i % 17, static_cast<uint64_t>(i), (i % 5) * 700));
+      if (!submitted.ok()) {
+        outcomes[static_cast<size_t>(i)].code =
+            static_cast<int>(submitted.status().code());
+        continue;
+      }
+      pending.emplace_back(static_cast<size_t>(i), std::move(*submitted));
+    }
+    for (auto& [idx, future] : pending) {
+      ServeResult r = future.get();
+      Outcome& o = outcomes[idx];
+      o.code = static_cast<int>(r.status.code());
+      if (r.status.ok()) {
+        o.rung = static_cast<int>(r.rung);
+        o.attempts = r.attempts;
+        o.generation = r.generation;
+        o.embedding = std::move(r.embedding);
+      }
+    }
+    svc.Shutdown();
+    fault::ClearPlan();
+    return outcomes;
+  }
+};
+
+TEST_F(QuantLadderSoakTest, EveryRungServesAndOutcomesAreBitwiseIdentical) {
+  const int n = 4000;
+  std::vector<Outcome> run_a = RunSoak(/*num_workers=*/4, n);
+
+  int ok = 0;
+  int rung_count[4] = {0, 0, 0, 0};
+  for (const Outcome& o : run_a) {
+    if (o.code != static_cast<int>(StatusCode::kOk)) {
+      EXPECT_EQ(o.code, static_cast<int>(StatusCode::kResourceExhausted));
+      continue;
+    }
+    ++ok;
+    ASSERT_GE(o.rung, 0);
+    rung_count[o.rung] += 1;
+    EXPECT_EQ(o.generation, 1u);
+    EXPECT_EQ(o.embedding.size(), 16u);
+  }
+  EXPECT_GT(ok, n / 2);
+  EXPECT_GT(rung_count[0], 0) << "full rung never reached";
+  EXPECT_GT(rung_count[1], 0) << "quantized rung never reached";
+  EXPECT_GT(rung_count[2], 0) << "cached rung never reached";
+  EXPECT_GT(rung_count[3], 0) << "fallback rung never reached";
+  EXPECT_GT(obs::GetCounter("serve.quant_hits").value(), 0u);
+
+  std::vector<Outcome> run_b = RunSoak(/*num_workers=*/4, n);
+  ASSERT_EQ(run_a.size(), run_b.size());
+  for (size_t i = 0; i < run_a.size(); ++i) {
+    ASSERT_TRUE(run_a[i] == run_b[i]) << "outcome diverged at request " << i;
+  }
+
+  const int m = 1200;
   std::vector<Outcome> run_c = RunSoak(/*num_workers=*/1, m);
   for (size_t i = 0; i < run_c.size(); ++i) {
     ASSERT_TRUE(run_a[i] == run_c[i])

@@ -239,7 +239,9 @@ TEST_F(DatasetTest, EachGroupHasExactlyOneRecommendedTopRankedPath) {
   for (const auto& s : data_->labeled) {
     recommended_per_group[s.group] += s.recommended;
     best_score[s.group] = std::max(best_score[s.group], s.rank_score);
-    if (s.recommended) EXPECT_DOUBLE_EQ(s.rank_score, 1.0);
+    if (s.recommended) {
+      EXPECT_DOUBLE_EQ(s.rank_score, 1.0);
+    }
   }
   for (const auto& [g, count] : recommended_per_group) {
     EXPECT_EQ(count, 1) << "group " << g;
