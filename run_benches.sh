@@ -102,6 +102,34 @@ if [ "$smoke" = true ]; then
   else
     echo "[suite] no AVX2 on this host; int8 kernel-rate gate skipped" >&2
   fi
+  # Drift-adaptation recovery floor: after each injected regime shift the
+  # adapted-and-promoted generation must score within 5% of the degraded
+  # incumbent on the post-shift golden probe (the smoke-scale fine-tune
+  # holds the line; improvement is not promised at this size), in at most
+  # one publish per shift (gated exactly via bench_baseline.json).
+  if ! python3 "$root/ci/bench_gate.py" throughput \
+      "$root/bench_smoke_metrics.json" --bench bench_drift_soak \
+      --threads 4 \
+      --gate drift.recovery_ratio_min:0.95:0.95; then
+    echo "[suite] FAILED: drift recovery gate" >&2
+    fail=1
+  fi
+  # The drift loop's stdout is a timing-free control trace; the full
+  # detect -> fine-tune -> canary -> promote sequence (including the
+  # mid-fine-tune kill/resume drill) must be byte-identical at 1 and 4
+  # threads.
+  echo "[suite] drift trace determinism: threads=1 vs 4" >&2
+  if TPR_THREADS=1 "$bindir/bench_drift_soak" --smoke \
+        > "$outdir/bench_drift_soak.t1.out" 2>/dev/null \
+      && TPR_THREADS=4 "$bindir/bench_drift_soak" --smoke \
+        > "$outdir/bench_drift_soak.t4.out" 2>/dev/null \
+      && cmp -s "$outdir/bench_drift_soak.t1.out" \
+                "$outdir/bench_drift_soak.t4.out"; then
+    echo "[suite] drift trace identical across thread counts" >&2
+  else
+    echo "[suite] FAILED: drift trace differs between 1 and 4 threads" >&2
+    fail=1
+  fi
   exit $fail
 fi
 

@@ -37,6 +37,7 @@ Status SyncDir(const std::filesystem::path& dir) {
 
 constexpr char kFilePrefix[] = "ckpt-";
 constexpr char kFileSuffix[] = ".tpr";
+constexpr char kPinFileName[] = "PINNED";
 
 /// Parses "ckpt-<seq>.tpr"; returns false for unrelated files.
 bool ParseSeq(const std::string& filename, uint64_t* seq) {
@@ -242,14 +243,65 @@ Status CheckpointDir::Save(uint64_t seq, std::string_view payload, int keep) {
   }
   // Prune old generations only after the new one is durable, always
   // retaining `keep` so the next (possibly crashing) save has a valid
-  // predecessor to fall back to.
+  // predecessor to fall back to. The pinned sequence — the live serving
+  // generation during frequent incremental fine-tunes — survives
+  // regardless of its position in the rotation.
+  const std::optional<uint64_t> pinned = PinnedSeq();
   const std::vector<uint64_t> seqs = ListSeqsDescending(dir_);
   for (size_t i = 0; i < seqs.size(); ++i) {
-    if (i >= static_cast<size_t>(std::max(1, keep))) {
-      std::filesystem::remove(PathFor(seqs[i]), ec);
-    }
+    if (i < static_cast<size_t>(std::max(1, keep))) continue;
+    if (pinned.has_value() && seqs[i] == *pinned) continue;
+    std::filesystem::remove(PathFor(seqs[i]), ec);
   }
   return Status::OK();
+}
+
+Status CheckpointDir::Pin(uint64_t seq) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::Internal("cannot create checkpoint dir " + dir_ + ": " +
+                            ec.message());
+  }
+  Writer w;
+  w.U64(seq);
+  return AtomicWriteFile(dir_ + "/" + kPinFileName, WrapPayload(w.bytes()));
+}
+
+Status CheckpointDir::Unpin() const {
+  std::error_code ec;
+  std::filesystem::remove(dir_ + "/" + kPinFileName, ec);
+  if (ec) {
+    return Status::Internal("cannot remove pin marker in " + dir_ + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+std::optional<uint64_t> CheckpointDir::PinnedSeq() const {
+  // Deliberately NOT ReadFileBytes: Save consults the pin on every
+  // rotation, and the marker read must not advance the ckpt-read fault
+  // site's call counter under checkpoint-content fault plans.
+  std::FILE* f = std::fopen((dir_ + "/" + kPinFileName).c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::string bytes;
+  char buf[256];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (!bad) {
+    auto payload = UnwrapPayload(bytes);
+    uint64_t seq = 0;
+    if (payload.ok()) {
+      Reader r(*payload);
+      if (r.U64(&seq).ok() && r.AtEnd()) return seq;
+    }
+  }
+  // A corrupt marker must never silently disable retention pruning or
+  // pin a garbage sequence: read it as "no pin" and count it.
+  obs::GetCounter("ckpt.pin_invalid").Add(1);
+  return std::nullopt;
 }
 
 StatusOr<CheckpointDir::Loaded> CheckpointDir::LoadLatest() const {

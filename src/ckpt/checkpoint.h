@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -83,9 +84,27 @@ class CheckpointDir {
   /// sequence `seq` (monotonically increasing, e.g. the global epoch).
   /// On success prunes all but the newest `keep` generations — the
   /// previous generation is retained so a fault during the NEXT save
-  /// can always fall back. Records ckpt.save_seconds / ckpt.saved_bytes
-  /// via tpr::obs when metrics are enabled.
+  /// can always fall back — while the pinned sequence (see Pin) is
+  /// never pruned regardless of age. Records ckpt.save_seconds /
+  /// ckpt.saved_bytes via tpr::obs when metrics are enabled.
   Status Save(uint64_t seq, std::string_view payload, int keep = 2);
+
+  /// Retention pin: durably marks `seq` (typically the live serving
+  /// generation) as exempt from Save's keep-last-K pruning. One pin per
+  /// directory; pinning replaces the previous pin. The marker is a
+  /// CRC-enveloped `PINNED` file written with the atomic protocol, so
+  /// it survives crashes and is honoured by every CheckpointDir
+  /// instance opened on the directory — publishers and the rollout
+  /// controller need not share an object.
+  Status Pin(uint64_t seq) const;
+
+  /// Removes the pin marker (no-op when none exists).
+  Status Unpin() const;
+
+  /// The pinned sequence, or nullopt when no valid marker exists (a
+  /// corrupt marker reads as no pin and is counted via
+  /// ckpt.pin_invalid).
+  std::optional<uint64_t> PinnedSeq() const;
 
   struct Loaded {
     uint64_t seq = 0;

@@ -1,0 +1,391 @@
+#include "drift/adaptation.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <numeric>
+#include <utility>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/serialize.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tpr::drift {
+namespace {
+
+constexpr char kStateTag[] = "tpr-drift-finetune";
+constexpr uint32_t kStateVersion = 1;
+
+int EnvInt(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int>(v);
+}
+
+std::vector<int> AllIndices(const synth::CityDataset& data) {
+  std::vector<int> indices(data.unlabeled.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  return indices;
+}
+
+void RemoveStateDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // best effort
+}
+
+obs::Gauge& StateGauge() {
+  static obs::Gauge& g = obs::GetGauge("drift.adapt_state");
+  return g;
+}
+
+}  // namespace
+
+AdaptationConfig AdaptationConfigFromEnv(AdaptationConfig defaults) {
+  defaults.total_epochs = EnvInt("TPR_DRIFT_EPOCHS", defaults.total_epochs);
+  defaults.epochs_per_tick =
+      EnvInt("TPR_DRIFT_EPOCHS_PER_TICK", defaults.epochs_per_tick);
+  return defaults;
+}
+
+const char* AdaptStateName(AdaptState s) {
+  switch (s) {
+    case AdaptState::kIdle: return "idle";
+    case AdaptState::kFineTuning: return "fine-tuning";
+    case AdaptState::kCooldown: return "cooldown";
+  }
+  return "unknown";
+}
+
+AdaptationController::AdaptationController(
+    std::shared_ptr<const core::FeatureSpace> features,
+    serve::InferenceService* service, rollout::RolloutController* rollout,
+    const DriftDetectorConfig& detector_config, const AdaptationConfig& config)
+    : base_features_(std::move(features)),
+      service_(service),
+      rollout_(rollout),
+      config_(config),
+      detector_(detector_config) {
+  TPR_CHECK(base_features_ != nullptr);
+  TPR_CHECK(service_ != nullptr);
+  TPR_CHECK(!config_.model_dir.empty());
+  TPR_CHECK(!config_.finetune_dir.empty());
+  TPR_CHECK(config_.total_epochs > 0);
+  TPR_CHECK(config_.epochs_per_tick > 0);
+}
+
+AdaptationController::~AdaptationController() = default;
+
+uint64_t AdaptationController::FingerprintPool(const synth::CityDataset& data) {
+  uint64_t h = MixSeed(0xD21F7A5EULL, data.unlabeled.size());
+  for (const auto& s : data.unlabeled) {
+    h = MixSeed(h, static_cast<uint64_t>(s.depart_time_s));
+    for (int e : s.path) {
+      h = MixSeed(h, static_cast<uint64_t>(static_cast<uint32_t>(e)) + 1);
+    }
+  }
+  return h;
+}
+
+bool AdaptationController::ObserveProbeMae(double mae) {
+  if (state_ != AdaptState::kIdle) return false;
+  return detector_.Observe(mae);
+}
+
+std::shared_ptr<const core::FeatureSpace> AdaptationController::FreshFeatures(
+    const std::shared_ptr<const synth::CityDataset>& fresh) const {
+  // The frozen node2vec embeddings carry over — the network topology did
+  // not change — while the dataset (trajectories, traffic, weak labels)
+  // is the fresh post-shift window the trainer learns from.
+  auto fs = std::make_shared<core::FeatureSpace>(*base_features_);
+  fs->data = fresh;
+  return fs;
+}
+
+StatusOr<AdaptReport> AdaptationController::Tick(
+    const std::shared_ptr<const synth::CityDataset>& fresh) {
+  TPR_CHECK(fresh != nullptr);
+  AdaptReport report;
+  if (!resume_checked_) {
+    resume_checked_ = true;
+    TPR_RETURN_IF_ERROR(TryResume(fresh, &report));
+  }
+  switch (state_) {
+    case AdaptState::kIdle: {
+      if (detector_.alarmed()) {
+        TPR_RETURN_IF_ERROR(StartFineTune(fresh, &report));
+      }
+      break;
+    }
+    case AdaptState::kFineTuning: {
+      TPR_RETURN_IF_ERROR(RunEpochs(&report));
+      break;
+    }
+    case AdaptState::kCooldown: {
+      bool resolved = rollout_ == nullptr;
+      if (rollout_ != nullptr) {
+        const rollout::ModelRecord* rec =
+            rollout_->manifest().Find(candidate_gen_);
+        resolved = rec != nullptr &&
+                   (rec->state == rollout::ModelState::kLive ||
+                    rec->state == rollout::ModelState::kRetired ||
+                    rec->state == rollout::ModelState::kQuarantined);
+      }
+      if (resolved) {
+        state_ = AdaptState::kIdle;
+        report.events.push_back("cooldown resolved: candidate gen " +
+                                std::to_string(candidate_gen_) +
+                                " reached a terminal rollout state");
+      }
+      break;
+    }
+  }
+  StateGauge().Set(static_cast<double>(static_cast<int>(state_)));
+  return report;
+}
+
+Status AdaptationController::ForceStartFineTune(
+    const std::shared_ptr<const synth::CityDataset>& fresh) {
+  if (state_ != AdaptState::kIdle) {
+    return Status::FailedPrecondition("adaptation already in flight");
+  }
+  resume_checked_ = true;  // an explicit launch supersedes stale state
+  AdaptReport report;
+  return StartFineTune(fresh, &report);
+}
+
+Status AdaptationController::StartFineTune(
+    const std::shared_ptr<const synth::CityDataset>& fresh,
+    AdaptReport* report) {
+  static obs::Counter& launches = obs::GetCounter("drift.finetune_launches");
+  const uint64_t source_gen = service_->model_generation();
+  if (source_gen == 0) {
+    return Status::FailedPrecondition(
+        "drift adaptation needs a live generation to warm-start from");
+  }
+  ckpt::CheckpointDir model_dir(config_.model_dir);
+  auto bytes = ckpt::ReadFileBytes(model_dir.PathFor(source_gen));
+  if (!bytes.ok()) return bytes.status();
+  auto payload = ckpt::UnwrapPayload(*bytes);
+  if (!payload.ok()) return payload.status();
+
+  auto fresh_features = FreshFeatures(fresh);
+  auto decoded = serve::InferenceService::DecodeModelPayload(
+      *payload, fresh_features, config_.wsc.encoder);
+  if (!decoded.ok()) return decoded.status();
+
+  auto model = std::make_unique<core::WscModel>(fresh_features, config_.wsc);
+  {
+    // Warm start: copy the live generation's parameter values into the
+    // fine-tune model (shape-checked by the serializer).
+    ckpt::Writer w;
+    ckpt::WriteParamValues(w, decoded->encoder->Parameters());
+    ckpt::Reader r(w.bytes());
+    TPR_RETURN_IF_ERROR(
+        ckpt::ReadParamValuesInto(r, model->mutable_encoder()->Parameters()));
+  }
+
+  auto stages = core::BuildCurriculum(fresh_features, config_.wsc,
+                                      config_.curriculum, AllIndices(*fresh));
+  if (!stages.ok()) return stages.status();
+
+  uint64_t max_gen = source_gen;
+  for (uint64_t s : model_dir.ListSeqs()) max_gen = std::max(max_gen, s);
+  if (rollout_ != nullptr) {
+    for (const auto& rec : rollout_->manifest().records()) {
+      max_gen = std::max(max_gen, rec.generation);
+    }
+  }
+  candidate_gen_ = config_.forced_candidate_generation != 0
+                       ? config_.forced_candidate_generation
+                       : max_gen + 1;
+  source_gen_ = source_gen;
+  fresh_data_ = fresh;
+  model_ = std::move(model);
+  stages_ = std::move(*stages);
+  pool_fingerprint_ = FingerprintPool(*fresh);
+  epochs_done_ = 0;
+  state_ = AdaptState::kFineTuning;
+  ++launches_;
+  launches.Add();
+  report->events.push_back(
+      "fine-tune launched: warm start from live gen " +
+      std::to_string(source_gen_) + ", candidate gen " +
+      std::to_string(candidate_gen_) + ", " +
+      std::to_string(fresh->unlabeled.size()) + " fresh trajectories");
+  // Persist the launch record so a kill before the first epoch still
+  // resumes instead of needing a second alarm.
+  TPR_RETURN_IF_ERROR(SaveFineTuneState());
+  RefreshRolloutProbe(report);
+  return Status::OK();
+}
+
+std::string AdaptationController::EncodeFineTuneState() const {
+  ckpt::Writer w;
+  w.Str(kStateTag);
+  w.U32(kStateVersion);
+  w.U64(candidate_gen_);
+  w.U64(source_gen_);
+  w.U64(pool_fingerprint_);
+  w.I32(config_.total_epochs);
+  w.I32(epochs_done_);
+  w.U64(stages_.size());
+  for (const auto& stage : stages_) {
+    w.U64(stage.size());
+    for (int idx : stage) w.I32(idx);
+  }
+  Status st = model_->SaveState(w);
+  TPR_CHECK(st.ok());  // serialization into memory cannot fail
+  return w.TakeBytes();
+}
+
+Status AdaptationController::SaveFineTuneState() const {
+  ckpt::CheckpointDir cdir(config_.finetune_dir);
+  return cdir.Save(static_cast<uint64_t>(epochs_done_) + 1,
+                   EncodeFineTuneState());
+}
+
+Status AdaptationController::TryResume(
+    const std::shared_ptr<const synth::CityDataset>& fresh,
+    AdaptReport* report) {
+  static obs::Counter& resumed = obs::GetCounter("drift.finetune_resumes");
+  ckpt::CheckpointDir cdir(config_.finetune_dir);
+  auto loaded = cdir.LoadLatest();
+  if (!loaded.ok()) {
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      report->events.push_back("resume skipped: " +
+                               loaded.status().message());
+    }
+    return Status::OK();
+  }
+  // Any decode failure from here on means the state is foreign, corrupt,
+  // or from a different world — refuse it, wipe the directory, and stay
+  // idle rather than wedging the control loop on a bad file.
+  uint64_t candidate_gen = 0, source_gen = 0, fingerprint = 0;
+  int32_t total_epochs = 0, epochs_done = 0;
+  std::vector<std::vector<int>> stages;
+  std::unique_ptr<core::WscModel> model;
+  std::string refusal;
+  Status parsed = [&]() -> Status {
+    ckpt::Reader r(loaded->payload);
+    std::string tag;
+    uint32_t version = 0;
+    TPR_RETURN_IF_ERROR(r.Str(&tag));
+    TPR_RETURN_IF_ERROR(r.U32(&version));
+    if (tag != kStateTag || version != kStateVersion) {
+      refusal = "foreign fine-tune state";
+      return Status::InvalidArgument(refusal);
+    }
+    TPR_RETURN_IF_ERROR(r.U64(&candidate_gen));
+    TPR_RETURN_IF_ERROR(r.U64(&source_gen));
+    TPR_RETURN_IF_ERROR(r.U64(&fingerprint));
+    TPR_RETURN_IF_ERROR(r.I32(&total_epochs));
+    TPR_RETURN_IF_ERROR(r.I32(&epochs_done));
+    if (fingerprint != FingerprintPool(*fresh)) {
+      refusal = "fresh pool changed since the fine-tune started";
+      return Status::InvalidArgument(refusal);
+    }
+    uint64_t num_stages = 0;
+    TPR_RETURN_IF_ERROR(r.U64(&num_stages));
+    stages.resize(num_stages);
+    for (auto& stage : stages) {
+      uint64_t n = 0;
+      TPR_RETURN_IF_ERROR(r.U64(&n));
+      stage.resize(n);
+      for (auto& idx : stage) {
+        int32_t v = 0;
+        TPR_RETURN_IF_ERROR(r.I32(&v));
+        idx = v;
+      }
+    }
+    auto fresh_features = FreshFeatures(fresh);
+    model = std::make_unique<core::WscModel>(fresh_features, config_.wsc);
+    return model->LoadState(r);
+  }();
+  if (!parsed.ok()) {
+    if (refusal.empty()) refusal = parsed.message();
+    report->events.push_back("resume refused: " + refusal);
+    RemoveStateDir(config_.finetune_dir);
+    return Status::OK();
+  }
+
+  candidate_gen_ = candidate_gen;
+  source_gen_ = source_gen;
+  pool_fingerprint_ = fingerprint;
+  epochs_done_ = epochs_done;
+  fresh_data_ = fresh;
+  model_ = std::move(model);
+  stages_ = std::move(stages);
+  state_ = AdaptState::kFineTuning;
+  ++resumes_;
+  resumed.Add();
+  report->events.push_back(
+      "fine-tune resumed: candidate gen " + std::to_string(candidate_gen_) +
+      " at epoch " + std::to_string(epochs_done_) + "/" +
+      std::to_string(config_.total_epochs));
+  RefreshRolloutProbe(report);
+  return Status::OK();
+}
+
+Status AdaptationController::RunEpochs(AdaptReport* report) {
+  static obs::Counter& epochs = obs::GetCounter("drift.finetune_epochs");
+  for (int i = 0; i < config_.epochs_per_tick &&
+                  epochs_done_ < config_.total_epochs;
+       ++i) {
+    const std::vector<int>& indices =
+        epochs_done_ < static_cast<int>(stages_.size())
+            ? stages_[epochs_done_]
+            : AllIndices(*fresh_data_);
+    auto loss = model_->TrainEpoch(indices);
+    if (!loss.ok()) return loss.status();
+    ++epochs_done_;
+    epochs.Add();
+    TPR_RETURN_IF_ERROR(SaveFineTuneState());
+    report->events.push_back(
+        "fine-tune epoch " + std::to_string(epochs_done_) + "/" +
+        std::to_string(config_.total_epochs) + " on " +
+        std::to_string(indices.size()) + " samples");
+  }
+  if (epochs_done_ >= config_.total_epochs) {
+    TPR_RETURN_IF_ERROR(PublishCandidate(report));
+  }
+  return Status::OK();
+}
+
+Status AdaptationController::PublishCandidate(AdaptReport* report) {
+  static obs::Counter& published = obs::GetCounter("drift.publishes");
+  const std::string& dir =
+      config_.publish_dir.empty() ? config_.model_dir : config_.publish_dir;
+  TPR_RETURN_IF_ERROR(serve::InferenceService::SaveModel(
+      model_->encoder(), dir, candidate_gen_));
+  report->events.push_back("candidate gen " + std::to_string(candidate_gen_) +
+                           " published for rollout validation");
+  report->published = true;
+  ++publishes_;
+  published.Add();
+  // The candidate is durable; the in-flight trainer state is obsolete.
+  RemoveStateDir(config_.finetune_dir);
+  model_.reset();
+  stages_.clear();
+  fresh_data_.reset();
+  detector_.Reset();
+  state_ = AdaptState::kCooldown;
+  return Status::OK();
+}
+
+void AdaptationController::RefreshRolloutProbe(AdaptReport* report) {
+  if (rollout_ == nullptr) return;
+  core::ProbeSet probe =
+      core::BuildProbeSet(*fresh_data_, config_.probe_queries,
+                          config_.probe_seed);
+  rollout_->RefreshProbe(std::move(probe));
+  report->events.push_back(
+      "rollout probe refreshed onto the fresh window (" +
+      std::to_string(config_.probe_queries) + " queries)");
+}
+
+}  // namespace tpr::drift

@@ -1,0 +1,206 @@
+#ifndef TPR_DRIFT_ADAPTATION_H_
+#define TPR_DRIFT_ADAPTATION_H_
+
+// Drift adaptation: the self-healing half of `tpr::drift`.
+//
+// The AdaptationController turns a drift detection into a *candidate*
+// model generation, never into an incumbent swap — promotion stays the
+// rollout controller's call, behind its full gate stack (envelope,
+// decode, finiteness, probe budget, int8 twin, canary, auto-rollback).
+// The incumbent keeps serving untouched the whole time.
+//
+// Lifecycle (one explicit Tick() at a time, caller's thread, no threads
+// or sleeps of its own — the same tick discipline as tpr::rollout):
+//
+//   idle ──alarm──▶ fine-tuning ──budget spent──▶ cooldown ──▶ idle
+//
+//   fine-tuning   warm-starts a WscModel from the LIVE generation's
+//                 serve checkpoint (read back through tpr::ckpt), swaps
+//                 the feature space's dataset for the fresh post-shift
+//                 trajectory window, and trains a heuristic curriculum
+//                 over ONLY that fresh pool. After every epoch the full
+//                 trainer state (parameters, Adam moments, minibatch
+//                 counter, RNG, curriculum stages, fresh-pool
+//                 fingerprint) is checkpointed to `finetune_dir`, so a
+//                 controller killed at any epoch boundary resumes
+//                 bitwise-identically: the published candidate bytes are
+//                 the same whether or not the run was interrupted.
+//   cooldown      the candidate has been published into the rollout
+//                 model dir; the controller waits for the rollout
+//                 lineage to resolve it (live / quarantined) before
+//                 re-arming. The drift detector is Reset() at publish,
+//                 so post-adaptation windows rebuild a fresh baseline.
+//
+// Determinism: training is bitwise thread-independent (tpr::par), the
+// curriculum and probe sampling are seeded, fault verdicts are keyed,
+// and time never enters the loop — so the full detect → fine-tune →
+// publish trace is identical across runs and thread counts.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/curriculum.h"
+#include "core/features.h"
+#include "core/probe.h"
+#include "core/wsc_trainer.h"
+#include "drift/detector.h"
+#include "rollout/controller.h"
+#include "serve/service.h"
+#include "synth/dataset.h"
+#include "util/status.h"
+
+namespace tpr::drift {
+
+struct AdaptationConfig {
+  /// The rollout-watched ckpt::CheckpointDir: the live generation is
+  /// read from here and the fine-tuned candidate is published back into
+  /// it (unless `publish_dir` overrides the destination).
+  std::string model_dir;
+
+  /// Candidate destination; empty means `model_dir`. A reference run
+  /// (tests, the bitwise kill/resume drill) publishes to a scratch dir
+  /// so its bytes can be compared against the real candidate's.
+  std::string publish_dir;
+
+  /// Where in-flight fine-tune trainer state is checkpointed (its own
+  /// CheckpointDir; removed after a successful publish).
+  std::string finetune_dir;
+
+  /// Fine-tune trainer config. `wsc.encoder` must architecturally match
+  /// the serving encoder config (the warm start copies parameters).
+  core::WscConfig wsc;
+
+  /// Curriculum over the fresh pool. Defaults to the cheap heuristic
+  /// (edge-count easy-to-hard) — an incremental fine-tune should not
+  /// pay for expert difficulty scoring.
+  core::CurriculumConfig curriculum{
+      core::CurriculumStrategy::kHeuristic, /*num_meta_sets=*/2,
+      /*expert_epochs=*/1};
+
+  /// Fine-tune budget: total epochs over the fresh pool. Epoch e runs
+  /// curriculum stage e while stages remain, then full-pool epochs.
+  int total_epochs = 3;
+
+  /// Epochs executed per Tick() (the caller interleaves ticks with
+  /// serving work).
+  int epochs_per_tick = 1;
+
+  /// Fresh-probe construction for the rollout quality gate: on launch
+  /// the rollout controller's probe set is refreshed to labels sampled
+  /// from the fresh (post-shift) dataset, so incumbent and candidate
+  /// are both scored on the current world.
+  size_t probe_queries = 64;
+  uint64_t probe_seed = 7;
+
+  /// Non-zero pins the candidate's generation number (reference runs);
+  /// 0 derives max(existing generations) + 1.
+  uint64_t forced_candidate_generation = 0;
+};
+
+/// Overlays TPR_DRIFT_EPOCHS / TPR_DRIFT_EPOCHS_PER_TICK onto
+/// `defaults` (detector knobs live on DriftDetectorConfig).
+AdaptationConfig AdaptationConfigFromEnv(AdaptationConfig defaults);
+
+enum class AdaptState { kIdle = 0, kFineTuning = 1, kCooldown = 2 };
+
+const char* AdaptStateName(AdaptState s);
+
+/// What one Tick() did.
+struct AdaptReport {
+  std::vector<std::string> events;
+  bool published = false;
+};
+
+class AdaptationController {
+ public:
+  /// `service` must outlive the controller and provides the live
+  /// generation number. `rollout` may be null (reference runs): then no
+  /// probe refresh happens and cooldown resolves immediately.
+  AdaptationController(std::shared_ptr<const core::FeatureSpace> features,
+                       serve::InferenceService* service,
+                       rollout::RolloutController* rollout,
+                       const DriftDetectorConfig& detector_config,
+                       const AdaptationConfig& config);
+  ~AdaptationController();
+
+  AdaptationController(const AdaptationController&) = delete;
+  AdaptationController& operator=(const AdaptationController&) = delete;
+
+  /// Feeds one serving-time probe-MAE observation to the detector.
+  /// Ignored (returns false) unless idle: while a fine-tune or rollout
+  /// resolution is in flight the controller already knows the world
+  /// moved. Returns true when this observation raised the alarm.
+  bool ObserveProbeMae(double mae);
+
+  /// One control step. `fresh` is the current fresh-trajectory window
+  /// (the post-shift stream); it must stay the same object between the
+  /// launch of a fine-tune and its publish. The first Tick() also
+  /// checks `finetune_dir` for an interrupted run and resumes it —
+  /// alarm state is not required to resume, only to launch.
+  StatusOr<AdaptReport> Tick(
+      const std::shared_ptr<const synth::CityDataset>& fresh);
+
+  /// Launches a fine-tune immediately, without an alarm (reference
+  /// runs, tests). FailedPrecondition when not idle or no live model.
+  Status ForceStartFineTune(
+      const std::shared_ptr<const synth::CityDataset>& fresh);
+
+  AdaptState state() const { return state_; }
+  DriftDetector& detector() { return detector_; }
+  const DriftDetector& detector() const { return detector_; }
+  /// Candidate generation of the in-flight or last-published fine-tune
+  /// (0 before any launch).
+  uint64_t candidate_generation() const { return candidate_gen_; }
+  uint64_t fine_tunes_launched() const { return launches_; }
+  uint64_t fine_tunes_published() const { return publishes_; }
+  uint64_t fine_tunes_resumed() const { return resumes_; }
+
+  /// Deterministic content fingerprint of a fresh pool; a resume
+  /// refuses to continue onto a different window than it started on.
+  static uint64_t FingerprintPool(const synth::CityDataset& data);
+
+ private:
+  Status StartFineTune(const std::shared_ptr<const synth::CityDataset>& fresh,
+                       AdaptReport* report);
+  Status TryResume(const std::shared_ptr<const synth::CityDataset>& fresh,
+                   AdaptReport* report);
+  Status RunEpochs(AdaptReport* report);
+  Status PublishCandidate(AdaptReport* report);
+  void RefreshRolloutProbe(AdaptReport* report);
+  Status SaveFineTuneState() const;
+  std::string EncodeFineTuneState() const;
+
+  /// Fresh-window FeatureSpace: the base space's frozen node2vec
+  /// embeddings over the post-shift dataset.
+  std::shared_ptr<const core::FeatureSpace> FreshFeatures(
+      const std::shared_ptr<const synth::CityDataset>& fresh) const;
+
+  const std::shared_ptr<const core::FeatureSpace> base_features_;
+  serve::InferenceService* const service_;
+  rollout::RolloutController* const rollout_;
+  const AdaptationConfig config_;
+  DriftDetector detector_;
+
+  AdaptState state_ = AdaptState::kIdle;
+  bool resume_checked_ = false;
+
+  // In-flight fine-tune state (valid while state_ == kFineTuning, and
+  // candidate_gen_ survives into cooldown).
+  std::shared_ptr<const synth::CityDataset> fresh_data_;
+  std::unique_ptr<core::WscModel> model_;
+  std::vector<std::vector<int>> stages_;
+  uint64_t candidate_gen_ = 0;
+  uint64_t source_gen_ = 0;
+  uint64_t pool_fingerprint_ = 0;
+  int epochs_done_ = 0;
+
+  uint64_t launches_ = 0;
+  uint64_t publishes_ = 0;
+  uint64_t resumes_ = 0;
+};
+
+}  // namespace tpr::drift
+
+#endif  // TPR_DRIFT_ADAPTATION_H_

@@ -1,0 +1,132 @@
+#include "drift/detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace tpr::drift {
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || !std::isfinite(v)) return fallback;
+  return v;
+}
+
+int EnvInt(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+DriftDetectorConfig DriftDetectorConfigFromEnv(DriftDetectorConfig defaults) {
+  defaults.window = EnvInt("TPR_DRIFT_WINDOW", defaults.window);
+  defaults.delta = EnvDouble("TPR_DRIFT_DELTA", defaults.delta);
+  defaults.lambda = EnvDouble("TPR_DRIFT_LAMBDA", defaults.lambda);
+  defaults.min_windows = EnvInt("TPR_DRIFT_MIN_WINDOWS", defaults.min_windows);
+  defaults.cooldown_windows =
+      EnvInt("TPR_DRIFT_COOLDOWN", defaults.cooldown_windows);
+  return defaults;
+}
+
+DriftDetector::DriftDetector(const DriftDetectorConfig& config)
+    : config_(config) {
+  TPR_CHECK(config_.window > 0);
+  TPR_CHECK(config_.min_windows > 0);
+  TPR_CHECK(config_.cooldown_windows >= 0);
+  TPR_CHECK(config_.delta >= 0.0);
+  TPR_CHECK(config_.lambda > 0.0);
+}
+
+bool DriftDetector::Observe(double mae) {
+  if (!std::isfinite(mae) || mae <= 0.0) {
+    mae = std::numeric_limits<double>::min();
+  }
+  window_sum_ += mae;
+  if (++window_count_ < config_.window) return false;
+  const double window_mean = window_sum_ / config_.window;
+  window_sum_ = 0.0;
+  window_count_ = 0;
+  return CloseWindow(window_mean);
+}
+
+bool DriftDetector::CloseWindow(double window_mean_mae) {
+  static obs::Counter& windows_counter = obs::GetCounter("drift.windows");
+  static obs::Counter& detections_counter =
+      obs::GetCounter("drift.detections");
+  static obs::Gauge& mae_gauge = obs::GetGauge("drift.window_mae");
+  static obs::Gauge& stat_gauge = obs::GetGauge("drift.ph_statistic");
+  static obs::Gauge& mean_gauge = obs::GetGauge("drift.baseline_log_mean");
+
+  ++windows_;
+  windows_counter.Add();
+  mae_gauge.Set(window_mean_mae);
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    return false;
+  }
+  if (alarmed_) return false;  // sticky: hold until Reset()
+
+  const double x = std::log(window_mean_mae);
+  ++run_windows_;
+  mean_ += (x - mean_) / static_cast<double>(run_windows_);
+  m_ += x - mean_ - config_.delta;
+  m_min_ = std::min(m_min_, m_);
+  const double stat = m_ - m_min_;
+  stat_gauge.Set(stat);
+  mean_gauge.Set(mean_);
+
+  bool alarm = run_windows_ >= static_cast<uint64_t>(config_.min_windows) &&
+               stat > config_.lambda;
+  // The fault site flips the verdict: injected false positives exercise
+  // the spurious-fine-tune path, injected false negatives delay
+  // detection by a window. Keyed by the monotone window counter, so a
+  // p-mode plan yields the same flip pattern on every run.
+  if (fault::ShouldFail(fault::kDriftDetect, windows_)) alarm = !alarm;
+  if (alarm) {
+    alarmed_ = true;
+    ++detections_;
+    detections_counter.Add();
+  }
+  return alarm;
+}
+
+void DriftDetector::Reset() {
+  window_sum_ = 0.0;
+  window_count_ = 0;
+  run_windows_ = 0;
+  cooldown_left_ = config_.cooldown_windows;
+  mean_ = 0.0;
+  m_ = 0.0;
+  m_min_ = 0.0;
+  alarmed_ = false;
+}
+
+core::ProbeSet RelabelProbeSet(const core::ProbeSet& base,
+                               const synth::TrafficModel& traffic) {
+  core::ProbeSet fresh;
+  fresh.ridge_lambda = base.ridge_lambda;
+  fresh.queries.reserve(base.queries.size());
+  for (const core::ProbeQuery& q : base.queries) {
+    core::ProbeQuery r = q;
+    r.travel_time_s = traffic.PathTravelTime(
+        q.path, static_cast<double>(q.depart_time_s));
+    fresh.queries.push_back(std::move(r));
+  }
+  return fresh;
+}
+
+}  // namespace tpr::drift

@@ -59,6 +59,7 @@ inline constexpr char kRolloutPublish[] = "rollout-publish"; // rollout manifest
 inline constexpr char kCanaryRegression[] = "canary-regression";  // serve canary quality drills
 inline constexpr char kBatchFlush[] = "batch-flush";         // serve batched rung-0 encode
 inline constexpr char kQuantEncode[] = "quant-encode";       // serve int8 rung encode
+inline constexpr char kDriftDetect[] = "drift-detect";       // drift detector verdicts
 
 /// Failure rule for one site. A rule may combine modes; the site fails
 /// when ANY active mode fires.

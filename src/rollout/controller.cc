@@ -51,6 +51,15 @@ Status RolloutController::Init() {
   return Status::OK();
 }
 
+void RolloutController::RefreshProbe(core::ProbeSet probe) {
+  probe_ = std::move(probe);
+  // Invalidate the cached incumbent score: the next gate evaluation
+  // re-scores the live model on the new probe (the `incumbent_mae_ < 0`
+  // lazy-recompute path in ScanForCandidate).
+  incumbent_mae_ = -1.0;
+  obs::GetCounter("rollout.probe_refreshes").Add(1);
+}
+
 StatusOr<TickReport> RolloutController::Tick() {
   TickReport report;
   while (auto res = service_->TakeCanaryResolution()) {
@@ -101,6 +110,10 @@ void RolloutController::ApplyResolution(const serve::CanaryResolution& res,
     manifest_.Upsert(std::move(rec));
     manifest_.set_live_generation(res.generation);
     manifest_.set_canary_generation(0);
+    // Best-effort retention pin: the live generation's ckpt file is
+    // exempt from keep-last-K pruning so a restart can always reload
+    // the serving model even after many candidate publishes.
+    (void)ckpt::CheckpointDir(config_.model_dir).Pin(res.generation);
     obs::GetCounter("rollout.promoted").Add(1);
     report->events.push_back("canary gen " + std::to_string(res.generation) +
                              " promoted: " + res.reason + traffic);
@@ -272,6 +285,7 @@ Status RolloutController::ScanForCandidate(TickReport* report,
       rec.reason = "bootstrap";
       manifest_.Upsert(std::move(rec));
       manifest_.set_live_generation(seq);
+      (void)ckpt::CheckpointDir(config_.model_dir).Pin(seq);
       dirty_ = true;
       obs::GetCounter("rollout.bootstraps").Add(1);
       report->events.push_back("gen " + std::to_string(seq) +

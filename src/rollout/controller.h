@@ -105,6 +105,13 @@ class RolloutController {
   /// Incumbent probe MAE (negative before a live model exists).
   double incumbent_mae() const { return incumbent_mae_; }
 
+  /// Replaces the golden probe set — the drift loop swaps in queries
+  /// labeled under the CURRENT (post-shift) traffic so incumbent and
+  /// adapted candidate are scored on the same world. The cached
+  /// incumbent MAE is invalidated and lazily recomputed against the new
+  /// probe at the next gate evaluation.
+  void RefreshProbe(core::ProbeSet probe);
+
  private:
   /// Folds one canary resolution into the manifest.
   void ApplyResolution(const serve::CanaryResolution& res,
@@ -124,7 +131,7 @@ class RolloutController {
   serve::InferenceService* const service_;
   const std::shared_ptr<const core::FeatureSpace> features_;
   const core::EncoderConfig encoder_config_;
-  const core::ProbeSet probe_;
+  core::ProbeSet probe_;  // mutable: RefreshProbe swaps in fresh labels
   const RolloutConfig config_;
   Manifest manifest_;
   /// Probe MAE of the current incumbent; recomputed on bootstrap and

@@ -227,4 +227,23 @@ StatusOr<CityDataset> GenerateDataset(
   return ds;
 }
 
+std::shared_ptr<TrafficModel> MakeShiftedTraffic(const CityDataset& base,
+                                                 RegimeShift shift) {
+  TPR_CHECK(base.network != nullptr && base.traffic != nullptr);
+  auto composed = base.traffic->regime()
+                      ? Compose(*base.traffic->regime(), shift)
+                      : std::move(shift);
+  return std::make_shared<TrafficModel>(
+      base.network.get(), base.traffic->config(),
+      std::make_shared<const RegimeShift>(std::move(composed)));
+}
+
+StatusOr<CityDataset> GenerateShiftedDataset(const CityDataset& base,
+                                             RegimeShift shift,
+                                             const DatasetConfig& config) {
+  auto traffic = MakeShiftedTraffic(base, std::move(shift));
+  return GenerateDataset(base.name + "-shifted", base.network,
+                         std::move(traffic), config);
+}
+
 }  // namespace tpr::synth

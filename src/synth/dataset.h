@@ -91,6 +91,19 @@ StatusOr<CityDataset> GenerateDataset(
     std::string name, std::shared_ptr<graph::RoadNetwork> network,
     std::shared_ptr<TrafficModel> traffic, const DatasetConfig& config);
 
+/// A traffic model over `base`'s network with `shift` overlaid on the
+/// base traffic config — the post-shift ground truth.
+std::shared_ptr<TrafficModel> MakeShiftedTraffic(const CityDataset& base,
+                                                 RegimeShift shift);
+
+/// Streams a fresh post-shift dataset: same network as `base`, shifted
+/// traffic, trajectories sampled under `config` (use a new seed for a
+/// fresh window). This is the simulator's "post-shift trajectory
+/// stream" the adaptation loop fine-tunes on.
+StatusOr<CityDataset> GenerateShiftedDataset(const CityDataset& base,
+                                             RegimeShift shift,
+                                             const DatasetConfig& config);
+
 }  // namespace tpr::synth
 
 #endif  // TPR_SYNTH_DATASET_H_

@@ -1,0 +1,102 @@
+#include "synth/regime.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace tpr::synth {
+
+namespace {
+
+// Closed edges keep a sliver of speed so existing paths stay evaluable:
+// the shift must degrade the world, not crash queries against it.
+constexpr double kClosureSpeedScale = 0.05;
+
+std::vector<int> PickEdges(const graph::RoadNetwork& network,
+                           double fraction, uint64_t seed) {
+  const int n = network.num_edges();
+  if (n == 0) return {};
+  int count = static_cast<int>(fraction * n);
+  count = std::clamp(count, 1, n);
+  std::vector<int> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  Rng rng(MixSeed(seed, 0x5e91'd21fULL));
+  rng.Shuffle(ids);
+  ids.resize(count);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+const char* RegimeKindName(RegimeKind kind) {
+  switch (kind) {
+    case RegimeKind::kIncident: return "incident";
+    case RegimeKind::kClosure: return "closure";
+    case RegimeKind::kRushHourShift: return "rush-hour-shift";
+    case RegimeKind::kSeasonalDemand: return "seasonal-demand";
+  }
+  return "unknown";
+}
+
+double RegimeShift::EdgeScale(int edge_id) const {
+  auto it = std::lower_bound(
+      edge_speed_scale.begin(), edge_speed_scale.end(), edge_id,
+      [](const std::pair<int, double>& e, int id) { return e.first < id; });
+  if (it != edge_speed_scale.end() && it->first == edge_id) return it->second;
+  return 1.0;
+}
+
+RegimeShift MakeRegimeShift(const graph::RoadNetwork& network,
+                            const RegimeShiftConfig& config) {
+  RegimeShift shift;
+  switch (config.kind) {
+    case RegimeKind::kIncident: {
+      for (int id : PickEdges(network, config.edge_fraction, config.seed)) {
+        shift.edge_speed_scale.emplace_back(id, config.speed_scale);
+      }
+      break;
+    }
+    case RegimeKind::kClosure: {
+      for (int id : PickEdges(network, config.edge_fraction, config.seed)) {
+        shift.edge_speed_scale.emplace_back(id, kClosureSpeedScale);
+      }
+      break;
+    }
+    case RegimeKind::kRushHourShift: {
+      shift.am_shift_h = config.hour_shift;
+      shift.pm_shift_h = config.hour_shift;
+      break;
+    }
+    case RegimeKind::kSeasonalDemand: {
+      shift.severity_scale = config.demand_scale;
+      break;
+    }
+  }
+  return shift;
+}
+
+RegimeShift Compose(const RegimeShift& a, const RegimeShift& b) {
+  RegimeShift out;
+  out.am_shift_h = a.am_shift_h + b.am_shift_h;
+  out.pm_shift_h = a.pm_shift_h + b.pm_shift_h;
+  out.severity_scale = a.severity_scale * b.severity_scale;
+  // Merge the two sorted affected-edge lists, multiplying on overlap.
+  auto ia = a.edge_speed_scale.begin(), ea = a.edge_speed_scale.end();
+  auto ib = b.edge_speed_scale.begin(), eb = b.edge_speed_scale.end();
+  while (ia != ea || ib != eb) {
+    if (ib == eb || (ia != ea && ia->first < ib->first)) {
+      out.edge_speed_scale.push_back(*ia++);
+    } else if (ia == ea || ib->first < ia->first) {
+      out.edge_speed_scale.push_back(*ib++);
+    } else {
+      out.edge_speed_scale.emplace_back(ia->first, ia->second * ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  return out;
+}
+
+}  // namespace tpr::synth

@@ -1,0 +1,85 @@
+#ifndef TPR_SYNTH_REGIME_H_
+#define TPR_SYNTH_REGIME_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace tpr::synth {
+
+/// Kinds of regime shift the simulator can inject. Each stands in for a
+/// class of real-world drift that invalidates a frozen travel-time model:
+/// localized capacity loss (incidents), hard topology change (closures),
+/// a move of the demand peaks in time (rush-hour migration), and a
+/// citywide change of demand volume (seasonal scaling).
+enum class RegimeKind : int {
+  kIncident = 0,     // a seeded subset of edges slows to `speed_scale`
+  kClosure = 1,      // a seeded subset of edges becomes near-impassable
+  kRushHourShift = 2,  // weekday peak windows move by `hour_shift` hours
+  kSeasonalDemand = 3,  // peak severity scales by `demand_scale`
+};
+
+const char* RegimeKindName(RegimeKind kind);
+
+/// Declarative description of one shift. Materialization is a pure
+/// function of (network, config): the same seed always selects the same
+/// edges, so post-shift worlds are bitwise reproducible.
+struct RegimeShiftConfig {
+  RegimeKind kind = RegimeKind::kIncident;
+  uint64_t seed = 1;
+
+  /// Fraction of edges affected (incidents/closures). At least one edge
+  /// is always selected when the network is non-empty.
+  double edge_fraction = 0.03;
+
+  /// Speed multiplier on affected edges for kIncident (closures use a
+  /// fixed near-zero multiplier regardless of this value).
+  double speed_scale = 0.35;
+
+  /// Signed shift of both weekday peak windows for kRushHourShift, in
+  /// hours (+1.5 moves the 7-9 a.m. peak to 8:30-10:30).
+  double hour_shift = 1.5;
+
+  /// Multiplier on peak severity for kSeasonalDemand (1.5 = holiday
+  /// season demand; 0.6 = summer lull).
+  double demand_scale = 1.5;
+};
+
+/// A materialized shift: the concrete per-edge and per-window effects a
+/// TrafficModel consults. Value type; cheap to copy relative to dataset
+/// generation. Compose multiple shifts with `Compose`.
+struct RegimeShift {
+  /// (edge_id, speed multiplier), sorted ascending by edge id.
+  std::vector<std::pair<int, double>> edge_speed_scale;
+
+  /// Hours added to the weekday AM/PM peak windows.
+  double am_shift_h = 0.0;
+  double pm_shift_h = 0.0;
+
+  /// Multiplier on TrafficConfig::peak_severity.
+  double severity_scale = 1.0;
+
+  /// Speed multiplier for an edge (1.0 when unaffected). Binary search
+  /// over the sorted affected list.
+  double EdgeScale(int edge_id) const;
+
+  bool IsIdentity() const {
+    return edge_speed_scale.empty() && am_shift_h == 0.0 &&
+           pm_shift_h == 0.0 && severity_scale == 1.0;
+  }
+};
+
+/// Materializes a shift against a network. Deterministic: edge selection
+/// is a seeded Fisher-Yates prefix, independent of thread count.
+RegimeShift MakeRegimeShift(const graph::RoadNetwork& network,
+                            const RegimeShiftConfig& config);
+
+/// Left-to-right composition: edge scales multiply, window shifts add,
+/// severity scales multiply.
+RegimeShift Compose(const RegimeShift& a, const RegimeShift& b);
+
+}  // namespace tpr::synth
+
+#endif  // TPR_SYNTH_REGIME_H_

@@ -38,7 +38,9 @@ double BaseSpeedForType(graph::RoadType type) {
 double TrafficModel::FreeFlowSpeed(int edge_id) const {
   const auto& e = network_->edge(edge_id);
   const double base = BaseSpeedForType(e.road_type);
-  return base * (1.0 + config_.lane_speed_bonus * (e.num_lanes - 1));
+  double speed = base * (1.0 + config_.lane_speed_bonus * (e.num_lanes - 1));
+  if (regime_) speed *= regime_->EdgeScale(edge_id);
+  return speed;
 }
 
 double TrafficModel::PeakIntensity(double time_s) const {
@@ -47,9 +49,13 @@ double TrafficModel::PeakIntensity(double time_s) const {
   const int day = static_cast<int>(t / kDayS);  // 0 = Monday
   const double hour = (t - day * kDayS) / 3600.0;
   const bool weekday = day < 5;
+  const double am_shift = regime_ ? regime_->am_shift_h : 0.0;
+  const double pm_shift = regime_ ? regime_->pm_shift_h : 0.0;
   if (weekday) {
-    const double am = Bump(hour, config_.am_start_h, config_.am_end_h);
-    const double pm = Bump(hour, config_.pm_start_h, config_.pm_end_h);
+    const double am = Bump(hour, config_.am_start_h + am_shift,
+                           config_.am_end_h + am_shift);
+    const double pm = Bump(hour, config_.pm_start_h + pm_shift,
+                           config_.pm_end_h + pm_shift);
     return std::max(am, pm);
   }
   // Weekends: a mild midday bump (shopping traffic).
@@ -63,7 +69,9 @@ double TrafficModel::CongestionMultiplier(int edge_id, double time_s) const {
   // reproduces the paper's Fig. 1 behaviour of highway avoidance at 8 a.m.
   double class_factor = 1.0;
   if (e.road_type == graph::RoadType::kHighway) class_factor = 1.15;
-  const double drop = config_.peak_severity * config_.zone_factor[zone] *
+  double severity = config_.peak_severity;
+  if (regime_) severity *= regime_->severity_scale;
+  const double drop = severity * config_.zone_factor[zone] *
                       class_factor * PeakIntensity(time_s);
   return std::max(0.15, 1.0 - drop);
 }

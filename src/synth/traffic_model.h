@@ -2,8 +2,10 @@
 #define TPR_SYNTH_TRAFFIC_MODEL_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "graph/road_network.h"
+#include "synth/regime.h"
 
 namespace tpr::synth {
 
@@ -38,11 +40,15 @@ struct TrafficConfig {
 };
 
 /// Deterministic traffic model over a road network. Thread-compatible:
-/// all queries are const.
+/// all queries are const. An optional regime shift overlays the base
+/// world: affected edges lose speed, peak windows move, and peak
+/// severity rescales — the post-shift ground truth the drift loop must
+/// re-learn.
 class TrafficModel {
  public:
-  TrafficModel(const graph::RoadNetwork* network, TrafficConfig config)
-      : network_(network), config_(config) {}
+  TrafficModel(const graph::RoadNetwork* network, TrafficConfig config,
+               std::shared_ptr<const RegimeShift> regime = nullptr)
+      : network_(network), config_(config), regime_(std::move(regime)) {}
 
   /// Free-flow speed (m/s) of an edge, from its road class and lanes.
   double FreeFlowSpeed(int edge_id) const;
@@ -66,14 +72,17 @@ class TrafficModel {
 
   const TrafficConfig& config() const { return config_; }
   const graph::RoadNetwork& network() const { return *network_; }
+  const RegimeShift* regime() const { return regime_.get(); }
 
  private:
   /// Peak intensity in [0, 1] as a function of time of week (0 away from
-  /// peaks, 1 at the center of a weekday peak).
+  /// peaks, 1 at the center of a weekday peak). Peak windows honour the
+  /// active regime's hour shifts.
   double PeakIntensity(double time_s) const;
 
   const graph::RoadNetwork* network_;
   TrafficConfig config_;
+  std::shared_ptr<const RegimeShift> regime_;
 };
 
 /// Free-flow speed (m/s) by road class alone, before the lane bonus.

@@ -384,6 +384,69 @@ TEST(CheckpointDirTest, RotationKeepsTwoGenerations) {
   EXPECT_EQ(loaded->seq, 5u);
 }
 
+TEST(CheckpointDirTest, RetentionPinExemptsTheLiveGenerationFromPruning) {
+  const std::string dir = ScratchDir("dir_pin");
+  CheckpointDir cd(dir);
+  ASSERT_TRUE(cd.Save(1, "live generation").ok());
+  ASSERT_TRUE(cd.Pin(1).ok());
+  EXPECT_EQ(cd.PinnedSeq().value_or(0), 1u);
+
+  // keep=2 would normally prune everything older than 4 and 5 — the
+  // pinned live generation must survive every rotation.
+  for (uint64_t seq = 2; seq <= 5; ++seq) {
+    ASSERT_TRUE(cd.Save(seq, "state " + std::to_string(seq)).ok());
+  }
+  EXPECT_EQ(cd.ListSeqs(), (std::vector<uint64_t>{1, 4, 5}));
+
+  // The pin is a durable on-disk marker: a fresh CheckpointDir instance
+  // on the same directory honours it (publisher and rollout controller
+  // need not share an object).
+  CheckpointDir other(dir);
+  EXPECT_EQ(other.PinnedSeq().value_or(0), 1u);
+  ASSERT_TRUE(other.Save(6, "state 6").ok());
+  EXPECT_EQ(cd.ListSeqs(), (std::vector<uint64_t>{1, 5, 6}));
+
+  // Re-pinning replaces the previous pin: one pin per directory.
+  ASSERT_TRUE(cd.Pin(6).ok());
+  EXPECT_EQ(cd.PinnedSeq().value_or(0), 6u);
+  ASSERT_TRUE(cd.Save(7, "state 7").ok());
+  ASSERT_TRUE(cd.Save(8, "state 8").ok());
+  EXPECT_EQ(cd.ListSeqs(), (std::vector<uint64_t>{6, 7, 8}))
+      << "generation 1 loses protection when the pin moves";
+
+  // Unpin restores plain keep-last-K behaviour.
+  ASSERT_TRUE(cd.Unpin().ok());
+  EXPECT_FALSE(cd.PinnedSeq().has_value());
+  ASSERT_TRUE(cd.Save(9, "state 9").ok());
+  EXPECT_EQ(cd.ListSeqs(), (std::vector<uint64_t>{8, 9}));
+  EXPECT_TRUE(cd.Unpin().ok()) << "unpinning twice is a no-op";
+}
+
+TEST(CheckpointDirTest, CorruptPinMarkerReadsAsNoPin) {
+  obs::SetMetricsEnabled(true);
+  obs::ResetAllMetrics();
+  const std::string dir = ScratchDir("dir_pin_corrupt");
+  CheckpointDir cd(dir);
+  ASSERT_TRUE(cd.Save(1, "state 1").ok());
+  ASSERT_TRUE(cd.Pin(1).ok());
+
+  // Torn/bit-flipped marker (bypassed the atomic protocol).
+  std::FILE* f = std::fopen((dir + "/PINNED").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("torn pin marker", f);
+  std::fclose(f);
+  EXPECT_FALSE(cd.PinnedSeq().has_value());
+  EXPECT_GE(obs::GetCounter("ckpt.pin_invalid").value(), 1u);
+
+  // A corrupt pin fails open: rotation proceeds as if unpinned — the
+  // retention policy must never wedge on a bad marker.
+  for (uint64_t seq = 2; seq <= 4; ++seq) {
+    ASSERT_TRUE(cd.Save(seq, "state " + std::to_string(seq)).ok());
+  }
+  EXPECT_EQ(cd.ListSeqs(), (std::vector<uint64_t>{3, 4}));
+  obs::SetMetricsEnabled(false);
+}
+
 // ---------------------------------------------------------------------------
 // Model / baseline state round trips on a tiny city.
 // ---------------------------------------------------------------------------

@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "core/curriculum.h"
 #include "gradcheck.h"
 #include "core/encoder.h"
 #include "core/features.h"
+#include "core/probe.h"
 #include "core/wsc_loss.h"
 #include "core/wsccl.h"
+#include "par/thread_pool.h"
 #include "synth/presets.h"
+#include "synth/regime.h"
 
 namespace tpr::core {
 namespace {
@@ -502,6 +507,113 @@ TEST_F(WscLossGradCheck, LocalWscLossMatchesFiniteDifferences) {
   };
   tpr::testing::ExpectGradientsMatch(loss_fn, encoder.Parameters(),
                                      LossOptions());
+}
+
+// ---------------------------------------------------------------------------
+// Golden-probe read-out under distribution shift: the drift detector's
+// quality signal must stay finite and honest on degenerate and
+// post-shift windows.
+// ---------------------------------------------------------------------------
+
+class ProbeShiftTest : public CoreTest {
+ protected:
+  static void ZeroParameters(TemporalPathEncoder& encoder) {
+    for (nn::Var p : encoder.Parameters()) {
+      if (!p.defined()) continue;
+      nn::Tensor& t = p.mutable_value();
+      for (size_t i = 0; i < t.size(); ++i) t.data()[i] = 0.0f;
+    }
+  }
+};
+
+TEST_F(ProbeShiftTest, RidgeReadoutSurvivesDegenerateWindows) {
+  TemporalPathEncoder encoder(features(), TinyEncoder());
+
+  // Fewer queries than embedding dimensions: the ridge term keeps the
+  // normal equations solvable where plain least squares is singular.
+  ProbeSet tiny = BuildProbeSet(data(), 2, 5);
+  ASSERT_EQ(tiny.queries.size(), 2u);
+  auto tiny_mae = ProbeTravelTimeMae(encoder, tiny);
+  ASSERT_TRUE(tiny_mae.ok()) << tiny_mae.status().ToString();
+  EXPECT_TRUE(std::isfinite(*tiny_mae));
+
+  // Collapsed embeddings (zeroed encoder) against constant labels: the
+  // read-out degenerates to a bias-only fit, which nails a constant
+  // label up to ridge shrinkage.
+  TemporalPathEncoder collapsed(features(), TinyEncoder());
+  ZeroParameters(collapsed);
+  ProbeSet constant = BuildProbeSet(data(), 16, 5);
+  for (auto& q : constant.queries) q.travel_time_s = 600.0;
+  auto const_mae = ProbeTravelTimeMae(collapsed, constant);
+  ASSERT_TRUE(const_mae.ok()) << const_mae.status().ToString();
+  EXPECT_LT(*const_mae, 600.0 * 0.01);
+
+  // Collapsed embeddings against VARYING labels: a constant predictor
+  // cannot fit them, and the honest answer is a large finite MAE, not a
+  // solver failure.
+  ProbeSet varied = BuildProbeSet(data(), 16, 5);
+  auto collapsed_mae = ProbeTravelTimeMae(collapsed, varied);
+  ASSERT_TRUE(collapsed_mae.ok()) << collapsed_mae.status().ToString();
+  TemporalPathEncoder healthy(features(), TinyEncoder());
+  auto healthy_mae = ProbeTravelTimeMae(healthy, varied);
+  ASSERT_TRUE(healthy_mae.ok());
+  EXPECT_GT(*collapsed_mae, *healthy_mae);
+}
+
+TEST_F(ProbeShiftTest, PostShiftLabelsRaiseTheFrozenEncoderMae) {
+  // Relabel the probe paths with ground truth from a closed-road world:
+  // a handful of paths get dramatically slower while the rest keep their
+  // old labels, exactly the heteroscedastic residue a frozen encoder's
+  // read-out cannot absorb.
+  synth::RegimeShiftConfig cfg;
+  cfg.kind = synth::RegimeKind::kClosure;
+  cfg.seed = 21;
+  cfg.edge_fraction = 0.08;
+  const synth::RegimeShift shift =
+      synth::MakeRegimeShift(*data().network, cfg);
+  synth::TrafficModel shifted(data().network.get(), data().traffic->config(),
+                              std::make_shared<const synth::RegimeShift>(shift));
+
+  TemporalPathEncoder encoder(features(), TinyEncoder());
+  ProbeSet base = BuildProbeSet(data(), 48, 5);
+  ProbeSet post = base;
+  int slower = 0;
+  for (size_t i = 0; i < post.queries.size(); ++i) {
+    auto& q = post.queries[i];
+    q.travel_time_s = shifted.PathTravelTime(
+        q.path, static_cast<double>(q.depart_time_s));
+    if (q.travel_time_s > 1.5 * base.queries[i].travel_time_s) ++slower;
+  }
+  ASSERT_GT(slower, 0) << "the closure must hit some probe paths";
+
+  auto base_mae = ProbeTravelTimeMae(encoder, base);
+  auto post_mae = ProbeTravelTimeMae(encoder, post);
+  ASSERT_TRUE(base_mae.ok()) << base_mae.status().ToString();
+  ASSERT_TRUE(post_mae.ok()) << post_mae.status().ToString();
+  EXPECT_TRUE(std::isfinite(*post_mae));
+  EXPECT_GT(*post_mae, *base_mae)
+      << "the shifted world must read as a quality regression";
+}
+
+TEST_F(ProbeShiftTest, ProbeMaeIsBitwiseIdenticalAtOneAndFourThreads) {
+  TemporalPathEncoder encoder(features(), TinyEncoder());
+  const ProbeSet probe = BuildProbeSet(data(), 48, 5);
+  auto bits = [&] {
+    auto mae = ProbeTravelTimeMae(encoder, probe);
+    EXPECT_TRUE(mae.ok());
+    uint64_t b = 0;
+    const double v = mae.ok() ? *mae : -1.0;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+  };
+  const int before = par::DefaultPool().num_threads();
+  par::SetDefaultThreads(1);
+  const uint64_t solo = bits();
+  par::SetDefaultThreads(4);
+  const uint64_t quad = bits();
+  par::SetDefaultThreads(before);
+  EXPECT_EQ(solo, quad)
+      << "the detector's input signal must not depend on thread count";
 }
 
 }  // namespace

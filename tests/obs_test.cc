@@ -126,6 +126,21 @@ TEST(MetricsTest, HistogramEmptyReturnsZero) {
   EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
 }
 
+TEST(MetricsTest, GaugeDisabledSetPreservesTheLastEnabledValue) {
+  // The drift detector exports its PH statistic through gauges; a
+  // mid-run disable must freeze the last written value, not zero it —
+  // dashboards read "last known", never a phantom reset.
+  SetMetricsEnabled(true);
+  Gauge& g = GetGauge("obs_test.freeze_gauge");
+  g.Set(4.5);
+  SetMetricsEnabled(false);
+  g.Set(99.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.5);
+  SetMetricsEnabled(true);
+  g.Set(6.25);
+  EXPECT_DOUBLE_EQ(g.value(), 6.25);
+}
+
 TEST(MetricsTest, ResetAllMetricsZeroesEverything) {
   SetMetricsEnabled(true);
   GetCounter("obs_test.reset_me").Add(7);

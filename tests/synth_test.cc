@@ -12,6 +12,7 @@
 #include "synth/dataset.h"
 #include "synth/gps.h"
 #include "synth/presets.h"
+#include "synth/regime.h"
 #include "synth/traffic_model.h"
 #include "synth/weak_labels.h"
 
@@ -362,6 +363,192 @@ TEST(GpsTest, MapMatchRejectsCorruptTimestamps) {
   poisoned.back().t = std::numeric_limits<double>::quiet_NaN();
   EXPECT_EQ(MapMatch(*network, poisoned, gps).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Regime shifts: the drift simulator's post-shift worlds.
+// ---------------------------------------------------------------------------
+
+class RegimeTest : public ::testing::Test {
+ protected:
+  RegimeTest() {
+    auto net = GenerateCity(SmallCity());
+    network_ = std::make_shared<graph::RoadNetwork>(std::move(*net));
+  }
+
+  std::shared_ptr<graph::RoadNetwork> network_;
+};
+
+TEST_F(RegimeTest, MaterializationIsDeterministicAndSeedSensitive) {
+  RegimeShiftConfig cfg;
+  cfg.kind = RegimeKind::kIncident;
+  cfg.seed = 3;
+  cfg.edge_fraction = 0.05;
+  const RegimeShift a = MakeRegimeShift(*network_, cfg);
+  const RegimeShift b = MakeRegimeShift(*network_, cfg);
+  ASSERT_EQ(a.edge_speed_scale, b.edge_speed_scale);
+  EXPECT_FALSE(a.IsIdentity());
+  // Sorted by edge id, all scales equal to the configured slowdown.
+  for (size_t i = 1; i < a.edge_speed_scale.size(); ++i) {
+    EXPECT_LT(a.edge_speed_scale[i - 1].first, a.edge_speed_scale[i].first);
+  }
+  for (const auto& [edge, scale] : a.edge_speed_scale) {
+    EXPECT_DOUBLE_EQ(scale, cfg.speed_scale);
+    EXPECT_DOUBLE_EQ(a.EdgeScale(edge), cfg.speed_scale);
+  }
+  cfg.seed = 4;
+  const RegimeShift c = MakeRegimeShift(*network_, cfg);
+  EXPECT_NE(a.edge_speed_scale, c.edge_speed_scale)
+      << "a different seed must select different edges";
+}
+
+TEST_F(RegimeTest, IncidentSlowsExactlyTheAffectedEdges) {
+  RegimeShiftConfig cfg;
+  cfg.kind = RegimeKind::kIncident;
+  cfg.seed = 9;
+  cfg.edge_fraction = 0.04;
+  cfg.speed_scale = 0.35;
+  auto shift = std::make_shared<const RegimeShift>(
+      MakeRegimeShift(*network_, cfg));
+  ASSERT_FALSE(shift->edge_speed_scale.empty());
+  TrafficModel base(network_.get(), TrafficConfig{});
+  TrafficModel shifted(network_.get(), TrafficConfig{}, shift);
+  for (int e = 0; e < network_->num_edges(); ++e) {
+    const double ratio = shifted.FreeFlowSpeed(e) / base.FreeFlowSpeed(e);
+    if (shift->EdgeScale(e) < 1.0) {
+      EXPECT_NEAR(ratio, 0.35, 1e-12) << "edge " << e;
+    } else {
+      EXPECT_DOUBLE_EQ(ratio, 1.0) << "edge " << e;
+    }
+  }
+}
+
+TEST_F(RegimeTest, ClosureIsNearImpassable) {
+  RegimeShiftConfig cfg;
+  cfg.kind = RegimeKind::kClosure;
+  cfg.seed = 2;
+  const RegimeShift shift = MakeRegimeShift(*network_, cfg);
+  ASSERT_FALSE(shift.edge_speed_scale.empty());
+  for (const auto& [edge, scale] : shift.edge_speed_scale) {
+    EXPECT_LT(scale, 0.1) << "edge " << edge;
+    EXPECT_GT(scale, 0.0) << "edge " << edge;
+  }
+}
+
+TEST_F(RegimeTest, RushHourShiftMovesThePeakWindows) {
+  RegimeShiftConfig cfg;
+  cfg.kind = RegimeKind::kRushHourShift;
+  cfg.hour_shift = 1.5;
+  auto shift = std::make_shared<const RegimeShift>(
+      MakeRegimeShift(*network_, cfg));
+  EXPECT_TRUE(shift->edge_speed_scale.empty());
+  EXPECT_DOUBLE_EQ(shift->am_shift_h, 1.5);
+  TrafficModel base(network_.get(), TrafficConfig{});
+  TrafficModel shifted(network_.get(), TrafficConfig{}, shift);
+  // Monday 08:00: the old AM peak center is congested in the base world
+  // but calm after the +1.5h migration; Monday 09:30 is the new center.
+  EXPECT_GT(base.CityCongestionIndex(8 * kHourS),
+            shifted.CityCongestionIndex(8 * kHourS));
+  EXPECT_GT(shifted.CityCongestionIndex(9.5 * kHourS),
+            shifted.CityCongestionIndex(8 * kHourS));
+  EXPECT_NEAR(shifted.CityCongestionIndex(9.5 * kHourS),
+              base.CityCongestionIndex(8 * kHourS), 1e-9);
+}
+
+TEST_F(RegimeTest, SeasonalDemandScalesPeakSeverity) {
+  RegimeShiftConfig cfg;
+  cfg.kind = RegimeKind::kSeasonalDemand;
+  cfg.demand_scale = 1.5;
+  auto shift = std::make_shared<const RegimeShift>(
+      MakeRegimeShift(*network_, cfg));
+  EXPECT_DOUBLE_EQ(shift->severity_scale, 1.5);
+  TrafficModel base(network_.get(), TrafficConfig{});
+  TrafficModel shifted(network_.get(), TrafficConfig{}, shift);
+  int strictly_worse = 0;
+  for (int e = 0; e < std::min(40, network_->num_edges()); ++e) {
+    const double b = base.CongestionMultiplier(e, 8 * kHourS);
+    const double s = shifted.CongestionMultiplier(e, 8 * kHourS);
+    EXPECT_LE(s, b + 1e-12) << "edge " << e;
+    if (s < b - 1e-9) ++strictly_worse;
+  }
+  EXPECT_GT(strictly_worse, 0);
+  // Off-peak is untouched: demand scaling only bites where there is peak.
+  EXPECT_DOUBLE_EQ(shifted.CongestionMultiplier(0, 3 * kHourS),
+                   base.CongestionMultiplier(0, 3 * kHourS));
+}
+
+TEST_F(RegimeTest, ComposeMergesEdgeScalesShiftsAndSeverity) {
+  RegimeShiftConfig inc;
+  inc.kind = RegimeKind::kIncident;
+  inc.seed = 5;
+  RegimeShiftConfig rush;
+  rush.kind = RegimeKind::kRushHourShift;
+  rush.hour_shift = -1.0;
+  RegimeShiftConfig demand;
+  demand.kind = RegimeKind::kSeasonalDemand;
+  demand.demand_scale = 0.6;
+  const RegimeShift a = MakeRegimeShift(*network_, inc);
+  const RegimeShift combined = Compose(
+      Compose(a, MakeRegimeShift(*network_, rush)),
+      MakeRegimeShift(*network_, demand));
+  EXPECT_EQ(combined.edge_speed_scale, a.edge_speed_scale);
+  EXPECT_DOUBLE_EQ(combined.am_shift_h, -1.0);
+  EXPECT_DOUBLE_EQ(combined.pm_shift_h, -1.0);
+  EXPECT_DOUBLE_EQ(combined.severity_scale, 0.6);
+  // Overlapping incidents multiply on the shared edges.
+  const RegimeShift twice = Compose(a, a);
+  for (size_t i = 0; i < a.edge_speed_scale.size(); ++i) {
+    EXPECT_DOUBLE_EQ(twice.edge_speed_scale[i].second,
+                     a.edge_speed_scale[i].second *
+                         a.edge_speed_scale[i].second);
+  }
+}
+
+TEST_F(DatasetTest, ShiftedDatasetStreamsTheSameNetworkUnderNewTraffic) {
+  RegimeShiftConfig cfg;
+  cfg.kind = RegimeKind::kIncident;
+  cfg.seed = 13;
+  cfg.edge_fraction = 0.05;
+  const RegimeShift shift = MakeRegimeShift(*data_->network, cfg);
+  DatasetConfig fresh_cfg;
+  fresh_cfg.num_unlabeled_trajectories = 30;
+  fresh_cfg.departures_per_trajectory = 2;
+  fresh_cfg.num_labeled_groups = 20;
+  fresh_cfg.alternatives_per_group = 2;
+  fresh_cfg.seed = 99;
+  auto fresh = GenerateShiftedDataset(*data_, shift, fresh_cfg);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh->name, data_->name + "-shifted");
+  EXPECT_EQ(fresh->network.get(), data_->network.get())
+      << "topology carries over; only traffic changes";
+  ASSERT_NE(fresh->traffic->regime(), nullptr);
+  EXPECT_FALSE(fresh->traffic->regime()->IsIdentity());
+  EXPECT_FALSE(fresh->unlabeled.empty());
+  EXPECT_FALSE(fresh->labeled.empty());
+  for (const auto& s : fresh->unlabeled) {
+    EXPECT_TRUE(fresh->network->ValidatePath(s.path).ok());
+  }
+
+  // Bitwise reproducible: the same base + shift + config streams the
+  // same trajectories.
+  auto again = GenerateShiftedDataset(*data_, shift, fresh_cfg);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->unlabeled.size(), fresh->unlabeled.size());
+  for (size_t i = 0; i < fresh->unlabeled.size(); ++i) {
+    EXPECT_EQ(again->unlabeled[i].path, fresh->unlabeled[i].path);
+    EXPECT_EQ(again->unlabeled[i].depart_time_s,
+              fresh->unlabeled[i].depart_time_s);
+    EXPECT_DOUBLE_EQ(again->unlabeled[i].travel_time_s,
+                     fresh->unlabeled[i].travel_time_s);
+  }
+
+  // Composing onto an already-shifted dataset stacks the regimes.
+  auto stacked_traffic = MakeShiftedTraffic(*fresh, shift);
+  ASSERT_NE(stacked_traffic->regime(), nullptr);
+  for (const auto& [edge, scale] : shift.edge_speed_scale) {
+    EXPECT_DOUBLE_EQ(stacked_traffic->regime()->EdgeScale(edge),
+                     scale * scale);
+  }
 }
 
 // Property sweep: observed travel times stay within a plausible factor of
