@@ -130,6 +130,34 @@ if [ "$smoke" = true ]; then
     echo "[suite] FAILED: drift trace differs between 1 and 4 threads" >&2
     fail=1
   fi
+  # Fleet shard-scaling floor: 3 single-worker shards behind the router
+  # must deliver >= 2.4x the batched req/s of 1 shard. The degraded
+  # floor covers runners with fewer cores than the three shard workers
+  # plus the submitting thread (a 1-core host proves nothing about shard
+  # parallelism, so it only checks sanity).
+  if ! python3 "$root/ci/bench_gate.py" throughput \
+      "$root/bench_smoke_metrics.json" --bench bench_fleet_soak \
+      --threads 4 \
+      --gate fleet.scaling_ratio:2.4:0.5; then
+    echo "[suite] FAILED: fleet shard-scaling gate" >&2
+    fail=1
+  fi
+  # The fleet soak's stdout is a timing-free control trace covering the
+  # router, every shard's rollout/drift events, and the bitwise
+  # clean-vs-bombed isolation verdicts; it must be byte-identical at 1
+  # and 4 worker threads per shard.
+  echo "[suite] fleet trace determinism: threads=1 vs 4" >&2
+  if TPR_THREADS=1 "$bindir/bench_fleet_soak" --smoke \
+        > "$outdir/bench_fleet_soak.t1.out" 2>/dev/null \
+      && TPR_THREADS=4 "$bindir/bench_fleet_soak" --smoke \
+        > "$outdir/bench_fleet_soak.t4.out" 2>/dev/null \
+      && cmp -s "$outdir/bench_fleet_soak.t1.out" \
+                "$outdir/bench_fleet_soak.t4.out"; then
+    echo "[suite] fleet trace identical across thread counts" >&2
+  else
+    echo "[suite] FAILED: fleet trace differs between 1 and 4 threads" >&2
+    fail=1
+  fi
   exit $fail
 fi
 

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -126,7 +127,18 @@ Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
   if (fault::ShouldFail(fault::kCkptWrite)) {
     return Status::Internal("injected ckpt-write fault for " + path);
   }
-  const std::string tmp = path + ".tmp";
+  // The temp name is unique per process AND per in-flight write: with
+  // the fixed "<path>.tmp" of PR 3, two writers targeting the same path
+  // concurrently (fleet shards publishing, a rollout controller racing a
+  // drift publish in one process, or two processes sharing a registry)
+  // could interleave open/write/rename on one temp file and rename a
+  // half-written mix into place. Unique temps keep the last rename
+  // atomic and the loser's bytes harmless; stale temps from crashes are
+  // ignored by ParseSeq/ListSeqs like any foreign file.
+  static std::atomic<uint64_t> write_counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(write_counter.fetch_add(1, std::memory_order_relaxed));
   size_t to_write = bytes.size();
   bool die_before_rename = false;
   if (const auto& injector = fault::CkptWriteKillPoint()) {
@@ -220,6 +232,15 @@ Status CheckpointDir::Quarantine(uint64_t seq) const {
       qdir + "/" + std::filesystem::path(src).filename().string();
   std::filesystem::rename(src, dst, ec);
   if (ec) {
+    // Two instances over one directory (per-shard controllers sharing a
+    // registry, rollout racing drift) may quarantine the same
+    // generation; the loser finds the source gone and the destination
+    // present — the outcome it wanted.
+    std::error_code probe;
+    if (!std::filesystem::exists(src, probe) &&
+        std::filesystem::exists(dst, probe)) {
+      return Status::OK();
+    }
     return Status::Internal("cannot quarantine " + src + ": " + ec.message());
   }
   obs::GetCounter("ckpt.quarantined").Add(1);

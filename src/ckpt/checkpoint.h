@@ -49,9 +49,13 @@ std::string WrapPayload(std::string_view payload);
 /// version — is a Status, never a crash or silently corrupt bytes.
 StatusOr<std::string> UnwrapPayload(std::string_view bytes);
 
-/// Durably writes `bytes` to `path`: write to `<path>.tmp`, fsync,
-/// rename over `path`, fsync the parent directory. A crash anywhere in
-/// the sequence leaves the previous `path` contents intact.
+/// Durably writes `bytes` to `path`: write to a uniquely-named
+/// `<path>.tmp.<pid>.<n>` temp, fsync, rename over `path`, fsync the
+/// parent directory. A crash anywhere in the sequence leaves the
+/// previous `path` contents intact, and the unique temp name makes
+/// concurrent writers of the same path safe — the last rename wins
+/// whole, never a byte-interleaved mix (fleet shards and controllers
+/// publish concurrently in one process).
 Status AtomicWriteFile(const std::string& path, std::string_view bytes);
 
 /// Reads a whole file. NotFound when it does not exist.

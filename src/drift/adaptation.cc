@@ -8,6 +8,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/serialize.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -38,11 +39,6 @@ void RemoveStateDir(const std::string& dir) {
   std::filesystem::remove_all(dir, ec);  // best effort
 }
 
-obs::Gauge& StateGauge() {
-  static obs::Gauge& g = obs::GetGauge("drift.adapt_state");
-  return g;
-}
-
 }  // namespace
 
 AdaptationConfig AdaptationConfigFromEnv(AdaptationConfig defaults) {
@@ -69,7 +65,15 @@ AdaptationController::AdaptationController(
       service_(service),
       rollout_(rollout),
       config_(config),
-      detector_(detector_config) {
+      metrics_(config_.metrics_prefix),
+      detector_([&] {
+        // The shard identity flows into the detector so its metrics and
+        // drift-detect fault verdicts carry the same namespace.
+        DriftDetectorConfig dc = detector_config;
+        if (dc.metrics_prefix.empty()) dc.metrics_prefix = config.metrics_prefix;
+        if (dc.shard.empty()) dc.shard = config.shard;
+        return dc;
+      }()) {
   TPR_CHECK(base_features_ != nullptr);
   TPR_CHECK(service_ != nullptr);
   TPR_CHECK(!config_.model_dir.empty());
@@ -109,6 +113,7 @@ std::shared_ptr<const core::FeatureSpace> AdaptationController::FreshFeatures(
 StatusOr<AdaptReport> AdaptationController::Tick(
     const std::shared_ptr<const synth::CityDataset>& fresh) {
   TPR_CHECK(fresh != nullptr);
+  fault::ScopedShard shard_scope(config_.shard);
   AdaptReport report;
   if (!resume_checked_) {
     resume_checked_ = true;
@@ -144,7 +149,8 @@ StatusOr<AdaptReport> AdaptationController::Tick(
       break;
     }
   }
-  StateGauge().Set(static_cast<double>(static_cast<int>(state_)));
+  metrics_.gauge("drift.adapt_state")
+      .Set(static_cast<double>(static_cast<int>(state_)));
   return report;
 }
 
@@ -161,7 +167,7 @@ Status AdaptationController::ForceStartFineTune(
 Status AdaptationController::StartFineTune(
     const std::shared_ptr<const synth::CityDataset>& fresh,
     AdaptReport* report) {
-  static obs::Counter& launches = obs::GetCounter("drift.finetune_launches");
+  obs::Counter& launches = metrics_.counter("drift.finetune_launches");
   const uint64_t source_gen = service_->model_generation();
   if (source_gen == 0) {
     return Status::FailedPrecondition(
@@ -252,7 +258,7 @@ Status AdaptationController::SaveFineTuneState() const {
 Status AdaptationController::TryResume(
     const std::shared_ptr<const synth::CityDataset>& fresh,
     AdaptReport* report) {
-  static obs::Counter& resumed = obs::GetCounter("drift.finetune_resumes");
+  obs::Counter& resumed = metrics_.counter("drift.finetune_resumes");
   ckpt::CheckpointDir cdir(config_.finetune_dir);
   auto loaded = cdir.LoadLatest();
   if (!loaded.ok()) {
@@ -332,7 +338,7 @@ Status AdaptationController::TryResume(
 }
 
 Status AdaptationController::RunEpochs(AdaptReport* report) {
-  static obs::Counter& epochs = obs::GetCounter("drift.finetune_epochs");
+  obs::Counter& epochs = metrics_.counter("drift.finetune_epochs");
   for (int i = 0; i < config_.epochs_per_tick &&
                   epochs_done_ < config_.total_epochs;
        ++i) {
@@ -357,7 +363,7 @@ Status AdaptationController::RunEpochs(AdaptReport* report) {
 }
 
 Status AdaptationController::PublishCandidate(AdaptReport* report) {
-  static obs::Counter& published = obs::GetCounter("drift.publishes");
+  obs::Counter& published = metrics_.counter("drift.publishes");
   const std::string& dir =
       config_.publish_dir.empty() ? config_.model_dir : config_.publish_dir;
   TPR_RETURN_IF_ERROR(serve::InferenceService::SaveModel(

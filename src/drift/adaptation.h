@@ -97,6 +97,15 @@ struct AdaptationConfig {
   /// Non-zero pins the candidate's generation number (reference runs);
   /// 0 derives max(existing generations) + 1.
   uint64_t forced_candidate_generation = 0;
+
+  /// Shard identity (fleet mode): `shard` scopes the fault sites
+  /// touched during Tick (ckpt reads/writes of the fine-tune state) to
+  /// `site@shard` rules and is copied onto the detector; a non-empty
+  /// `metrics_prefix` namespaces the drift counters/gauges
+  /// ("shard0." -> "shard0.drift.publishes") and likewise flows into the
+  /// detector config. Empty defaults keep the global names.
+  std::string shard;
+  std::string metrics_prefix;
 };
 
 /// Overlays TPR_DRIFT_EPOCHS / TPR_DRIFT_EPOCHS_PER_TICK onto
@@ -181,6 +190,7 @@ class AdaptationController {
   serve::InferenceService* const service_;
   rollout::RolloutController* const rollout_;
   const AdaptationConfig config_;
+  const obs::MetricScope metrics_;  // prefix = config_.metrics_prefix
   DriftDetector detector_;
 
   AdaptState state_ = AdaptState::kIdle;

@@ -43,7 +43,7 @@ DriftDetectorConfig DriftDetectorConfigFromEnv(DriftDetectorConfig defaults) {
 }
 
 DriftDetector::DriftDetector(const DriftDetectorConfig& config)
-    : config_(config) {
+    : config_(config), metrics_(config_.metrics_prefix) {
   TPR_CHECK(config_.window > 0);
   TPR_CHECK(config_.min_windows > 0);
   TPR_CHECK(config_.cooldown_windows >= 0);
@@ -64,12 +64,14 @@ bool DriftDetector::Observe(double mae) {
 }
 
 bool DriftDetector::CloseWindow(double window_mean_mae) {
-  static obs::Counter& windows_counter = obs::GetCounter("drift.windows");
-  static obs::Counter& detections_counter =
-      obs::GetCounter("drift.detections");
-  static obs::Gauge& mae_gauge = obs::GetGauge("drift.window_mae");
-  static obs::Gauge& stat_gauge = obs::GetGauge("drift.ph_statistic");
-  static obs::Gauge& mean_gauge = obs::GetGauge("drift.baseline_log_mean");
+  // Per-instance handles: two detectors in one process (fleet shards)
+  // must not fold into whichever instance's prefix resolved first, which
+  // is exactly what the former function-local statics did.
+  obs::Counter& windows_counter = metrics_.counter("drift.windows");
+  obs::Counter& detections_counter = metrics_.counter("drift.detections");
+  obs::Gauge& mae_gauge = metrics_.gauge("drift.window_mae");
+  obs::Gauge& stat_gauge = metrics_.gauge("drift.ph_statistic");
+  obs::Gauge& mean_gauge = metrics_.gauge("drift.baseline_log_mean");
 
   ++windows_;
   windows_counter.Add();
@@ -95,7 +97,12 @@ bool DriftDetector::CloseWindow(double window_mean_mae) {
   // the spurious-fine-tune path, injected false negatives delay
   // detection by a window. Keyed by the monotone window counter, so a
   // p-mode plan yields the same flip pattern on every run.
-  if (fault::ShouldFail(fault::kDriftDetect, windows_)) alarm = !alarm;
+  bool flipped;
+  {
+    fault::ScopedShard shard_scope(config_.shard);
+    flipped = fault::ShouldFail(fault::kDriftDetect, windows_);
+  }
+  if (flipped) alarm = !alarm;
   if (alarm) {
     alarmed_ = true;
     ++detections_;

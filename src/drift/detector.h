@@ -29,8 +29,10 @@
 // false negatives (missed windows the next window must catch).
 
 #include <cstdint>
+#include <string>
 
 #include "core/probe.h"
+#include "obs/metrics.h"
 #include "synth/traffic_model.h"
 
 namespace tpr::drift {
@@ -54,6 +56,16 @@ struct DriftDetectorConfig {
 
   /// Windows ignored entirely after Reset() (post-adaptation settling).
   int cooldown_windows = 1;
+
+  /// Obs namespace for this detector's metrics ("shard0." ->
+  /// "shard0.drift.windows"). Per-instance — two detectors in one
+  /// process with distinct prefixes record independently; the empty
+  /// default keeps the historical global names.
+  std::string metrics_prefix;
+
+  /// Shard scope installed around each window's `drift-detect` fault
+  /// verdict so `drift-detect@shardK` rules target one detector.
+  std::string shard;
 };
 
 /// Overlays TPR_DRIFT_WINDOW / TPR_DRIFT_DELTA / TPR_DRIFT_LAMBDA /
@@ -92,6 +104,7 @@ class DriftDetector {
   bool CloseWindow(double window_mean_mae);
 
   DriftDetectorConfig config_;
+  obs::MetricScope metrics_;  // prefix = config_.metrics_prefix
   double window_sum_ = 0.0;
   int window_count_ = 0;
   uint64_t windows_ = 0;         // all closed windows, never reset

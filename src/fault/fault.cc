@@ -32,6 +32,15 @@ std::function<size_t(size_t)>& CkptKillPoint() {
   return *hook;
 }
 
+/// The calling thread's shard scope. A function-local thread_local keeps
+/// initialization lazy and exit-safe (queries from atexit hooks see an
+/// empty scope, never a destroyed one, because the string is only
+/// destroyed with the thread itself).
+std::string& ShardScopeStorage() {
+  thread_local std::string scope;
+  return scope;
+}
+
 void Activate(FaultPlan plan) {
   auto* next = new ActivePlan();
   next->counters = std::make_unique<std::atomic<uint64_t>[]>(
@@ -78,16 +87,22 @@ uint64_t HashSite(std::string_view site) {
 
 bool PVerdict(const SiteRule& rule, std::string_view site, uint64_t key) {
   if (rule.probability <= 0.0) return false;
-  const uint64_t mixed =
-      MixSeed(MixSeed(HashSite(site), rule.seed), key);
+  // Qualified rules hash site + scope so shard-targeted rules on the
+  // same site decorrelate; bare rules keep the historical verdicts.
+  uint64_t h = HashSite(site);
+  if (!rule.scope.empty()) h = MixSeed(h, HashSite(rule.scope));
+  const uint64_t mixed = MixSeed(MixSeed(h, rule.seed), key);
   // Map the top 53 bits to [0, 1), matching Rng::Uniform's resolution.
   const double u = static_cast<double>(mixed >> 11) * 0x1.0p-53;
   return u < rule.probability;
 }
 
-void CountInjected(std::string_view site, const char* kind) {
+void CountInjected(const SiteRule& rule, std::string_view site,
+                   const char* kind) {
   if (!obs::MetricsEnabled()) return;
-  obs::GetCounter("fault." + std::string(site) + "." + kind).Add();
+  std::string name = "fault." + std::string(site);
+  if (!rule.scope.empty()) name += "@" + rule.scope;
+  obs::GetCounter(name + "." + kind).Add();
 }
 
 struct SiteLookup {
@@ -98,11 +113,18 @@ struct SiteLookup {
 SiteLookup Lookup(std::string_view site) {
   ActivePlan* active = LazyActive();
   if (active == nullptr) return {};
+  const std::string& scope = ShardScopeStorage();
   const auto& rules = active->plan.rules();
+  SiteLookup bare;
   for (size_t i = 0; i < rules.size(); ++i) {
-    if (rules[i].site == site) return {&rules[i], &active->counters[i]};
+    if (rules[i].site != site) continue;
+    if (!rules[i].scope.empty()) {
+      if (rules[i].scope == scope) return {&rules[i], &active->counters[i]};
+    } else if (bare.rule == nullptr) {
+      bare = {&rules[i], &active->counters[i]};
+    }
   }
-  return {};
+  return bare;
 }
 
 bool ParseU64(std::string_view s, uint64_t* out) {
@@ -138,7 +160,19 @@ StatusOr<FaultPlan> FaultPlan::Parse(std::string_view spec) {
                                      std::string(entry) + "\"");
     }
     SiteRule rule;
-    rule.site = std::string(entry.substr(0, colon));
+    std::string_view site_token = entry.substr(0, colon);
+    const size_t at = site_token.find('@');
+    if (at != std::string_view::npos) {
+      if (at == 0 || at + 1 == site_token.size() ||
+          site_token.find('@', at + 1) != std::string_view::npos) {
+        return Status::InvalidArgument(
+            "fault shard qualifier needs 'site@shard': \"" +
+            std::string(site_token) + "\"");
+      }
+      rule.scope = std::string(site_token.substr(at + 1));
+      site_token = site_token.substr(0, at);
+    }
+    rule.site = std::string(site_token);
     std::string_view opts = entry.substr(colon + 1);
     size_t opos = 0;
     bool any = false;
@@ -191,9 +225,10 @@ StatusOr<FaultPlan> FaultPlan::Parse(std::string_view spec) {
           "'until' needs a smaller 'after' on site " + rule.site);
     }
     for (const auto& existing : plan.rules_) {
-      if (existing.site == rule.site) {
-        return Status::InvalidArgument("duplicate fault rule for site " +
-                                       rule.site);
+      if (existing.site == rule.site && existing.scope == rule.scope) {
+        return Status::InvalidArgument(
+            "duplicate fault rule for site " + rule.site +
+            (rule.scope.empty() ? "" : "@" + rule.scope));
       }
     }
     plan.rules_.push_back(std::move(rule));
@@ -201,11 +236,18 @@ StatusOr<FaultPlan> FaultPlan::Parse(std::string_view spec) {
   return plan;
 }
 
-const SiteRule* FaultPlan::Find(std::string_view site) const {
+const SiteRule* FaultPlan::Find(std::string_view site,
+                                std::string_view scope) const {
+  const SiteRule* bare = nullptr;
   for (const auto& rule : rules_) {
-    if (rule.site == site) return &rule;
+    if (rule.site != site) continue;
+    if (!rule.scope.empty()) {
+      if (rule.scope == scope) return &rule;
+    } else if (bare == nullptr) {
+      bare = &rule;
+    }
   }
-  return nullptr;
+  return bare;
 }
 
 void InstallPlan(FaultPlan plan) {
@@ -227,6 +269,20 @@ Status InstallPlanFromEnv() {
 
 bool PlanActive() { return LazyActive() != nullptr; }
 
+ScopedShard::ScopedShard(std::string_view shard) {
+  if (shard.empty()) return;  // leave any outer scope in place
+  std::string& storage = ShardScopeStorage();
+  prev_ = std::move(storage);
+  storage.assign(shard);
+  installed_ = true;
+}
+
+ScopedShard::~ScopedShard() {
+  if (installed_) ShardScopeStorage() = std::move(prev_);
+}
+
+std::string_view CurrentShard() { return ShardScopeStorage(); }
+
 bool ShouldFail(std::string_view site, uint64_t key) {
   const SiteLookup hit = Lookup(site);
   if (hit.rule == nullptr) return false;
@@ -238,7 +294,7 @@ bool ShouldFail(std::string_view site, uint64_t key) {
       (hit.rule->until == 0 || call <= hit.rule->until)) {
     fail = true;
   }
-  if (fail) CountInjected(site, "injected");
+  if (fail) CountInjected(*hit.rule, site, "injected");
   return fail;
 }
 
@@ -253,7 +309,7 @@ bool ShouldFail(std::string_view site) {
       (hit.rule->until == 0 || call <= hit.rule->until)) {
     fail = true;
   }
-  if (fail) CountInjected(site, "injected");
+  if (fail) CountInjected(*hit.rule, site, "injected");
   return fail;
 }
 
@@ -269,7 +325,7 @@ double DelayMs(std::string_view site, uint64_t key) {
   if (hit.rule->probability > 0.0 && !PVerdict(*hit.rule, site, key)) {
     return 0.0;  // p gates the delay when both are present
   }
-  CountInjected(site, "delays");
+  CountInjected(*hit.rule, site, "delays");
   return hit.rule->delay_ms;
 }
 

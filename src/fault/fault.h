@@ -13,7 +13,7 @@
 // Spec grammar (the TPR_FAULT environment variable, or Parse()):
 //
 //   spec  := site_rule (';' site_rule)*
-//   site_rule := site ':' option (',' option)*
+//   site_rule := site ('@' shard)? ':' option (',' option)*
 //   option := 'p=' float        — keyed-probabilistic failure
 //           | 'seed=' uint      — decorrelates p-mode across sites/runs
 //           | 'nth=' uint       — every nth call to the site fails
@@ -23,6 +23,16 @@
 //           | 'delay_ms=' float — latency injection instead of failure
 //
 //   TPR_FAULT="encoder-forward:p=0.1;ckpt-read:p=0.1;slow-worker:p=0.05,delay_ms=2"
+//   TPR_FAULT="encoder-forward@shard1:p=0.9;rollout-publish@shard1:after=0,until=1"
+//
+// Shard qualifier. `site@shard` restricts a rule to threads whose active
+// shard scope (set with ScopedShard, see below) equals `shard`. A
+// qualified rule overrides an unqualified rule for the same site inside
+// its scope; threads with no scope — and scopes with no qualified rule —
+// fall back to the unqualified rule, so specs without '@' keep today's
+// semantics exactly. Qualified p-mode verdicts hash the qualified name,
+// so `encoder-forward@shard0` and `encoder-forward@shard1` decorrelate
+// even with equal seeds.
 //
 // Determinism. p-mode decides by hashing (site, seed, key): for a fixed
 // spec the verdict for a key is a pure function, independent of thread
@@ -60,11 +70,13 @@ inline constexpr char kCanaryRegression[] = "canary-regression";  // serve canar
 inline constexpr char kBatchFlush[] = "batch-flush";         // serve batched rung-0 encode
 inline constexpr char kQuantEncode[] = "quant-encode";       // serve int8 rung encode
 inline constexpr char kDriftDetect[] = "drift-detect";       // drift detector verdicts
+inline constexpr char kRouteDispatch[] = "route-dispatch";   // router shard dispatch
 
 /// Failure rule for one site. A rule may combine modes; the site fails
 /// when ANY active mode fires.
 struct SiteRule {
   std::string site;
+  std::string scope;          // '@' qualifier; empty = matches every thread
   double probability = 0.0;   // p-mode; 0 disables
   uint64_t seed = 0;          // p-mode decorrelation
   uint64_t nth = 0;           // nth-mode; 0 disables
@@ -86,7 +98,10 @@ class FaultPlan {
 
   bool empty() const { return rules_.empty(); }
   const std::vector<SiteRule>& rules() const { return rules_; }
-  const SiteRule* Find(std::string_view site) const;
+  /// The rule that applies to `site` under shard scope `scope`: a
+  /// matching qualified rule wins, else the unqualified rule, else null.
+  const SiteRule* Find(std::string_view site,
+                       std::string_view scope = {}) const;
 
  private:
   std::vector<SiteRule> rules_;
@@ -110,6 +125,27 @@ Status InstallPlanFromEnv();
 
 /// True when a non-empty plan is active. One relaxed atomic load.
 bool PlanActive();
+
+/// RAII guard installing a shard scope on the calling thread; site
+/// queries made while it lives match `site@shard` rules for that shard.
+/// Scopes nest (the previous scope is restored on destruction); an empty
+/// shard name is a no-op that leaves any outer scope in place, so
+/// components constructed without a shard label compose transparently
+/// with a scoped caller (e.g. the router).
+class ScopedShard {
+ public:
+  explicit ScopedShard(std::string_view shard);
+  ~ScopedShard();
+  ScopedShard(const ScopedShard&) = delete;
+  ScopedShard& operator=(const ScopedShard&) = delete;
+
+ private:
+  std::string prev_;
+  bool installed_ = false;
+};
+
+/// The calling thread's active shard scope; empty when none.
+std::string_view CurrentShard();
 
 /// Deterministic failure verdict for an explicitly keyed call: p-mode
 /// hashes (site, seed, key); nth/after-modes consult the site's call

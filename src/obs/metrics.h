@@ -135,6 +135,35 @@ Gauge& GetGauge(const std::string& name);
 Histogram& GetHistogram(const std::string& name);  // DurationBuckets()
 Histogram& GetHistogram(const std::string& name, std::vector<double> bounds);
 
+/// A name prefix over the registry, for components that exist more than
+/// once per process (per-shard services, rollout controllers, drift
+/// detectors). Each instance resolves its handles through its own scope
+/// ("shard0." + "serve.requests" -> "shard0.serve.requests"); the default
+/// empty prefix yields the historical global names, so single-instance
+/// code and existing dashboards are unchanged. Handles resolved through
+/// a scope are the same stable registry references as GetCounter's.
+class MetricScope {
+ public:
+  MetricScope() = default;
+  explicit MetricScope(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  const std::string& prefix() const { return prefix_; }
+  std::string Name(const std::string& name) const { return prefix_ + name; }
+
+  Counter& counter(const std::string& name) const {
+    return GetCounter(prefix_ + name);
+  }
+  Gauge& gauge(const std::string& name) const {
+    return GetGauge(prefix_ + name);
+  }
+  Histogram& histogram(const std::string& name) const {
+    return GetHistogram(prefix_ + name);
+  }
+
+ private:
+  std::string prefix_;
+};
+
 /// JSON snapshot of every registered metric:
 /// {"counters":{name:n}, "gauges":{name:v},
 ///  "histograms":{name:{count,sum,min,max,p50,p90,p99}}}.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "ckpt/checkpoint.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "quant/quant.h"
 #include "util/logging.h"
@@ -29,14 +30,16 @@ RolloutController::RolloutController(
       features_(std::move(features)),
       encoder_config_(encoder_config),
       probe_(std::move(probe)),
-      config_(config) {
+      config_(config),
+      metrics_(config_.metrics_prefix) {
   TPR_CHECK(service_ != nullptr);
   TPR_CHECK(!config_.model_dir.empty());
   TPR_CHECK(config_.quality_budget >= 0.0);
 }
 
 Status RolloutController::Init() {
-  auto loaded = Manifest::Load(config_.model_dir);
+  fault::ScopedShard shard_scope(config_.shard);
+  auto loaded = Manifest::Load(config_.model_dir, config_.metrics_prefix);
   if (loaded.ok()) {
     manifest_ = *std::move(loaded);
     // The incumbent's probe score travels with its manifest record, so a
@@ -57,10 +60,11 @@ void RolloutController::RefreshProbe(core::ProbeSet probe) {
   // re-scores the live model on the new probe (the `incumbent_mae_ < 0`
   // lazy-recompute path in ScanForCandidate).
   incumbent_mae_ = -1.0;
-  obs::GetCounter("rollout.probe_refreshes").Add(1);
+  metrics_.counter("rollout.probe_refreshes").Add(1);
 }
 
 StatusOr<TickReport> RolloutController::Tick() {
+  fault::ScopedShard shard_scope(config_.shard);
   TickReport report;
   while (auto res = service_->TakeCanaryResolution()) {
     ApplyResolution(*res, &report);
@@ -70,7 +74,8 @@ StatusOr<TickReport> RolloutController::Tick() {
     TPR_RETURN_IF_ERROR(ScanForCandidate(&report, &advanced));
   }
   if (dirty_) {
-    Status published = manifest_.Publish(config_.model_dir);
+    Status published =
+        manifest_.Publish(config_.model_dir, config_.metrics_prefix);
     if (published.ok()) {
       dirty_ = false;
       report.published = true;
@@ -114,7 +119,7 @@ void RolloutController::ApplyResolution(const serve::CanaryResolution& res,
     // exempt from keep-last-K pruning so a restart can always reload
     // the serving model even after many candidate publishes.
     (void)ckpt::CheckpointDir(config_.model_dir).Pin(res.generation);
-    obs::GetCounter("rollout.promoted").Add(1);
+    metrics_.counter("rollout.promoted").Add(1);
     report->events.push_back("canary gen " + std::to_string(res.generation) +
                              " promoted: " + res.reason + traffic);
   } else {
@@ -126,7 +131,7 @@ void RolloutController::ApplyResolution(const serve::CanaryResolution& res,
                          "canary rolled back: " + res.reason + traffic,
                          report);
     manifest_.set_canary_generation(0);
-    obs::GetCounter("rollout.rolled_back").Add(1);
+    metrics_.counter("rollout.rolled_back").Add(1);
   }
   dirty_ = true;
 }
@@ -148,7 +153,7 @@ Status RolloutController::ScanForCandidate(TickReport* report,
                                bytes.status().message());
       return Status::OK();
     }
-    obs::GetCounter("rollout.candidates").Add(1);
+    metrics_.counter("rollout.candidates").Add(1);
     auto payload = ckpt::UnwrapPayload(*bytes);
     if (!payload.ok()) {
       QuarantineGeneration(
@@ -194,7 +199,7 @@ Status RolloutController::ScanForCandidate(TickReport* report,
         auto inc = core::ProbeTravelTimeMae(*service_->live_model(), probe_);
         if (inc.ok()) incumbent_mae_ = *inc;
       }
-      obs::GetGauge("rollout.canary_probe_delta")
+      metrics_.gauge("rollout.canary_probe_delta")
           .Set(incumbent_mae_ >= 0 ? *cand_mae - incumbent_mae_ : 0.0);
       if (incumbent_mae_ >= 0 &&
           *cand_mae > incumbent_mae_ * (1.0 + config_.quality_budget)) {
@@ -240,7 +245,7 @@ Status RolloutController::ScanForCandidate(TickReport* report,
             "quantized twin probe: " + twin_mae.status().message(), report);
         continue;
       }
-      obs::GetGauge("rollout.quant_probe_delta").Set(*twin_mae - *cand_mae);
+      metrics_.gauge("rollout.quant_probe_delta").Set(*twin_mae - *cand_mae);
       if (*twin_mae > *cand_mae * (1.0 + config_.quant_mae_delta)) {
         // The twin fails -> the candidate it shadows goes with it: a
         // generation is only servable as the fp32 + int8 pair.
@@ -257,12 +262,12 @@ Status RolloutController::ScanForCandidate(TickReport* report,
       if (!saved.ok()) {
         // The in-memory twin still serves this process; only a restarted
         // service loses the quantized rung for this generation.
-        obs::GetCounter("rollout.quant_artifact_failures").Add(1);
+        metrics_.counter("rollout.quant_artifact_failures").Add(1);
         report->events.push_back("gen " + std::to_string(seq) +
                                  " quant artifact save failed: " +
                                  saved.message());
       }
-      obs::GetCounter("rollout.quant_twins").Add(1);
+      metrics_.counter("rollout.quant_twins").Add(1);
       report->events.push_back("gen " + std::to_string(seq) +
                                " quantized twin passed (mae " +
                                FormatMae(*twin_mae) + " vs fp32 " +
@@ -287,7 +292,7 @@ Status RolloutController::ScanForCandidate(TickReport* report,
       manifest_.set_live_generation(seq);
       (void)ckpt::CheckpointDir(config_.model_dir).Pin(seq);
       dirty_ = true;
-      obs::GetCounter("rollout.bootstraps").Add(1);
+      metrics_.counter("rollout.bootstraps").Add(1);
       report->events.push_back("gen " + std::to_string(seq) +
                                " bootstrapped live (mae " +
                                FormatMae(*cand_mae) + ")");
@@ -305,7 +310,7 @@ Status RolloutController::ScanForCandidate(TickReport* report,
     manifest_.Upsert(std::move(rec));
     manifest_.set_canary_generation(seq);
     dirty_ = true;
-    obs::GetCounter("rollout.canaries").Add(1);
+    metrics_.counter("rollout.canaries").Add(1);
     report->events.push_back("gen " + std::to_string(seq) +
                              " passed validation, canarying (mae " +
                              FormatMae(*cand_mae) + " vs incumbent " +
@@ -334,15 +339,15 @@ void RolloutController::QuarantineGeneration(uint64_t generation,
   rec.reason = reason;
   manifest_.Upsert(std::move(rec));
   dirty_ = true;
-  obs::GetCounter("rollout.quarantined").Add(1);
+  metrics_.counter("rollout.quarantined").Add(1);
   report->events.push_back("gen " + std::to_string(generation) +
                            " quarantined: " + reason);
 }
 
 void RolloutController::UpdateGauges() const {
-  obs::GetGauge("rollout.live_generation")
+  metrics_.gauge("rollout.live_generation")
       .Set(static_cast<double>(manifest_.live_generation()));
-  obs::GetGauge("rollout.canary_generation")
+  metrics_.gauge("rollout.canary_generation")
       .Set(static_cast<double>(manifest_.canary_generation()));
 }
 

@@ -46,6 +46,7 @@
 #include "core/encoder.h"
 #include "core/features.h"
 #include "core/probe.h"
+#include "obs/metrics.h"
 #include "rollout/manifest.h"
 #include "serve/service.h"
 #include "util/status.h"
@@ -66,6 +67,13 @@ struct RolloutConfig {
   /// Build, gate, and publish an int8 twin with every candidate.
   /// TPR_QUANT=0/off also disables twins process-wide.
   bool quantize_twins = true;
+  /// Shard identity (fleet mode): a non-empty `shard` scopes the fault
+  /// sites touched during Init/Tick (rollout-publish, ckpt reads) to
+  /// `site@shard` rules; `metrics_prefix` namespaces the rollout
+  /// counters/gauges ("shard0." -> "shard0.rollout.promoted"). Empty
+  /// defaults keep the single-controller behavior and global names.
+  std::string shard;
+  std::string metrics_prefix;
 };
 
 /// What one Tick() did, for logging and assertions. Events are ordered,
@@ -133,6 +141,7 @@ class RolloutController {
   const core::EncoderConfig encoder_config_;
   core::ProbeSet probe_;  // mutable: RefreshProbe swaps in fresh labels
   const RolloutConfig config_;
+  const obs::MetricScope metrics_;  // prefix = config_.metrics_prefix
   Manifest manifest_;
   /// Probe MAE of the current incumbent; recomputed on bootstrap and
   /// carried over from the candidate's score on promotion.

@@ -113,7 +113,8 @@ StatusOr<Manifest> Manifest::Decode(std::string_view payload) {
   return m;
 }
 
-Status Manifest::Publish(const std::string& dir) {
+Status Manifest::Publish(const std::string& dir,
+                         const std::string& metrics_prefix) {
   ++publish_count_;
   const std::string bytes = ckpt::WrapPayload(Encode());
   const std::string path = dir + "/" + kFileName;
@@ -125,28 +126,29 @@ Status Manifest::Publish(const std::string& dir) {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(),
               static_cast<std::streamsize>(bytes.size() / 2));
-    obs::GetCounter("rollout.publish_torn").Add(1);
+    obs::GetCounter(metrics_prefix + "rollout.publish_torn").Add(1);
     return Status::Internal("injected torn manifest publish in " + dir);
   }
   TPR_RETURN_IF_ERROR(ckpt::AtomicWriteFile(path, bytes));
   TPR_RETURN_IF_ERROR(
       ckpt::AtomicWriteFile(dir + "/" + kBackupName, bytes));
-  obs::GetCounter("rollout.publishes").Add(1);
+  obs::GetCounter(metrics_prefix + "rollout.publishes").Add(1);
   return Status::OK();
 }
 
-StatusOr<Manifest> Manifest::Load(const std::string& dir) {
+StatusOr<Manifest> Manifest::Load(const std::string& dir,
+                                  const std::string& metrics_prefix) {
   for (const char* name : {kFileName, kBackupName}) {
     auto bytes = ckpt::ReadFileBytes(dir + "/" + std::string(name));
     if (!bytes.ok()) continue;
     auto payload = ckpt::UnwrapPayload(*bytes);
     if (!payload.ok()) {
-      obs::GetCounter("rollout.manifest_torn").Add(1);
+      obs::GetCounter(metrics_prefix + "rollout.manifest_torn").Add(1);
       continue;
     }
     auto manifest = Manifest::Decode(*payload);
     if (manifest.ok()) return manifest;
-    obs::GetCounter("rollout.manifest_torn").Add(1);
+    obs::GetCounter(metrics_prefix + "rollout.manifest_torn").Add(1);
   }
   return Status::NotFound("no valid rollout manifest in " + dir);
 }

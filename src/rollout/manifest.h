@@ -93,13 +93,16 @@ class Manifest {
   /// mirror. An active `rollout-publish` fault instead leaves a torn,
   /// non-atomically-written MANIFEST behind — the failure mode the
   /// backup exists for — and returns Internal; the caller retries on a
-  /// later tick.
-  Status Publish(const std::string& dir);
+  /// later tick. `metrics_prefix` namespaces the publish counters
+  /// (per-shard controllers pass theirs; the default keeps the global
+  /// "rollout.publishes" names).
+  Status Publish(const std::string& dir, const std::string& metrics_prefix = "");
 
   /// Loads `<dir>/MANIFEST`, falling back to the mirror when the primary
   /// is missing or fails envelope validation (counting the fallback via
   /// the rollout.manifest_torn counter). NotFound when neither exists.
-  static StatusOr<Manifest> Load(const std::string& dir);
+  static StatusOr<Manifest> Load(const std::string& dir,
+                                 const std::string& metrics_prefix = "");
 
  private:
   std::vector<ModelRecord> records_;

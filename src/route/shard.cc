@@ -1,0 +1,53 @@
+#include "route/shard.h"
+
+#include <filesystem>
+#include <utility>
+
+namespace tpr::route {
+namespace {
+
+std::string ShardName(int city_id) {
+  return "shard" + std::to_string(city_id);
+}
+
+std::string ShardDir(const std::string& root, int city_id) {
+  return root + "/shard-" + std::to_string(city_id);
+}
+
+}  // namespace
+
+CityShard::CityShard(std::shared_ptr<const core::FeatureSpace> features,
+                     const core::EncoderConfig& encoder_config,
+                     core::ProbeSet probe, const CityShardConfig& config)
+    : city_id_(config.city_id),
+      name_(ShardName(config.city_id)),
+      dir_(ShardDir(config.root, config.city_id)),
+      model_dir_(dir_ + "/models") {
+  std::filesystem::create_directories(model_dir_);
+
+  serve::ServiceConfig sc = config.service;
+  if (sc.shard.empty()) sc.shard = name_;
+  if (sc.metrics_prefix.empty()) sc.metrics_prefix = name_ + ".";
+  service_ = std::make_unique<serve::InferenceService>(features,
+                                                       encoder_config, sc);
+
+  rollout::RolloutConfig rc = config.rollout;
+  if (rc.model_dir.empty()) rc.model_dir = model_dir_;
+  if (rc.shard.empty()) rc.shard = name_;
+  if (rc.metrics_prefix.empty()) rc.metrics_prefix = name_ + ".";
+  rollout_ = std::make_unique<rollout::RolloutController>(
+      service_.get(), features, encoder_config, std::move(probe), rc);
+
+  if (config.enable_drift) {
+    drift::AdaptationConfig ac = config.adaptation;
+    if (ac.model_dir.empty()) ac.model_dir = model_dir_;
+    if (ac.finetune_dir.empty()) ac.finetune_dir = dir_ + "/finetune";
+    if (ac.shard.empty()) ac.shard = name_;
+    if (ac.metrics_prefix.empty()) ac.metrics_prefix = name_ + ".";
+    std::filesystem::create_directories(ac.finetune_dir);
+    adaptation_ = std::make_unique<drift::AdaptationController>(
+        features, service_.get(), rollout_.get(), config.detector, ac);
+  }
+}
+
+}  // namespace tpr::route

@@ -1,0 +1,100 @@
+#ifndef TPR_ROUTE_SHARD_H_
+#define TPR_ROUTE_SHARD_H_
+
+// One city's serving shard: the full vertical slice — inference
+// service, checkpoint directory, rollout controller, and (optionally)
+// the drift adaptation controller — namespaced under
+// `<root>/shard-<city>/` with the shard's fault scope and metric prefix
+// wired through every layer.
+//
+// Isolation is the point: each shard owns its own model lineage
+// (manifest, quarantine, pins), its own breaker/cache/canary state, its
+// own drift detector, and its own `shard<k>.{serve,rollout,drift}.*`
+// metric namespace. A fault plan targeting `site@shard<k>` touches
+// exactly this shard; rollouts, quarantines, and drift fine-tunes on
+// one shard never synchronize with — or even observe — another's.
+
+#include <memory>
+#include <string>
+
+#include "core/encoder.h"
+#include "core/features.h"
+#include "core/probe.h"
+#include "drift/adaptation.h"
+#include "drift/detector.h"
+#include "rollout/controller.h"
+#include "route/router.h"
+#include "serve/service.h"
+#include "util/status.h"
+
+namespace tpr::route {
+
+struct CityShardConfig {
+  int city_id = 0;
+
+  /// Fleet root; this shard lives under `<root>/shard-<city_id>/`.
+  std::string root;
+
+  /// Service knobs. `shard` and `metrics_prefix` are auto-filled with
+  /// the shard identity when left empty (the normal case).
+  serve::ServiceConfig service;
+
+  /// Rollout knobs. `model_dir`, `shard`, and `metrics_prefix` are
+  /// auto-filled when left empty.
+  rollout::RolloutConfig rollout;
+
+  /// Construct the drift adaptation controller too. Off by default —
+  /// soaks that only exercise routing/rollout skip the trainer stack.
+  bool enable_drift = false;
+  drift::DriftDetectorConfig detector;
+  /// `model_dir`/`finetune_dir`/`shard`/`metrics_prefix` auto-filled
+  /// when left empty; the caller supplies the fine-tune `wsc` config.
+  drift::AdaptationConfig adaptation;
+};
+
+class CityShard {
+ public:
+  /// Creates `<root>/shard-<city>/models` (and `finetune` when drift is
+  /// enabled) on disk and wires service -> rollout (-> adaptation) with
+  /// the shard's scope and metric prefix. `probe` is the rollout gate's
+  /// golden probe set for THIS city's world.
+  CityShard(std::shared_ptr<const core::FeatureSpace> features,
+            const core::EncoderConfig& encoder_config, core::ProbeSet probe,
+            const CityShardConfig& config);
+
+  CityShard(const CityShard&) = delete;
+  CityShard& operator=(const CityShard&) = delete;
+
+  int city_id() const { return city_id_; }
+  /// "shard<city_id>": the fault scope and metric-prefix stem.
+  const std::string& name() const { return name_; }
+  /// `<root>/shard-<city>` and its model checkpoint dir.
+  const std::string& dir() const { return dir_; }
+  const std::string& model_dir() const { return model_dir_; }
+
+  serve::InferenceService& service() { return *service_; }
+  rollout::RolloutController& rollout() { return *rollout_; }
+  /// Null unless CityShardConfig::enable_drift.
+  drift::AdaptationController* adaptation() { return adaptation_.get(); }
+
+  /// rollout().Init(): recover lineage from this shard's manifest.
+  Status Init() { return rollout_->Init(); }
+
+  /// The router-facing endpoint for this shard.
+  ShardEndpoint endpoint() {
+    return ShardEndpoint{city_id_, name_, service_.get()};
+  }
+
+ private:
+  const int city_id_;
+  const std::string name_;
+  const std::string dir_;
+  const std::string model_dir_;
+  std::unique_ptr<serve::InferenceService> service_;
+  std::unique_ptr<rollout::RolloutController> rollout_;
+  std::unique_ptr<drift::AdaptationController> adaptation_;
+};
+
+}  // namespace tpr::route
+
+#endif  // TPR_ROUTE_SHARD_H_

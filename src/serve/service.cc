@@ -29,27 +29,27 @@ void SleepMs(double ms) {
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
-void ObserveRungLatency(Rung rung, double seconds) {
-  if (!obs::MetricsEnabled()) return;
-  switch (rung) {
-    case Rung::kFull:
-      obs::GetHistogram("serve.rung_full_seconds").Observe(seconds);
-      break;
-    case Rung::kQuantized:
-      obs::GetHistogram("serve.rung_quantized_seconds").Observe(seconds);
-      break;
-    case Rung::kCached:
-      obs::GetHistogram("serve.rung_cached_seconds").Observe(seconds);
-      break;
-    case Rung::kFallback:
-      obs::GetHistogram("serve.rung_fallback_seconds").Observe(seconds);
-      break;
-  }
-}
-
 constexpr char kModelTag[] = "tpr-serve-model";
 
 }  // namespace
+
+void InferenceService::ObserveRungLatency(Rung rung, double seconds) const {
+  if (!obs::MetricsEnabled()) return;
+  switch (rung) {
+    case Rung::kFull:
+      metrics_.histogram("serve.rung_full_seconds").Observe(seconds);
+      break;
+    case Rung::kQuantized:
+      metrics_.histogram("serve.rung_quantized_seconds").Observe(seconds);
+      break;
+    case Rung::kCached:
+      metrics_.histogram("serve.rung_cached_seconds").Observe(seconds);
+      break;
+    case Rung::kFallback:
+      metrics_.histogram("serve.rung_fallback_seconds").Observe(seconds);
+      break;
+  }
+}
 
 const char* RungName(Rung r) {
   switch (r) {
@@ -80,7 +80,8 @@ InferenceService::InferenceService(
     const core::EncoderConfig& encoder_config, const ServiceConfig& config)
     : features_(std::move(features)),
       encoder_config_(encoder_config),
-      config_(ApplyQuantEnv(config)) {
+      config_(ApplyQuantEnv(config)),
+      metrics_(config_.metrics_prefix) {
   TPR_CHECK(features_ != nullptr);
   TPR_CHECK(config_.num_workers > 0);
   TPR_CHECK(config_.queue_capacity > 0);
@@ -145,14 +146,15 @@ StatusOr<InferenceService::DecodedModel> InferenceService::DecodeModelPayload(
 }
 
 Status InferenceService::LoadModel(const std::string& dir) {
+  fault::ScopedShard shard_scope(config_.shard);  // ckpt-read site
   auto loaded = ckpt::CheckpointDir(dir).LoadLatest();
   if (!loaded.ok()) {
-    obs::GetCounter("serve.model_load_failures").Add(1);
+    metrics_.counter("serve.model_load_failures").Add(1);
     return loaded.status();
   }
   auto decoded = DecodeModelPayload(loaded->payload, features_, encoder_config_);
   if (!decoded.ok()) {
-    obs::GetCounter("serve.model_load_failures").Add(1);
+    metrics_.counter("serve.model_load_failures").Add(1);
     return decoded.status();
   }
   // The int8 twin is optional sidecar state: published beside the
@@ -165,7 +167,7 @@ Status InferenceService::LoadModel(const std::string& dir) {
       twin = std::make_shared<const quant::QuantizedEncoder>(
           features_, std::move(model).value());
     } else if (model.status().code() != StatusCode::kNotFound) {
-      obs::GetCounter("serve.quant_twin_load_failures").Add(1);
+      metrics_.counter("serve.quant_twin_load_failures").Add(1);
     }
   }
   InstallModel(std::move(decoded->encoder), decoded->generation,
@@ -202,7 +204,7 @@ void InferenceService::InstallModel(
     }
     live_ = std::move(gen);
   }
-  obs::GetGauge("serve.model_generation").Set(static_cast<double>(generation));
+  metrics_.gauge("serve.model_generation").Set(static_cast<double>(generation));
 }
 
 Status InferenceService::BeginCanary(
@@ -221,8 +223,8 @@ Status InferenceService::BeginCanary(
     return Status::FailedPrecondition("a canary is already in flight");
   }
   canary_ = std::move(gen);
-  obs::GetCounter("serve.canaries").Add(1);
-  obs::GetGauge("serve.canary_generation").Set(static_cast<double>(generation));
+  metrics_.counter("serve.canaries").Add(1);
+  metrics_.gauge("serve.canary_generation").Set(static_cast<double>(generation));
   return Status::OK();
 }
 
@@ -252,6 +254,30 @@ std::optional<CanaryResolution> InferenceService::TakeCanaryResolution() {
   return res;
 }
 
+ServiceHealth InferenceService::Health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceHealth h;
+  h.started = started_ && !stopping_;
+  h.queue_depth = static_cast<int>(queue_.size() + waiting_.size());
+  h.canary_installed = canary_ != nullptr;
+  if (live_ != nullptr) {
+    h.generation = live_->generation;
+    switch (live_->breaker.state) {
+      case Breaker::State::kClosed:
+        h.breaker_state = 0;
+        break;
+      case Breaker::State::kOpen:
+        h.breaker_state = 1;
+        break;
+      case Breaker::State::kHalfOpen:
+        h.breaker_state = 2;
+        break;
+    }
+    h.consecutive_failures = live_->breaker.consecutive_failures;
+  }
+  return h;
+}
+
 CanaryStatus InferenceService::canary_status() const {
   std::lock_guard<std::mutex> lock(mu_);
   CanaryStatus s;
@@ -276,14 +302,14 @@ void InferenceService::ResolveCanaryLocked(CanaryVerdict verdict,
     // The canary slot — fresh breaker, warm cache, its own metrics —
     // becomes the incumbent wholesale; nothing about its state resets.
     live_ = std::move(canary_);
-    obs::GetCounter("serve.canary_promotions").Add(1);
-    obs::GetGauge("serve.model_generation")
+    metrics_.counter("serve.canary_promotions").Add(1);
+    metrics_.gauge("serve.model_generation")
         .Set(static_cast<double>(live_->generation));
   } else {
-    obs::GetCounter("serve.canary_rollbacks").Add(1);
+    metrics_.counter("serve.canary_rollbacks").Add(1);
   }
   canary_.reset();
-  obs::GetGauge("serve.canary_generation").Set(0);
+  metrics_.gauge("serve.canary_generation").Set(0);
   resolutions_.push_back(std::move(res));
 }
 
@@ -357,7 +383,7 @@ void InferenceService::Shutdown() {
   for (auto& req : orphaned) fail_unavailable(req);
   for (auto& entry : orphaned_waiting) fail_unavailable(entry.second);
   for (auto& t : workers) t.join();
-  if (!workers.empty()) obs::GetGauge("serve.queue_depth").Set(0);
+  if (!workers.empty()) metrics_.gauge("serve.queue_depth").Set(0);
 }
 
 bool InferenceService::PredictRung0Skip(const Request& req) const {
@@ -402,7 +428,7 @@ bool InferenceService::BreakerAdmit(GenState& gen, Request& req) {
         if (++b.consecutive_failures >= config_.breaker_trip_threshold) {
           b.state = Breaker::State::kOpen;
           b.open_skips_remaining = config_.breaker_open_requests;
-          obs::GetCounter("serve.breaker_trips").Add(1);
+          metrics_.counter("serve.breaker_trips").Add(1);
           tripped = true;
         }
       } else {
@@ -411,7 +437,7 @@ bool InferenceService::BreakerAdmit(GenState& gen, Request& req) {
       break;
     case Breaker::State::kOpen:
       req.skip_rung0 = true;
-      obs::GetCounter("serve.breaker_open_skips").Add(1);
+      metrics_.counter("serve.breaker_open_skips").Add(1);
       if (--b.open_skips_remaining <= 0) {
         b.state = Breaker::State::kHalfOpen;
       }
@@ -423,7 +449,7 @@ bool InferenceService::BreakerAdmit(GenState& gen, Request& req) {
         b.state = Breaker::State::kOpen;
         b.open_skips_remaining = config_.breaker_open_requests;
         if (predicted_fail) {
-          obs::GetCounter("serve.breaker_trips").Add(1);
+          metrics_.counter("serve.breaker_trips").Add(1);
           tripped = true;
         }
       } else {
@@ -458,7 +484,7 @@ void InferenceService::BreakerRecord(GenState& gen, bool success,
   if (b.state == Breaker::State::kHalfOpen ||
       ++b.consecutive_failures >= config_.breaker_trip_threshold) {
     if (b.state != Breaker::State::kOpen) {
-      obs::GetCounter("serve.breaker_trips").Add(1);
+      metrics_.counter("serve.breaker_trips").Add(1);
     }
     b.state = Breaker::State::kOpen;
     b.open_skips_remaining = config_.breaker_open_requests;
@@ -473,7 +499,7 @@ void InferenceService::AdmitToGeneration(Request& req) {
   req.gen = live_;
   if (canary_ != nullptr && RoutesToCanary(req.query.id)) {
     ++canary_->routed;
-    obs::GetCounter("serve.canary_requests").Add(1);
+    metrics_.counter("serve.canary_requests").Add(1);
     // Injected quality regression: the canary rolls back the moment
     // traffic reaches it, and this request is served by the incumbent —
     // canary failures must never cost a user a good answer.
@@ -522,14 +548,14 @@ void InferenceService::AdmitToGeneration(Request& req) {
   Breaker& b = gen.breaker;
   if (b.state == Breaker::State::kOpen) {
     req.skip_rung0 = true;
-    obs::GetCounter("serve.breaker_open_skips").Add(1);
+    metrics_.counter("serve.breaker_open_skips").Add(1);
     if (--b.open_skips_remaining <= 0) {
       b.state = Breaker::State::kHalfOpen;
     }
   } else if (b.state == Breaker::State::kHalfOpen) {
     if (b.probe_in_flight) {
       req.skip_rung0 = true;
-      obs::GetCounter("serve.breaker_open_skips").Add(1);
+      metrics_.counter("serve.breaker_open_skips").Add(1);
     } else {
       b.probe_in_flight = true;
       req.breaker_probe = true;
@@ -539,6 +565,9 @@ void InferenceService::AdmitToGeneration(Request& req) {
 
 StatusOr<std::future<ServeResult>> InferenceService::Submit(
     PathQuery query, double deadline_ms) {
+  // Admission (queue-full verdicts, breaker fold predictions) runs on
+  // the submitter's thread; scope it so site@shard rules see this shard.
+  fault::ScopedShard shard_scope(config_.shard);
   const auto admitted_at = std::chrono::steady_clock::now();
   Request req;
   req.query = std::move(query);
@@ -558,10 +587,10 @@ StatusOr<std::future<ServeResult>> InferenceService::Submit(
       return Status::Unavailable("service not accepting requests");
     }
     req.ticket = next_ticket_++;
-    obs::GetCounter("serve.requests").Add(1);
+    metrics_.counter("serve.requests").Add(1);
     // Injected admission failure: behaves exactly like a full queue.
     if (fault::ShouldFail(fault::kQueueFull, req.ticket)) {
-      obs::GetCounter("serve.shed").Add(1);
+      metrics_.counter("serve.shed").Add(1);
       return Status::ResourceExhausted("queue full (injected)");
     }
     if (former_ != nullptr) {
@@ -569,7 +598,7 @@ StatusOr<std::future<ServeResult>> InferenceService::Submit(
       // request — pending in the former or waiting on a formed batch.
       if (waiting_.size() >= static_cast<size_t>(config_.queue_capacity)) {
         if (!config_.block_when_full) {
-          obs::GetCounter("serve.shed").Add(1);
+          metrics_.counter("serve.shed").Add(1);
           return Status::ResourceExhausted(
               "queue full (" + std::to_string(waiting_.size()) + ")");
         }
@@ -594,7 +623,7 @@ StatusOr<std::future<ServeResult>> InferenceService::Submit(
         TPR_CHECK(!flushed.has_value());
         flushed = std::move(aged);
       }
-      obs::GetGauge("serve.queue_depth")
+      metrics_.gauge("serve.queue_depth")
           .Set(static_cast<double>(waiting_.size()));
       // Wake a worker only when a batch actually flushed — idle workers
       // otherwise drain partial batches prematurely.
@@ -603,7 +632,7 @@ StatusOr<std::future<ServeResult>> InferenceService::Submit(
     } else {
       if (queue_.size() >= static_cast<size_t>(config_.queue_capacity)) {
         if (!config_.block_when_full) {
-          obs::GetCounter("serve.shed").Add(1);
+          metrics_.counter("serve.shed").Add(1);
           return Status::ResourceExhausted(
               "queue full (" + std::to_string(queue_.size()) + ")");
         }
@@ -617,7 +646,7 @@ StatusOr<std::future<ServeResult>> InferenceService::Submit(
       }
       AdmitToGeneration(req);
       queue_.push_back(std::move(req));
-      obs::GetGauge("serve.queue_depth")
+      metrics_.gauge("serve.queue_depth")
           .Set(static_cast<double>(queue_.size()));
     }
   }
@@ -637,6 +666,7 @@ ServeResult InferenceService::SubmitAndWait(PathQuery query,
 }
 
 void InferenceService::WorkerLoop() {
+  fault::ScopedShard shard_scope(config_.shard);
   for (;;) {
     Request req;
     {
@@ -645,7 +675,7 @@ void InferenceService::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_, queue drained by Shutdown
       req = std::move(queue_.front());
       queue_.pop_front();
-      obs::GetGauge("serve.queue_depth")
+      metrics_.gauge("serve.queue_depth")
           .Set(static_cast<double>(queue_.size()));
     }
     not_full_.notify_one();
@@ -655,6 +685,7 @@ void InferenceService::WorkerLoop() {
 }
 
 void InferenceService::BatchedWorkerLoop() {
+  fault::ScopedShard shard_scope(config_.shard);
   for (;;) {
     batch::FormedBatch batch;
     std::vector<std::vector<Request>> members;
@@ -691,7 +722,7 @@ void InferenceService::BatchedWorkerLoop() {
         }
         members.push_back(std::move(reqs));
       }
-      obs::GetGauge("serve.queue_depth")
+      metrics_.gauge("serve.queue_depth")
           .Set(static_cast<double>(waiting_.size()));
     }
     not_full_.notify_all();
@@ -705,9 +736,9 @@ void InferenceService::ProcessBatch(batch::FormedBatch& batch,
   const size_t n_groups = batch.groups.size();
   size_t total = 0;
   for (const auto& m : members) total += m.size();
-  obs::GetCounter("serve.batches").Add(1);
-  obs::GetCounter("serve.batched_requests").Add(total);
-  obs::GetCounter("serve.batch_coalesced").Add(total - n_groups);
+  metrics_.counter("serve.batches").Add(1);
+  metrics_.counter("serve.batched_requests").Add(total);
+  metrics_.counter("serve.batch_coalesced").Add(total - n_groups);
 
   const auto base_result = [](const Request& req) {
     ServeResult r;
@@ -776,7 +807,7 @@ void InferenceService::ProcessBatch(batch::FormedBatch& batch,
     std::vector<size_t> ready;
     std::vector<size_t> failed;
     for (size_t gi : live) {
-      if (a > 0) obs::GetCounter("serve.retries").Add(1);
+      if (a > 0) metrics_.counter("serve.retries").Add(1);
       const uint64_t attempt_key =
           MixSeed(batch.groups[gi].key_hash, static_cast<uint64_t>(a));
       if (fault::ShouldFail(fault::kEncoderForward, attempt_key)) {
@@ -946,7 +977,7 @@ void InferenceService::ProcessBatch(batch::FormedBatch& batch,
           r->promise.set_value(std::move(res));
           continue;
         }
-        obs::GetCounter("serve.quant_hits").Add(1);
+        metrics_.counter("serve.quant_hits").Add(1);
         ServeResult res = base_result(*r);
         res.status = Status::OK();
         res.rung = Rung::kQuantized;
@@ -993,7 +1024,7 @@ ServeResult InferenceService::Process(Request& req) {
     if (!req.breaker_predicted && req.breaker_probe) {
       BreakerRecord(*req.gen, false, /*was_probe=*/true);
     }
-    obs::GetCounter("serve.deadline_exceeded").Add(1);
+    metrics_.counter("serve.deadline_exceeded").Add(1);
     result.status = Status::DeadlineExceeded(
         "deadline elapsed (ticket " + std::to_string(req.ticket) + ")");
     return result;
@@ -1010,7 +1041,7 @@ ServeResult InferenceService::Process(Request& req) {
     for (int a = 0; a <= config_.max_retries; ++a) {
       if (deadline_passed()) return deadline_result();
       result.attempts = a + 1;
-      if (a > 0) obs::GetCounter("serve.retries").Add(1);
+      if (a > 0) metrics_.counter("serve.retries").Add(1);
       const uint64_t attempt_key = MixSeed(q.id, static_cast<uint64_t>(a));
       if (!fault::ShouldFail(fault::kEncoderForward, attempt_key)) {
         auto embedding =
@@ -1048,7 +1079,7 @@ ServeResult InferenceService::DeadlineResult(Request& req) {
   if (!req.breaker_predicted && req.breaker_probe) {
     BreakerRecord(*req.gen, false, /*was_probe=*/true);
   }
-  obs::GetCounter("serve.deadline_exceeded").Add(1);
+  metrics_.counter("serve.deadline_exceeded").Add(1);
   ServeResult result;
   result.ticket = req.ticket;
   result.generation = req.gen->generation;
@@ -1073,7 +1104,7 @@ ServeResult InferenceService::DegradedLadder(Request& req, ServeResult result,
     if (!req.breaker_predicted && req.breaker_probe) {
       BreakerRecord(*req.gen, false, /*was_probe=*/true);
     }
-    obs::GetCounter("serve.deadline_exceeded").Add(1);
+    metrics_.counter("serve.deadline_exceeded").Add(1);
     result.status = Status::DeadlineExceeded(
         "deadline elapsed (ticket " + std::to_string(req.ticket) + ")");
     return result;
@@ -1090,7 +1121,7 @@ ServeResult InferenceService::DegradedLadder(Request& req, ServeResult result,
     if (deadline_passed()) return deadline_result();
     const uint64_t quant_key = former_ != nullptr ? req.group_key : q.id;
     if (!fault::ShouldFail(fault::kQuantEncode, quant_key)) {
-      obs::GetCounter("serve.quant_hits").Add(1);
+      metrics_.counter("serve.quant_hits").Add(1);
       result.status = Status::OK();
       result.rung = Rung::kQuantized;
       result.embedding = req.gen->quant->EncodeValue(q.path, q.depart_time_s);
@@ -1111,14 +1142,14 @@ ServeResult InferenceService::DegradedLadder(Request& req, ServeResult result,
   int64_t bucket = 0;
   const std::string key = CacheKey(q, &bucket);
   if (auto hit = cache.Get(key)) {
-    obs::GetCounter("serve.cache_hits").Add(1);
+    metrics_.counter("serve.cache_hits").Add(1);
     result.status = Status::OK();
     result.rung = Rung::kCached;
     result.embedding = *std::move(hit);
     ObserveRungLatency(result.rung, sw.ElapsedSeconds());
     return result;
   }
-  obs::GetCounter("serve.cache_misses").Add(1);
+  metrics_.counter("serve.cache_misses").Add(1);
   // Keyed by the cache key, not the request id: every request for this
   // (path, bucket) gets the same recompute verdict, so which of them
   // arrives first cannot change anyone's outcome.

@@ -88,6 +88,7 @@
 #include "batch/batch.h"
 #include "core/encoder.h"
 #include "core/features.h"
+#include "obs/metrics.h"
 #include "quant/quant.h"
 #include "serve/lru_cache.h"
 #include "util/status.h"
@@ -186,6 +187,32 @@ struct ServiceConfig {
   /// twin. Force-disabled process-wide by TPR_QUANT=0/off (checked once
   /// at service construction).
   bool quantized_rung = true;
+  /// Shard identity (fleet mode). Non-empty `shard` installs a
+  /// fault::ScopedShard around admission, model loads, and worker
+  /// processing, so `site@shard` TPR_FAULT rules can target exactly this
+  /// instance. Empty (default) leaves the caller's scope untouched.
+  std::string shard;
+  /// Obs namespace for every metric this instance records
+  /// ("shard0." -> "shard0.serve.requests"). Empty (default) keeps the
+  /// historical global names — which also means two unprefixed instances
+  /// in one process fold into the same counters; give fleet instances
+  /// distinct prefixes.
+  std::string metrics_prefix;
+};
+
+/// Point-in-time health snapshot, exported for routing tiers. Breaker
+/// state and consecutive_failures describe the incumbent generation and
+/// fold deterministically (admission order) under an active fault plan;
+/// queue_depth is an instantaneous load signal and is NOT part of the
+/// determinism contract — routers must not let it influence decisions
+/// they need reproduced bitwise.
+struct ServiceHealth {
+  bool started = false;
+  uint64_t generation = 0;       // incumbent model generation (0 = none)
+  int queue_depth = 0;           // queued + batch-waiting requests
+  int breaker_state = 0;         // 0 closed, 1 open, 2 half-open
+  int consecutive_failures = 0;  // incumbent rung-0 failures folded
+  bool canary_installed = false;
 };
 
 /// Multi-threaded inference service. Construction wires the pipeline but
@@ -264,6 +291,9 @@ class InferenceService {
   std::optional<CanaryResolution> TakeCanaryResolution();
 
   CanaryStatus canary_status() const;
+
+  /// Health snapshot for routing tiers (see ServiceHealth).
+  ServiceHealth Health() const;
 
   /// Spawns the worker threads. FailedPrecondition without a model.
   Status Start();
@@ -408,6 +438,10 @@ class InferenceService {
   /// Resolves TPR_QUANT against the configured quantized_rung flag.
   static ServiceConfig ApplyQuantEnv(ServiceConfig config);
 
+  /// Per-rung latency histogram, resolved through this instance's
+  /// metric scope.
+  void ObserveRungLatency(Rung rung, double seconds) const;
+
   /// Rung 2: mean-pooled node2vec endpoint embeddings, zero-padded or
   /// truncated to representation_dim. Pure; cannot fail.
   std::vector<float> FallbackEmbedding(const PathQuery& query) const;
@@ -417,6 +451,7 @@ class InferenceService {
   std::shared_ptr<const core::FeatureSpace> features_;
   const core::EncoderConfig encoder_config_;
   const ServiceConfig config_;
+  const obs::MetricScope metrics_;  // prefix = config_.metrics_prefix
 
   mutable std::mutex mu_;  // queue + tickets + generation slots/breakers
   std::condition_variable not_empty_;

@@ -1,0 +1,92 @@
+#ifndef TPR_SYNTH_FLEET_H_
+#define TPR_SYNTH_FLEET_H_
+
+// Multi-city fleets for sharded serving.
+//
+// A CityFleet materializes N differently-parameterised synthetic cities
+// from one fleet seed. Every city's parameters — network topology
+// knobs, traffic model, dataset sizes, and its regime-shift schedule —
+// are a pure function of (fleet seed, city id):
+//
+//   * bitwise reproducible: the same (seed, id) always yields the same
+//     CityPreset and therefore the same network/dataset bytes;
+//   * independent of fleet size: city 0 of a 1-city fleet is identical
+//     to city 0 of a 16-city fleet, so shard-scaling benchmarks compare
+//     like with like;
+//   * distinct across ids: each city draws its base preset and
+//     perturbations from an Rng seeded with MixSeed(seed, id), so no
+//     two shards serve the same world.
+//
+// The regime-shift schedule gives each city its own drift story (what
+// kind of shift arrives, how severe, with which edge-selection seed) so
+// fleet soaks can bomb one shard's world while the others stay still.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/presets.h"
+#include "synth/regime.h"
+#include "util/status.h"
+
+namespace tpr::synth {
+
+struct FleetConfig {
+  /// Number of cities (= serving shards). TPR_SHARDS overrides.
+  int num_cities = 3;
+
+  /// Fleet master seed; every per-city stream derives from it.
+  uint64_t seed = 404;
+
+  /// Dataset scale factor applied to every city (see ScaleDataset);
+  /// benches use small fractions to trade fidelity for runtime.
+  double dataset_scale = 1.0;
+};
+
+/// Overlays TPR_SHARDS / TPR_FLEET_SEED / TPR_FLEET_SCALE onto
+/// `defaults`. Invalid or missing values keep the default.
+FleetConfig FleetConfigFromEnv(FleetConfig defaults);
+
+/// One city of the fleet: a fully specified preset plus the city's own
+/// drift schedule.
+struct FleetCity {
+  int city_id = 0;
+
+  /// "city<k>-<base>", e.g. "city2-Chengdu": unique per id, stable
+  /// across runs and fleet sizes.
+  std::string name;
+
+  /// Fully parameterised city (network + traffic + dataset knobs). All
+  /// seeds inside are derived from (fleet seed, city id).
+  CityPreset preset;
+
+  /// The city's regime-shift schedule, in arrival order. Soaks apply
+  /// entry k when they want the k-th drift event for this city.
+  std::vector<RegimeShiftConfig> shifts;
+};
+
+/// Pure derivation of city `city_id` from `seed`/`dataset_scale`.
+/// Deliberately does NOT read FleetConfig::num_cities: a city's
+/// parameters never depend on how many siblings it has.
+FleetCity MakeFleetCity(uint64_t seed, double dataset_scale, int city_id);
+
+class CityFleet {
+ public:
+  explicit CityFleet(const FleetConfig& config);
+
+  int size() const { return static_cast<int>(cities_.size()); }
+  const FleetCity& city(int city_id) const;
+  const std::vector<FleetCity>& cities() const { return cities_; }
+
+  /// Generates network + traffic + dataset for one city. Each call
+  /// regenerates from the preset, so the result is bitwise identical
+  /// across calls, runs, and fleet sizes.
+  StatusOr<CityDataset> BuildDataset(int city_id) const;
+
+ private:
+  std::vector<FleetCity> cities_;
+};
+
+}  // namespace tpr::synth
+
+#endif  // TPR_SYNTH_FLEET_H_

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/baseline.h"
@@ -797,6 +800,91 @@ TEST_F(CkptResumeTest, PartialPipelineRefusesToSerialize) {
   ASSERT_TRUE(partial.ok()) << partial.status().ToString();
   EXPECT_EQ((*partial)->Serialize().status().code(),
             StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent writers (fleet mode: several shards' controllers publish in
+// one process).
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentWriteTest, RacingWritersOfOnePathLeaveOneWholeFile) {
+  const std::string dir = ScratchDir("concurrent_write");
+  const std::string path = dir + "/shared.tpr";
+  // Each thread repeatedly writes its own recognisable payload to the
+  // SAME path. Unique temp names mean the last rename wins whole: the
+  // visible file must always be EXACTLY one thread's payload, never an
+  // interleaving or a torn prefix.
+  constexpr int kThreads = 4;
+  constexpr int kWritesPerThread = 24;
+  std::vector<std::string> payloads;
+  for (int t = 0; t < kThreads; ++t) {
+    payloads.push_back(std::string(2048, static_cast<char>('A' + t)));
+  }
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        if (!AtomicWriteFile(path, WrapPayload(payloads[static_cast<size_t>(t)]))
+                 .ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto payload = UnwrapPayload(*bytes);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_NE(std::find(payloads.begin(), payloads.end(), *payload),
+            payloads.end())
+      << "visible file is not any single writer's payload";
+
+  // No temp litter left behind once all writers finished.
+  int stray_tmps = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.path().filename().string().find(".tmp.") != std::string::npos) {
+      ++stray_tmps;
+    }
+  }
+  EXPECT_EQ(stray_tmps, 0);
+}
+
+TEST(ConcurrentWriteTest, ShardDirsDoNotCrossContaminate) {
+  // Two CheckpointDirs in one process (two shards) saving and pruning
+  // concurrently: each directory ends with exactly its own lineage.
+  const std::string root = ScratchDir("multi_dir");
+  CheckpointDir a(root + "/shard-0/models");
+  CheckpointDir b(root + "/shard-1/models");
+  std::filesystem::create_directories(a.dir());
+  std::filesystem::create_directories(b.dir());
+  std::thread ta([&] {
+    for (uint64_t seq = 1; seq <= 12; ++seq) {
+      ASSERT_TRUE(a.Save(seq, "shard0-payload-" + std::to_string(seq)).ok());
+    }
+  });
+  std::thread tb([&] {
+    for (uint64_t seq = 1; seq <= 12; ++seq) {
+      ASSERT_TRUE(b.Save(seq, "shard1-payload-" + std::to_string(seq)).ok());
+    }
+  });
+  ta.join();
+  tb.join();
+  auto la = a.LoadLatest();
+  auto lb = b.LoadLatest();
+  ASSERT_TRUE(la.ok()) << la.status().ToString();
+  ASSERT_TRUE(lb.ok()) << lb.status().ToString();
+  EXPECT_EQ(la->seq, 12u);
+  EXPECT_EQ(lb->seq, 12u);
+  EXPECT_EQ(la->payload, "shard0-payload-12");
+  EXPECT_EQ(lb->payload, "shard1-payload-12");
+  // Pins are per directory, not process state.
+  ASSERT_TRUE(a.Pin(11).ok());
+  EXPECT_EQ(a.PinnedSeq().value_or(0), 11u);
+  EXPECT_FALSE(b.PinnedSeq().has_value());
 }
 
 }  // namespace

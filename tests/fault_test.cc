@@ -409,6 +409,103 @@ TEST_F(WatchdogTest, PipelineRollsBackOnceAndMatchesTheCleanRunBitwise) {
   EXPECT_EQ(Bits((*healed)->final_loss()), Bits(clean_loss));
 }
 
+// ---------------------------------------------------------------------------
+// Shard-qualified rules (`site@shard`) + thread-local fault scopes.
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultTest, ShardQualifierOnlyFiresInsideItsScope) {
+  Install("encoder-forward@shard1:p=1");
+  // No scope installed and no bare rule: the qualified rule is invisible.
+  EXPECT_FALSE(ShouldFail(kEncoderForward, 1));
+  {
+    ScopedShard scope("shard1");
+    EXPECT_EQ(CurrentShard(), "shard1");
+    EXPECT_TRUE(ShouldFail(kEncoderForward, 1));
+    {
+      // Empty scope is a no-op: the outer scope stays installed, so a
+      // scoped shard calling an unscoped component keeps its identity.
+      ScopedShard noop("");
+      EXPECT_EQ(CurrentShard(), "shard1");
+      EXPECT_TRUE(ShouldFail(kEncoderForward, 1));
+    }
+    {
+      ScopedShard inner("shard2");
+      EXPECT_EQ(CurrentShard(), "shard2");
+      EXPECT_FALSE(ShouldFail(kEncoderForward, 1));
+    }
+    EXPECT_EQ(CurrentShard(), "shard1");
+  }
+  EXPECT_EQ(CurrentShard(), "");
+}
+
+TEST_F(FaultTest, QualifiedRuleOverridesBareOnlyWithinItsScope) {
+  auto plan = FaultPlan::Parse("ckpt-write:p=0.25,seed=3;ckpt-write@s1:p=1");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const SiteRule* bare = plan->Find(kCkptWrite);
+  ASSERT_NE(bare, nullptr);
+  EXPECT_DOUBLE_EQ(bare->probability, 0.25);
+  const SiteRule* scoped = plan->Find(kCkptWrite, "s1");
+  ASSERT_NE(scoped, nullptr);
+  EXPECT_DOUBLE_EQ(scoped->probability, 1.0);
+  // A scope with no qualified rule falls back to the bare rule.
+  const SiteRule* other = plan->Find(kCkptWrite, "s2");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->probability, 0.25);
+
+  InstallPlan(*std::move(plan));
+  {
+    ScopedShard scope("s1");
+    for (uint64_t k = 0; k < 8; ++k) EXPECT_TRUE(ShouldFail(kCkptWrite, k));
+  }
+  {
+    // s2 sees the bare p=0.25 rule: some keys pass.
+    ScopedShard scope("s2");
+    int failures = 0;
+    for (uint64_t k = 0; k < 64; ++k) failures += ShouldFail(kCkptWrite, k);
+    EXPECT_GT(failures, 0);
+    EXPECT_LT(failures, 40);
+  }
+}
+
+TEST_F(FaultTest, ScopedVerdictsDecorrelateAcrossShards) {
+  // Same site, same seed, different shard qualifiers: the verdict
+  // streams must differ (the qualified name is folded into the hash).
+  Install("encoder-forward@a:p=0.5,seed=9;encoder-forward@b:p=0.5,seed=9");
+  std::vector<bool> a, b;
+  {
+    ScopedShard scope("a");
+    for (uint64_t k = 0; k < 64; ++k) a.push_back(ShouldFail(kEncoderForward, k));
+  }
+  {
+    ScopedShard scope("b");
+    for (uint64_t k = 0; k < 64; ++k) b.push_back(ShouldFail(kEncoderForward, k));
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultTest, ScopedInjectionsCountUnderTheQualifiedName) {
+  obs::SetMetricsEnabled(true);
+  obs::ResetAllMetrics();
+  Install("route-dispatch@shard0:p=1");
+  {
+    ScopedShard scope("shard0");
+    EXPECT_TRUE(ShouldFail(kRouteDispatch, 7));
+  }
+  EXPECT_EQ(obs::GetCounter("fault.route-dispatch@shard0.injected").value(),
+            1u);
+  EXPECT_EQ(obs::GetCounter("fault.route-dispatch.injected").value(), 0u);
+}
+
+TEST_F(FaultTest, ShardQualifierGrammarRejectsMalformedSpecs) {
+  EXPECT_FALSE(FaultPlan::Parse("@shard0:p=1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("encoder-forward@:p=1").ok());
+  EXPECT_FALSE(FaultPlan::Parse("encoder-forward@a@b:p=1").ok());
+  // Duplicate (site, scope) pairs are rejected; same site under
+  // different scopes (or bare + scoped) is fine.
+  EXPECT_FALSE(FaultPlan::Parse("alloc@s:p=1;alloc@s:p=0.5").ok());
+  EXPECT_TRUE(FaultPlan::Parse("alloc:p=0.1;alloc@s:p=1;alloc@t:p=1").ok());
+}
+
 TEST_F(WatchdogTest, PipelineGivesUpAfterMaxRollbacks) {
   par::SetDefaultThreads(1);
   obs::SetMetricsEnabled(true);

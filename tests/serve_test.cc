@@ -1155,5 +1155,70 @@ TEST_F(QuantLadderSoakTest, EveryRungServesAndOutcomesAreBitwiseIdentical) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet mode: per-instance metric namespaces + the health snapshot.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, PrefixedServicesDoNotShareCounters) {
+  // Two services in one process, distinct prefixes: each instance's
+  // traffic lands in its own namespace instead of folding into one
+  // global counter set (the pre-fleet behaviour).
+  ServiceConfig ca = TinyService();
+  ca.shard = "shard0";
+  ca.metrics_prefix = "shard0.";
+  ServiceConfig cb = TinyService();
+  cb.shard = "shard1";
+  cb.metrics_prefix = "shard1.";
+  InferenceService a(features(), TinyEncoder(), ca);
+  InferenceService b(features(), TinyEncoder(), cb);
+  for (InferenceService* svc : {&a, &b}) {
+    svc->InstallModel(
+        std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 1);
+    ASSERT_TRUE(svc->Start().ok());
+  }
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(a.SubmitAndWait(Query(static_cast<int>(i), 900 + i))
+                    .status.ok());
+  }
+  ASSERT_TRUE(b.SubmitAndWait(Query(0, 990)).status.ok());
+  EXPECT_EQ(obs::GetCounter("shard0.serve.requests").value(), 5u);
+  EXPECT_EQ(obs::GetCounter("shard1.serve.requests").value(), 1u);
+  EXPECT_EQ(obs::GetCounter("serve.requests").value(), 0u);
+  a.Shutdown();
+  b.Shutdown();
+}
+
+TEST_F(ServeTest, HealthSnapshotTracksLifecycleAndBreaker) {
+  ServiceConfig cfg = TinyService();
+  cfg.breaker_trip_threshold = 3;
+  InferenceService svc(features(), TinyEncoder(), cfg);
+
+  ServiceHealth h = svc.Health();
+  EXPECT_FALSE(h.started);
+  EXPECT_EQ(h.generation, 0u);
+
+  svc.InstallModel(
+      std::make_shared<TemporalPathEncoder>(features(), TinyEncoder()), 7);
+  ASSERT_TRUE(svc.Start().ok());
+  h = svc.Health();
+  EXPECT_TRUE(h.started);
+  EXPECT_EQ(h.generation, 7u);
+  EXPECT_EQ(h.breaker_state, 0);
+  EXPECT_EQ(h.consecutive_failures, 0);
+  EXPECT_FALSE(h.canary_installed);
+
+  // Persistent rung-0 faults trip the breaker; the snapshot reports it.
+  Install("encoder-forward:p=1");
+  for (uint64_t i = 0; i < 8; ++i) {
+    const ServeResult r = svc.SubmitAndWait(Query(static_cast<int>(i), i));
+    ASSERT_TRUE(r.status.ok());  // ladder degrades, never fails
+    EXPECT_NE(r.rung, Rung::kFull);
+  }
+  h = svc.Health();
+  EXPECT_EQ(h.breaker_state, 1);  // open
+  svc.Shutdown();
+  EXPECT_FALSE(svc.Health().started);
+}
+
 }  // namespace
 }  // namespace tpr::serve

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <queue>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "graph/path_utils.h"
@@ -10,6 +13,7 @@
 
 #include "synth/city_generator.h"
 #include "synth/dataset.h"
+#include "synth/fleet.h"
 #include "synth/gps.h"
 #include "synth/presets.h"
 #include "synth/regime.h"
@@ -571,6 +575,124 @@ TEST_P(DatasetNoiseTest, ObservationsNearModel) {
 
 INSTANTIATE_TEST_SUITE_P(AllCities, DatasetNoiseTest,
                          ::testing::Values(0, 1, 2));
+
+// ---------------------------------------------------------------------------
+// City fleets.
+// ---------------------------------------------------------------------------
+
+// Full parameter signature of a fleet city; two cities with equal
+// signatures generate bitwise-identical worlds.
+std::string CitySig(const FleetCity& c) {
+  std::string s = std::to_string(c.city_id) + "|" + c.name + "|" +
+                  c.preset.name;
+  auto add = [&s](double v) {
+    uint64_t b = 0;
+    static_assert(sizeof(b) == sizeof(v));
+    __builtin_memcpy(&b, &v, sizeof b);
+    s += "," + std::to_string(b);
+  };
+  const CityConfig& g = c.preset.city;
+  s += "|" + std::to_string(g.grid_width) + "x" +
+       std::to_string(g.grid_height) + ",s" + std::to_string(g.seed);
+  add(g.spacing_m);
+  add(g.drop_edge_prob);
+  add(g.one_way_prob);
+  add(c.preset.traffic.peak_severity);
+  add(c.preset.traffic.signal_delay_s);
+  s += "|d" + std::to_string(c.preset.data.seed) + "," +
+       std::to_string(c.preset.data.num_unlabeled_trajectories) + "," +
+       std::to_string(c.preset.data.num_labeled_groups);
+  add(c.preset.data.observation_noise);
+  for (const RegimeShiftConfig& sh : c.shifts) {
+    s += "|k" + std::to_string(static_cast<int>(sh.kind)) + ",s" +
+         std::to_string(sh.seed);
+    add(sh.edge_fraction);
+    add(sh.speed_scale);
+    add(sh.hour_shift);
+    add(sh.demand_scale);
+  }
+  return s;
+}
+
+TEST(FleetTest, CitiesAreAPureFunctionOfSeedAndId) {
+  for (int id : {0, 1, 5}) {
+    EXPECT_EQ(CitySig(MakeFleetCity(404, 1.0, id)),
+              CitySig(MakeFleetCity(404, 1.0, id)));
+  }
+  // A different fleet seed derives a different world.
+  EXPECT_NE(CitySig(MakeFleetCity(404, 1.0, 0)),
+            CitySig(MakeFleetCity(405, 1.0, 0)));
+}
+
+TEST(FleetTest, CitiesAreIndependentOfFleetSize) {
+  FleetConfig small;
+  small.num_cities = 1;
+  small.seed = 42;
+  FleetConfig big = small;
+  big.num_cities = 6;
+  CityFleet one(small);
+  CityFleet six(big);
+  // City 0 of a 1-city fleet IS city 0 of a 6-city fleet: scaling
+  // benches compare like with like.
+  EXPECT_EQ(CitySig(one.city(0)), CitySig(six.city(0)));
+  EXPECT_EQ(six.size(), 6);
+}
+
+TEST(FleetTest, CitiesAreDistinctAcrossIds) {
+  CityFleet fleet(FleetConfig{.num_cities = 4, .seed = 7});
+  for (int a = 0; a < fleet.size(); ++a) {
+    for (int b = a + 1; b < fleet.size(); ++b) {
+      EXPECT_NE(CitySig(fleet.city(a)), CitySig(fleet.city(b)))
+          << "cities " << a << " and " << b << " collide";
+      EXPECT_NE(fleet.city(a).name, fleet.city(b).name);
+    }
+  }
+  // Every city carries a full drift schedule (one shift of each kind).
+  for (const FleetCity& c : fleet.cities()) {
+    ASSERT_EQ(c.shifts.size(), 4u);
+    std::vector<int> kinds;
+    for (const auto& sh : c.shifts) kinds.push_back(static_cast<int>(sh.kind));
+    std::sort(kinds.begin(), kinds.end());
+    EXPECT_EQ(kinds, (std::vector<int>{0, 1, 2, 3}));
+  }
+}
+
+TEST(FleetTest, BuildDatasetIsReproducible) {
+  FleetConfig fc;
+  fc.num_cities = 1;
+  fc.seed = 9;
+  fc.dataset_scale = 0.05;
+  CityFleet fleet(fc);
+  auto a = fleet.BuildDataset(0);
+  auto b = fleet.BuildDataset(0);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  ASSERT_EQ(a->unlabeled.size(), b->unlabeled.size());
+  ASSERT_FALSE(a->unlabeled.empty());
+  for (size_t i = 0; i < a->unlabeled.size(); ++i) {
+    EXPECT_EQ(a->unlabeled[i].path, b->unlabeled[i].path);
+    EXPECT_EQ(a->unlabeled[i].depart_time_s, b->unlabeled[i].depart_time_s);
+  }
+}
+
+TEST(FleetTest, ConfigFromEnvOverrides) {
+  setenv("TPR_SHARDS", "5", 1);
+  setenv("TPR_FLEET_SEED", "123", 1);
+  setenv("TPR_FLEET_SCALE", "0.5", 1);
+  FleetConfig fc = FleetConfigFromEnv(FleetConfig{});
+  EXPECT_EQ(fc.num_cities, 5);
+  EXPECT_EQ(fc.seed, 123u);
+  EXPECT_DOUBLE_EQ(fc.dataset_scale, 0.5);
+  // Invalid values keep the defaults.
+  setenv("TPR_SHARDS", "0", 1);
+  setenv("TPR_FLEET_SCALE", "bogus", 1);
+  fc = FleetConfigFromEnv(FleetConfig{});
+  EXPECT_EQ(fc.num_cities, 3);
+  EXPECT_DOUBLE_EQ(fc.dataset_scale, 1.0);
+  unsetenv("TPR_SHARDS");
+  unsetenv("TPR_FLEET_SEED");
+  unsetenv("TPR_FLEET_SCALE");
+}
 
 }  // namespace
 }  // namespace tpr::synth
